@@ -1,0 +1,81 @@
+// Ablation: Algorithm 1's cycle tie-break (minimum in-degree, then maximum
+// out-degree) vs a naive arbitrary pick. The paper's rationale: ranking the
+// address "with the most dependencies" first makes its transaction order
+// authoritative for more downstream addresses, reducing the sorting
+// anomalies that end in aborts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "runtime/concurrent_executor.h"
+#include "workload/kv_workload.h"
+#include "workload/smallbank_workload.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+namespace {
+
+double MeasureAborts(RankPolicy policy,
+                     const std::vector<ReadWriteSet>& rwsets) {
+  NezhaOptions options;
+  options.rank_policy = policy;
+  NezhaScheduler scheduler(options);
+  return scheduler.BuildSchedule(rwsets)->AbortRate();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t txs_count = EnvSize("NEZHA_BENCH_TXS", 400);
+  const std::size_t reps = EnvSize("NEZHA_BENCH_REPS", 10);
+
+  Header("Ablation — Algorithm 1 rank tie-break policy",
+         "abort rates: paper policy vs naive victim, per workload & skew");
+
+  Row({"workload", "skew", "alg.1 aborts", "naive aborts", "delta"});
+  for (double skew : {0.8, 0.9, 1.0}) {
+    double smart = 0, naive = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      WorkloadConfig config;
+      config.num_accounts = 10'000;
+      config.skew = skew;
+      SmallBankWorkload workload(config, 600 + rep);
+      StateDB db;
+      const StateSnapshot snap = db.MakeSnapshot(0);
+      const auto txs = workload.MakeBatch(txs_count);
+      const auto exec = ExecuteBatchSerial(snap, txs);
+      smart += MeasureAborts(RankPolicy::kNezha, exec.rwsets);
+      naive += MeasureAborts(RankPolicy::kNaive, exec.rwsets);
+    }
+    const double r = static_cast<double>(reps);
+    Row({"smallbank", Fmt(skew, 1), FmtPct(smart / r), FmtPct(naive / r),
+         Fmt((naive - smart) / r * 100, 2) + " pp"});
+  }
+  for (double skew : {0.8, 0.9, 1.0}) {
+    double smart = 0, naive = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      KVWorkloadConfig config;
+      config.num_keys = 500;
+      config.skew = skew;
+      config.reads_per_tx = 3;
+      config.writes_per_tx = 2;
+      config.blind_write_fraction = 0.5;
+      KVWorkload workload(config, 700 + rep);
+      const auto rwsets = workload.MakeBatch(txs_count);
+      smart += MeasureAborts(RankPolicy::kNezha, rwsets);
+      naive += MeasureAborts(RankPolicy::kNaive, rwsets);
+    }
+    const double r = static_cast<double>(reps);
+    Row({"kv-blind", Fmt(skew, 1), FmtPct(smart / r), FmtPct(naive / r),
+         Fmt((naive - smart) / r * 100, 2) + " pp"});
+  }
+  std::printf(
+      "\nBoth policies yield valid (serializable) schedules; the tie-break "
+      "only\naffects which transactions abort. Measured honestly: on these "
+      "workloads\nthe paper's most-dependencies heuristic aborts slightly "
+      "MORE than the\nnaive smallest-subscript pick (the paper never "
+      "evaluates this choice in\nisolation) — its real role is "
+      "determinism across replicas, which both\npolicies provide.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: the §IV.D reordering enhancement.
+//
+// SmallBank never issues blind writes (every written address is also read),
+// so the write-write rescue path is idle there — Fig. 11's Nezha-vs-CG gap
+// comes from Algorithm 2's read-writer reassignment instead. This bench
+// drives the synthetic KV workload with multi-address blind writes (the
+// exact Fig. 8 shape) and sweeps the blind-write fraction: the enhancement's
+// benefit (aborts avoided) grows with the fraction of reorderable
+// write-write conflicts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "workload/kv_workload.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+int main() {
+  const std::size_t txs_count = EnvSize("NEZHA_BENCH_TXS", 400);
+  const std::size_t reps = EnvSize("NEZHA_BENCH_REPS", 10);
+
+  Header("Ablation — §IV.D reordering on blind-write workloads",
+         "KV workload: 2 reads + 2 writes per tx, 1k keys, Zipf 0.9");
+
+  Row({"blind frac", "aborts (on)", "aborts (off)", "rescued", "reduction"});
+  for (double blind : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    double with_reorder = 0, without = 0, rescued = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      KVWorkloadConfig config;
+      config.num_keys = 1000;
+      config.skew = 0.9;
+      config.reads_per_tx = 2;
+      config.writes_per_tx = 2;
+      config.blind_write_fraction = blind;
+      KVWorkload workload(config, 300 + rep);
+      const auto rwsets = workload.MakeBatch(txs_count);
+
+      NezhaScheduler on;
+      NezhaOptions off_options;
+      off_options.enable_reordering = false;
+      NezhaScheduler off(off_options);
+      auto a = on.BuildSchedule(rwsets);
+      auto b = off.BuildSchedule(rwsets);
+      with_reorder += a->AbortRate();
+      without += b->AbortRate();
+      rescued += static_cast<double>(on.metrics().reordered_txs);
+    }
+    const double r = static_cast<double>(reps);
+    const double reduction =
+        without > 0 ? (without - with_reorder) / without : 0;
+    Row({Fmt(blind, 2), FmtPct(with_reorder / r), FmtPct(without / r),
+         Fmt(rescued / r, 1), FmtPct(reduction)});
+  }
+
+  std::printf(
+      "\nShape check: with no blind writes the two variants coincide "
+      "(SmallBank's\nregime); as blind multi-address writes appear, "
+      "reordering rescues\ntransactions the plain algorithm would abort.\n");
+  return 0;
+}

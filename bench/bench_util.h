@@ -1,0 +1,49 @@
+// Shared helpers for the paper-reproduction bench binaries: aligned table
+// printing and environment-variable knobs (every bench runs standalone with
+// sensible defaults; NEZHA_BENCH_* variables scale them up or down).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace nezha::bench {
+
+/// Reads a positive integer knob from the environment, with a default.
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Prints a section header matching the paper artifact style.
+inline void Header(const std::string& title, const std::string& subtitle) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Fixed-width row printer: Row({"col1", "col2"}) with a 14-char default.
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string FmtInt(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string FmtPct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace nezha::bench

@@ -1,0 +1,126 @@
+// Substrate bench: OHIE consensus scaling — confirmed-block throughput and
+// confirmation latency as the number of parallel chains k grows, at a fixed
+// per-chain mining rate (the protocol's core claim: throughput scales with
+// k because chains run independent Nakamoto instances).
+//
+// This is the property that produces the block concurrency Nezha exploits:
+// more chains => more concurrent blocks per epoch => more conflicts for the
+// concurrency-control layer to resolve (Table I).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "consensus/ohie_sim.h"
+#include "consensus/dagrider_sim.h"
+#include "consensus/treegraph_sim.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+int main() {
+  const double duration_ms =
+      static_cast<double>(EnvSize("NEZHA_BENCH_DURATION_MS", 120'000));
+  const double per_chain_interval_ms = 1000;  // 1 block/s/chain expected
+
+  Header("OHIE consensus scaling — throughput vs parallel chains",
+         "5 nodes, 1 block/s per chain, 100 ms +-50 ms latency, confirm "
+         "depth 6, 2 min simulated");
+
+  Row({"chains", "mined", "per-chain", "forked", "confirmed",
+       "confirmed/s", "scale"});
+  double base_rate = 0;
+  for (ChainId k : {1u, 2u, 4u, 8u, 16u}) {
+    OhieSimConfig config;
+    config.num_chains = k;
+    config.num_nodes = 5;
+    config.mean_block_interval_ms = per_chain_interval_ms / k;
+    config.base_latency_ms = 100;
+    config.jitter_ms = 100;
+    config.confirm_depth = 6;
+    config.duration_ms = duration_ms;
+    config.seed = 17;
+    OhieSimulation sim(config);
+    sim.Run();
+
+    const OhieSimStats& stats = sim.stats();
+    const double confirmed_per_s =
+        static_cast<double>(stats.confirmed_blocks) / (duration_ms / 1000.0);
+    if (k == 1) base_rate = confirmed_per_s;
+    Row({FmtInt(k), FmtInt(stats.blocks_mined),
+         Fmt(static_cast<double>(stats.blocks_mined) / k, 1),
+         FmtInt(stats.forked_blocks), FmtInt(stats.confirmed_blocks),
+         Fmt(confirmed_per_s, 2),
+         Fmt(confirmed_per_s / (base_rate > 0 ? base_rate : 1), 1) + "x"});
+  }
+
+  std::printf(
+      "\nShape check: confirmed throughput scales near-linearly with the "
+      "number\nof chains at fixed per-chain rate — OHIE's \"scaling made "
+      "simple\" claim,\nand the source of the block concurrency Nezha's "
+      "scheduler is built for.\n");
+
+  // The other mainstream DAG family (§II.A): Conflux-style tree-graph.
+  // Here concurrency comes from raising the mining rate — concurrent
+  // blocks are woven in by reference edges instead of being forked away,
+  // and epoch sizes ARE the block concurrency ω_e of the paper's model.
+  Header("Tree-graph (Conflux-style) — epoch concurrency vs mining rate",
+         "5 nodes, 100 ms +-100 ms latency, confirm depth 8, 2 min "
+         "simulated");
+  Row({"interval ms", "mined", "confirmed", "epochs", "mean w_e", "max w_e",
+       "utilization"});
+  for (double interval : {1000.0, 500.0, 250.0, 125.0, 62.5}) {
+    TreeGraphSimConfig config;
+    config.num_nodes = 5;
+    config.mean_block_interval_ms = interval;
+    config.base_latency_ms = 100;
+    config.jitter_ms = 100;
+    config.confirm_depth = 8;
+    config.duration_ms = duration_ms;
+    config.seed = 23;
+    TreeGraphSimulation sim(config);
+    sim.Run();
+    const TreeGraphSimStats& stats = sim.stats();
+    Row({Fmt(interval, 0), FmtInt(stats.blocks_mined),
+         FmtInt(stats.confirmed_blocks), FmtInt(stats.confirmed_epochs),
+         Fmt(stats.mean_epoch_size, 2), Fmt(stats.max_epoch_size, 0),
+         FmtPct(stats.blocks_mined == 0
+                    ? 0
+                    : static_cast<double>(stats.confirmed_blocks) /
+                          static_cast<double>(stats.blocks_mined))});
+  }
+  std::printf(
+      "\nShape check: as the mining interval shrinks toward the network "
+      "latency,\nepoch concurrency (mean ω_e) grows while block utilization "
+      "stays high —\nthe tree-graph discards nothing; concurrent blocks "
+      "become the very B_e\nbatches the Nezha layer schedules.\n");
+
+  // Third family: the BFT DAG (DAG-Rider-style). Rounds self-clock off
+  // quorums, so vertex throughput tracks 1/latency and every committed
+  // wave anchors one execution batch.
+  Header("BFT DAG (DAG-Rider-style) — rounds and commits vs latency",
+         "4 nodes, 20 ms emit delay, 1 min simulated");
+  Row({"latency ms", "vertices", "rounds", "committed", "batches",
+       "commit lag"});
+  for (double latency : {25.0, 50.0, 100.0, 200.0}) {
+    DagRiderSimConfig config;
+    config.num_nodes = 4;
+    config.base_latency_ms = latency;
+    config.jitter_ms = latency;
+    config.duration_ms = 60'000;
+    config.seed = 29;
+    DagRiderSimulation sim(config);
+    sim.Run();
+    const DagRiderSimStats& stats = sim.stats();
+    Row({Fmt(latency, 0), FmtInt(stats.vertices_emitted),
+         FmtInt(stats.max_round), FmtInt(stats.committed_vertices),
+         FmtInt(stats.committed_batches),
+         FmtPct(stats.vertices_emitted == 0
+                    ? 0
+                    : 1.0 - static_cast<double>(stats.committed_vertices) /
+                                static_cast<double>(stats.vertices_emitted))});
+  }
+  std::printf(
+      "\nShape check: round rate (and thus vertex throughput) scales "
+      "inversely\nwith latency; the uncommitted tail (commit lag) stays a "
+      "small fraction —\nwave commits keep pace with the DAG's growth.\n");
+  return 0;
+}

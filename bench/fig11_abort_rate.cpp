@@ -1,0 +1,61 @@
+// Fig. 11 reproduction: transaction abort rate under rising Zipfian skew
+// (0.6 .. 1.0), block concurrency 1 (the paper keeps CG alive by using a
+// single 200-tx block). OCC is included as the extra baseline from the
+// paper's Table II discussion.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cc/cg/cg_scheduler.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "cc/occ/occ_scheduler.h"
+#include "runtime/concurrent_executor.h"
+#include "workload/smallbank_workload.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+int main() {
+  const std::size_t block_size = EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
+  const std::size_t reps = EnvSize("NEZHA_BENCH_REPS", 10);
+
+  Header("Fig. 11 — transaction abort rate vs skew (block concurrency 1)",
+         "SmallBank, 10k accounts, 200-tx batches, averaged over seeds");
+
+  Row({"skew", "nezha", "nezha-noreorder", "cg", "occ", "nezha vs cg"});
+
+  for (double skew : {0.6, 0.7, 0.8, 0.9, 1.0}) {
+    double nezha = 0, noreorder = 0, cg = 0, occ = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      WorkloadConfig config;
+      config.num_accounts = 10'000;
+      config.skew = skew;
+      SmallBankWorkload workload(config, 7000 + rep);
+      StateDB db;
+      const StateSnapshot snap = db.MakeSnapshot(0);
+      const auto txs = workload.MakeBatch(block_size);
+      const auto exec = ExecuteBatchSerial(snap, txs);
+
+      NezhaScheduler nezha_scheduler;
+      NezhaOptions no_reorder_options;
+      no_reorder_options.enable_reordering = false;
+      NezhaScheduler noreorder_scheduler(no_reorder_options);
+      CGScheduler cg_scheduler;
+      OCCScheduler occ_scheduler;
+
+      nezha += nezha_scheduler.BuildSchedule(exec.rwsets)->AbortRate();
+      noreorder += noreorder_scheduler.BuildSchedule(exec.rwsets)->AbortRate();
+      cg += cg_scheduler.BuildSchedule(exec.rwsets)->AbortRate();
+      occ += occ_scheduler.BuildSchedule(exec.rwsets)->AbortRate();
+    }
+    const double r = static_cast<double>(reps);
+    Row({Fmt(skew, 1), FmtPct(nezha / r), FmtPct(noreorder / r),
+         FmtPct(cg / r), FmtPct(occ / r),
+         Fmt((cg - nezha) / r * 100, 1) + " pp lower"});
+  }
+
+  std::printf(
+      "\nShape check: all schemes' abort rates climb steeply with skew; "
+      "Nezha\ntracks CG at low skew and beats it as skew approaches 1.0 "
+      "(paper: 3.5 pp\nat skew 1.0). OCC aborts the most throughout.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 12 reproduction: effective system throughput (committed tx/s) under
+// varying block concurrency, skew 0.2 and 0.6, with a 1 s expected block
+// generation cadence. Serial & execute-phase latencies come from the
+// calibrated EVM cost model; concurrency control and commitment are
+// measured (DESIGN.md §4).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "node/simulation.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+int main() {
+  const std::size_t block_size = EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
+  const std::size_t epochs = EnvSize("NEZHA_BENCH_EPOCHS", 3);
+
+  Header("Fig. 12 — effective throughput vs block concurrency (1 s epochs)",
+         "committed tx/s; Serial/execute modelled on the paper's testbed, "
+         "cc+commit measured");
+
+  for (double skew : {0.2, 0.6}) {
+    std::printf("\n--- skew = %.1f ---\n", skew);
+    Row({"concurrency", "serial tps", "cg tps", "nezha tps", "nezha aborts"});
+    for (std::size_t omega : {2u, 4u, 6u, 8u, 10u, 12u}) {
+      SimulationConfig config;
+      config.workload.num_accounts = 10'000;
+      config.workload.skew = skew;
+      config.block_size = block_size;
+      config.block_concurrency = omega;
+      config.epochs = epochs;
+      config.seed = 1200 + omega;
+      config.node.model_execution_cost = true;
+
+      config.node.scheme = SchemeKind::kSerial;
+      auto serial = RunSimulation(config);
+      config.node.scheme = SchemeKind::kCg;
+      auto cg = RunSimulation(config);
+      config.node.scheme = SchemeKind::kNezha;
+      auto nezha = RunSimulation(config);
+      if (!serial.ok() || !cg.ok() || !nezha.ok()) {
+        std::fprintf(stderr, "simulation failed\n");
+        return 1;
+      }
+      Row({FmtInt(omega), Fmt(serial->EffectiveTps(), 1),
+           Fmt(cg->EffectiveTps(), 1), Fmt(nezha->EffectiveTps(), 1),
+           FmtPct(nezha->AbortRate())});
+    }
+  }
+
+  std::printf(
+      "\nShape check: Serial stays flat (~60-90 tps) regardless of "
+      "concurrency;\nNezha scales near-linearly with concurrency and holds "
+      "up at skew 0.6,\nwhere CG's concurrency-control latency erodes its "
+      "throughput at high\nconcurrency — Fig. 12's crossover.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Google-benchmark microbenchmarks for the core primitives: ACG
+// construction, rank division, transaction sorting, the full Nezha/CG
+// pipelines, Johnson enumeration, MPT updates, SHA-256 and the Zipfian
+// sampler.
+#include <benchmark/benchmark.h>
+
+#include "cc/cg/cg_scheduler.h"
+#include "cc/nezha/acg.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "cc/nezha/rank_division.h"
+#include "cc/nezha/tx_sorter.h"
+#include "common/sha256.h"
+#include "common/zipfian.h"
+#include "graph/johnson.h"
+#include "runtime/concurrent_executor.h"
+#include "storage/mpt.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+std::vector<ReadWriteSet> MakeRWSets(std::size_t n, double skew,
+                                     std::uint64_t seed = 42) {
+  WorkloadConfig config;
+  config.num_accounts = 10'000;
+  config.skew = skew;
+  SmallBankWorkload workload(config, seed);
+  StateDB db;
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  const auto txs = workload.MakeBatch(n);
+  return ExecuteBatchSerial(snap, txs).rwsets;
+}
+
+void BM_AcgConstruction(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AddressConflictGraph::Build(rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AcgConstruction)
+    ->Args({400, 0})
+    ->Args({2400, 0})
+    ->Args({400, 8})
+    ->Args({2400, 8});
+
+void BM_RankDivision(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  const auto acg = AddressConflictGraph::Build(rwsets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSortingRanks(acg.dependencies()));
+  }
+}
+BENCHMARK(BM_RankDivision)->Args({2400, 0})->Args({2400, 8});
+
+void BM_TxSorting(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  const auto acg = AddressConflictGraph::Build(rwsets);
+  const auto ranks = ComputeSortingRanks(acg.dependencies());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SortTransactions(acg, ranks, rwsets.size(), {}));
+  }
+}
+BENCHMARK(BM_TxSorting)->Args({2400, 0})->Args({2400, 8});
+
+void BM_NezhaFullSchedule(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  NezhaScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.BuildSchedule(rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NezhaFullSchedule)
+    ->Args({400, 2})
+    ->Args({2400, 2})
+    ->Args({400, 8})
+    ->Args({2400, 8});
+
+void BM_CgFullSchedule(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  CGScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.BuildSchedule(rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CgFullSchedule)->Args({400, 2})->Args({400, 8})->Args({1200, 6});
+
+void BM_JohnsonCompleteGraph(benchmark::State& state) {
+  const auto n = static_cast<Digraph::Vertex>(state.range(0));
+  Digraph g(n);
+  for (Digraph::Vertex u = 0; u < n; ++u) {
+    for (Digraph::Vertex v = 0; v < n; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindElementaryCircuits(g));
+  }
+}
+BENCHMARK(BM_JohnsonCompleteGraph)->Arg(5)->Arg(7)->Arg(8);
+
+void BM_MptPut(benchmark::State& state) {
+  MerklePatriciaTrie trie;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    trie.Put("key" + std::to_string(i++ % 100000), "value");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MptPut);
+
+void BM_MptRootHash(benchmark::State& state) {
+  MerklePatriciaTrie trie;
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.Put("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Dirty one leaf, recompute the root (incremental re-hash path).
+    trie.Put("key" + std::to_string(i++ % state.range(0)), "new");
+    benchmark::DoNotOptimize(trie.RootHash());
+  }
+}
+BENCHMARK(BM_MptRootHash)->Arg(1000)->Arg(20000);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator gen(10'000, state.range(0) / 10.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext)->Arg(0)->Arg(9);
+
+void BM_SmallBankSimulation(benchmark::State& state) {
+  WorkloadConfig config;
+  config.num_accounts = 10'000;
+  SmallBankWorkload workload(config, 5);
+  StateDB db;
+  SmallBankWorkload::InitAccounts(db, config.num_accounts, 1000, 1000);
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  const auto txs = workload.MakeBatch(1000);
+  const ExecMode mode =
+      state.range(0) == 0 ? ExecMode::kNative : ExecMode::kBytecode;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateTransaction(snap, txs[i++ % 1000], mode));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmallBankSimulation)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace nezha
+
+BENCHMARK_MAIN();

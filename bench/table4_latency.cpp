@@ -1,0 +1,64 @@
+// Table IV reproduction: overall transaction processing latency under a
+// uniform workload (skew = 0), Serial baseline vs Nezha, block concurrency
+// 2..12, 200-tx blocks.
+//
+// The Serial and Nezha-execute ("e") numbers use the calibrated EVM cost
+// model (DESIGN.md §4) — they reflect the paper's 16-vCPU EVM testbed.
+// The concurrency-control + commitment ("c") numbers are MEASURED on this
+// machine's real implementation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "node/simulation.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+int main() {
+  const std::size_t block_size = EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
+  const std::size_t epochs = EnvSize("NEZHA_BENCH_EPOCHS", 3);
+
+  Header("Table IV — transaction processing latency, uniform workload",
+         "Serial & execute phases use the calibrated EVM cost model; "
+         "cc+commit (\"c\") is measured");
+
+  Row({"concurrency", "serial(ms)", "paper", "nezha e(ms)", "paper e",
+       "nezha c(ms)", "paper c"}, 13);
+
+  const double paper_serial[] = {4700, 10900, 17200, 23800, 30000, 36600};
+  const double paper_e[] = {123.4, 246.4, 369.3, 511.7, 641.5, 743.4};
+  const double paper_c[] = {22.1, 32.8, 44.9, 56.4, 71.6, 87.1};
+
+  int idx = 0;
+  for (std::size_t omega : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    SimulationConfig config;
+    config.workload.num_accounts = 10'000;
+    config.workload.skew = 0.0;
+    config.block_size = block_size;
+    config.block_concurrency = omega;
+    config.epochs = epochs;
+    config.seed = 40 + omega;
+    config.node.model_execution_cost = true;
+
+    config.node.scheme = SchemeKind::kSerial;
+    auto serial = RunSimulation(config);
+    config.node.scheme = SchemeKind::kNezha;
+    auto nezha = RunSimulation(config);
+    if (!serial.ok() || !nezha.ok()) {
+      std::fprintf(stderr, "simulation failed\n");
+      return 1;
+    }
+    Row({FmtInt(omega), Fmt(serial->MeanTotalMs(), 0),
+         Fmt(paper_serial[idx], 0), Fmt(nezha->MeanExecuteMs(), 1),
+         Fmt(paper_e[idx], 1), Fmt(nezha->MeanCcCommitMs(), 1),
+         Fmt(paper_c[idx], 1)},
+        13);
+    ++idx;
+  }
+
+  std::printf(
+      "\nShape check: Serial grows linearly toward ~37 s while Nezha's total "
+      "stays\nwithin ~1 s per epoch; cc+commit is a small fraction of the "
+      "total — the\npaper's up-to-40x speedup story.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// conflict_explorer: visualize what Nezha's concurrency control actually
+// does to a contended batch.
+//
+// Generates a small skewed SmallBank batch, prints the address-based
+// conflict graph (each address's readers/writers and the address-dependency
+// edges), the sorting ranks Algorithm 1 assigns, and the final sequence
+// numbers / aborts from Algorithm 2 — the paper's Figures 4, 6 and 7
+// rendered on live data.
+//
+// Usage: conflict_explorer [num_txs] [num_accounts] [skew] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cc/nezha/acg.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "cc/nezha/rank_division.h"
+#include "runtime/concurrent_executor.h"
+#include "vm/smallbank.h"
+#include "workload/smallbank_workload.h"
+
+using namespace nezha;
+
+int main(int argc, char** argv) {
+  std::size_t num_txs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  WorkloadConfig config;
+  config.num_accounts = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  config.skew = argc > 3 ? std::strtod(argv[3], nullptr) : 0.0;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+
+  SmallBankWorkload workload(config, seed);
+  StateDB db;
+  SmallBankWorkload::InitAccounts(db, config.num_accounts, 100, 100);
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  const auto txs = workload.MakeBatch(num_txs);
+  const auto exec = ExecuteBatchSerial(snap, txs);
+
+  std::printf("=== batch (%zu txs over %llu accounts, skew %.1f) ===\n",
+              num_txs,
+              static_cast<unsigned long long>(config.num_accounts),
+              config.skew);
+  for (TxIndex t = 0; t < txs.size(); ++t) {
+    std::printf("  T%-3u %-14s reads {", t,
+                SmallBankOpName(static_cast<SmallBankOp>(txs[t].payload.op)));
+    for (Address a : exec.rwsets[t].reads) std::printf(" %s", ToString(a).c_str());
+    std::printf(" } writes {");
+    for (Address a : exec.rwsets[t].writes) std::printf(" %s", ToString(a).c_str());
+    std::printf(" }\n");
+  }
+
+  const auto acg = AddressConflictGraph::Build(exec.rwsets);
+  std::printf("\n=== address-based conflict graph (%zu addresses, %zu edges) ===\n",
+              acg.NumAddresses(), acg.NumEdges());
+  for (std::size_t e = 0; e < acg.NumAddresses(); ++e) {
+    const AddressRWSet& entry = acg.entries()[e];
+    std::printf("  %-6s readers {", ToString(entry.address).c_str());
+    for (TxIndex t : entry.readers) std::printf(" T%u", t);
+    std::printf(" } writers {");
+    for (TxIndex t : entry.writers) std::printf(" T%u", t);
+    std::printf(" } -> depends on {");
+    for (Digraph::Vertex w :
+         acg.dependencies().OutNeighbors(static_cast<Digraph::Vertex>(e))) {
+      std::printf(" %s", ToString(acg.entries()[w].address).c_str());
+    }
+    std::printf(" }\n");
+  }
+
+  const auto ranks = ComputeSortingRanks(acg.dependencies());
+  std::printf("\n=== sorting ranks (Algorithm 1) ===\n  ");
+  for (Digraph::Vertex v : ranks) {
+    std::printf("%s ", ToString(acg.entries()[v].address).c_str());
+  }
+  std::printf("\n");
+
+  NezhaScheduler scheduler;
+  auto schedule = scheduler.BuildSchedule(exec.rwsets);
+  if (!schedule.ok()) return 1;
+  std::printf("\n=== hierarchical sorting result (Algorithm 2 + §IV.D) ===\n");
+  for (const auto& group : schedule->groups) {
+    std::printf("  seq %-4u:", schedule->sequence[group[0]]);
+    for (TxIndex t : group) std::printf(" T%u", t);
+    std::printf("\n");
+  }
+  std::size_t aborted = 0;
+  for (TxIndex t = 0; t < txs.size(); ++t) {
+    if (schedule->aborted[t]) {
+      std::printf("  aborted : T%u\n", t);
+      ++aborted;
+    }
+  }
+  std::printf(
+      "\n%zu committed in %zu groups (max group %zu), %zu aborted, "
+      "%zu reordered by the enhancement\n",
+      schedule->NumCommitted(), schedule->groups.size(),
+      schedule->groups.empty()
+          ? 0
+          : std::max_element(schedule->groups.begin(), schedule->groups.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.size() < b.size();
+                             })
+                ->size(),
+      aborted, scheduler.metrics().reordered_txs);
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "cc/cg/cg_scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "graph/digraph.h"
+#include "graph/johnson.h"
+#include "graph/tarjan.h"
+#include "graph/toposort.h"
+
+namespace nezha {
+namespace {
+
+using Vertex = Digraph::Vertex;
+
+/// Sorted-vector intersection test.
+bool Intersects(std::span<const Address> a, std::span<const Address> b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Schedule> CGScheduler::BuildSchedule(
+    std::span<const ReadWriteSet> rwsets) {
+  metrics_ = SchedulerMetrics{};
+  const std::size_t n = rwsets.size();
+
+  Schedule schedule;
+  schedule.sequence.assign(n, kUnassignedSeq);
+  schedule.aborted.assign(n, false);
+  for (TxIndex t = 0; t < n; ++t) {
+    if (!rwsets[t].ok) schedule.aborted[t] = true;
+  }
+
+  // ---- Step 1: graph construction (pairwise comparison, Definition 1) ----
+  Stopwatch watch;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (TxIndex u = 0; u < n; ++u) {
+    if (schedule.aborted[u]) continue;
+    for (TxIndex v = u + 1; v < n; ++v) {
+      if (schedule.aborted[v]) continue;
+      // u < v: rw (u reads what v writes) and ww order u before v;
+      // v's reads of u's writes order v before u.
+      const bool u_before_v = Intersects(rwsets[u].reads, rwsets[v].writes) ||
+                              Intersects(rwsets[u].writes, rwsets[v].writes);
+      const bool v_before_u = Intersects(rwsets[v].reads, rwsets[u].writes);
+      if (u_before_v) edges.emplace_back(u, v);
+      if (v_before_u) edges.emplace_back(v, u);
+    }
+  }
+  metrics_.construction_us = watch.ElapsedMicros();
+  metrics_.graph_vertices = n;
+  metrics_.graph_edges = edges.size();
+
+  // ---- Step 2: cycle detection and removal ----
+  watch.Restart();
+  std::uint64_t global_work_remaining = options_.max_total_work;
+
+  const auto build_alive_graph = [&](std::vector<Vertex>& to_original) {
+    to_original.clear();
+    std::unordered_map<Vertex, Vertex> to_compact;
+    for (TxIndex t = 0; t < n; ++t) {
+      if (!schedule.aborted[t]) {
+        to_compact[t] = static_cast<Vertex>(to_original.size());
+        to_original.push_back(t);
+      }
+    }
+    Digraph g(to_original.size());
+    for (const auto& [u, v] : edges) {
+      if (!schedule.aborted[u] && !schedule.aborted[v]) {
+        g.AddEdge(to_compact[u], to_compact[v]);
+      }
+    }
+    return g;
+  };
+
+  for (;;) {
+    std::vector<Vertex> to_original;
+    const Digraph g = build_alive_graph(to_original);
+    const auto sccs = TarjanSCC(g);
+
+    std::vector<std::vector<Vertex>> cyclic;
+    for (const auto& scc : sccs) {
+      if (scc.size() > 1) cyclic.push_back(scc);
+    }
+    if (cyclic.empty()) break;
+
+    // Deterministic SCC order: by smallest original member.
+    for (auto& scc : cyclic) std::sort(scc.begin(), scc.end());
+    std::sort(cyclic.begin(), cyclic.end());
+
+    bool exhausted = false;
+    for (const auto& scc : cyclic) {
+      // Induce the SCC subgraph and enumerate its elementary circuits.
+      std::unordered_map<Vertex, Vertex> scc_index;
+      for (Vertex v : scc) {
+        scc_index[v] = static_cast<Vertex>(scc_index.size());
+      }
+      Digraph sub(scc.size());
+      for (Vertex v : scc) {
+        for (Vertex w : g.OutNeighbors(v)) {
+          const auto it = scc_index.find(w);
+          if (it != scc_index.end()) sub.AddEdge(scc_index[v], it->second);
+        }
+      }
+      JohnsonOptions jopts;
+      jopts.max_circuits =
+          std::min(options_.max_circuits, global_work_remaining);
+      jopts.max_total_vertices = options_.max_total_vertices;
+      JohnsonResult circuits;
+      if (jopts.max_circuits == 0) {
+        circuits.budget_exceeded = true;  // global work budget consumed
+      } else {
+        circuits = FindElementaryCircuits(sub, jopts);
+      }
+      metrics_.cycles_found += circuits.circuits.size();
+      global_work_remaining -= std::min<std::uint64_t>(
+          global_work_remaining, circuits.circuits.size());
+
+      if (circuits.budget_exceeded) {
+        // Emulates the paper's out-of-memory failure: give up on precise
+        // removal; abort everything in this SCC but its smallest member.
+        exhausted = true;
+        for (std::size_t i = 1; i < scc.size(); ++i) {
+          schedule.aborted[to_original[scc[i]]] = true;
+        }
+        continue;
+      }
+
+      // Abort the transaction participating in the most circuits
+      // (Fabric++'s greedy victim choice); ties go to the smallest id.
+      std::unordered_map<Vertex, std::uint64_t> participation;
+      for (const auto& circuit : circuits.circuits) {
+        for (Vertex v : circuit) ++participation[v];
+      }
+      Vertex victim = scc[0];
+      std::uint64_t best = 0;
+      for (Vertex v : scc) {
+        const auto it = participation.find(scc_index[v]);
+        const std::uint64_t count = it == participation.end() ? 0 : it->second;
+        if (count > best) {
+          best = count;
+          victim = v;
+        }
+      }
+      schedule.aborted[to_original[victim]] = true;
+    }
+    if (exhausted) {
+      metrics_.resource_exhausted = true;
+      // One more Tarjan pass will confirm acyclicity (SCCs lost all but one
+      // member); loop continues until clean.
+    }
+  }
+  metrics_.cycle_us = watch.ElapsedMicros();
+
+  // ---- Step 3: topological sorting (serial commit order) ----
+  watch.Restart();
+  std::vector<Vertex> to_original;
+  const Digraph g = build_alive_graph(to_original);
+  const auto order = TopologicalSort(g);
+  if (!order.has_value()) {
+    return Status::Internal("conflict graph still cyclic after removal");
+  }
+  SeqNum next = 1;
+  for (Vertex v : *order) {
+    schedule.sequence[to_original[v]] = next++;
+  }
+  metrics_.sorting_us = watch.ElapsedMicros();
+
+  schedule.RebuildGroups();
+  return schedule;
+}
+
+}  // namespace nezha

@@ -1,0 +1,51 @@
+// CGScheduler: the strawman conflict-graph scheme (§III.D), implemented the
+// way Fabric++ / FabricSharp do it:
+//  ① graph construction — pairwise read/write-set comparison, O((N²-N)/2);
+//  ② cycle detection and removal — Tarjan SCCs localize cycles, Johnson's
+//     algorithm enumerates elementary circuits, and the transaction
+//     appearing in the most circuits aborts, iterating until acyclic;
+//  ③ topological sorting — a serial commit order (one transaction per
+//     commit group; the scheme has no notion of concurrent commitment).
+//
+// Johnson's enumeration carries a budget standing in for the memory the
+// paper's CG prototype exhausted at high contention (Fig. 9, skew 0.8):
+// when it trips, metrics().resource_exhausted is set and every transaction
+// in a still-cyclic SCC except its smallest member aborts so the run can
+// terminate.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/scheduler.h"
+
+namespace nezha {
+
+struct CGOptions {
+  /// Johnson budget: maximum elementary circuits per enumeration pass
+  /// (stands in for the memory one materialized circuit list may occupy).
+  std::uint64_t max_circuits = 200'000;
+  /// Johnson budget: total vertices across stored circuits per pass.
+  std::uint64_t max_total_vertices = 4'000'000;
+  /// Global cap on circuits enumerated across all removal rounds of one
+  /// BuildSchedule call (bounds total wall time; the paper's prototype
+  /// simply ran until it was killed by the OOM killer).
+  std::uint64_t max_total_work = 1'000'000;
+};
+
+class CGScheduler final : public Scheduler {
+ public:
+  explicit CGScheduler(const CGOptions& options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "cg"; }
+
+  Result<Schedule> BuildSchedule(
+      std::span<const ReadWriteSet> rwsets) override;
+
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ private:
+  CGOptions options_;
+  SchedulerMetrics metrics_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,62 @@
+#include "cc/nezha/acg.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace nezha {
+
+AddressConflictGraph AddressConflictGraph::Build(
+    std::span<const ReadWriteSet> rwsets) {
+  AddressConflictGraph acg;
+
+  // Pass 1: collect the accessed addresses, deterministically ordered by
+  // address value (their "subscripts").
+  std::vector<std::uint64_t> addresses;
+  for (const ReadWriteSet& rw : rwsets) {
+    if (!rw.ok) continue;
+    for (Address a : rw.reads) addresses.push_back(a.value);
+    for (Address a : rw.writes) addresses.push_back(a.value);
+  }
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+
+  acg.entries_.reserve(addresses.size());
+  acg.index_.reserve(addresses.size());
+  for (std::uint64_t a : addresses) {
+    acg.index_.emplace(a, acg.entries_.size());
+    acg.entries_.push_back(AddressRWSet{Address(a), {}, {}});
+  }
+
+  // Pass 2: map each transaction's read/write units onto its addresses.
+  // Iterating transactions in subscript order keeps every readers/writers
+  // list sorted by TxIndex with no extra sort.
+  for (TxIndex t = 0; t < rwsets.size(); ++t) {
+    const ReadWriteSet& rw = rwsets[t];
+    if (!rw.ok) continue;
+    for (Address a : rw.reads) {
+      acg.entries_[acg.index_[a.value]].readers.push_back(t);
+    }
+    for (Address a : rw.writes) {
+      acg.entries_[acg.index_[a.value]].writers.push_back(t);
+    }
+  }
+
+  // Pass 3: address-dependency edges — one edge RW_i -> RW_j per transaction
+  // that writes A_i and reads A_j (i != j), deduplicated.
+  acg.dependencies_ = std::make_unique<Digraph>(acg.entries_.size());
+  for (const ReadWriteSet& rw : rwsets) {
+    if (!rw.ok) continue;
+    for (Address w : rw.writes) {
+      const auto wi = static_cast<Digraph::Vertex>(acg.index_[w.value]);
+      for (Address r : rw.reads) {
+        if (r == w) continue;
+        const auto ri = static_cast<Digraph::Vertex>(acg.index_[r.value]);
+        acg.dependencies_->AddEdge(wi, ri, /*deduplicate=*/true);
+      }
+    }
+  }
+  return acg;
+}
+
+}  // namespace nezha

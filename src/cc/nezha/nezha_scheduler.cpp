@@ -1,0 +1,52 @@
+#include "cc/nezha/nezha_scheduler.h"
+
+#include "cc/nezha/acg.h"
+#include "cc/nezha/rank_division.h"
+#include "common/stopwatch.h"
+
+namespace nezha {
+
+Result<Schedule> NezhaScheduler::BuildSchedule(
+    std::span<const ReadWriteSet> rwsets) {
+  metrics_ = SchedulerMetrics{};
+  Stopwatch watch;
+
+  // Step 1: address-based conflict graph (linear in read/write units).
+  const AddressConflictGraph acg = AddressConflictGraph::Build(rwsets);
+  metrics_.construction_us = watch.ElapsedMicros();
+  metrics_.graph_vertices = acg.NumAddresses();
+  metrics_.graph_edges = acg.NumEdges();
+
+  // Step 2: sorting-rank division over the address-dependency graph.
+  watch.Restart();
+  const std::vector<Digraph::Vertex> ranks =
+      ComputeSortingRanks(acg.dependencies(), options_.rank_policy);
+  metrics_.cycle_us = watch.ElapsedMicros();
+
+  // Step 3: per-address transaction sorting.
+  watch.Restart();
+  TxSorterOptions sorter_options;
+  sorter_options.enable_reordering = options_.enable_reordering;
+  TxSorterResult sorted =
+      SortTransactions(acg, ranks, rwsets.size(), sorter_options);
+  metrics_.sorting_us = watch.ElapsedMicros();
+  metrics_.reordered_txs = sorted.reordered_txs;
+
+  Schedule schedule;
+  schedule.sequence = std::move(sorted.sequence);
+  schedule.aborted = std::move(sorted.aborted);
+  for (TxIndex t = 0; t < rwsets.size(); ++t) {
+    if (!rwsets[t].ok) {
+      // Application-level revert: excluded from the ACG, commits nothing.
+      schedule.aborted[t] = true;
+      schedule.sequence[t] = kUnassignedSeq;
+    } else if (!schedule.aborted[t] && schedule.sequence[t] == kUnassignedSeq) {
+      // Touched no address at all: unconstrained, join the first group.
+      schedule.sequence[t] = sorter_options.initial_seq;
+    }
+  }
+  schedule.RebuildGroups();
+  return schedule;
+}
+
+}  // namespace nezha

@@ -1,0 +1,40 @@
+// NezhaScheduler: the paper's full concurrency-control pipeline —
+// ① ACG construction, ② sorting-rank division, ③ per-address transaction
+// sorting (with the §IV.D reordering enhancement) — producing a total commit
+// order with concurrency: transactions sharing a sequence number commit in
+// parallel.
+#pragma once
+
+#include "cc/nezha/rank_division.h"
+#include "cc/nezha/tx_sorter.h"
+#include "cc/scheduler.h"
+
+namespace nezha {
+
+struct NezhaOptions {
+  /// §IV.D reordering enhancement; disable for the ablation baseline.
+  bool enable_reordering = true;
+  /// Algorithm 1 cycle tie-break policy (kNaive is the ablation baseline).
+  RankPolicy rank_policy = RankPolicy::kNezha;
+};
+
+class NezhaScheduler final : public Scheduler {
+ public:
+  explicit NezhaScheduler(const NezhaOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override {
+    return options_.enable_reordering ? "nezha" : "nezha-noreorder";
+  }
+
+  Result<Schedule> BuildSchedule(
+      std::span<const ReadWriteSet> rwsets) override;
+
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ private:
+  NezhaOptions options_;
+  SchedulerMetrics metrics_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,203 @@
+#include "cc/nezha/rank_division.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace nezha {
+namespace {
+
+using Vertex = Digraph::Vertex;
+
+/// Shared removal bookkeeping for both implementations.
+struct LiveDegrees {
+  explicit LiveDegrees(const Digraph& g)
+      : graph(g),
+        reversed(g.Reversed()),
+        in_degree(g.InDegrees()),
+        out_degree(g.NumVertices()),
+        removed(g.NumVertices(), false) {
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      out_degree[v] = g.OutDegree(v);
+    }
+  }
+
+  /// Removes v; calls on_zero(w) for every successor whose in-degree drops
+  /// to zero.
+  template <typename OnZero>
+  void Remove(Vertex v, OnZero on_zero) {
+    removed[v] = true;
+    for (Vertex w : graph.OutNeighbors(v)) {
+      if (removed[w]) continue;
+      if (--in_degree[w] == 0) on_zero(w);
+    }
+    for (Vertex u : reversed.OutNeighbors(v)) {
+      if (removed[u]) continue;
+      --out_degree[u];
+    }
+  }
+
+  const Digraph& graph;
+  const Digraph reversed;
+  std::vector<std::size_t> in_degree;
+  std::vector<std::size_t> out_degree;
+  std::vector<bool> removed;
+};
+
+}  // namespace
+
+std::vector<Digraph::Vertex> ComputeSortingRanksReference(
+    const Digraph& g, RankPolicy policy) {
+  // The textbook rendering of Algorithm 1: every round either takes the
+  // smallest-subscript in-degree-0 vertex, or — when a cycle blocks
+  // everything — scans all live vertices for the tie-break pick.
+  // O(V * breaks); kept as the oracle the optimized version is tested
+  // against (and as a faithful rendition of the paper's pseudocode).
+  const std::size_t n = g.NumVertices();
+  LiveDegrees live(g);
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::priority_queue<Vertex, std::vector<Vertex>, std::greater<>> ready;
+  for (Vertex v = 0; v < n; ++v) {
+    if (live.in_degree[v] == 0) ready.push(v);
+  }
+  const auto remove_vertex = [&](Vertex v) {
+    order.push_back(v);
+    live.Remove(v, [&](Vertex w) { ready.push(w); });
+  };
+
+  while (order.size() < n) {
+    bool advanced = false;
+    while (!ready.empty()) {
+      const Vertex v = ready.top();
+      ready.pop();
+      if (live.removed[v] || live.in_degree[v] != 0) continue;  // stale
+      remove_vertex(v);
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+
+    if (policy == RankPolicy::kNaive) {
+      for (Vertex v = 0; v < n; ++v) {
+        if (!live.removed[v]) {
+          remove_vertex(v);
+          break;
+        }
+      }
+      continue;
+    }
+    std::size_t min_in = SIZE_MAX;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!live.removed[v]) min_in = std::min(min_in, live.in_degree[v]);
+    }
+    Vertex selected = 0;
+    std::size_t best_out = 0;
+    bool found = false;
+    for (Vertex v = 0; v < n; ++v) {
+      if (live.removed[v] || live.in_degree[v] != min_in) continue;
+      if (!found || live.out_degree[v] > best_out) {
+        selected = v;
+        best_out = live.out_degree[v];
+        found = true;
+      }
+    }
+    remove_vertex(selected);
+  }
+  return order;
+}
+
+std::vector<Digraph::Vertex> ComputeSortingRanks(const Digraph& g,
+                                                 RankPolicy policy) {
+  // Optimized implementation with identical output: in-degree-0 vertices
+  // flow through a subscript-ordered min-heap (the paper's "first A_j with
+  // inDegree == 0" scan order); for cycle-breaks, lazy in-degree buckets
+  // replace the full-vertex scans — each decrement pushes one bucket entry,
+  // so the amortized cost of all breaks is O(V + E) bucket pops instead of
+  // O(V) per break.
+  const std::size_t n = g.NumVertices();
+  LiveDegrees live(g);
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::priority_queue<Vertex, std::vector<Vertex>, std::greater<>> ready;
+
+  // buckets[d] holds candidates whose in-degree was d when pushed; entries
+  // go stale as degrees drop (validated on inspection).
+  std::size_t max_in = 0;
+  for (Vertex v = 0; v < n; ++v) max_in = std::max(max_in, live.in_degree[v]);
+  std::vector<std::vector<Vertex>> buckets(max_in + 1);
+  for (Vertex v = 0; v < n; ++v) {
+    if (live.in_degree[v] == 0) {
+      ready.push(v);
+    } else {
+      buckets[live.in_degree[v]].push_back(v);
+    }
+  }
+
+  const auto remove_vertex = [&](Vertex v) {
+    order.push_back(v);
+    live.Remove(v, [&](Vertex w) { ready.push(w); });
+    // Successors whose in-degree dropped but stayed positive re-enter their
+    // new bucket lazily:
+    for (Vertex w : g.OutNeighbors(v)) {
+      if (!live.removed[w] && live.in_degree[w] > 0) {
+        buckets[live.in_degree[w]].push_back(w);
+      }
+    }
+  };
+
+  while (order.size() < n) {
+    bool advanced = false;
+    while (!ready.empty()) {
+      const Vertex v = ready.top();
+      ready.pop();
+      if (live.removed[v] || live.in_degree[v] != 0) continue;  // stale
+      remove_vertex(v);
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+
+    if (policy == RankPolicy::kNaive) {
+      for (Vertex v = 0; v < n; ++v) {
+        if (!live.removed[v]) {
+          remove_vertex(v);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Find the lowest non-empty bucket with at least one live, current
+    // entry; pick max out-degree, ties to the smallest subscript.
+    Vertex selected = 0;
+    bool found = false;
+    for (std::size_t d = 1; d < buckets.size() && !found; ++d) {
+      auto& bucket = buckets[d];
+      std::size_t best_out = 0;
+      // Compact the bucket while scanning: drop stale entries for good.
+      std::vector<Vertex> valid;
+      valid.reserve(bucket.size());
+      for (Vertex v : bucket) {
+        if (live.removed[v] || live.in_degree[v] != d) continue;
+        valid.push_back(v);
+        if (!found || live.out_degree[v] > best_out ||
+            (live.out_degree[v] == best_out && v < selected)) {
+          selected = v;
+          best_out = live.out_degree[v];
+          found = true;
+        }
+      }
+      bucket = std::move(valid);
+    }
+    // found is guaranteed: every live vertex has in-degree >= 1 here and
+    // sits (possibly as a stale duplicate) in some bucket at or above its
+    // current degree — and one entry at exactly its current degree, since
+    // every decrement re-files it.
+    remove_vertex(selected);
+  }
+  return order;
+}
+
+}  // namespace nezha

@@ -1,0 +1,214 @@
+#include "cc/nezha/tx_sorter.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace nezha {
+namespace {
+
+constexpr SeqNum kNoSeq = kUnassignedSeq;  // 0
+
+/// Mutable sorting state shared across the per-address passes.
+struct SorterState {
+  const AddressConflictGraph& acg;
+  const TxSorterOptions& options;
+
+  std::vector<SeqNum> seq;
+  std::vector<bool> aborted;
+  std::vector<bool> address_sorted;  // per ACG entry index
+
+  // Per transaction: the ACG entry indices it reads / writes (built once).
+  std::vector<std::vector<std::uint32_t>> tx_reads;
+  std::vector<std::vector<std::uint32_t>> tx_writes;
+
+  std::size_t reordered = 0;
+
+  explicit SorterState(const AddressConflictGraph& g, std::size_t num_txs,
+                       const TxSorterOptions& opts)
+      : acg(g),
+        options(opts),
+        seq(num_txs, kNoSeq),
+        aborted(num_txs, false),
+        address_sorted(g.NumAddresses(), false),
+        tx_reads(num_txs),
+        tx_writes(num_txs) {
+    for (std::uint32_t e = 0; e < g.NumAddresses(); ++e) {
+      for (TxIndex t : g.entries()[e].readers) tx_reads[t].push_back(e);
+      for (TxIndex t : g.entries()[e].writers) tx_writes[t].push_back(e);
+    }
+  }
+
+  bool Alive(TxIndex t) const { return !aborted[t]; }
+
+  /// Attempts to raise tx t's sequence number to at least `min_target`
+  /// without violating any already-sorted address:
+  ///  * on every sorted address t writes: the new number must exceed every
+  ///    other live read number and collide with no other live write number;
+  ///  * on every sorted address t reads (other than the one currently being
+  ///    sorted, whose write side is enforced by the ongoing passes): the new
+  ///    number must stay below every other live write number.
+  /// Returns true and updates seq[t] on success.
+  bool TryRaise(TxIndex t, SeqNum min_target, std::uint32_t current_entry) {
+    // Upper bound from the read side: raising a read past a committed write
+    // on a sorted address would order that write before the read.
+    SeqNum upper = std::numeric_limits<SeqNum>::max();
+    for (std::uint32_t e : tx_reads[t]) {
+      if (!address_sorted[e] || e == current_entry) continue;
+      for (TxIndex w : acg.entries()[e].writers) {
+        if (w == t || !Alive(w) || seq[w] == kNoSeq) continue;
+        upper = std::min(upper, seq[w]);
+      }
+    }
+    SeqNum s = min_target;
+    if (s >= upper) return false;
+
+    // Push s upward until it clears every write-side constraint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t e : tx_writes[t]) {
+        if (!address_sorted[e]) continue;
+        const AddressRWSet& entry = acg.entries()[e];
+        for (TxIndex r : entry.readers) {
+          if (r == t || !Alive(r) || seq[r] == kNoSeq) continue;
+          if (seq[r] >= s) {
+            s = seq[r] + 1;
+            changed = true;
+          }
+        }
+        for (TxIndex w : entry.writers) {
+          if (w == t || !Alive(w) || seq[w] == kNoSeq) continue;
+          if (seq[w] == s) {
+            ++s;
+            changed = true;
+          }
+        }
+      }
+      if (s >= upper) return false;
+    }
+    seq[t] = s;
+    return true;
+  }
+};
+
+}  // namespace
+
+TxSorterResult SortTransactions(const AddressConflictGraph& acg,
+                                std::span<const Digraph::Vertex> rank_order,
+                                std::size_t num_txs,
+                                const TxSorterOptions& options) {
+  SorterState st(acg, num_txs, options);
+
+  for (const Digraph::Vertex entry_idx : rank_order) {
+    const AddressRWSet& entry = acg.entries()[entry_idx];
+    // Mark sorted up front so TryRaise also validates against this address's
+    // partially assigned state.
+    st.address_sorted[entry_idx] = true;
+
+    const auto is_reader = [&](TxIndex t) {
+      return std::binary_search(entry.readers.begin(), entry.readers.end(), t);
+    };
+
+    // ---- Phase A: read units (Algorithm 2 lines 3-15) ----
+    SeqNum max_read = 0;
+    {
+      SeqNum min_assigned = std::numeric_limits<SeqNum>::max();
+      SeqNum max_assigned = 0;
+      for (TxIndex t : entry.readers) {
+        if (!st.Alive(t) || st.seq[t] == kNoSeq) continue;
+        min_assigned = std::min(min_assigned, st.seq[t]);
+        max_assigned = std::max(max_assigned, st.seq[t]);
+      }
+      const bool none_assigned = max_assigned == 0;
+      const SeqNum fill =
+          none_assigned ? options.initial_seq : min_assigned;
+      bool any_reader = false;
+      for (TxIndex t : entry.readers) {
+        if (!st.Alive(t)) continue;
+        any_reader = true;
+        if (st.seq[t] == kNoSeq) st.seq[t] = fill;
+      }
+      if (any_reader) {
+        max_read = none_assigned ? options.initial_seq : max_assigned;
+      }
+    }
+
+    // Write numbers already in use on this address (live, assigned writers);
+    // fresh writers must skip them (Algorithm 2 lines 30-35).
+    std::unordered_set<SeqNum> used_write_seqs;
+
+    // ---- Phase B: writers that also read this address (lines 16-19) ----
+    // Such a unit is both a read and a write: its number counts toward
+    // max_read, and the write side requires it to exceed all other reads,
+    // so a number at or below max_read is re-seated above it.
+    //
+    // Two read-modify-write transactions on one address are inherently
+    // unserializable under snapshot reads (each would have to both precede
+    // and follow the other), so at most one survives: the first in
+    // subscript order that can be seated, the rest abort.
+    bool read_writer_kept = false;
+    for (TxIndex t : entry.writers) {
+      if (!st.Alive(t) || st.seq[t] == kNoSeq || !is_reader(t)) continue;
+      if (read_writer_kept) {
+        st.aborted[t] = true;
+        continue;
+      }
+      if (st.seq[t] <= max_read) {
+        if (!st.TryRaise(t, max_read + 1, entry_idx)) {
+          st.aborted[t] = true;
+          continue;
+        }
+      }
+      read_writer_kept = true;
+      max_read = std::max(max_read, st.seq[t]);
+      used_write_seqs.insert(st.seq[t]);
+    }
+
+    // ---- Phase C: already-numbered writers (lines 20-24) ----
+    // A write at or below the maximum read number is the paper's
+    // unserializability signature. The §IV.D enhancement re-seats such
+    // transactions above everything they touch instead of aborting, when
+    // provably safe. Duplicate write numbers (two transactions numbered
+    // equal on different addresses earlier, both writing here) are resolved
+    // the same way.
+    for (TxIndex t : entry.writers) {
+      if (!st.Alive(t) || st.seq[t] == kNoSeq || is_reader(t)) continue;
+      const bool below_reads = st.seq[t] <= max_read;
+      const bool collides = used_write_seqs.count(st.seq[t]) > 0;
+      if (below_reads || collides) {
+        if (st.options.enable_reordering &&
+            st.TryRaise(t, max_read + 1, entry_idx)) {
+          ++st.reordered;
+        } else {
+          st.aborted[t] = true;
+          continue;
+        }
+      }
+      used_write_seqs.insert(st.seq[t]);
+    }
+
+    // ---- Phase D: fresh writers (lines 25-35) ----
+    SeqNum write_seq =
+        max_read == 0 ? options.initial_seq : max_read + 1;
+    for (TxIndex t : entry.writers) {
+      if (!st.Alive(t) || st.seq[t] != kNoSeq) continue;
+      while (used_write_seqs.count(write_seq) > 0) ++write_seq;
+      st.seq[t] = write_seq;
+      used_write_seqs.insert(write_seq);
+      ++write_seq;
+    }
+  }
+
+  TxSorterResult result;
+  result.sequence = std::move(st.seq);
+  result.aborted = std::move(st.aborted);
+  result.reordered_txs = st.reordered;
+  // Aborted transactions surrender their numbers.
+  for (TxIndex t = 0; t < result.sequence.size(); ++t) {
+    if (result.aborted[t]) result.sequence[t] = kNoSeq;
+  }
+  return result;
+}
+
+}  // namespace nezha

@@ -1,0 +1,57 @@
+// Hierarchical sorting, step 2: per-address transaction sorting — the
+// paper's Algorithm 2, plus the §IV.D reordering enhancement.
+//
+// Addresses are visited in sorting-rank order. On each address the sorter
+// assigns Lamport-style sequence numbers to the read/write units under the
+// paper's three rules:
+//   1. every read unit gets a smaller number than every write unit;
+//   2. write units are ordered deterministically by transaction subscript;
+//   3. read units may share one number (reads never conflict).
+// Because transactions are atomic, a number is assigned to the whole
+// transaction; units of a transaction on other addresses inherit it.
+//
+// Unserializable transactions show up as a write unit whose (previously
+// assigned) number does not exceed the address's maximum read number —
+// detected with one comparison instead of cycle enumeration (the paper's
+// replacement for Johnson's algorithm). Such transactions abort, unless the
+// reordering enhancement can legally re-seat them: a transaction whose
+// conflict stems from write-write ordering can move to a fresh number above
+// everything it touches, provided the move provably keeps every
+// already-sorted address consistent (the implementation verifies
+// read-below-write and write-uniqueness on all affected addresses; the
+// paper's §IV.D states the multi-write condition, we enforce the full
+// soundness check).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cc/nezha/acg.h"
+#include "cc/scheduler.h"
+
+namespace nezha {
+
+struct TxSorterOptions {
+  /// Enable the §IV.D reordering enhancement (on by default, as in Nezha;
+  /// turning it off gives the ablation baseline).
+  bool enable_reordering = true;
+  /// First sequence number handed out (the paper's initialSeq).
+  SeqNum initial_seq = 1;
+};
+
+struct TxSorterResult {
+  std::vector<SeqNum> sequence;  ///< per TxIndex; kUnassignedSeq = untouched
+  std::vector<bool> aborted;     ///< per TxIndex
+  std::size_t reordered_txs = 0; ///< §IV.D rescues
+};
+
+/// Sorts all transactions of a batch given its ACG and the address rank
+/// order (output of ComputeSortingRanks). `num_txs` sizes the result;
+/// transactions whose rwset.ok was false never appear in the ACG and keep
+/// sequence 0 / aborted=true (they commit nothing).
+TxSorterResult SortTransactions(const AddressConflictGraph& acg,
+                                std::span<const Digraph::Vertex> rank_order,
+                                std::size_t num_txs,
+                                const TxSorterOptions& options = {});
+
+}  // namespace nezha

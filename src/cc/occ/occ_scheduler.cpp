@@ -1,0 +1,45 @@
+#include "cc/occ/occ_scheduler.h"
+
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace nezha {
+
+Result<Schedule> OCCScheduler::BuildSchedule(
+    std::span<const ReadWriteSet> rwsets) {
+  metrics_ = SchedulerMetrics{};
+  Stopwatch watch;
+
+  const std::size_t n = rwsets.size();
+  Schedule schedule;
+  schedule.sequence.assign(n, kUnassignedSeq);
+  schedule.aborted.assign(n, false);
+
+  std::unordered_set<std::uint64_t> written;
+  SeqNum next = 1;
+  for (TxIndex t = 0; t < n; ++t) {
+    if (!rwsets[t].ok) {
+      schedule.aborted[t] = true;
+      continue;
+    }
+    bool stale = false;
+    for (Address a : rwsets[t].reads) {
+      if (written.count(a.value) > 0) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      schedule.aborted[t] = true;
+      continue;
+    }
+    for (Address a : rwsets[t].writes) written.insert(a.value);
+    schedule.sequence[t] = next++;
+  }
+  metrics_.sorting_us = watch.ElapsedMicros();
+  schedule.RebuildGroups();
+  return schedule;
+}
+
+}  // namespace nezha

@@ -1,0 +1,28 @@
+// OCCScheduler: Fabric-style optimistic concurrency control.
+//
+// Transactions validate in block (subscript) order against the writes of
+// the transactions already admitted from the same batch: a transaction
+// whose read set intersects those writes observed a stale snapshot and
+// aborts; everything else commits, serially. No scheduling graph is built —
+// cheap, but the abort rate explodes under contention (the >40% figure the
+// paper cites for Fabric).
+#pragma once
+
+#include "cc/scheduler.h"
+
+namespace nezha {
+
+class OCCScheduler final : public Scheduler {
+ public:
+  std::string_view name() const override { return "occ"; }
+
+  Result<Schedule> BuildSchedule(
+      std::span<const ReadWriteSet> rwsets) override;
+
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ private:
+  SchedulerMetrics metrics_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,22 @@
+#include "cc/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nezha {
+
+void Schedule::RebuildGroups() {
+  groups.clear();
+  std::map<SeqNum, std::vector<TxIndex>> by_seq;
+  for (TxIndex t = 0; t < sequence.size(); ++t) {
+    if (aborted[t]) continue;
+    by_seq[sequence[t]].push_back(t);
+  }
+  groups.reserve(by_seq.size());
+  for (auto& [seq, txs] : by_seq) {
+    std::sort(txs.begin(), txs.end());
+    groups.push_back(std::move(txs));
+  }
+}
+
+}  // namespace nezha

@@ -1,0 +1,81 @@
+// Scheduler: the concurrency-control interface (the paper's "concurrency
+// control phase").
+//
+// Input: the read/write sets produced by speculatively executing one epoch's
+// transaction batch against the previous epoch's snapshot.
+// Output: a Schedule — which transactions commit, which abort, and a total
+// commit order expressed as commit groups: transactions in the same group
+// carry the same sequence number and may commit concurrently (they are
+// guaranteed conflict-free); groups commit in ascending sequence order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+struct Schedule {
+  /// Per-transaction sequence number (kUnassignedSeq for aborted txs).
+  std::vector<SeqNum> sequence;
+  /// Per-transaction abort flag.
+  std::vector<bool> aborted;
+  /// Commit groups in ascending sequence order; within a group, transactions
+  /// are listed by ascending TxIndex. Aborted transactions appear nowhere.
+  std::vector<std::vector<TxIndex>> groups;
+
+  std::size_t TxCount() const { return sequence.size(); }
+  std::size_t NumAborted() const {
+    std::size_t n = 0;
+    for (bool a : aborted) n += a ? 1 : 0;
+    return n;
+  }
+  std::size_t NumCommitted() const { return TxCount() - NumAborted(); }
+  double AbortRate() const {
+    return TxCount() == 0
+               ? 0
+               : static_cast<double>(NumAborted()) /
+                     static_cast<double>(TxCount());
+  }
+
+  /// Rebuilds `groups` from `sequence` + `aborted` (helper for schedulers).
+  void RebuildGroups();
+};
+
+/// Phase timings and size counters a scheduler reports, matching the paper's
+/// Fig. 10 sub-phase breakdown.
+struct SchedulerMetrics {
+  double construction_us = 0;    ///< graph construction
+  double cycle_us = 0;           ///< CG: cycle detection+removal; Nezha: rank division
+  double sorting_us = 0;         ///< CG: topological sort; Nezha: transaction sorting
+  std::size_t graph_vertices = 0;
+  std::size_t graph_edges = 0;
+  std::uint64_t cycles_found = 0;       ///< CG only
+  bool resource_exhausted = false;      ///< CG cycle enumeration blew its budget
+  std::size_t reordered_txs = 0;        ///< Nezha enhanced design (§IV.D)
+
+  double TotalUs() const { return construction_us + cycle_us + sorting_us; }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Builds a schedule for one batch. Deterministic: identical inputs yield
+  /// identical schedules.
+  virtual Result<Schedule> BuildSchedule(
+      std::span<const ReadWriteSet> rwsets) = 0;
+
+  /// Metrics of the most recent BuildSchedule call.
+  virtual const SchedulerMetrics& metrics() const = 0;
+};
+
+}  // namespace nezha

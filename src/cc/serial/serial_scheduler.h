@@ -1,0 +1,39 @@
+// SerialScheduler: the baseline adopted by current DAG-based blockchains —
+// no concurrency control at all; every transaction executes and commits
+// one-by-one in the deterministic block order. Nothing aborts (each
+// transaction sees all earlier effects), and nothing runs concurrently.
+//
+// Note the execution semantics differ from the speculative schemes: the
+// node pipeline executes Serial transactions against the *evolving* state
+// at commit time rather than simulating against a snapshot. The schedule it
+// emits is simply the identity order with singleton commit groups.
+#pragma once
+
+#include "cc/scheduler.h"
+
+namespace nezha {
+
+class SerialScheduler final : public Scheduler {
+ public:
+  std::string_view name() const override { return "serial"; }
+
+  Result<Schedule> BuildSchedule(
+      std::span<const ReadWriteSet> rwsets) override {
+    metrics_ = SchedulerMetrics{};
+    const std::size_t n = rwsets.size();
+    Schedule schedule;
+    schedule.sequence.assign(n, kUnassignedSeq);
+    schedule.aborted.assign(n, false);
+    SeqNum next = 1;
+    for (TxIndex t = 0; t < n; ++t) schedule.sequence[t] = next++;
+    schedule.RebuildGroups();
+    return schedule;
+  }
+
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ private:
+  SchedulerMetrics metrics_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,92 @@
+#include "common/bytes.h"
+
+namespace nezha {
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string ToHex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return {};
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexValue(hex[i]);
+    const int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void PutFixed64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint64_t GetFixed64(std::string_view in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(in[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+void PutFixed32(std::string& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint32_t GetFixed32(std::string_view in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(in[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+void PutVarint64(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(std::string_view in, std::size_t* offset,
+                 std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*offset < in.size() && shift <= 63) {
+    const auto byte = static_cast<unsigned char>(in[*offset]);
+    ++*offset;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace nezha

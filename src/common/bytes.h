@@ -1,0 +1,37 @@
+// Byte-string helpers: hex encoding and fixed-width integer serialization
+// used by block hashing, MPT keys, and the KV store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nezha {
+
+/// Lowercase hex of arbitrary bytes.
+std::string ToHex(std::string_view bytes);
+
+/// Inverse of ToHex; returns empty string on malformed input.
+std::string FromHex(std::string_view hex);
+
+/// Appends a big-endian 64-bit integer (8 bytes) to out.
+void PutFixed64(std::string& out, std::uint64_t v);
+
+/// Reads a big-endian 64-bit integer from the first 8 bytes of in.
+/// Precondition: in.size() >= 8.
+std::uint64_t GetFixed64(std::string_view in);
+
+/// Appends a big-endian 32-bit integer (4 bytes) to out.
+void PutFixed32(std::string& out, std::uint32_t v);
+
+/// Reads a big-endian 32-bit integer from the first 4 bytes of in.
+std::uint32_t GetFixed32(std::string_view in);
+
+/// Varint (LEB128) encoding for compact serialization.
+void PutVarint64(std::string& out, std::uint64_t v);
+
+/// Decodes a varint from `in` starting at *offset; advances *offset.
+/// Returns false on truncated input.
+bool GetVarint64(std::string_view in, std::size_t* offset, std::uint64_t* out);
+
+}  // namespace nezha

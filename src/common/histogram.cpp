@@ -1,0 +1,15 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace nezha {
+
+std::string Histogram::Summary() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p99=%.3f max=%.3f", Count(), Mean(),
+                Median(), P99(), Max());
+  return buf;
+}
+
+}  // namespace nezha

@@ -1,0 +1,81 @@
+// Streaming summary statistics and percentile estimation for benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nezha {
+
+/// Collects samples (e.g. latencies in microseconds) and reports
+/// mean / min / max / percentiles. Stores raw samples; intended for
+/// benchmark-scale sample counts (<= millions).
+class Histogram {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  std::size_t Count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Percentile in [0, 100] by nearest-rank on the sorted samples.
+  double Percentile(double p) {
+    if (samples_.empty()) return 0;
+    EnsureSorted();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Median() { return Percentile(50); }
+  double P99() { return Percentile(99); }
+
+  /// "n=100 mean=1.2 p50=1.1 p99=3.4 max=5.0"
+  std::string Summary();
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace nezha

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Off by default at DEBUG level; benches
+// and examples raise the level explicitly. Thread-safe (single write call
+// per message).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nezha {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line: "[LEVEL] message\n".
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nezha
+
+#define NEZHA_LOG(level)                                     \
+  if (static_cast<int>(::nezha::LogLevel::level) <           \
+      static_cast<int>(::nezha::GetLogLevel())) {            \
+  } else                                                     \
+    ::nezha::internal::LogLine(::nezha::LogLevel::level)

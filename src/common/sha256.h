@@ -1,0 +1,72 @@
+// Self-contained SHA-256 (FIPS 180-4). Used for block hashes and Merkle
+// Patricia Trie node hashes so the ledger substrate has real cryptographic
+// commitments without external dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace nezha {
+
+/// A 32-byte SHA-256 digest.
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend bool operator==(const Hash256& a, const Hash256& b) {
+    return a.bytes == b.bytes;
+  }
+  friend bool operator!=(const Hash256& a, const Hash256& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Hash256& a, const Hash256& b) {
+    return a.bytes < b.bytes;
+  }
+
+  /// Lowercase hex, 64 chars.
+  std::string ToHex() const;
+
+  /// True if all bytes are zero (the default/empty hash).
+  bool IsZero() const;
+};
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& Update(std::span<const std::uint8_t> data);
+  Sha256& Update(std::string_view data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Hash256 Finish();
+
+  /// One-shot convenience.
+  static Hash256 Digest(std::string_view data);
+  static Hash256 Digest(std::span<const std::uint8_t> data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace nezha
+
+template <>
+struct std::hash<nezha::Hash256> {
+  std::size_t operator()(const nezha::Hash256& h) const noexcept {
+    // Digest bytes are already uniformly distributed; fold the first word.
+    std::size_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out = (out << 8) | h.bytes[static_cast<std::size_t>(i)];
+    }
+    return out;
+  }
+};

@@ -1,0 +1,115 @@
+// Lightweight Status / Result error-handling vocabulary.
+//
+// The library avoids exceptions on hot paths (scheduling millions of
+// read/write units); fallible operations return Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nezha {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kCorruption,
+  kAlreadyExists,
+  kAborted,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value with an optional message. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m = "") {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status Corruption(std::string m = "") {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m = "") {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status Aborted(std::string m = "") {
+    return {StatusCode::kAborted, std::move(m)};
+  }
+  static Status OutOfRange(std::string m = "") {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status Internal(std::string m = "") {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NotFound: key missing".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() && "Result error must not be OK");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,60 @@
+// Wall-clock timing utilities for phase instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nezha {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections.
+class PhaseTimer {
+ public:
+  void Add(double micros) { total_micros_ += micros; ++count_; }
+  void Reset() { total_micros_ = 0; count_ = 0; }
+
+  double TotalMicros() const { return total_micros_; }
+  double TotalMillis() const { return total_micros_ / 1000.0; }
+  std::uint64_t count() const { return count_; }
+  double MeanMicros() const {
+    return count_ == 0 ? 0.0 : total_micros_ / static_cast<double>(count_);
+  }
+
+ private:
+  double total_micros_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// RAII section timer feeding a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& timer) : timer_(timer) {}
+  ~ScopedPhase() { timer_.Add(watch_.ElapsedMicros()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+  Stopwatch watch_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,56 @@
+// Fixed-size worker pool used by the concurrent execution and commitment
+// phases. Tasks are submitted as std::function<void()>; ParallelFor provides
+// a blocking data-parallel loop with static chunking (deterministic split).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nezha {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for completion/exception propagation.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations complete. Iterations are split into contiguous chunks, one
+  /// batch per worker, so the partition is deterministic for a given pool
+  /// size. Exceptions from fn are rethrown (first one wins).
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Like ParallelFor but hands each worker its chunk [chunk_begin,
+  /// chunk_end) plus a stable worker slot index, letting callers keep
+  /// per-worker scratch state without false sharing.
+  void ParallelForChunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t chunk_begin, std::size_t chunk_end,
+                               std::size_t worker_slot)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace nezha

@@ -1,0 +1,7 @@
+#include "common/types.h"
+
+namespace nezha {
+
+std::string ToString(Address a) { return "A" + std::to_string(a.value); }
+
+}  // namespace nezha

@@ -1,0 +1,79 @@
+// Core identifier types shared across the Nezha library.
+//
+// The concurrency-control layer reasons about *addresses* (state cells that
+// transactions read and write), *transactions* (identified by their position
+// in the epoch's deterministic block order), and *sequence numbers* (the
+// Lamport-style commit ranks produced by hierarchical sorting).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace nezha {
+
+/// Index of a transaction within one epoch's batch. The paper orders
+/// transactions by subscript (T_1 < T_2 < ...); we use the deterministic
+/// position of the transaction in the epoch's block order.
+using TxIndex = std::uint32_t;
+
+/// Sentinel for "no transaction".
+inline constexpr TxIndex kInvalidTx = std::numeric_limits<TxIndex>::max();
+
+/// Sequence number assigned by hierarchical sorting. Transactions sharing a
+/// sequence number commit concurrently. 0 means "unassigned".
+using SeqNum = std::uint32_t;
+inline constexpr SeqNum kUnassignedSeq = 0;
+
+/// Chain / block / epoch coordinates in the DAG ledger, and consensus
+/// node identities.
+using NodeId = std::uint32_t;
+using ChainId = std::uint32_t;
+using BlockHeight = std::uint64_t;
+using EpochId = std::uint64_t;
+
+/// A state address: one cell of the account-based state (e.g. the savings or
+/// checking balance of one account). Strong typedef so addresses cannot be
+/// confused with transaction indices or raw integers.
+struct Address {
+  std::uint64_t value = 0;
+
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint64_t v) : value(v) {}
+
+  friend constexpr bool operator==(Address a, Address b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(Address a, Address b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(Address a, Address b) {
+    return a.value < b.value;
+  }
+  friend constexpr bool operator>(Address a, Address b) {
+    return a.value > b.value;
+  }
+  friend constexpr bool operator<=(Address a, Address b) {
+    return a.value <= b.value;
+  }
+  friend constexpr bool operator>=(Address a, Address b) {
+    return a.value >= b.value;
+  }
+};
+
+/// Printable form, e.g. "A17".
+std::string ToString(Address a);
+
+}  // namespace nezha
+
+template <>
+struct std::hash<nezha::Address> {
+  std::size_t operator()(nezha::Address a) const noexcept {
+    // SplitMix64 finalizer: cheap, well-distributed for sequential ids.
+    std::uint64_t x = a.value + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

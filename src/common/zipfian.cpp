@@ -1,0 +1,48 @@
+#include "common/zipfian.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nezha {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double skew)
+    : n_(n), theta_(skew) {
+  assert(n > 0);
+  assert(skew >= 0.0);
+  if (theta_ == 0.0) return;  // uniform fast path
+  // theta == 1 makes alpha blow up; nudge as is conventional.
+  if (theta_ == 1.0) theta_ = 0.99999;
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+double ZipfianGenerator::Zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng& rng) {
+  if (theta_ == 0.0) return rng.Below(n_);
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfianGenerator::ProbabilityOfRank(std::uint64_t k) const {
+  assert(k < n_);
+  if (theta_ == 0.0) return 1.0 / static_cast<double>(n_);
+  return 1.0 / (std::pow(static_cast<double>(k + 1), theta_) * zetan_);
+}
+
+}  // namespace nezha

@@ -1,0 +1,67 @@
+// Zipfian sampler over [0, n) with exponent `skew`.
+//
+// The paper's workloads draw SmallBank account ids from a Zipfian
+// distribution over 10k accounts with skew in [0, 1.0]; skew = 0 degenerates
+// to the uniform distribution. We use the classic Gray et al. (SIGMOD'94)
+// computation, with the zeta constants precomputed once per (n, skew).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace nezha {
+
+class ZipfianGenerator {
+ public:
+  /// n: population size (> 0); skew: Zipfian exponent theta (>= 0).
+  /// skew == 0 is exact uniform sampling.
+  ZipfianGenerator(std::uint64_t n, double skew);
+
+  /// Draws one rank in [0, n). Rank 0 is the most popular item.
+  std::uint64_t Next(Rng& rng);
+
+  std::uint64_t population() const { return n_; }
+  double skew() const { return theta_; }
+
+  /// Probability mass of rank k under this distribution (for tests and the
+  /// analytic conflict model).
+  double ProbabilityOfRank(std::uint64_t k) const;
+
+ private:
+  static double Zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0;   // zeta(n, theta)
+  double alpha_ = 0;   // 1 / (1 - theta)
+  double eta_ = 0;
+  double half_pow_theta_ = 0;  // (0.5)^theta
+};
+
+/// Scrambled Zipfian: applies a multiplicative hash over the Zipfian rank so
+/// hot items are spread across the key space (YCSB-style). Hot-set size and
+/// conflict structure are preserved; only the identities of the hot keys
+/// change. Workloads use this so "account 0" is not always the hotspot.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(std::uint64_t n, double skew)
+      : inner_(n, skew), n_(n) {}
+
+  std::uint64_t Next(Rng& rng) {
+    const std::uint64_t rank = inner_.Next(rng);
+    if (inner_.skew() == 0.0) return rank;  // already uniform
+    std::uint64_t x = rank;
+    // FNV-style scramble, then reduce.
+    x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdull;
+    x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x % n_;
+  }
+
+ private:
+  ZipfianGenerator inner_;
+  std::uint64_t n_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,272 @@
+#include "consensus/dagrider.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace nezha {
+
+std::string DagVertex::HashPreimage() const {
+  std::string out;
+  PutVarint64(out, source);
+  PutVarint64(out, round);
+  PutVarint64(out, parents.size());
+  for (const Hash256& parent : parents) {
+    out.append(reinterpret_cast<const char*>(parent.bytes.data()), 32);
+  }
+  out.append(reinterpret_cast<const char*>(tx_root.bytes.data()), 32);
+  return out;
+}
+
+void DagVertex::Seal() { hash = Sha256::Digest(HashPreimage()); }
+
+DagRiderView::DagRiderView(NodeId id, std::uint32_t num_nodes)
+    : id_(id),
+      num_nodes_(num_nodes),
+      f_(num_nodes >= 4 ? (num_nodes - 1) / 3 : 0) {}
+
+NodeId DagRiderView::WaveLeader(std::uint64_t wave, std::uint32_t num_nodes) {
+  // Shared coin, abstracted: a seeded hash every replica evaluates alike.
+  std::string preimage = "dagrider-coin/";
+  PutFixed64(preimage, wave);
+  const Hash256 digest = Sha256::Digest(preimage);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | digest.bytes[static_cast<std::size_t>(i)];
+  }
+  return static_cast<NodeId>(value % num_nodes);
+}
+
+const DagVertex* DagRiderView::VertexOf(std::uint64_t round,
+                                        NodeId source) const {
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) return nullptr;
+  for (const DagVertex* vertex : it->second) {
+    if (vertex->source == source) return vertex;
+  }
+  return nullptr;
+}
+
+bool DagRiderView::CanEmit() const {
+  if (next_emit_round_ == 1) return true;
+  const auto it = rounds_.find(next_emit_round_ - 1);
+  return it != rounds_.end() && it->second.size() >= quorum();
+}
+
+DagVertex DagRiderView::PrepareVertex(std::vector<Transaction> txs) const {
+  DagVertex vertex;
+  vertex.source = id_;
+  vertex.round = next_emit_round_;
+  if (vertex.round > 1) {
+    // Reference every known vertex of the previous round (a superset of
+    // the required 2f+1 strong edges), deterministically ordered.
+    const auto& previous = rounds_.at(vertex.round - 1);
+    for (const DagVertex* parent : previous) {
+      vertex.parents.push_back(parent->hash);
+    }
+    std::sort(vertex.parents.begin(), vertex.parents.end());
+  }
+  vertex.tx_root = ComputeTxMerkleRoot(txs);
+  vertex.txs = std::move(txs);
+  return vertex;
+}
+
+std::optional<Hash256> DagRiderView::MissingParent(
+    const DagVertex& vertex) const {
+  for (const Hash256& parent : vertex.parents) {
+    if (!Knows(parent)) return parent;
+  }
+  return std::nullopt;
+}
+
+Result<std::size_t> DagRiderView::OnVertex(const DagVertex& vertex) {
+  if (Knows(vertex.hash)) return std::size_t{0};
+  if (const auto missing = MissingParent(vertex); missing.has_value()) {
+    orphans_[*missing].push_back(vertex);
+    return std::size_t{0};
+  }
+  if (Status s = Attach(vertex); !s.ok()) return s;
+  std::size_t attached = 1;
+
+  std::vector<Hash256> ready = {vertex.hash};
+  while (!ready.empty()) {
+    const Hash256 parent = ready.back();
+    ready.pop_back();
+    const auto it = orphans_.find(parent);
+    if (it == orphans_.end()) continue;
+    std::vector<DagVertex> waiting = std::move(it->second);
+    orphans_.erase(it);
+    for (DagVertex& orphan : waiting) {
+      if (Knows(orphan.hash)) continue;
+      if (const auto missing = MissingParent(orphan); missing.has_value()) {
+        orphans_[*missing].push_back(std::move(orphan));
+        continue;
+      }
+      if (Attach(orphan).ok()) {
+        ++attached;
+        ready.push_back(orphan.hash);
+      }
+    }
+  }
+  TryCommitWaves();
+  return attached;
+}
+
+Status DagRiderView::Attach(const DagVertex& vertex) {
+  DagVertex verified = vertex;
+  verified.Seal();
+  if (verified.hash != vertex.hash) {
+    return Status::InvalidArgument("vertex hash mismatch");
+  }
+  if (ComputeTxMerkleRoot(verified.txs) != verified.tx_root) {
+    return Status::InvalidArgument("tx root mismatch");
+  }
+  if (verified.round == 0 || verified.source >= num_nodes_) {
+    return Status::InvalidArgument("bad round/source");
+  }
+  if (verified.round == 1) {
+    if (!verified.parents.empty()) {
+      return Status::InvalidArgument("round-1 vertex must have no parents");
+    }
+  } else {
+    if (verified.parents.size() < quorum()) {
+      return Status::InvalidArgument("fewer than 2f+1 strong edges");
+    }
+    std::unordered_set<NodeId> sources;
+    for (const Hash256& parent : verified.parents) {
+      const DagVertex& p = *vertices_.at(parent);
+      if (p.round != verified.round - 1) {
+        return Status::InvalidArgument("parent from wrong round");
+      }
+      if (!sources.insert(p.source).second) {
+        return Status::InvalidArgument("duplicate parent source");
+      }
+    }
+  }
+  if (VertexOf(verified.round, verified.source) != nullptr) {
+    // One vertex per (round, source); a second one is equivocation. The
+    // honest simulation never produces it; reject defensively.
+    return Status::InvalidArgument("equivocating vertex");
+  }
+
+  const std::uint64_t round = verified.round;
+  const NodeId source = verified.source;
+  auto stored = std::make_unique<DagVertex>(std::move(verified));
+  const DagVertex* ptr = stored.get();
+  vertices_.emplace(ptr->hash, std::move(stored));
+  rounds_[round].push_back(ptr);
+  // Keep per-round lists deterministically ordered by source.
+  auto& bucket = rounds_[round];
+  std::sort(bucket.begin(), bucket.end(),
+            [](const DagVertex* a, const DagVertex* b) {
+              return a->source < b->source;
+            });
+  if (source == id_ && round == next_emit_round_) ++next_emit_round_;
+  return Status::Ok();
+}
+
+bool DagRiderView::Reaches(const Hash256& from, const Hash256& to) const {
+  if (from == to) return true;
+  const DagVertex* target = vertices_.at(to).get();
+  std::vector<const DagVertex*> stack = {vertices_.at(from).get()};
+  std::unordered_set<Hash256> seen = {from};
+  while (!stack.empty()) {
+    const DagVertex* current = stack.back();
+    stack.pop_back();
+    if (current->round <= target->round) continue;  // can't go back up
+    for (const Hash256& parent : current->parents) {
+      if (parent == to) return true;
+      if (seen.insert(parent).second) {
+        stack.push_back(vertices_.at(parent).get());
+      }
+    }
+  }
+  return false;
+}
+
+void DagRiderView::TryCommitWaves() {
+  // Examine undecided waves in order; a wave whose leader gathers a quorum
+  // of last-round paths commits (sweeping up reachable earlier leaders).
+  // Waves without a decidable quorum yet stay open — they may still commit
+  // directly later or be committed/skipped by a later wave's recursion.
+  for (std::uint64_t wave = next_wave_;; ++wave) {
+    const std::uint64_t leader_round = 4 * wave + 1;
+    const std::uint64_t decision_round = 4 * wave + 4;
+    const auto decision_it = rounds_.find(decision_round);
+    if (decision_it == rounds_.end() ||
+        decision_it->second.size() < quorum()) {
+      return;  // nothing at or past this wave is decidable yet
+    }
+    const DagVertex* leader =
+        VertexOf(leader_round, WaveLeader(wave, num_nodes_));
+    if (leader == nullptr) continue;  // leader vertex absent: wave undecided
+    if (wave < next_wave_) continue;  // already decided
+
+    std::size_t supporters = 0;
+    for (const DagVertex* vertex : decision_it->second) {
+      if (Reaches(vertex->hash, leader->hash)) ++supporters;
+    }
+    if (supporters >= quorum()) {
+      CommitWave(wave, leader);
+      // next_wave_ moved past `wave`; the loop continues scanning forward.
+      wave = next_wave_ - 1;
+    }
+  }
+}
+
+void DagRiderView::CommitWave(std::uint64_t wave, const DagVertex* leader) {
+  // Recursive catch-up: walk back through undecided waves; a leader
+  // reachable from the most recently adopted anchor commits too.
+  std::vector<const DagVertex*> anchors = {leader};
+  const DagVertex* cursor = leader;
+  for (std::uint64_t w = wave; w-- > next_wave_;) {
+    const DagVertex* earlier =
+        VertexOf(4 * w + 1, WaveLeader(w, num_nodes_));
+    if (earlier != nullptr && Reaches(cursor->hash, earlier->hash)) {
+      anchors.push_back(earlier);
+      cursor = earlier;
+    }
+    // else: wave w is skipped permanently (no honest node committed it —
+    // otherwise quorum intersection would have forced a path from cursor).
+  }
+  std::reverse(anchors.begin(), anchors.end());
+  for (const DagVertex* anchor : anchors) DeliverCausalHistory(anchor);
+  next_wave_ = wave + 1;
+}
+
+void DagRiderView::DeliverCausalHistory(const DagVertex* anchor) {
+  // Collect the anchor's undelivered ancestry.
+  std::vector<const DagVertex*> batch;
+  std::vector<const DagVertex*> stack = {anchor};
+  std::unordered_set<Hash256> visiting;
+  while (!stack.empty()) {
+    const DagVertex* current = stack.back();
+    stack.pop_back();
+    if (delivered_.count(current->hash) > 0 ||
+        !visiting.insert(current->hash).second) {
+      continue;
+    }
+    batch.push_back(current);
+    for (const Hash256& parent : current->parents) {
+      stack.push_back(vertices_.at(parent).get());
+    }
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const DagVertex* a, const DagVertex* b) {
+              if (a->round != b->round) return a->round < b->round;
+              return a->source < b->source;
+            });
+  for (const DagVertex* vertex : batch) {
+    delivered_.insert(vertex->hash);
+    committed_.push_back(vertex);
+  }
+  batch_offsets_.push_back(committed_.size());
+}
+
+std::size_t DagRiderView::NumOrphans() const {
+  std::size_t total = 0;
+  for (const auto& [hash, waiting] : orphans_) total += waiting.size();
+  return total;
+}
+
+}  // namespace nezha

@@ -1,0 +1,137 @@
+// DagRiderView: a round-based BFT DAG in the style of DAG-Rider (Keidar et
+// al., PODC 2021) — the third DAG family the paper cites (§II.A lists
+// DAG-Rider among the parallel-chain-structured systems).
+//
+// Structure (simplified to the honest-node deterministic simulation used by
+// the other substrates; the ordering logic is the real protocol):
+//  * n nodes, f = (n-1)/3; each node emits one VERTEX per round, referencing
+//    at least 2f+1 vertices of the previous round (strong edges);
+//  * a node may only advance to round r+1 once it holds 2f+1 vertices of
+//    round r — rounds are therefore self-clocking;
+//  * waves are 4 rounds; the wave's LEADER vertex is the first-round vertex
+//    of a node drawn by a shared coin (here: a seeded hash of the wave
+//    number — all replicas agree);
+//  * when a node's last-round vertices give >= 2f+1 of them a path to the
+//    wave's leader vertex, the wave COMMITS: the leader and every vertex in
+//    its causal history not yet delivered are appended to the output, in
+//    deterministic (round, source) order. Skipped earlier leaders that the
+//    committed leader can reach commit first (the protocol's recursive
+//    catch-up), so all replicas deliver the same sequence.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/block.h"
+#include "ledger/transaction.h"
+
+namespace nezha {
+
+struct DagVertex {
+  // --- broadcast content ---
+  NodeId source = 0;
+  std::uint64_t round = 0;           ///< rounds start at 1
+  std::vector<Hash256> parents;      ///< >= 2f+1 vertices of round-1
+  Hash256 tx_root{};
+  std::vector<Transaction> txs;
+
+  // --- derived ---
+  Hash256 hash{};
+
+  std::string HashPreimage() const;
+  void Seal();
+};
+
+class DagRiderView {
+ public:
+  /// num_nodes must satisfy n >= 3f+1 for some f >= 0 (any n >= 1 works;
+  /// f = (n-1)/3).
+  DagRiderView(NodeId id, std::uint32_t num_nodes);
+
+  NodeId id() const { return id_; }
+  std::uint32_t quorum() const { return 2 * f_ + 1; }
+
+  /// The next round this node would emit a vertex for.
+  std::uint64_t NextEmitRound() const { return next_emit_round_; }
+
+  /// True when the node may emit its next vertex: round 1, or a quorum of
+  /// the previous round is held (rounds are self-clocking).
+  bool CanEmit() const;
+
+  /// Builds this node's next vertex (for NextEmitRound()); call only when
+  /// CanEmit(). References every known vertex of the previous round
+  /// (>= quorum by construction).
+  DagVertex PrepareVertex(std::vector<Transaction> txs) const;
+
+  /// Validates and attaches a sealed vertex; buffers it if parents are
+  /// missing; advances the local round when a quorum forms; runs the wave
+  /// commit rule. Returns the number of vertices attached.
+  Result<std::size_t> OnVertex(const DagVertex& vertex);
+
+  bool Knows(const Hash256& hash) const { return vertices_.count(hash) > 0; }
+
+  /// The committed vertex sequence so far (grows append-only; identical
+  /// across replicas — the BFT safety property the tests pin).
+  const std::vector<const DagVertex*>& CommittedSequence() const {
+    return committed_;
+  }
+
+  /// Protocol-defined batch boundaries: one batch per committed wave
+  /// anchor (its undelivered causal history). Identical across replicas,
+  /// so deferred execution can snapshot per batch deterministically.
+  std::size_t NumBatches() const { return batch_offsets_.size(); }
+  std::vector<const DagVertex*> Batch(std::size_t i) const {
+    const std::size_t begin = i == 0 ? 0 : batch_offsets_[i - 1];
+    const std::size_t end = batch_offsets_[i];
+    return {committed_.begin() + static_cast<std::ptrdiff_t>(begin),
+            committed_.begin() + static_cast<std::ptrdiff_t>(end)};
+  }
+
+  /// Leader node of wave w (shared coin; same on every replica).
+  static NodeId WaveLeader(std::uint64_t wave, std::uint32_t num_nodes);
+
+  std::size_t NumVertices() const { return vertices_.size(); }
+  std::size_t NumOrphans() const;
+
+ private:
+  Status Attach(const DagVertex& vertex);
+  std::optional<Hash256> MissingParent(const DagVertex& vertex) const;
+  void TryCommitWaves();
+
+  /// The vertex of `source` at `round`, or nullptr.
+  const DagVertex* VertexOf(std::uint64_t round, NodeId source) const;
+
+  /// True if a path of parent edges leads from `from` to `to`.
+  bool Reaches(const Hash256& from, const Hash256& to) const;
+
+  /// Commits wave `wave` anchored at `leader`: earlier undecided leaders
+  /// reachable from it commit first (the protocol's recursive catch-up);
+  /// unreachable ones are skipped for good.
+  void CommitWave(std::uint64_t wave, const DagVertex* leader);
+
+  /// Appends `anchor`'s undelivered causal history in deterministic order.
+  void DeliverCausalHistory(const DagVertex* anchor);
+
+  NodeId id_;
+  std::uint32_t num_nodes_;
+  std::uint32_t f_;
+
+  std::unordered_map<Hash256, std::unique_ptr<DagVertex>> vertices_;
+  /// Vertices by round; [round][source] -> vertex (rounds from 1).
+  std::unordered_map<std::uint64_t, std::vector<const DagVertex*>> rounds_;
+  std::unordered_map<Hash256, std::vector<DagVertex>> orphans_;
+
+  std::uint64_t next_emit_round_ = 1;
+  std::uint64_t next_wave_ = 0;  ///< first undecided wave
+  std::unordered_set<Hash256> delivered_;
+  std::vector<const DagVertex*> committed_;
+  std::vector<std::size_t> batch_offsets_;  ///< committed_ size per anchor
+};
+
+}  // namespace nezha

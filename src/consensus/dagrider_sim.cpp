@@ -1,0 +1,57 @@
+#include "consensus/dagrider_sim.h"
+
+namespace nezha {
+
+DagRiderSimulation::DagRiderSimulation(const DagRiderSimConfig& config,
+                                       TxSource tx_source)
+    : config_(config), tx_source_(std::move(tx_source)), rng_(config.seed) {
+  nodes_.reserve(config.num_nodes);
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<DagRiderView>(id, config.num_nodes));
+  }
+  emit_armed_.assign(config.num_nodes, false);
+}
+
+void DagRiderSimulation::ArmEmit(NodeId node) {
+  if (emit_armed_[node]) return;
+  if (queue_.Now() + config_.emit_delay_ms > config_.duration_ms) return;
+  emit_armed_[node] = true;
+  queue_.ScheduleAfter(config_.emit_delay_ms, [this, node] { Emit(node); });
+}
+
+void DagRiderSimulation::Emit(NodeId node) {
+  emit_armed_[node] = false;
+  if (!nodes_[node]->CanEmit()) return;  // re-armed on the next delivery
+
+  std::vector<Transaction> txs;
+  if (tx_source_) txs = tx_source_(node);
+  DagVertex vertex = nodes_[node]->PrepareVertex(std::move(txs));
+  vertex.Seal();
+  ++stats_.vertices_emitted;
+
+  (void)nodes_[node]->OnVertex(vertex);
+  ArmEmit(node);  // next round, once the quorum clock allows
+  for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
+    if (peer == node) continue;
+    const double delay =
+        config_.base_latency_ms + rng_.NextDouble() * config_.jitter_ms;
+    queue_.ScheduleAfter(delay, [this, vertex, peer] {
+      (void)nodes_[peer]->OnVertex(vertex);
+      ArmEmit(peer);
+    });
+  }
+}
+
+void DagRiderSimulation::Run() {
+  for (NodeId node = 0; node < config_.num_nodes; ++node) {
+    ArmEmit(node);
+  }
+  queue_.RunUntil(config_.duration_ms);
+  queue_.RunToCompletion();
+
+  stats_.max_round = nodes_[0]->NextEmitRound();
+  stats_.committed_vertices = nodes_[0]->CommittedSequence().size();
+  stats_.committed_batches = nodes_[0]->NumBatches();
+}
+
+}  // namespace nezha

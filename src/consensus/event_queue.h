@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulation core for the consensus substrate.
+//
+// Events are ordered by (time, insertion sequence); ties in time resolve by
+// insertion order, so a run is fully reproducible from its seed. Time is
+// simulated milliseconds (double).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace nezha {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulation time `when` (>= Now()).
+  void ScheduleAt(double when, Callback fn) {
+    events_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after a delay relative to the current time.
+  void ScheduleAfter(double delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  double Now() const { return now_; }
+  bool Empty() const { return events_.empty(); }
+  std::size_t Pending() const { return events_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool Step() {
+    if (events_.empty()) return false;
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.time;
+    event.fn();
+    return true;
+  }
+
+  /// Runs events until the queue drains or the horizon is passed. Events
+  /// scheduled beyond `horizon` stay queued; Now() never exceeds it.
+  void RunUntil(double horizon) {
+    while (!events_.empty() && events_.top().time <= horizon) {
+      Step();
+    }
+    now_ = std::max(now_, horizon);
+  }
+
+  /// Drains every remaining event.
+  void RunToCompletion() {
+    while (Step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nezha

@@ -1,0 +1,193 @@
+#include "consensus/ohie_node.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nezha {
+
+OhieNodeView::OhieNodeView(NodeId id, ChainId num_chains,
+                           std::size_t confirm_depth)
+    : id_(id), num_chains_(num_chains), confirm_depth_(confirm_depth) {
+  tips_.resize(num_chains);
+  for (ChainId chain = 0; chain < num_chains; ++chain) {
+    auto genesis = std::make_unique<OhieBlock>(MakeOhieGenesis(chain));
+    tips_[chain] = genesis.get();
+    blocks_.emplace(genesis->hash, std::move(genesis));
+  }
+}
+
+std::vector<Hash256> OhieNodeView::TipHashes() const {
+  std::vector<Hash256> hashes;
+  hashes.reserve(tips_.size());
+  for (const OhieBlock* tip : tips_) hashes.push_back(tip->hash);
+  return hashes;
+}
+
+OhieBlock OhieNodeView::PrepareBlock(std::uint64_t mine_counter,
+                                     std::vector<Transaction> txs) const {
+  OhieBlock block;
+  block.miner = id_;
+  block.mine_counter = mine_counter;
+  block.parent_tips = TipHashes();
+  block.tx_root = ComputeTxMerkleRoot(txs);
+  block.txs = std::move(txs);
+  return block;
+}
+
+std::optional<Hash256> OhieNodeView::MissingParent(
+    const OhieBlock& block) const {
+  for (const Hash256& parent : block.parent_tips) {
+    if (!Knows(parent)) return parent;
+  }
+  return std::nullopt;
+}
+
+Result<std::size_t> OhieNodeView::OnBlock(const OhieBlock& block) {
+  if (Knows(block.hash)) return std::size_t{0};  // duplicate
+  if (const auto missing = MissingParent(block); missing.has_value()) {
+    orphans_[*missing].push_back(block);
+    return std::size_t{0};
+  }
+  if (Status s = Attach(block); !s.ok()) return s;
+  std::size_t attached = 1;
+
+  // Drain orphans transitively unblocked by this block.
+  std::vector<Hash256> ready = {block.hash};
+  while (!ready.empty()) {
+    const Hash256 parent = ready.back();
+    ready.pop_back();
+    const auto it = orphans_.find(parent);
+    if (it == orphans_.end()) continue;
+    std::vector<OhieBlock> waiting = std::move(it->second);
+    orphans_.erase(it);
+    for (OhieBlock& orphan : waiting) {
+      if (Knows(orphan.hash)) continue;
+      if (const auto missing = MissingParent(orphan); missing.has_value()) {
+        orphans_[*missing].push_back(std::move(orphan));
+        continue;
+      }
+      if (Attach(orphan).ok()) {
+        ++attached;
+        ready.push_back(orphan.hash);
+      }
+    }
+  }
+  return attached;
+}
+
+Status OhieNodeView::Attach(const OhieBlock& block) {
+  // Recompute and verify every derived field.
+  OhieBlock verified = block;
+  verified.Seal(num_chains_);
+  if (verified.hash != block.hash) {
+    return Status::InvalidArgument("block hash mismatch");
+  }
+  if (verified.parent_tips.size() != num_chains_) {
+    return Status::InvalidArgument("wrong parent reference count");
+  }
+  if (ComputeTxMerkleRoot(verified.txs) != verified.tx_root) {
+    return Status::InvalidArgument("tx root mismatch");
+  }
+  const auto parent_it = blocks_.find(verified.parent_tips[verified.chain]);
+  if (parent_it == blocks_.end()) {
+    return Status::Internal("attach called with missing parent");
+  }
+  const OhieBlock& parent = *parent_it->second;
+  if (parent.chain != verified.chain) {
+    return Status::InvalidArgument("effective parent on wrong chain");
+  }
+  verified.height = parent.height + 1;
+  verified.rank = parent.next_rank;
+  std::uint64_t next_rank = verified.rank + 1;
+  for (const Hash256& tip_hash : verified.parent_tips) {
+    next_rank = std::max(next_rank, blocks_.at(tip_hash)->next_rank);
+  }
+  verified.next_rank = next_rank;
+
+  auto stored = std::make_unique<OhieBlock>(std::move(verified));
+  const OhieBlock* ptr = stored.get();
+  blocks_.emplace(ptr->hash, std::move(stored));
+
+  // Longest-chain fork choice; deterministic hash tie-break.
+  const OhieBlock* tip = tips_[ptr->chain];
+  if (ptr->height > tip->height ||
+      (ptr->height == tip->height && ptr->hash < tip->hash)) {
+    tips_[ptr->chain] = ptr;
+  }
+  return Status::Ok();
+}
+
+std::vector<const OhieBlock*> OhieNodeView::MainChain(ChainId chain) const {
+  std::vector<const OhieBlock*> out;
+  const OhieBlock* block = tips_[chain];
+  for (;;) {
+    out.push_back(block);
+    if (block->height == 0) break;
+    block = blocks_.at(block->parent_tips[block->chain]).get();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t OhieNodeView::ConfirmBar() const {
+  std::uint64_t confirm_bar = std::numeric_limits<std::uint64_t>::max();
+  for (ChainId chain = 0; chain < num_chains_; ++chain) {
+    const auto main = MainChain(chain);
+    const std::size_t confirmed_len =
+        main.size() > confirm_depth_ ? main.size() - confirm_depth_ : 1;
+    const OhieBlock* last_confirmed = main[confirmed_len - 1];
+    confirm_bar = std::min(confirm_bar, last_confirmed->next_rank);
+  }
+  return confirm_bar;
+}
+
+std::vector<const OhieBlock*> OhieNodeView::ConfirmedOrder() const {
+  // Partially confirmed prefix per chain + the confirm bar.
+  std::vector<std::vector<const OhieBlock*>> partial(num_chains_);
+  std::uint64_t confirm_bar = std::numeric_limits<std::uint64_t>::max();
+  for (ChainId chain = 0; chain < num_chains_; ++chain) {
+    const auto main = MainChain(chain);
+    const std::size_t confirmed_len =
+        main.size() > confirm_depth_ ? main.size() - confirm_depth_ : 1;
+    // main[0] is genesis; partially confirmed payload blocks are
+    // main[1 .. confirmed_len).
+    for (std::size_t i = 1; i < confirmed_len; ++i) {
+      partial[chain].push_back(main[i]);
+    }
+    const OhieBlock* last_confirmed = main[confirmed_len - 1];
+    confirm_bar = std::min(confirm_bar, last_confirmed->next_rank);
+  }
+
+  std::vector<const OhieBlock*> confirmed;
+  for (ChainId chain = 0; chain < num_chains_; ++chain) {
+    for (const OhieBlock* block : partial[chain]) {
+      if (block->rank < confirm_bar) confirmed.push_back(block);
+    }
+  }
+  std::sort(confirmed.begin(), confirmed.end(),
+            [](const OhieBlock* a, const OhieBlock* b) {
+              if (a->rank != b->rank) return a->rank < b->rank;
+              return a->chain < b->chain;
+            });
+  return confirmed;
+}
+
+std::vector<const OhieBlock*> OhieNodeView::AllBlocks() const {
+  std::vector<const OhieBlock*> out;
+  out.reserve(blocks_.size());
+  for (const auto& [hash, block] : blocks_) out.push_back(block.get());
+  std::sort(out.begin(), out.end(),
+            [](const OhieBlock* a, const OhieBlock* b) {
+              if (a->height != b->height) return a->height < b->height;
+              return a->hash < b->hash;
+            });
+  return out;
+}
+
+std::size_t OhieNodeView::NumOrphans() const {
+  std::size_t total = 0;
+  for (const auto& [parent, waiting] : orphans_) total += waiting.size();
+  return total;
+}
+
+}  // namespace nezha

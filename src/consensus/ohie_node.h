@@ -1,0 +1,92 @@
+// OhieNodeView: one consensus node's local view of the k parallel chains.
+//
+// Responsibilities:
+//  * track every received block, with longest-chain fork choice per chain
+//    (ties break toward the smaller hash, deterministically);
+//  * buffer blocks whose referenced parents have not arrived yet (orphans)
+//    and attach them recursively once their dependencies land;
+//  * validate derived fields (hash, chain assignment, height, rank,
+//    next_rank) instead of trusting the sender;
+//  * expose OHIE's confirmed total order: on each chain the blocks buried
+//    `confirm_depth` under the tip are partially confirmed; a partially
+//    confirmed block is fully confirmed once its rank is below every
+//    chain's confirm bar; fully confirmed blocks order by (rank, chain).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ledger/block.h"
+#include "consensus/ohie_types.h"
+
+namespace nezha {
+
+class OhieNodeView {
+ public:
+  OhieNodeView(NodeId id, ChainId num_chains, std::size_t confirm_depth);
+
+  NodeId id() const { return id_; }
+  ChainId num_chains() const { return num_chains_; }
+
+  /// Current best tip of one chain (never null; genesis at worst).
+  const OhieBlock* Tip(ChainId chain) const { return tips_[chain]; }
+
+  /// Tip hashes of all chains (the parent references of a new block).
+  std::vector<Hash256> TipHashes() const;
+
+  /// Builds an unsealed candidate block extending this view.
+  OhieBlock PrepareBlock(std::uint64_t mine_counter,
+                         std::vector<Transaction> txs) const;
+
+  /// Validates and attaches a sealed block; recursively attaches any
+  /// orphans that were waiting on it. Returns the number of blocks
+  /// attached (0 if it was a duplicate / went to the orphan buffer).
+  Result<std::size_t> OnBlock(const OhieBlock& block);
+
+  bool Knows(const Hash256& hash) const {
+    return blocks_.count(hash) > 0;
+  }
+
+  /// The confirm bar: every partially-confirmed block with rank strictly
+  /// below this value is fully confirmed. Monotonically non-decreasing as
+  /// the view grows.
+  std::uint64_t ConfirmBar() const;
+
+  /// Fully confirmed blocks across all chains, ordered by (rank, chain) —
+  /// exactly the payload blocks with rank < ConfirmBar(). Genesis blocks
+  /// are excluded (they carry no payload).
+  std::vector<const OhieBlock*> ConfirmedOrder() const;
+
+  /// Main-chain blocks of one chain, genesis first.
+  std::vector<const OhieBlock*> MainChain(ChainId chain) const;
+
+  /// Every attached block (including genesis blocks), ordered by
+  /// (height, hash) — parents before children, deterministic. Used by
+  /// anti-entropy gossip to offer a peer what it lacks.
+  std::vector<const OhieBlock*> AllBlocks() const;
+
+  std::size_t NumBlocks() const { return blocks_.size(); }
+  std::size_t NumOrphans() const;
+
+ private:
+  /// Validates `block` against its (known) parents and stores it.
+  Status Attach(const OhieBlock& block);
+
+  /// First referenced parent hash not yet known, or nullopt.
+  std::optional<Hash256> MissingParent(const OhieBlock& block) const;
+
+  NodeId id_;
+  ChainId num_chains_;
+  std::size_t confirm_depth_;
+
+  std::unordered_map<Hash256, std::unique_ptr<OhieBlock>> blocks_;
+  std::vector<const OhieBlock*> tips_;  ///< best tip per chain
+  /// Orphans keyed by the missing parent they wait for.
+  std::unordered_map<Hash256, std::vector<OhieBlock>> orphans_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,125 @@
+#include "consensus/ohie_sim.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace nezha {
+
+OhieSimulation::OhieSimulation(const OhieSimConfig& config, TxSource tx_source)
+    : config_(config), tx_source_(std::move(tx_source)), rng_(config.seed) {
+  nodes_.reserve(config.num_nodes);
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<OhieNodeView>(id, config.num_chains,
+                                                    config.confirm_depth));
+  }
+  stats_.blocks_per_chain.assign(config.num_chains, 0);
+}
+
+void OhieSimulation::ScheduleNextMiningEvent() {
+  // Exponential inter-arrival (the Poisson block-production model).
+  const double u = rng_.NextDouble();
+  const double dt =
+      -std::log(1.0 - u) * config_.mean_block_interval_ms;
+  const double when = queue_.Now() + dt;
+  if (when > config_.duration_ms) return;  // mining window over
+  queue_.ScheduleAt(when, [this] {
+    MineBlock();
+    ScheduleNextMiningEvent();
+  });
+}
+
+void OhieSimulation::MineBlock() {
+  const auto miner = static_cast<NodeId>(rng_.Below(config_.num_nodes));
+  std::vector<Transaction> txs;
+  if (tx_source_) txs = tx_source_(miner);
+
+  OhieBlock block =
+      nodes_[miner]->PrepareBlock(mine_counter_++, std::move(txs));
+  block.Seal(config_.num_chains);
+  ++stats_.blocks_mined;
+  ++stats_.blocks_per_chain[block.chain];
+
+  // The miner adopts its own block immediately, then broadcasts.
+  (void)nodes_[miner]->OnBlock(block);
+  Broadcast(block, miner);
+}
+
+void OhieSimulation::Broadcast(const OhieBlock& block, NodeId from) {
+  for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
+    if (peer == from) continue;
+    if (config_.drop_probability > 0 &&
+        rng_.Chance(config_.drop_probability)) {
+      ++stats_.dropped_deliveries;
+      continue;  // lost in the network; anti-entropy will recover it
+    }
+    const double delay =
+        config_.base_latency_ms + rng_.NextDouble() * config_.jitter_ms;
+    queue_.ScheduleAfter(delay, [this, block, peer] {
+      (void)nodes_[peer]->OnBlock(block);
+    });
+  }
+}
+
+void OhieSimulation::GossipPull(NodeId to, NodeId from) {
+  // Inventory exchange abstracted: `to` learns of and fetches every block
+  // `from` has that it lacks, delivered parents-first after one RTT-ish
+  // latency. (A real node exchanges header inventories; the effect — and
+  // the block traffic — is the same.)
+  for (const OhieBlock* block : nodes_[from]->AllBlocks()) {
+    if (block->height == 0 || nodes_[to]->Knows(block->hash)) continue;
+    ++stats_.gossip_transfers;
+    const OhieBlock copy = *block;
+    const double delay =
+        config_.base_latency_ms + rng_.NextDouble() * config_.jitter_ms;
+    queue_.ScheduleAfter(delay, [this, copy, to] {
+      (void)nodes_[to]->OnBlock(copy);
+    });
+  }
+}
+
+void OhieSimulation::ScheduleNextGossipEvent() {
+  if (config_.gossip_interval_ms <= 0) return;
+  const double when = queue_.Now() + config_.gossip_interval_ms;
+  if (when > config_.duration_ms) return;
+  queue_.ScheduleAt(when, [this] {
+    for (NodeId node = 0; node < config_.num_nodes; ++node) {
+      const auto peer = static_cast<NodeId>(rng_.Below(config_.num_nodes));
+      if (peer != node) GossipPull(node, peer);
+    }
+    ScheduleNextGossipEvent();
+  });
+}
+
+void OhieSimulation::Run() {
+  ScheduleNextMiningEvent();
+  ScheduleNextGossipEvent();
+  queue_.RunUntil(config_.duration_ms);
+  // Stop mining but deliver everything still in flight so views converge.
+  queue_.RunToCompletion();
+  // Settlement: lossless anti-entropy rounds until every view agrees —
+  // the steady-state a real gossip network reaches shortly after traffic
+  // stops. Bounded by the number of nodes (each round fixes someone).
+  if (config_.drop_probability > 0) {
+    for (std::uint32_t round = 0; round < config_.num_nodes + 1; ++round) {
+      for (NodeId node = 0; node < config_.num_nodes; ++node) {
+        GossipPull(node, (node + 1) % config_.num_nodes);
+      }
+      queue_.RunToCompletion();
+    }
+  }
+  stats_.duration_ms = config_.duration_ms;
+
+  // Fork accounting against node 0's final main chains.
+  std::unordered_set<Hash256> on_main;
+  for (ChainId chain = 0; chain < config_.num_chains; ++chain) {
+    for (const OhieBlock* block : nodes_[0]->MainChain(chain)) {
+      on_main.insert(block->hash);
+    }
+  }
+  // Main chains include genesis blocks, which were not mined.
+  stats_.forked_blocks =
+      stats_.blocks_mined - (on_main.size() - config_.num_chains);
+  stats_.confirmed_blocks = nodes_[0]->ConfirmedOrder().size();
+}
+
+}  // namespace nezha

@@ -1,0 +1,88 @@
+// OhieSimulation: a deterministic discrete-event simulation of an OHIE
+// network — N honest miners over k parallel chains, Poisson block
+// production, latency-delayed broadcast — standing in for the paper's
+// 12-miner Alibaba-cloud deployment (DESIGN.md §4).
+//
+// Mining abstracts proof-of-work as a global Poisson process (exponential
+// inter-arrival times, uniformly random winning miner), the standard
+// Nakamoto-consensus model. Everything else — chain assignment by hash,
+// rank bookkeeping, fork choice, orphan handling, confirmation — runs the
+// real protocol logic in OhieNodeView.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/event_queue.h"
+#include "consensus/ohie_node.h"
+
+namespace nezha {
+
+struct OhieSimConfig {
+  ChainId num_chains = 4;
+  std::uint32_t num_nodes = 5;
+  /// Expected time between blocks mined network-wide, ms. With k chains the
+  /// per-chain expected interval is num_chains * this value.
+  double mean_block_interval_ms = 250;
+  /// One-way propagation delay: base + U[0, jitter).
+  double base_latency_ms = 50;
+  double jitter_ms = 50;
+  /// Probability that one broadcast delivery is lost. Lost blocks are
+  /// recovered by the periodic pull-based gossip below.
+  double drop_probability = 0;
+  /// Anti-entropy interval: each node periodically pulls blocks it lacks
+  /// from one random peer (0 disables gossip; required when drops > 0).
+  double gossip_interval_ms = 1'000;
+  std::size_t confirm_depth = 6;
+  double duration_ms = 60'000;
+  std::uint64_t seed = 1;
+};
+
+struct OhieSimStats {
+  std::size_t blocks_mined = 0;
+  std::vector<std::size_t> blocks_per_chain;
+  /// Mined blocks that did not end on any node-0 main chain (forked off).
+  std::size_t forked_blocks = 0;
+  std::size_t confirmed_blocks = 0;  ///< per node 0's final view
+  std::size_t dropped_deliveries = 0;
+  std::size_t gossip_transfers = 0;  ///< blocks recovered by anti-entropy
+  double duration_ms = 0;
+};
+
+class OhieSimulation {
+ public:
+  /// `tx_source` supplies each mined block's payload (may be empty/null).
+  using TxSource = std::function<std::vector<Transaction>(NodeId miner)>;
+
+  explicit OhieSimulation(const OhieSimConfig& config,
+                          TxSource tx_source = nullptr);
+
+  /// Mines for `duration_ms` of simulated time, then drains all in-flight
+  /// deliveries so every node converges to the same view.
+  void Run();
+
+  const OhieNodeView& node(std::size_t i) const { return *nodes_[i]; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const OhieSimStats& stats() const { return stats_; }
+  double Now() const { return queue_.Now(); }
+
+ private:
+  void ScheduleNextMiningEvent();
+  void ScheduleNextGossipEvent();
+  void MineBlock();
+  void Broadcast(const OhieBlock& block, NodeId from);
+  /// Anti-entropy: `to` pulls every block it lacks from `from`.
+  void GossipPull(NodeId to, NodeId from);
+
+  OhieSimConfig config_;
+  TxSource tx_source_;
+  Rng rng_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<OhieNodeView>> nodes_;
+  std::uint64_t mine_counter_ = 0;
+  OhieSimStats stats_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,59 @@
+// Block structure of the OHIE protocol (Yu et al., S&P 2020) — the
+// DAG-based blockchain the paper evaluates Nezha on.
+//
+// OHIE runs k parallel Nakamoto chains. A miner cannot choose its chain:
+// it builds a block referencing the current tip of EVERY chain, and the
+// block's hash assigns it to chain (hash mod k); the effective parent is
+// the referenced tip of that chain. Total ordering comes from two derived
+// fields:
+//   rank      = effective parent's next_rank
+//   next_rank = max(rank + 1, max over all referenced tips' next_rank)
+// Confirmed blocks across all chains are totally ordered by (rank, chain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+
+namespace nezha {
+
+struct OhieBlock {
+  // --- mined content (the hash preimage) ---
+  NodeId miner = 0;
+  std::uint64_t mine_counter = 0;       ///< per-miner uniquifier
+  std::vector<Hash256> parent_tips;     ///< tip of every chain in the
+                                        ///< miner's view, indexed by chain
+  Hash256 tx_root{};                    ///< commitment to the payload
+  std::vector<Transaction> txs;
+
+  // --- derived (recomputed and checked by every validator) ---
+  Hash256 hash{};
+  ChainId chain = 0;         ///< hash mod k
+  BlockHeight height = 0;    ///< effective parent's height + 1
+  std::uint64_t rank = 0;
+  std::uint64_t next_rank = 1;
+
+  /// Canonical hash preimage over the mined content.
+  std::string HashPreimage() const;
+
+  /// Computes the block hash and the chain assignment (hash mod k).
+  void Seal(ChainId num_chains);
+
+  /// Wire format: mined content + transactions (derived fields are
+  /// recomputed by the receiver, never trusted).
+  std::string Serialize() const;
+  static Result<OhieBlock> Deserialize(std::string_view data,
+                                       ChainId num_chains);
+};
+
+/// Genesis block of one chain: rank 0, next_rank 1, zero hash parentage.
+OhieBlock MakeOhieGenesis(ChainId chain);
+
+/// Hash of the per-chain genesis (stable; used to bootstrap views).
+Hash256 OhieGenesisHash(ChainId chain);
+
+}  // namespace nezha

@@ -1,0 +1,125 @@
+// TreeGraphView: a Conflux-style main-chain-based DAG ledger — the second
+// mainstream DAG structure the paper targets (§II.A: "Conflux and Prism
+// employ a main chain to guide the growth direction of DAG topology").
+//
+// Structure (following Conflux, ATC'20):
+//  * every block names one PARENT (tree edge) and may name extra REFERENCE
+//    edges to otherwise-unreferenced tips, so all concurrent blocks get
+//    woven into one DAG;
+//  * the PIVOT chain is chosen by GHOST: from genesis, repeatedly descend
+//    into the child whose subtree contains the most blocks (ties toward
+//    the smaller hash);
+//  * the pivot block at height h defines EPOCH h: the pivot block plus
+//    every block reachable from it through parent/reference edges that is
+//    not already in an earlier epoch. Epochs are exactly the paper's B_e —
+//    sets of concurrent blocks processed against one state snapshot;
+//  * blocks within an epoch are ordered topologically, ties by hash
+//    (Conflux's deterministic intra-epoch order);
+//  * a pivot block buried `confirm_depth` under the pivot tip is confirmed,
+//    finalizing its epoch.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/block.h"
+#include "ledger/transaction.h"
+
+namespace nezha {
+
+using NodeId = std::uint32_t;
+
+struct TGBlock {
+  // --- mined content ---
+  NodeId miner = 0;
+  std::uint64_t mine_counter = 0;
+  Hash256 parent{};                  ///< pivot-tree edge
+  std::vector<Hash256> references;   ///< extra DAG edges to loose tips
+  Hash256 tx_root{};
+  std::vector<Transaction> txs;
+
+  // --- derived ---
+  Hash256 hash{};
+  BlockHeight height = 0;  ///< parent height + 1
+
+  std::string HashPreimage() const;
+  void Seal();
+
+  /// Wire format: mined content + transactions (derived fields recomputed
+  /// by the receiver).
+  std::string Serialize() const;
+  static Result<TGBlock> Deserialize(std::string_view data);
+};
+
+/// The tree-graph genesis block (height 0, zero parent).
+TGBlock MakeTreeGraphGenesis();
+Hash256 TreeGraphGenesisHash();
+
+/// One finalized epoch: the pivot block's height and the epoch's blocks in
+/// Conflux's deterministic order (non-pivot blocks topologically, pivot
+/// block last).
+struct TGEpoch {
+  BlockHeight pivot_height = 0;
+  std::vector<const TGBlock*> blocks;
+};
+
+class TreeGraphView {
+ public:
+  explicit TreeGraphView(NodeId id, std::size_t confirm_depth);
+
+  NodeId id() const { return id_; }
+
+  /// The current pivot chain, genesis first.
+  std::vector<const TGBlock*> PivotChain() const;
+
+  /// Current pivot tip (the parent of the next mined block).
+  const TGBlock* PivotTip() const;
+
+  /// Tips that no known block references yet (candidate reference edges),
+  /// excluding the pivot tip; deterministic (hash-sorted).
+  std::vector<Hash256> LooseTips() const;
+
+  /// Builds an unsealed candidate block extending this view.
+  TGBlock PrepareBlock(std::uint64_t mine_counter,
+                       std::vector<Transaction> txs) const;
+
+  /// Validates and attaches a sealed block (recursively attaching waiting
+  /// orphans). Returns the number of blocks attached.
+  Result<std::size_t> OnBlock(const TGBlock& block);
+
+  bool Knows(const Hash256& hash) const { return blocks_.count(hash) > 0; }
+
+  /// All finalized epochs (pivot buried >= confirm_depth), in pivot-height
+  /// order. Epoch 0 (genesis) is skipped — it has no payload.
+  std::vector<TGEpoch> ConfirmedEpochs() const;
+
+  std::size_t NumBlocks() const { return blocks_.size(); }
+  std::size_t NumOrphans() const;
+
+ private:
+  Status Attach(const TGBlock& block);
+  std::optional<Hash256> MissingDependency(const TGBlock& block) const;
+
+  /// Blocks of the epoch anchored at pivot block P, given the set of blocks
+  /// already consumed by earlier epochs (updated in place).
+  std::vector<const TGBlock*> EpochBlocks(
+      const TGBlock* pivot, std::unordered_set<Hash256>& consumed) const;
+
+  NodeId id_;
+  std::size_t confirm_depth_;
+
+  std::unordered_map<Hash256, std::unique_ptr<TGBlock>> blocks_;
+  std::unordered_map<Hash256, std::vector<Hash256>> children_;
+  std::unordered_map<Hash256, std::size_t> subtree_weight_;
+  /// Blocks referenced (by parent or reference edge) by someone.
+  std::unordered_set<Hash256> referenced_;
+  std::unordered_map<Hash256, std::vector<TGBlock>> orphans_;
+};
+
+}  // namespace nezha

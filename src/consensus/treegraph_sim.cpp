@@ -1,0 +1,68 @@
+#include "consensus/treegraph_sim.h"
+
+#include <cmath>
+
+namespace nezha {
+
+TreeGraphSimulation::TreeGraphSimulation(const TreeGraphSimConfig& config,
+                                         TxSource tx_source)
+    : config_(config), tx_source_(std::move(tx_source)), rng_(config.seed) {
+  nodes_.reserve(config.num_nodes);
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    nodes_.push_back(
+        std::make_unique<TreeGraphView>(id, config.confirm_depth));
+  }
+}
+
+void TreeGraphSimulation::ScheduleNextMiningEvent() {
+  const double u = rng_.NextDouble();
+  const double dt = -std::log(1.0 - u) * config_.mean_block_interval_ms;
+  const double when = queue_.Now() + dt;
+  if (when > config_.duration_ms) return;
+  queue_.ScheduleAt(when, [this] {
+    MineBlock();
+    ScheduleNextMiningEvent();
+  });
+}
+
+void TreeGraphSimulation::MineBlock() {
+  const auto miner = static_cast<NodeId>(rng_.Below(config_.num_nodes));
+  std::vector<Transaction> txs;
+  if (tx_source_) txs = tx_source_(miner);
+
+  TGBlock block = nodes_[miner]->PrepareBlock(mine_counter_++, std::move(txs));
+  block.Seal();
+  ++stats_.blocks_mined;
+
+  (void)nodes_[miner]->OnBlock(block);
+  for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
+    if (peer == miner) continue;
+    const double delay =
+        config_.base_latency_ms + rng_.NextDouble() * config_.jitter_ms;
+    queue_.ScheduleAfter(delay, [this, block, peer] {
+      (void)nodes_[peer]->OnBlock(block);
+    });
+  }
+}
+
+void TreeGraphSimulation::Run() {
+  ScheduleNextMiningEvent();
+  queue_.RunUntil(config_.duration_ms);
+  queue_.RunToCompletion();
+
+  const auto epochs = nodes_[0]->ConfirmedEpochs();
+  stats_.confirmed_epochs = epochs.size();
+  std::size_t total_blocks = 0;
+  for (const TGEpoch& epoch : epochs) {
+    total_blocks += epoch.blocks.size();
+    stats_.max_epoch_size = std::max(
+        stats_.max_epoch_size, static_cast<double>(epoch.blocks.size()));
+  }
+  stats_.confirmed_blocks = total_blocks;
+  stats_.mean_epoch_size =
+      epochs.empty() ? 0
+                     : static_cast<double>(total_blocks) /
+                           static_cast<double>(epochs.size());
+}
+
+}  // namespace nezha

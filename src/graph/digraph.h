@@ -1,0 +1,64 @@
+// Directed graph with adjacency lists, shared by the conflict-graph baseline
+// (vertices = transactions) and Nezha's rank division (vertices = addresses).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace nezha {
+
+class Digraph {
+ public:
+  using Vertex = std::uint32_t;
+
+  explicit Digraph(std::size_t num_vertices)
+      : out_(num_vertices), in_degree_(num_vertices, 0) {}
+
+  std::size_t NumVertices() const { return out_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  /// Adds u -> v. Duplicate edges are kept unless deduplicate is true
+  /// (deduplication costs a hash probe per insertion).
+  void AddEdge(Vertex u, Vertex v, bool deduplicate = false) {
+    if (deduplicate) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+      if (!edge_set_.insert(key).second) return;
+    }
+    out_[u].push_back(v);
+    ++in_degree_[v];
+    ++num_edges_;
+  }
+
+  bool HasEdge(Vertex u, Vertex v) const {
+    for (Vertex w : out_[u]) {
+      if (w == v) return true;
+    }
+    return false;
+  }
+
+  std::span<const Vertex> OutNeighbors(Vertex u) const { return out_[u]; }
+  std::size_t OutDegree(Vertex u) const { return out_[u].size(); }
+  std::size_t InDegree(Vertex u) const { return in_degree_[u]; }
+
+  /// The in-degree array (copy), convenient for Kahn-style algorithms.
+  std::vector<std::size_t> InDegrees() const { return in_degree_; }
+
+  /// Graph with every edge reversed.
+  Digraph Reversed() const {
+    Digraph r(NumVertices());
+    for (Vertex u = 0; u < NumVertices(); ++u) {
+      for (Vertex v : out_[u]) r.AddEdge(v, u);
+    }
+    return r;
+  }
+
+ private:
+  std::vector<std::vector<Vertex>> out_;
+  std::vector<std::size_t> in_degree_;
+  std::unordered_set<std::uint64_t> edge_set_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace nezha

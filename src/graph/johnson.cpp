@@ -1,0 +1,149 @@
+#include "graph/johnson.h"
+
+#include <algorithm>
+
+#include "graph/tarjan.h"
+
+namespace nezha {
+namespace {
+
+using Vertex = Digraph::Vertex;
+
+class CircuitFinder {
+ public:
+  CircuitFinder(const Digraph& g, const JohnsonOptions& options)
+      : g_(g),
+        options_(options),
+        n_(g.NumVertices()),
+        blocked_(n_, false),
+        b_lists_(n_),
+        in_component_(n_, false) {}
+
+  JohnsonResult Run() {
+    for (Vertex s = 0; s < n_ && !stopped_; ++s) {
+      // Find the SCC (within the subgraph induced by vertices >= s) that
+      // contains s. Cycles with minimal vertex s live entirely inside it.
+      if (!ComputeComponentOf(s)) {
+        // s participates in no cycle rooted at s; but it may still have a
+        // self-loop.
+        if (g_.HasEdge(s, s)) EmitCircuit({s});
+        continue;
+      }
+      for (Vertex v = 0; v < n_; ++v) {
+        if (in_component_[v]) {
+          blocked_[v] = false;
+          b_lists_[v].clear();
+        }
+      }
+      start_ = s;
+      Circuit(s);
+    }
+    result_.budget_exceeded = stopped_;
+    return std::move(result_);
+  }
+
+ private:
+  /// Builds in_component_ = the SCC containing s in the subgraph induced by
+  /// {s, ..., n-1}. Returns true if that SCC can contain a cycle through s
+  /// (size > 1; the self-loop case is handled by the caller).
+  bool ComputeComponentOf(Vertex s) {
+    // Induced-subgraph Tarjan: map vertices >= s to a compact range.
+    const std::size_t m = n_ - s;
+    Digraph sub(m);
+    for (Vertex v = s; v < n_; ++v) {
+      for (Vertex w : g_.OutNeighbors(v)) {
+        if (w >= s && w != v) sub.AddEdge(v - s, w - s);
+      }
+    }
+    const auto sccs = TarjanSCC(sub);
+    std::fill(in_component_.begin(), in_component_.end(), false);
+    for (const auto& scc : sccs) {
+      const bool contains_s =
+          std::find(scc.begin(), scc.end(), 0u) != scc.end();
+      if (!contains_s) continue;
+      if (scc.size() < 2) return false;
+      for (Vertex v : scc) in_component_[v + s] = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool Circuit(Vertex v) {
+    bool found = false;
+    path_.push_back(v);
+    blocked_[v] = true;
+    for (Vertex w : g_.OutNeighbors(v)) {
+      if (stopped_) break;
+      if (w == v) {
+        if (v == start_) EmitCircuit({v});
+        continue;  // self-loops elsewhere are separate length-1 circuits
+      }
+      if (!in_component_[w]) continue;
+      if (w == start_) {
+        EmitCircuit(path_);
+        found = true;
+      } else if (!blocked_[w]) {
+        if (Circuit(w)) found = true;
+      }
+    }
+    if (found) {
+      Unblock(v);
+    } else {
+      for (Vertex w : g_.OutNeighbors(v)) {
+        if (w == v || !in_component_[w]) continue;
+        auto& blist = b_lists_[w];
+        if (std::find(blist.begin(), blist.end(), v) == blist.end()) {
+          blist.push_back(v);
+        }
+      }
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  void Unblock(Vertex v) {
+    blocked_[v] = false;
+    auto pending = std::move(b_lists_[v]);
+    b_lists_[v].clear();
+    for (Vertex w : pending) {
+      if (blocked_[w]) Unblock(w);
+    }
+  }
+
+  void EmitCircuit(const std::vector<Vertex>& circuit) {
+    if (stopped_) return;
+    result_.circuits.push_back(circuit);
+    total_vertices_ += circuit.size();
+    if ((options_.max_circuits != 0 &&
+         result_.circuits.size() >= options_.max_circuits) ||
+        (options_.max_total_vertices != 0 &&
+         total_vertices_ >= options_.max_total_vertices)) {
+      stopped_ = true;
+    }
+  }
+
+  const Digraph& g_;
+  const JohnsonOptions options_;
+  const std::size_t n_;
+
+  std::vector<bool> blocked_;
+  std::vector<std::vector<Vertex>> b_lists_;
+  std::vector<bool> in_component_;
+  std::vector<Vertex> path_;
+  Vertex start_ = 0;
+
+  JohnsonResult result_;
+  std::uint64_t total_vertices_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+JohnsonResult FindElementaryCircuits(const Digraph& g,
+                                     const JohnsonOptions& options) {
+  if (g.NumVertices() == 0) return {};
+  CircuitFinder finder(g, options);
+  return finder.Run();
+}
+
+}  // namespace nezha

@@ -1,0 +1,40 @@
+// Johnson's algorithm for enumerating all elementary circuits of a directed
+// graph (SIAM J. Comput. 1975) — the exact machinery Fabric++ uses for cycle
+// detection in the conflict-graph baseline, and the reason that baseline
+// degrades so sharply under contention: the number of elementary circuits
+// can grow exponentially with conflicts.
+//
+// To keep experiments runnable where the paper's CG prototype ran out of
+// memory, enumeration carries a budget; when it trips, the caller learns the
+// workload exceeded the limit (we report this as the "OOM/failed" condition
+// from the paper's Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace nezha {
+
+struct JohnsonOptions {
+  /// Stop after this many circuits (0 = unlimited).
+  std::uint64_t max_circuits = 0;
+  /// Stop after this many vertices summed across all circuits (a proxy for
+  /// the memory the circuit list would occupy). 0 = unlimited.
+  std::uint64_t max_total_vertices = 0;
+};
+
+struct JohnsonResult {
+  std::vector<std::vector<Digraph::Vertex>> circuits;
+  /// True if enumeration stopped because a budget tripped; `circuits` then
+  /// holds the prefix found so far.
+  bool budget_exceeded = false;
+};
+
+/// Enumerates elementary circuits of g. Self-loops count as circuits of
+/// length 1.
+JohnsonResult FindElementaryCircuits(const Digraph& g,
+                                     const JohnsonOptions& options = {});
+
+}  // namespace nezha

@@ -1,0 +1,85 @@
+#include "graph/tarjan.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nezha {
+namespace {
+
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+std::vector<std::vector<Digraph::Vertex>> TarjanSCC(const Digraph& g) {
+  using Vertex = Digraph::Vertex;
+  const std::size_t n = g.NumVertices();
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<Vertex> stack;
+  std::vector<std::vector<Vertex>> components;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: vertex + position in its adjacency list.
+  struct Frame {
+    Vertex v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const Vertex v = frame.v;
+      const auto neighbors = g.OutNeighbors(v);
+      if (frame.edge_pos < neighbors.size()) {
+        const Vertex w = neighbors[frame.edge_pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<Vertex> component;
+          for (;;) {
+            const Vertex w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          components.push_back(std::move(component));
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool HasCycle(const Digraph& g) {
+  for (Digraph::Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Digraph::Vertex w : g.OutNeighbors(v)) {
+      if (w == v) return true;  // self-loop
+    }
+  }
+  const auto sccs = TarjanSCC(g);
+  return std::any_of(sccs.begin(), sccs.end(),
+                     [](const auto& c) { return c.size() > 1; });
+}
+
+}  // namespace nezha

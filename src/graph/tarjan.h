@@ -1,0 +1,23 @@
+// Tarjan's strongly-connected-components algorithm (iterative, so deep
+// recursion on large conflict graphs cannot overflow the stack).
+//
+// Used by the CG baseline exactly as Fabric++ does: SCCs of size > 1 (or
+// self-loops) localize the cycles that Johnson's algorithm then enumerates.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace nezha {
+
+/// Returns the strongly connected components of g. Each component is a list
+/// of vertices; components are emitted in reverse topological order (Tarjan's
+/// natural output order).
+std::vector<std::vector<Digraph::Vertex>> TarjanSCC(const Digraph& g);
+
+/// True if g has at least one directed cycle (an SCC of size > 1 or a
+/// self-loop).
+bool HasCycle(const Digraph& g);
+
+}  // namespace nezha

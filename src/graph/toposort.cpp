@@ -1,0 +1,58 @@
+#include "graph/toposort.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace nezha {
+
+std::optional<std::vector<Digraph::Vertex>> TopologicalSort(const Digraph& g) {
+  using Vertex = Digraph::Vertex;
+  const std::size_t n = g.NumVertices();
+  std::vector<std::size_t> in_degree = g.InDegrees();
+
+  // Min-heap keyed on vertex id for a deterministic order.
+  std::priority_queue<Vertex, std::vector<Vertex>, std::greater<>> ready;
+  for (Vertex v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push(v);
+  }
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const Vertex v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (Vertex w : g.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+std::optional<std::vector<std::uint32_t>> TopologicalLevels(const Digraph& g) {
+  using Vertex = Digraph::Vertex;
+  const std::size_t n = g.NumVertices();
+  std::vector<std::size_t> in_degree = g.InDegrees();
+  std::vector<std::uint32_t> level(n, 0);
+
+  std::queue<Vertex> ready;
+  for (Vertex v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push(v);
+  }
+
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const Vertex v = ready.front();
+    ready.pop();
+    ++processed;
+    for (Vertex w : g.OutNeighbors(v)) {
+      level[w] = std::max(level[w], level[v] + 1);
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  if (processed != n) return std::nullopt;  // cycle
+  return level;
+}
+
+}  // namespace nezha

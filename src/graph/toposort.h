@@ -1,0 +1,23 @@
+// Kahn's topological sort, plus a "leveled" variant that groups vertices by
+// longest-path depth — the leveled form is what lets a schedule commit
+// non-conflicting transactions concurrently (all vertices of one level have
+// no edges among them).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace nezha {
+
+/// Topological order of g (smallest-vertex-first among ready vertices, so
+/// the result is deterministic). nullopt if g has a cycle.
+std::optional<std::vector<Digraph::Vertex>> TopologicalSort(const Digraph& g);
+
+/// Level assignment: level[v] = 1 + max(level[u] : u -> v), 0 for sources.
+/// Vertices sharing a level are mutually unordered and can run concurrently.
+/// nullopt if g has a cycle.
+std::optional<std::vector<std::uint32_t>> TopologicalLevels(const Digraph& g);
+
+}  // namespace nezha

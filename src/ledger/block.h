@@ -1,0 +1,49 @@
+// Blocks of the DAG ledger.
+//
+// Matching the paper's workflow (§III.B), consensus nodes do NOT execute
+// transactions before proposing: each block instead carries the state root
+// of the *previous* epoch, which validation checks against the local state.
+// Blocks also commit to their transaction list via a binary Merkle root.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+
+namespace nezha {
+
+struct BlockHeader {
+  EpochId epoch = 0;
+  ChainId chain = 0;
+  BlockHeight height = 0;
+  Hash256 parent_hash{};     ///< previous block on the same chain
+  Hash256 prev_state_root{}; ///< state root after epoch-1 (validated)
+  Hash256 tx_root{};         ///< Merkle root over transaction ids
+  std::uint64_t proposer = 0;
+
+  std::string Serialize() const;
+  static Result<BlockHeader> Deserialize(std::string_view data);
+
+  /// Block hash = SHA-256 of the serialized header.
+  Hash256 Hash() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  std::string Serialize() const;
+  static Result<Block> Deserialize(std::string_view data);
+  Hash256 Hash() const { return header.Hash(); }
+};
+
+/// Binary Merkle root over the transactions' ids. Empty list hashes to the
+/// zero hash; odd levels duplicate the last node (Bitcoin-style).
+Hash256 ComputeTxMerkleRoot(const std::vector<Transaction>& txs);
+
+}  // namespace nezha

@@ -1,0 +1,47 @@
+// EpochBatch: the unit of concurrent transaction processing.
+//
+// In a main-chain / parallel-chain DAG blockchain, each epoch e delivers a
+// set of concurrent blocks B_e (block concurrency ω_e). The node flattens
+// them — in the deterministic consensus order — into a single transaction
+// batch, keeping only the first appearance of any duplicate transaction
+// (§III.B). TxIndex positions in this flattened order are the transaction
+// "subscripts" the sorting algorithms use for deterministic tie-breaking.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "ledger/block.h"
+
+namespace nezha {
+
+struct EpochBatch {
+  EpochId epoch = 0;
+  std::vector<Block> blocks;        ///< consensus order (by chain id)
+  std::vector<Transaction> txs;     ///< flattened, deduplicated
+  std::size_t duplicates_dropped = 0;
+
+  std::size_t BlockConcurrency() const { return blocks.size(); }
+  std::size_t TxCount() const { return txs.size(); }
+
+  /// Flattens blocks (assumed already in consensus order) into the batch.
+  static EpochBatch FromBlocks(EpochId epoch, std::vector<Block> blocks) {
+    EpochBatch batch;
+    batch.epoch = epoch;
+    batch.blocks = std::move(blocks);
+    std::unordered_set<Hash256> seen;
+    for (const Block& block : batch.blocks) {
+      for (const Transaction& tx : block.transactions) {
+        if (seen.insert(tx.Id()).second) {
+          batch.txs.push_back(tx);
+        } else {
+          ++batch.duplicates_dropped;
+        }
+      }
+    }
+    return batch;
+  }
+};
+
+}  // namespace nezha

@@ -1,0 +1,165 @@
+#include "ledger/ledger.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace nezha {
+
+ParallelChainLedger::ParallelChainLedger(ChainId num_chains, KVStore* kv)
+    : num_chains_(num_chains), kv_(kv), chains_(num_chains) {}
+
+Hash256 ParallelChainLedger::StateRootBefore(EpochId epoch) const {
+  // The root "before epoch e" is the root committed for epoch e-1; walk the
+  // recorded roots backwards to find the newest one older than `epoch`.
+  Hash256 root{};  // empty-state root (all zero) before any commit
+  for (const auto& [e, r] : epoch_roots_) {
+    if (e < epoch) root = r;
+  }
+  return root;
+}
+
+void ParallelChainLedger::CommitEpochRoot(EpochId epoch, const Hash256& root) {
+  epoch_roots_.emplace_back(epoch, root);
+  if (kv_ != nullptr) {
+    std::string key = "r/";
+    PutFixed64(key, epoch);
+    (void)kv_->Put(key,
+                   std::string(reinterpret_cast<const char*>(root.bytes.data()),
+                               32));
+  }
+}
+
+Status ParallelChainLedger::LoadFromStorage() {
+  if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
+  if (TotalBlocks() != 0 || !epoch_roots_.empty()) {
+    return Status::InvalidArgument("ledger is not empty");
+  }
+  // Epoch roots first (block validation checks prev_state_root against
+  // them). Keys are big-endian, so iteration order is epoch order.
+  for (auto it = kv_->NewIterator("r/", "r0"); it.Valid(); it.Next()) {
+    if (it.value().size() != 32) {
+      return Status::Corruption("bad epoch root record");
+    }
+    const EpochId epoch = GetFixed64(std::string_view(it.key()).substr(2));
+    Hash256 root;
+    for (int i = 0; i < 32; ++i) {
+      root.bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(it.value()[static_cast<std::size_t>(i)]);
+    }
+    epoch_roots_.emplace_back(epoch, root);
+  }
+  // Blocks: keys order as (chain, height) ascending — exactly the order in
+  // which re-validation succeeds chain by chain. Everything is fully
+  // re-validated; a corrupted record fails the recovery.
+  for (auto it = kv_->NewIterator("b/", "b0"); it.Valid(); it.Next()) {
+    auto block = Block::Deserialize(it.value());
+    if (!block.ok()) return block.status();
+    // AppendBlock would redundantly re-persist; validate and attach.
+    if (Status s = ValidateBlock(block.value()); !s.ok()) return s;
+    chains_[block->header.chain].push_back(std::move(block.value()));
+  }
+  return Status::Ok();
+}
+
+BlockHeight ParallelChainLedger::ChainHeight(ChainId chain) const {
+  return chains_[chain].size();
+}
+
+Hash256 ParallelChainLedger::ChainTip(ChainId chain) const {
+  const auto& c = chains_[chain];
+  return c.empty() ? Hash256{} : c.back().Hash();
+}
+
+Status ParallelChainLedger::ValidateBlock(const Block& block) const {
+  const BlockHeader& h = block.header;
+  if (h.chain >= num_chains_) {
+    return Status::InvalidArgument("chain id out of range");
+  }
+  const auto& chain = chains_[h.chain];
+  if (h.height != chain.size()) {
+    return Status::InvalidArgument("unexpected block height");
+  }
+  const Hash256 expected_parent =
+      chain.empty() ? Hash256{} : chain.back().Hash();
+  if (h.parent_hash != expected_parent) {
+    return Status::InvalidArgument("parent hash mismatch");
+  }
+  if (!chain.empty() && h.epoch <= chain.back().header.epoch) {
+    return Status::InvalidArgument("epoch must advance along a chain");
+  }
+  // The paper's validation phase: the state root in the block must match
+  // the local state of the previous epoch; otherwise the block is discarded.
+  if (h.prev_state_root != StateRootBefore(h.epoch)) {
+    return Status::InvalidArgument("previous state root mismatch");
+  }
+  if (h.tx_root != ComputeTxMerkleRoot(block.transactions)) {
+    return Status::InvalidArgument("transaction merkle root mismatch");
+  }
+  return Status::Ok();
+}
+
+Status ParallelChainLedger::AppendBlock(Block block) {
+  if (Status s = ValidateBlock(block); !s.ok()) return s;
+  if (kv_ != nullptr) {
+    const Status s = kv_->Put(BlockKey(block.header.chain, block.header.height),
+                              block.Serialize());
+    if (!s.ok()) return s;
+  }
+  chains_[block.header.chain].push_back(std::move(block));
+  return Status::Ok();
+}
+
+Block ParallelChainLedger::BuildBlock(ChainId chain, EpochId epoch,
+                                      std::vector<Transaction> txs) const {
+  Block block;
+  block.header.chain = chain;
+  block.header.epoch = epoch;
+  block.header.height = ChainHeight(chain);
+  block.header.parent_hash = ChainTip(chain);
+  block.header.prev_state_root = StateRootBefore(epoch);
+  block.header.tx_root = ComputeTxMerkleRoot(txs);
+  block.header.proposer = chain;  // one miner per chain in the simulator
+  block.transactions = std::move(txs);
+  return block;
+}
+
+Result<EpochBatch> ParallelChainLedger::SealEpoch(EpochId epoch) const {
+  std::vector<Block> blocks;
+  for (const auto& chain : chains_) {
+    for (const Block& block : chain) {
+      if (block.header.epoch == epoch) blocks.push_back(block);
+    }
+  }
+  if (blocks.empty()) {
+    return Status::NotFound("no blocks in epoch");
+  }
+  std::sort(blocks.begin(), blocks.end(), [](const Block& a, const Block& b) {
+    return a.header.chain < b.header.chain;
+  });
+  return EpochBatch::FromBlocks(epoch, std::move(blocks));
+}
+
+std::string ParallelChainLedger::BlockKey(ChainId chain, BlockHeight height) {
+  std::string key = "b/";
+  PutFixed32(key, chain);
+  key.push_back('/');
+  PutFixed64(key, height);
+  return key;
+}
+
+Result<Block> ParallelChainLedger::LoadBlock(ChainId chain,
+                                             BlockHeight height) const {
+  if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
+  auto bytes = kv_->Get(BlockKey(chain, height));
+  if (!bytes.ok()) return bytes.status();
+  return Block::Deserialize(bytes.value());
+}
+
+std::size_t ParallelChainLedger::TotalBlocks() const {
+  std::size_t total = 0;
+  for (const auto& chain : chains_) total += chain.size();
+  return total;
+}
+
+}  // namespace nezha

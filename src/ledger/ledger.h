@@ -1,0 +1,86 @@
+// ParallelChainLedger: an OHIE-style DAG ledger simulator.
+//
+// The paper evaluates Nezha on OHIE, which runs k parallel Nakamoto chain
+// instances and confirms blocks in batches. This simulator reproduces the
+// structural properties the transaction-processing layer depends on:
+//
+//  * k independent chains, each a hash-linked block sequence;
+//  * per epoch, up to k concurrent valid blocks (the block concurrency ω_e),
+//    delivered in a deterministic total order (by chain id);
+//  * every block carries the state root of the previous epoch, which
+//    validation checks (the paper's "Validation phase");
+//  * block data optionally persisted to the KVStore.
+//
+// Mining/network behaviour is out of scope: all reported measurements in the
+// paper are taken after consensus, on the full node (see DESIGN.md §4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/block.h"
+#include "ledger/epoch.h"
+#include "storage/kvstore.h"
+
+namespace nezha {
+
+class ParallelChainLedger {
+ public:
+  /// num_chains: the maximum block concurrency (12 in the paper's setup).
+  explicit ParallelChainLedger(ChainId num_chains, KVStore* kv = nullptr);
+
+  ChainId num_chains() const { return num_chains_; }
+
+  /// State root recorded for epoch e (set by CommitEpochRoot). The genesis
+  /// root (epoch "-1", i.e. before epoch 0) is the empty-state root.
+  Hash256 StateRootBefore(EpochId epoch) const;
+
+  /// Records the post-commit state root of epoch e (persisted to the
+  /// KVStore when one is attached, for crash recovery).
+  void CommitEpochRoot(EpochId epoch, const Hash256& root);
+
+  /// Rebuilds the ledger (epoch roots + all chains) from the attached
+  /// KVStore, re-validating every block on the way in. The ledger must be
+  /// freshly constructed (empty chains).
+  Status LoadFromStorage();
+
+  /// Height of the tip on `chain` (number of blocks appended so far).
+  BlockHeight ChainHeight(ChainId chain) const;
+
+  /// Hash of the tip block on `chain` (zero hash for an empty chain).
+  Hash256 ChainTip(ChainId chain) const;
+
+  /// Full structural + semantic validation of a proposed block:
+  /// chain id in range, height/parent linkage, epoch monotonicity,
+  /// prev_state_root matches the recorded root, tx_root matches the body.
+  Status ValidateBlock(const Block& block) const;
+
+  /// Validates and appends. Persists to the KVStore when one is attached.
+  Status AppendBlock(Block block);
+
+  /// Builds a valid next block for `chain` at `epoch` from the given
+  /// transactions (fills in parent hash, height, roots).
+  Block BuildBlock(ChainId chain, EpochId epoch,
+                   std::vector<Transaction> txs) const;
+
+  /// Collects all blocks appended with header.epoch == epoch, in chain-id
+  /// order, flattened into an EpochBatch. Error if no blocks exist.
+  Result<EpochBatch> SealEpoch(EpochId epoch) const;
+
+  /// Reloads a block from the KVStore (testing persistence round-trips).
+  Result<Block> LoadBlock(ChainId chain, BlockHeight height) const;
+
+  std::size_t TotalBlocks() const;
+
+ private:
+  static std::string BlockKey(ChainId chain, BlockHeight height);
+
+  ChainId num_chains_;
+  KVStore* kv_;
+  std::vector<std::vector<Block>> chains_;
+  std::vector<std::pair<EpochId, Hash256>> epoch_roots_;  // append-only
+};
+
+}  // namespace nezha

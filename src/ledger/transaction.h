@@ -1,0 +1,45 @@
+// Transactions: smart-contract calls carried by blocks.
+//
+// A transaction's payload is a structured contract call (contract id,
+// operation id, integer arguments). The execution layer (src/vm) interprets
+// the call against a state snapshot and records the read/write sets the
+// concurrency-control layer consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+
+namespace nezha {
+
+/// A structured contract call.
+struct TxPayload {
+  std::uint32_t contract = 0;  ///< contract id (e.g. kSmallBankContract)
+  std::uint32_t op = 0;        ///< operation selector within the contract
+  std::vector<std::uint64_t> args;
+
+  friend bool operator==(const TxPayload& a, const TxPayload& b) {
+    return a.contract == b.contract && a.op == b.op && a.args == b.args;
+  }
+};
+
+struct Transaction {
+  std::uint64_t nonce = 0;  ///< client-assigned; makes duplicates detectable
+  TxPayload payload;
+
+  /// Canonical byte encoding (varint-framed) — the hashing preimage.
+  std::string Serialize() const;
+  static Result<Transaction> Deserialize(std::string_view data);
+
+  /// SHA-256 of the canonical encoding; identifies the transaction.
+  Hash256 Id() const;
+
+  friend bool operator==(const Transaction& a, const Transaction& b) {
+    return a.nonce == b.nonce && a.payload == b.payload;
+  }
+};
+
+}  // namespace nezha

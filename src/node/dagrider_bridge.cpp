@@ -1,0 +1,27 @@
+#include "node/dagrider_bridge.h"
+
+namespace nezha {
+
+Result<std::vector<EpochReport>> DagRiderDeferredExecutor::CatchUp(
+    const DagRiderView& view) {
+  std::vector<EpochReport> reports;
+  if (view.NumBatches() < next_batch_) {
+    return Status::InvalidArgument(
+        "committed batches shrank — not an extension of the executed prefix");
+  }
+  for (std::size_t i = next_batch_; i < view.NumBatches(); ++i) {
+    std::vector<Transaction> txs;
+    const auto batch = view.Batch(i);
+    for (const DagVertex* vertex : batch) {
+      txs.insert(txs.end(), vertex->txs.begin(), vertex->txs.end());
+    }
+    auto report = pipeline_.ProcessBatch(txs);
+    if (!report.ok()) return report.status();
+    report->block_concurrency = batch.size();
+    reports.push_back(std::move(report.value()));
+  }
+  next_batch_ = view.NumBatches();
+  return reports;
+}
+
+}  // namespace nezha

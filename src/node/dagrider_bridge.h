@@ -1,0 +1,31 @@
+// DagRiderDeferredExecutor: deferred execution over the BFT DAG substrate.
+//
+// DAG-Rider's committed sequence arrives in protocol-defined batches — one
+// per committed wave anchor (the anchor's newly delivered causal history) —
+// which map 1:1 onto execution epochs, exactly like the tree-graph's
+// epochs. Replica consistency follows from BFT agreement on the committed
+// sequence plus the pipeline's determinism.
+#pragma once
+
+#include "consensus/dagrider.h"
+#include "node/deferred_executor.h"
+
+namespace nezha {
+
+class DagRiderDeferredExecutor {
+ public:
+  explicit DagRiderDeferredExecutor(const DeferredExecConfig& config)
+      : pipeline_(config) {}
+
+  StateDB& state() { return pipeline_.state(); }
+  std::size_t executed_batches() const { return next_batch_; }
+
+  /// Executes every committed batch beyond what has been processed.
+  Result<std::vector<EpochReport>> CatchUp(const DagRiderView& view);
+
+ private:
+  DeferredExecutionPipeline pipeline_;
+  std::size_t next_batch_ = 0;
+};
+
+}  // namespace nezha

@@ -1,0 +1,58 @@
+#include "node/deferred_executor.h"
+
+#include "common/stopwatch.h"
+#include "node/receipts.h"
+#include "runtime/committer.h"
+#include "runtime/concurrent_executor.h"
+
+namespace nezha {
+
+DeferredExecutionPipeline::DeferredExecutionPipeline(
+    const DeferredExecConfig& config)
+    : config_(config),
+      pool_(config.worker_threads),
+      scheduler_(MakeScheduler(config.scheme)) {}
+
+Result<EpochReport> DeferredExecutionPipeline::ProcessBatch(
+    const std::vector<Transaction>& txs) {
+  EpochReport report;
+  report.epoch = next_epoch_++;
+
+  std::vector<Transaction> fresh;
+  fresh.reserve(txs.size());
+  for (const Transaction& tx : txs) {
+    if (seen_txs_.insert(tx.Id()).second) fresh.push_back(tx);
+  }
+  report.txs = fresh.size();
+  if (fresh.empty()) {
+    report.state_root = state_.RootHash();
+    return report;
+  }
+
+  Stopwatch watch;
+  const StateSnapshot snapshot = state_.MakeSnapshot(report.epoch);
+  BatchExecutionResult exec =
+      ExecuteBatchConcurrent(pool_, snapshot, fresh, config_.exec_mode);
+  report.execute_ms = watch.ElapsedMillis();
+
+  watch.Restart();
+  auto schedule = scheduler_->BuildSchedule(exec.rwsets);
+  if (!schedule.ok()) return schedule.status();
+  report.cc_ms = watch.ElapsedMillis();
+  report.cc_metrics = scheduler_->metrics();
+
+  watch.Restart();
+  const CommitStats commit =
+      CommitSchedule(pool_, state_, *schedule, exec.rwsets);
+  report.state_root = state_.RootHash();
+  report.commit_ms = watch.ElapsedMillis();
+
+  report.committed = commit.committed_txs;
+  report.aborted = schedule->NumAborted();
+  report.max_commit_group = commit.max_group;
+  report.receipt_root = ComputeReceiptRoot(
+      BuildReceipts(report.epoch, fresh, exec.rwsets, *schedule));
+  return report;
+}
+
+}  // namespace nezha

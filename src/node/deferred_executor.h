@@ -1,0 +1,46 @@
+// DeferredExecutionPipeline: the shared post-consensus execution engine
+// behind both DAG bridges (OHIE rank windows and Conflux-style epochs).
+//
+// Feeds one deterministic transaction batch at a time through concurrent
+// speculative execution -> the configured scheduler -> grouped commitment,
+// deduplicating transactions across batches (first confirmed appearance
+// wins, §III.B).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/scheduler.h"
+#include "common/thread_pool.h"
+#include "node/full_node.h"
+#include "storage/state_db.h"
+
+namespace nezha {
+
+struct DeferredExecConfig {
+  SchemeKind scheme = SchemeKind::kNezha;
+  std::size_t worker_threads = 0;
+  ExecMode exec_mode = ExecMode::kNative;
+};
+
+class DeferredExecutionPipeline {
+ public:
+  explicit DeferredExecutionPipeline(const DeferredExecConfig& config);
+
+  StateDB& state() { return state_; }
+
+  /// Executes one batch (already in its protocol-defined order); duplicates
+  /// of transactions seen in earlier batches are dropped before execution.
+  Result<EpochReport> ProcessBatch(const std::vector<Transaction>& txs);
+
+ private:
+  DeferredExecConfig config_;
+  StateDB state_;
+  ThreadPool pool_;
+  std::unique_ptr<Scheduler> scheduler_;
+  EpochId next_epoch_ = 1;
+  std::unordered_set<Hash256> seen_txs_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,204 @@
+#include "node/full_node.h"
+
+#include <limits>
+
+#include "cc/cg/cg_scheduler.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "cc/occ/occ_scheduler.h"
+#include "cc/serial/serial_scheduler.h"
+#include "common/stopwatch.h"
+#include "runtime/committer.h"
+#include "runtime/concurrent_executor.h"
+#include "vm/contract.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+
+namespace nezha {
+
+std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSerial:
+      return std::make_unique<SerialScheduler>();
+    case SchemeKind::kOcc:
+      return std::make_unique<OCCScheduler>();
+    case SchemeKind::kCg:
+      return std::make_unique<CGScheduler>();
+    case SchemeKind::kNezha:
+      return std::make_unique<NezhaScheduler>();
+    case SchemeKind::kNezhaNoReorder: {
+      NezhaOptions options;
+      options.enable_reordering = false;
+      return std::make_unique<NezhaScheduler>(options);
+    }
+  }
+  return nullptr;
+}
+
+const char* SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSerial:
+      return "serial";
+    case SchemeKind::kOcc:
+      return "occ";
+    case SchemeKind::kCg:
+      return "cg";
+    case SchemeKind::kNezha:
+      return "nezha";
+    case SchemeKind::kNezhaNoReorder:
+      return "nezha-noreorder";
+  }
+  return "?";
+}
+
+Result<SchemeKind> ParseScheme(std::string_view name) {
+  if (name == "serial") return SchemeKind::kSerial;
+  if (name == "occ") return SchemeKind::kOcc;
+  if (name == "cg") return SchemeKind::kCg;
+  if (name == "nezha") return SchemeKind::kNezha;
+  if (name == "nezha-noreorder") return SchemeKind::kNezhaNoReorder;
+  return Status::InvalidArgument("unknown scheme: " + std::string(name));
+}
+
+FullNode::FullNode(const NodeConfig& config, KVStore* kv)
+    : config_(config),
+      kv_(kv),
+      ledger_(config.max_chains, kv),
+      state_(kv),
+      pool_(std::make_unique<ThreadPool>(config.worker_threads)),
+      scheduler_(MakeScheduler(config.scheme)),
+      receipts_(kv) {}
+
+Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
+  if (config_.scheme == SchemeKind::kSerial) return ProcessSerial(batch);
+
+  EpochReport report;
+  report.epoch = batch.epoch;
+  report.block_concurrency = batch.BlockConcurrency();
+  report.txs = batch.TxCount();
+
+  // ---- Phase 1: validation ----
+  Stopwatch watch;
+  for (const Block& block : batch.blocks) {
+    // Blocks already appended to the ledger were validated on the way in;
+    // re-check the semantic parts that depend on the current state.
+    if (block.header.prev_state_root != ledger_.StateRootBefore(batch.epoch)) {
+      return Status::InvalidArgument("block state root does not match epoch");
+    }
+    if (block.header.tx_root != ComputeTxMerkleRoot(block.transactions)) {
+      return Status::InvalidArgument("block tx merkle root mismatch");
+    }
+  }
+  report.validate_ms = watch.ElapsedMillis();
+
+  // ---- Phase 2: concurrent speculative execution ----
+  watch.Restart();
+  const StateSnapshot snapshot = state_.MakeSnapshot(batch.epoch);
+  BatchExecutionResult exec =
+      ExecuteBatchConcurrent(*pool_, snapshot, batch.txs, config_.exec_mode);
+  report.execute_ms = watch.ElapsedMillis();
+  if (config_.model_execution_cost) {
+    report.execute_ms =
+        config_.cost_model.ConcurrentExecuteLatencyMs(batch.TxCount());
+  }
+
+  // ---- Phase 3: concurrency control ----
+  watch.Restart();
+  auto schedule = scheduler_->BuildSchedule(exec.rwsets);
+  if (!schedule.ok()) return schedule.status();
+  report.cc_ms = watch.ElapsedMillis();
+  report.cc_metrics = scheduler_->metrics();
+
+  // ---- Phase 4: commitment ----
+  watch.Restart();
+  const CommitStats commit =
+      CommitSchedule(*pool_, state_, schedule.value(), exec.rwsets);
+  if (Status s = state_.Flush(); !s.ok()) return s;
+  report.state_root = state_.RootHash();
+  report.commit_ms = watch.ElapsedMillis();
+
+  report.committed = commit.committed_txs;
+  report.aborted = schedule->NumAborted();
+  report.max_commit_group = commit.max_group;
+
+  // Receipts: the per-transaction outcome record, committed to by a root.
+  const std::vector<Receipt> receipts =
+      BuildReceipts(batch.epoch, batch.txs, exec.rwsets, *schedule);
+  report.receipt_root = ComputeReceiptRoot(receipts);
+  if (Status s = receipts_.Put(receipts); !s.ok()) return s;
+
+  ledger_.CommitEpochRoot(batch.epoch, report.state_root);
+  return report;
+}
+
+Status FullNode::RecoverFromStorage() {
+  if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
+  if (Status s = ledger_.LoadFromStorage(); !s.ok()) return s;
+  if (Status s = state_.LoadFromStorage(); !s.ok()) return s;
+  // Cross-check: the recovered state must hash to the last committed epoch
+  // root (StateRootBefore of any future epoch is the newest root).
+  const Hash256 expected =
+      ledger_.StateRootBefore(std::numeric_limits<EpochId>::max());
+  if (!expected.IsZero() && state_.RootHash() != expected) {
+    return Status::Corruption(
+        "recovered state root does not match the last epoch root");
+  }
+  return Status::Ok();
+}
+
+Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
+  EpochReport report;
+  report.epoch = batch.epoch;
+  report.block_concurrency = batch.BlockConcurrency();
+  report.txs = batch.TxCount();
+
+  Stopwatch watch;
+  for (const Block& block : batch.blocks) {
+    if (block.header.prev_state_root != ledger_.StateRootBefore(batch.epoch)) {
+      return Status::InvalidArgument("block state root does not match epoch");
+    }
+    if (block.header.tx_root != ComputeTxMerkleRoot(block.transactions)) {
+      return Status::InvalidArgument("block tx merkle root mismatch");
+    }
+  }
+  report.validate_ms = watch.ElapsedMillis();
+
+  // Execute + commit one transaction at a time against the live state —
+  // what today's DAG-based blockchains do after consensus. An overlay over
+  // one snapshot makes each transaction see all earlier effects without
+  // re-snapshotting the whole state per transaction.
+  watch.Restart();
+  const StateSnapshot base = state_.MakeSnapshot(batch.epoch);
+  LoggedStateView::Overlay overlay;
+  for (const Transaction& tx : batch.txs) {
+    LoggedStateView view(base, &overlay);
+    Status executed;
+    if (config_.exec_mode == ExecMode::kNative) {
+      executed = ExecuteContract(tx.payload, view);
+    } else {
+      auto program = CompileContract(tx.payload);
+      executed = program.ok() ? RunProgram(program.value(), view).status
+                              : program.status();
+    }
+    if (!executed.ok()) {
+      ++report.aborted;  // malformed transaction: skipped
+      continue;
+    }
+    ReadWriteSet rw = view.TakeRWSet();
+    for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+      overlay[rw.writes[i].value] = rw.write_values[i];
+      state_.Set(rw.writes[i], rw.write_values[i]);
+    }
+    ++report.committed;
+  }
+  if (Status s = state_.Flush(); !s.ok()) return s;
+  report.state_root = state_.RootHash();
+  report.commit_ms = watch.ElapsedMillis();
+  if (config_.model_execution_cost) {
+    report.commit_ms = 0;
+    report.execute_ms = config_.cost_model.SerialLatencyMs(batch.TxCount());
+  }
+  ledger_.CommitEpochRoot(batch.epoch, report.state_root);
+  return report;
+}
+
+}  // namespace nezha

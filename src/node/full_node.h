@@ -1,0 +1,113 @@
+// FullNode: the four-phase concurrent transaction processing pipeline of
+// §III.B, assembled over all the substrates:
+//
+//   1. Validation      — verify every concurrent block of the epoch
+//                        (linkage, tx Merkle root, previous state root);
+//   2. Concurrent      — speculatively simulate all transactions against
+//      execution         the snapshot of epoch e-1 across a thread pool;
+//   3. Concurrency     — run the configured Scheduler (Serial / OCC / CG /
+//      control           Nezha) over the read/write sets;
+//   4. Commitment      — apply commit groups (concurrently within a group),
+//                        flush to storage, compute the new state root.
+//
+// The Serial scheme short-circuits phases 2-3: it executes and commits each
+// transaction one-by-one against the live state, exactly like today's
+// DAG-based blockchains (and like the paper's baseline).
+#pragma once
+
+#include <memory>
+
+#include "cc/scheduler.h"
+#include "common/thread_pool.h"
+#include "ledger/epoch.h"
+#include "ledger/ledger.h"
+#include "node/receipts.h"
+#include "storage/state_db.h"
+#include "vm/cost_model.h"
+#include "vm/executor.h"
+
+namespace nezha {
+
+enum class SchemeKind { kSerial, kOcc, kCg, kNezha, kNezhaNoReorder };
+
+/// Factory for the scheme's Scheduler implementation.
+std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind);
+
+/// Parse/print helpers for CLI tools ("serial", "occ", "cg", "nezha",
+/// "nezha-noreorder").
+const char* SchemeName(SchemeKind kind);
+Result<SchemeKind> ParseScheme(std::string_view name);
+
+struct NodeConfig {
+  SchemeKind scheme = SchemeKind::kNezha;
+  ChainId max_chains = 12;         ///< maximum block concurrency (paper: 12)
+  std::size_t worker_threads = 0;  ///< 0 = hardware concurrency
+  ExecMode exec_mode = ExecMode::kNative;
+  /// When true, EpochReport's execute_ms / serial latencies come from the
+  /// calibrated EVM cost model instead of MiniVM wall time (DESIGN.md §4);
+  /// concurrency-control and commit latencies are always measured.
+  bool model_execution_cost = false;
+  CostModel cost_model;
+};
+
+struct EpochReport {
+  EpochId epoch = 0;
+  std::size_t block_concurrency = 0;
+  std::size_t txs = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+
+  double validate_ms = 0;
+  double execute_ms = 0;  ///< measured, or modelled when configured
+  double cc_ms = 0;
+  double commit_ms = 0;
+  double TotalMs() const {
+    return validate_ms + execute_ms + cc_ms + commit_ms;
+  }
+
+  SchedulerMetrics cc_metrics;
+  std::size_t max_commit_group = 0;
+  Hash256 state_root{};
+  /// Merkle root over this epoch's transaction receipts (zero for the
+  /// Serial baseline, which has no abort outcomes to attest).
+  Hash256 receipt_root{};
+};
+
+class FullNode {
+ public:
+  explicit FullNode(const NodeConfig& config, KVStore* kv = nullptr);
+
+  const NodeConfig& config() const { return config_; }
+  ParallelChainLedger& ledger() { return ledger_; }
+  StateDB& state() { return state_; }
+  ThreadPool& pool() { return *pool_; }
+  /// Receipt lookup by transaction id (persisted when a KVStore is
+  /// attached; written by the concurrent-scheme pipeline).
+  const ReceiptStore& receipts() const { return receipts_; }
+
+  /// Current state snapshot (what the next epoch executes against).
+  StateSnapshot Snapshot(EpochId epoch) { return state_.MakeSnapshot(epoch); }
+
+  /// Runs the full pipeline over one epoch batch, updates the state, flushes
+  /// it, records the epoch's state root in the ledger.
+  Result<EpochReport> ProcessEpoch(const EpochBatch& batch);
+
+  /// Crash recovery: rebuilds the ledger (with re-validation) and the state
+  /// from the attached KVStore. Must be called on a fresh node. The
+  /// recovered state root must match the last recorded epoch root, or
+  /// Corruption is returned.
+  Status RecoverFromStorage();
+
+ private:
+  Result<EpochReport> ProcessSerial(const EpochBatch& batch);
+
+  NodeConfig config_;
+  KVStore* kv_;
+  ParallelChainLedger ledger_;
+  StateDB state_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Scheduler> scheduler_;
+  ReceiptStore receipts_;
+};
+
+}  // namespace nezha

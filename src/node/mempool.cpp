@@ -1,0 +1,58 @@
+#include "node/mempool.h"
+
+namespace nezha {
+
+Status Mempool::Add(Transaction tx) {
+  const Hash256 id = tx.Id();
+  std::lock_guard lock(mutex_);
+  if (pending_.size() >= capacity_) {
+    return Status::OutOfRange("mempool full");
+  }
+  if (!known_.insert(id).second) {
+    return Status::AlreadyExists("duplicate transaction");
+  }
+  pending_.push_back(std::move(tx));
+  return Status::Ok();
+}
+
+std::size_t Mempool::AddAll(std::span<const Transaction> txs) {
+  std::size_t admitted = 0;
+  for (const Transaction& tx : txs) {
+    if (Add(tx).ok()) ++admitted;
+  }
+  return admitted;
+}
+
+std::vector<Transaction> Mempool::TakeBatch(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  std::vector<Transaction> batch;
+  batch.reserve(std::min(n, pending_.size()));
+  while (!pending_.empty() && batch.size() < n) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+void Mempool::RemoveCommitted(std::span<const Hash256> ids) {
+  std::lock_guard lock(mutex_);
+  std::unordered_set<Hash256> dropping(ids.begin(), ids.end());
+  for (const Hash256& id : dropping) known_.erase(id);
+  std::deque<Transaction> keep;
+  for (Transaction& tx : pending_) {
+    if (dropping.count(tx.Id()) == 0) keep.push_back(std::move(tx));
+  }
+  pending_ = std::move(keep);
+}
+
+bool Mempool::Contains(const Hash256& id) const {
+  std::lock_guard lock(mutex_);
+  return known_.count(id) > 0;
+}
+
+std::size_t Mempool::PendingCount() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace nezha

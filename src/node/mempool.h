@@ -1,0 +1,55 @@
+// Mempool: the client-facing transaction pool miners draw block payloads
+// from.
+//
+// FIFO admission with content-addressed deduplication and a capacity bound.
+// Thread-safe: clients submit concurrently while the miner drains batches.
+// When a block from another miner commits, RemoveCommitted() drops the
+// transactions it carried so they are not proposed twice (the epoch
+// flattening would deduplicate them anyway, but re-proposing wastes block
+// space).
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "ledger/transaction.h"
+
+namespace nezha {
+
+class Mempool {
+ public:
+  explicit Mempool(std::size_t capacity = 100'000) : capacity_(capacity) {}
+
+  /// Admits a transaction. AlreadyExists for duplicates (by id, including
+  /// transactions that already left in a batch but were not yet forgotten);
+  /// ResourceExhausted-like OutOfRange when the pool is full.
+  Status Add(Transaction tx);
+
+  /// Admits a batch; returns the number actually admitted.
+  std::size_t AddAll(std::span<const Transaction> txs);
+
+  /// Pops up to n transactions in admission order. Their ids stay in the
+  /// dedup set until RemoveCommitted()/Forget() drops them.
+  std::vector<Transaction> TakeBatch(std::size_t n);
+
+  /// Drops pending transactions with the given ids and releases their dedup
+  /// entries (call when blocks commit).
+  void RemoveCommitted(std::span<const Hash256> ids);
+
+  bool Contains(const Hash256& id) const;
+  std::size_t PendingCount() const;
+  bool Empty() const { return PendingCount() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Transaction> pending_;
+  /// Ids of pending + taken-but-not-committed transactions.
+  std::unordered_set<Hash256> known_;
+};
+
+}  // namespace nezha

@@ -1,0 +1,38 @@
+#include "node/ohie_bridge.h"
+
+namespace nezha {
+
+Result<std::vector<EpochReport>> OhieDeferredExecutor::CatchUp(
+    const OhieNodeView& view) {
+  const std::uint64_t bar = view.ConfirmBar();
+  const std::uint64_t W = config_.ranks_per_epoch;
+  std::vector<EpochReport> reports;
+  if ((next_window_ + 1) * W > bar) return reports;  // nothing completed
+
+  // Confirmed order is sorted by (rank, chain); executed_blocks_ marks the
+  // boundary of everything already consumed by previous windows.
+  const auto confirmed = view.ConfirmedOrder();
+  std::size_t cursor = executed_blocks_;
+
+  while ((next_window_ + 1) * W <= bar) {
+    const std::uint64_t window_end = (next_window_ + 1) * W;
+    std::vector<Transaction> txs;
+    std::size_t blocks_in_window = 0;
+    while (cursor < confirmed.size() &&
+           confirmed[cursor]->rank < window_end) {
+      txs.insert(txs.end(), confirmed[cursor]->txs.begin(),
+                 confirmed[cursor]->txs.end());
+      ++cursor;
+      ++blocks_in_window;
+    }
+    auto report = pipeline_.ProcessBatch(txs);
+    if (!report.ok()) return report.status();
+    report->block_concurrency = blocks_in_window;
+    reports.push_back(std::move(report.value()));
+    ++next_window_;
+  }
+  executed_blocks_ = cursor;
+  return reports;
+}
+
+}  // namespace nezha

@@ -1,0 +1,54 @@
+// OhieDeferredExecutor: deferred execution over the OHIE substrate.
+//
+// In the paper's processing framework (Fig. 2b) execution happens AFTER
+// consensus: miners ship unexecuted blocks; every node independently runs
+// the four-phase pipeline over the confirmed block sequence.
+//
+// Epoch boundaries must be part of the protocol, not of the observer:
+// speculative execution snapshots the state once per batch, so two replicas
+// that sliced the confirmed sequence differently would speculate against
+// different snapshots and commit different values. The bridge therefore
+// batches by fixed RANK WINDOWS: execution epoch i covers the confirmed
+// blocks with rank in [i*W, (i+1)*W), and a window only executes once the
+// node's confirm bar has passed its upper edge (at which point OHIE
+// guarantees every replica sees exactly the same blocks in it, in the same
+// (rank, chain) order). Replicas may call CatchUp at arbitrary times and
+// still walk the identical epoch sequence — the replica-consistency
+// property the integration tests pin down.
+#pragma once
+
+#include "consensus/ohie_node.h"
+#include "node/deferred_executor.h"
+
+namespace nezha {
+
+struct OhieBridgeConfig : DeferredExecConfig {
+  /// Width of one execution epoch in rank units (protocol parameter; must
+  /// match across replicas).
+  std::uint64_t ranks_per_epoch = 4;
+};
+
+class OhieDeferredExecutor {
+ public:
+  explicit OhieDeferredExecutor(const OhieBridgeConfig& config)
+      : config_(config), pipeline_(config) {}
+
+  StateDB& state() { return pipeline_.state(); }
+
+  /// Number of rank windows already executed.
+  std::uint64_t executed_windows() const { return next_window_; }
+  std::size_t executed_blocks() const { return executed_blocks_; }
+
+  /// Executes every rank window completed by `view`'s confirm bar that has
+  /// not been executed yet (possibly none -> empty result). One EpochReport
+  /// per executed window, in order.
+  Result<std::vector<EpochReport>> CatchUp(const OhieNodeView& view);
+
+ private:
+  OhieBridgeConfig config_;
+  DeferredExecutionPipeline pipeline_;
+  std::uint64_t next_window_ = 0;
+  std::size_t executed_blocks_ = 0;
+};
+
+}  // namespace nezha

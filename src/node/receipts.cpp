@@ -1,0 +1,120 @@
+#include "node/receipts.h"
+
+#include "common/bytes.h"
+
+namespace nezha {
+
+const char* TxOutcomeName(TxOutcome outcome) {
+  switch (outcome) {
+    case TxOutcome::kCommitted:
+      return "committed";
+    case TxOutcome::kRevertedAtExecution:
+      return "reverted";
+    case TxOutcome::kAbortedBySchedule:
+      return "aborted";
+  }
+  return "?";
+}
+
+std::string Receipt::Serialize() const {
+  std::string out;
+  out.append(reinterpret_cast<const char*>(tx_id.bytes.data()), 32);
+  out.push_back(static_cast<char>(outcome));
+  PutVarint64(out, epoch);
+  PutVarint64(out, seq);
+  PutVarint64(out, writes);
+  return out;
+}
+
+Result<Receipt> Receipt::Deserialize(std::string_view data) {
+  if (data.size() < 33) return Status::Corruption("truncated receipt");
+  Receipt receipt;
+  for (int i = 0; i < 32; ++i) {
+    receipt.tx_id.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(data[static_cast<std::size_t>(i)]);
+  }
+  const auto outcome = static_cast<std::uint8_t>(data[32]);
+  if (outcome > 2) return Status::Corruption("bad receipt outcome");
+  receipt.outcome = static_cast<TxOutcome>(outcome);
+  std::size_t offset = 33;
+  std::uint64_t seq = 0, writes = 0;
+  if (!GetVarint64(data, &offset, &receipt.epoch) ||
+      !GetVarint64(data, &offset, &seq) ||
+      !GetVarint64(data, &offset, &writes) || offset != data.size()) {
+    return Status::Corruption("truncated receipt fields");
+  }
+  receipt.seq = static_cast<SeqNum>(seq);
+  receipt.writes = static_cast<std::uint32_t>(writes);
+  return receipt;
+}
+
+std::vector<Receipt> BuildReceipts(EpochId epoch,
+                                   std::span<const Transaction> txs,
+                                   std::span<const ReadWriteSet> rwsets,
+                                   const Schedule& schedule) {
+  std::vector<Receipt> receipts;
+  receipts.reserve(txs.size());
+  for (TxIndex t = 0; t < txs.size(); ++t) {
+    Receipt receipt;
+    receipt.tx_id = txs[t].Id();
+    receipt.epoch = epoch;
+    if (!schedule.aborted[t]) {
+      receipt.outcome = TxOutcome::kCommitted;
+      receipt.seq = schedule.sequence[t];
+      receipt.writes = static_cast<std::uint32_t>(rwsets[t].writes.size());
+    } else if (!rwsets[t].ok) {
+      receipt.outcome = TxOutcome::kRevertedAtExecution;
+    } else {
+      receipt.outcome = TxOutcome::kAbortedBySchedule;
+    }
+    receipts.push_back(receipt);
+  }
+  return receipts;
+}
+
+Hash256 ComputeReceiptRoot(std::span<const Receipt> receipts) {
+  if (receipts.empty()) return Hash256{};
+  std::vector<Hash256> level;
+  level.reserve(receipts.size());
+  for (const Receipt& receipt : receipts) {
+    level.push_back(Sha256::Digest(receipt.Serialize()));
+  }
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    std::vector<Hash256> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      Sha256 hasher;
+      hasher.Update(std::span<const std::uint8_t>(level[i].bytes.data(), 32));
+      hasher.Update(
+          std::span<const std::uint8_t>(level[i + 1].bytes.data(), 32));
+      next.push_back(hasher.Finish());
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::string ReceiptStore::Key(const Hash256& tx_id) {
+  std::string key = "t/";
+  key.append(reinterpret_cast<const char*>(tx_id.bytes.data()), 32);
+  return key;
+}
+
+Status ReceiptStore::Put(std::span<const Receipt> receipts) {
+  if (kv_ == nullptr) return Status::Ok();  // no persistence attached
+  WriteBatch batch;
+  for (const Receipt& receipt : receipts) {
+    batch.Put(Key(receipt.tx_id), receipt.Serialize());
+  }
+  return kv_->Write(batch);
+}
+
+Result<Receipt> ReceiptStore::Get(const Hash256& tx_id) const {
+  if (kv_ == nullptr) return Status::NotFound("no receipt store attached");
+  auto bytes = kv_->Get(Key(tx_id));
+  if (!bytes.ok()) return Status::NotFound("no receipt for transaction");
+  return Receipt::Deserialize(bytes.value());
+}
+
+}  // namespace nezha

@@ -1,0 +1,75 @@
+// Transaction receipts: the client-visible outcome record of every
+// processed transaction.
+//
+// Under concurrent processing a transaction can end three ways — committed
+// (with its commit sequence number), reverted by the contract at execution
+// (e.g. a token overdraft), or aborted by concurrency control (an
+// unserializable victim). Clients need to distinguish the latter two: a
+// reverted transaction is final, while a cc-aborted one can simply be
+// resubmitted in a later epoch (the paper's abort semantics).
+//
+// Each epoch commits to its receipts with a Merkle root (stored in the
+// EpochReport next to the state root); individual receipts persist in the
+// KV store under "t/<tx id>".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cc/scheduler.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+#include "storage/kvstore.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+enum class TxOutcome : std::uint8_t {
+  kCommitted = 0,          ///< writes applied at sequence `seq`
+  kRevertedAtExecution = 1,///< contract-level revert; final
+  kAbortedBySchedule = 2,  ///< unserializable victim; safe to resubmit
+};
+
+const char* TxOutcomeName(TxOutcome outcome);
+
+struct Receipt {
+  Hash256 tx_id{};
+  TxOutcome outcome = TxOutcome::kCommitted;
+  EpochId epoch = 0;
+  SeqNum seq = kUnassignedSeq;   ///< commit group (committed only)
+  std::uint32_t writes = 0;      ///< state cells written (committed only)
+
+  std::string Serialize() const;
+  static Result<Receipt> Deserialize(std::string_view data);
+
+  friend bool operator==(const Receipt& a, const Receipt& b) {
+    return a.tx_id == b.tx_id && a.outcome == b.outcome &&
+           a.epoch == b.epoch && a.seq == b.seq && a.writes == b.writes;
+  }
+};
+
+/// Builds the receipts for one processed batch, in batch order.
+std::vector<Receipt> BuildReceipts(EpochId epoch,
+                                   std::span<const Transaction> txs,
+                                   std::span<const ReadWriteSet> rwsets,
+                                   const Schedule& schedule);
+
+/// Binary Merkle root over the serialized receipts (zero hash when empty).
+Hash256 ComputeReceiptRoot(std::span<const Receipt> receipts);
+
+/// KV-backed receipt index: lookup by transaction id.
+class ReceiptStore {
+ public:
+  explicit ReceiptStore(KVStore* kv) : kv_(kv) {}
+
+  Status Put(std::span<const Receipt> receipts);
+  Result<Receipt> Get(const Hash256& tx_id) const;
+
+ private:
+  static std::string Key(const Hash256& tx_id);
+  KVStore* kv_;
+};
+
+}  // namespace nezha

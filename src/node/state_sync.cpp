@@ -1,0 +1,119 @@
+#include "node/state_sync.h"
+
+#include <algorithm>
+
+namespace nezha {
+
+StateSyncServer::StateSyncServer(StateDB& db, std::size_t chunk_size)
+    : chunk_size_(chunk_size == 0 ? 1 : chunk_size) {
+  const StateSnapshot snapshot = db.MakeSnapshot(0);
+  records_.reserve(snapshot.Size());
+  for (const auto& [address, value] : snapshot.items()) {
+    records_.push_back({Address(address), value});
+  }
+  std::sort(records_.begin(), records_.end(),
+            [](const StateWrite& a, const StateWrite& b) {
+              return a.address < b.address;
+            });
+  for (const StateWrite& record : records_) {
+    trie_.Put(StateDB::StateKey(record.address),
+              StateDB::EncodeValue(record.value));
+  }
+  root_ = trie_.RootHash();
+}
+
+std::uint64_t StateSyncServer::NumChunks() const {
+  if (records_.empty()) return 1;  // one empty terminal chunk
+  return (records_.size() + chunk_size_ - 1) / chunk_size_;
+}
+
+Result<StateChunk> StateSyncServer::GetChunk(std::uint64_t index) const {
+  if (index >= NumChunks()) {
+    return Status::OutOfRange("chunk index past the end");
+  }
+  StateChunk chunk;
+  chunk.index = index;
+  chunk.root = root_;
+  const std::size_t begin = static_cast<std::size_t>(index) * chunk_size_;
+  const std::size_t end = std::min(records_.size(), begin + chunk_size_);
+  chunk.records.assign(records_.begin() + static_cast<std::ptrdiff_t>(begin),
+                       records_.begin() + static_cast<std::ptrdiff_t>(end));
+  chunk.last = end == records_.size();
+  if (!chunk.records.empty()) {
+    chunk.first_proof =
+        trie_.GenerateProof(StateDB::StateKey(chunk.records.front().address));
+    chunk.last_proof =
+        trie_.GenerateProof(StateDB::StateKey(chunk.records.back().address));
+  }
+  return chunk;
+}
+
+Status StateSyncClient::AddChunk(const StateChunk& chunk) {
+  if (complete_) return Status::InvalidArgument("sync already complete");
+  if (chunk.index != next_index_) {
+    return Status::InvalidArgument("chunk out of order");
+  }
+  if (chunk.root != trusted_root_) {
+    return Status::Corruption("chunk served from a different state root");
+  }
+  if (!chunk.records.empty()) {
+    // Boundary checks: the first and last record must prove against the
+    // trusted root with exactly the claimed values.
+    const auto check = [&](const StateWrite& record,
+                           const std::vector<std::string>& proof) -> Status {
+      auto proven = MerklePatriciaTrie::VerifyProof(
+          trusted_root_, StateDB::StateKey(record.address), proof);
+      if (!proven.ok()) {
+        return Status::Corruption("boundary proof invalid: " +
+                                  proven.status().ToString());
+      }
+      if (*proven != StateDB::EncodeValue(record.value)) {
+        return Status::Corruption("boundary record value mismatch");
+      }
+      return Status::Ok();
+    };
+    if (Status s = check(chunk.records.front(), chunk.first_proof); !s.ok()) {
+      return s;
+    }
+    if (Status s = check(chunk.records.back(), chunk.last_proof); !s.ok()) {
+      return s;
+    }
+    // Records must continue strictly ascending across the whole stream.
+    Address previous = records_.empty()
+                           ? Address(0)
+                           : records_.back().address;
+    const bool have_previous = !records_.empty();
+    for (std::size_t i = 0; i < chunk.records.size(); ++i) {
+      const Address current = chunk.records[i].address;
+      if ((have_previous || i > 0) && !(previous < current)) {
+        return Status::Corruption("records not strictly ascending");
+      }
+      previous = current;
+    }
+    records_.insert(records_.end(), chunk.records.begin(),
+                    chunk.records.end());
+  }
+  ++next_index_;
+  if (chunk.last) complete_ = true;
+  return Status::Ok();
+}
+
+Status StateSyncClient::Finish(StateDB& db) {
+  if (!complete_) return Status::InvalidArgument("sync not complete");
+  // Rebuild the commitment trie from scratch: only a byte-exact state can
+  // reproduce the trusted root.
+  MerklePatriciaTrie trie;
+  for (const StateWrite& record : records_) {
+    trie.Put(StateDB::StateKey(record.address),
+             StateDB::EncodeValue(record.value));
+  }
+  if (trie.RootHash() != trusted_root_) {
+    return Status::Corruption("rebuilt state root does not match");
+  }
+  for (const StateWrite& record : records_) {
+    db.Set(record.address, record.value);
+  }
+  return Status::Ok();
+}
+
+}  // namespace nezha

@@ -1,0 +1,81 @@
+// State synchronization: how a freshly joining full node obtains the world
+// state without replaying the whole chain history.
+//
+// The paper's deployment has one "full node" synchronizing the entire
+// system state (§VI.A); this module provides the fast-sync protocol for
+// that role:
+//  * the SERVER walks its state in address order and serves fixed-size
+//    chunks of (address, value) records, each chunk tagged with the serving
+//    snapshot's state root and a Merkle proof of its first and last record
+//    (so a malicious server cannot reorder or substitute ranges
+//    undetected);
+//  * the CLIENT verifies each chunk's boundary proofs against the trusted
+//    root (obtained from a block header), accumulates the records, and at
+//    the end rebuilds the commitment trie — accepting the state only if the
+//    rebuilt root equals the trusted root exactly (catching any tampering
+//    the boundary proofs cannot).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "storage/state_db.h"
+
+namespace nezha {
+
+struct StateChunk {
+  std::uint64_t index = 0;  ///< chunk sequence number, 0-based
+  bool last = false;        ///< no further chunks follow
+  std::vector<StateWrite> records;  ///< ascending address order
+  Hash256 root{};           ///< state root this chunk was served from
+  /// Merkle proofs for the first and last record (empty for empty chunks).
+  std::vector<std::string> first_proof;
+  std::vector<std::string> last_proof;
+};
+
+/// Serves chunks from one immutable state snapshot.
+class StateSyncServer {
+ public:
+  /// Captures the snapshot of `db` (records + trie) at construction time.
+  explicit StateSyncServer(StateDB& db, std::size_t chunk_size = 1024);
+
+  Hash256 root() const { return root_; }
+  std::uint64_t NumChunks() const;
+
+  /// Chunk by index; OutOfRange past the end.
+  Result<StateChunk> GetChunk(std::uint64_t index) const;
+
+ private:
+  std::size_t chunk_size_;
+  std::vector<StateWrite> records_;  ///< ascending address order
+  MerklePatriciaTrie trie_;
+  Hash256 root_{};
+};
+
+/// Assembles and verifies a state from chunks.
+class StateSyncClient {
+ public:
+  /// `trusted_root`: the state root from a validated block header.
+  explicit StateSyncClient(const Hash256& trusted_root)
+      : trusted_root_(trusted_root) {}
+
+  /// Feeds the next chunk (must arrive in index order). Boundary proofs are
+  /// verified immediately; Corruption on any mismatch.
+  Status AddChunk(const StateChunk& chunk);
+
+  bool Complete() const { return complete_; }
+
+  /// After the last chunk: rebuilds the commitment trie and installs the
+  /// records into `db` iff the rebuilt root equals the trusted root.
+  Status Finish(StateDB& db);
+
+ private:
+  Hash256 trusted_root_;
+  std::vector<StateWrite> records_;
+  std::uint64_t next_index_ = 0;
+  bool complete_ = false;
+};
+
+}  // namespace nezha

@@ -1,0 +1,27 @@
+#include "node/treegraph_bridge.h"
+
+namespace nezha {
+
+Result<std::vector<EpochReport>> TreeGraphDeferredExecutor::CatchUp(
+    const TreeGraphView& view) {
+  const std::vector<TGEpoch> epochs = view.ConfirmedEpochs();
+  std::vector<EpochReport> reports;
+  if (epochs.size() < next_epoch_index_) {
+    return Status::InvalidArgument(
+        "confirmed epochs shrank — not an extension of the executed prefix");
+  }
+  for (std::size_t i = next_epoch_index_; i < epochs.size(); ++i) {
+    std::vector<Transaction> txs;
+    for (const TGBlock* block : epochs[i].blocks) {
+      txs.insert(txs.end(), block->txs.begin(), block->txs.end());
+    }
+    auto report = pipeline_.ProcessBatch(txs);
+    if (!report.ok()) return report.status();
+    report->block_concurrency = epochs[i].blocks.size();
+    reports.push_back(std::move(report.value()));
+  }
+  next_epoch_index_ = epochs.size();
+  return reports;
+}
+
+}  // namespace nezha

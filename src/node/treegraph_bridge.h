@@ -1,0 +1,35 @@
+// TreeGraphDeferredExecutor: deferred execution over the Conflux-style
+// tree-graph substrate.
+//
+// The tree-graph's epochs are already protocol-defined (one per confirmed
+// pivot block, containing that pivot's newly covered DAG blocks in a
+// deterministic topological order), so they map 1:1 onto execution batches
+// — exactly the paper's B_e model, and deferred execution is precisely what
+// Conflux itself does (§II.B). Replica consistency follows from every node
+// deriving the same confirmed epochs.
+#pragma once
+
+#include "consensus/treegraph.h"
+#include "node/deferred_executor.h"
+
+namespace nezha {
+
+class TreeGraphDeferredExecutor {
+ public:
+  explicit TreeGraphDeferredExecutor(const DeferredExecConfig& config)
+      : pipeline_(config) {}
+
+  StateDB& state() { return pipeline_.state(); }
+  std::size_t executed_epochs() const { return next_epoch_index_; }
+
+  /// Executes every confirmed epoch `view` has finalized beyond what this
+  /// executor has already processed. One EpochReport per epoch, in pivot
+  /// order.
+  Result<std::vector<EpochReport>> CatchUp(const TreeGraphView& view);
+
+ private:
+  DeferredExecutionPipeline pipeline_;
+  std::size_t next_epoch_index_ = 0;
+};
+
+}  // namespace nezha

@@ -1,0 +1,41 @@
+#include "runtime/committer.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace nezha {
+
+CommitStats CommitSchedule(ThreadPool& pool, StateDB& state,
+                           const Schedule& schedule,
+                           std::span<const ReadWriteSet> rwsets) {
+  CommitStats stats;
+  stats.groups = schedule.groups.size();
+  std::atomic<std::size_t> writes{0};
+
+  for (const auto& group : schedule.groups) {
+    stats.committed_txs += group.size();
+    stats.max_group = std::max(stats.max_group, group.size());
+    if (group.size() == 1) {
+      // Serial fast path: no dispatch overhead.
+      const ReadWriteSet& rw = rwsets[group[0]];
+      for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+        state.Set(rw.writes[i], rw.write_values[i]);
+      }
+      writes.fetch_add(rw.writes.size(), std::memory_order_relaxed);
+      continue;
+    }
+    // Same-sequence transactions never conflict, so their writes can land
+    // concurrently (StateDB's sharded locks make raw Set thread-safe).
+    pool.ParallelFor(0, group.size(), [&](std::size_t i) {
+      const ReadWriteSet& rw = rwsets[group[i]];
+      for (std::size_t k = 0; k < rw.writes.size(); ++k) {
+        state.Set(rw.writes[k], rw.write_values[k]);
+      }
+      writes.fetch_add(rw.writes.size(), std::memory_order_relaxed);
+    });
+  }
+  stats.writes_applied = writes.load();
+  return stats;
+}
+
+}  // namespace nezha

@@ -1,0 +1,34 @@
+// Grouped commitment — the paper's "commitment phase".
+//
+// Commit groups apply in ascending sequence order; within a group, the
+// transactions are guaranteed conflict-free (Nezha's invariant), so their
+// write sets apply to the state concurrently across the thread pool.
+// Schemes that emit singleton groups (Serial order, CG, OCC) degenerate to
+// serial commitment automatically.
+#pragma once
+
+#include <span>
+
+#include "cc/scheduler.h"
+#include "common/thread_pool.h"
+#include "storage/state_db.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+struct CommitStats {
+  std::size_t committed_txs = 0;
+  std::size_t groups = 0;
+  std::size_t writes_applied = 0;
+  /// Size of the largest commit group (the schedule's peak commit
+  /// concurrency).
+  std::size_t max_group = 0;
+};
+
+/// Applies every committed transaction's recorded writes, group by group.
+/// Does not flush; callers decide when to persist and hash.
+CommitStats CommitSchedule(ThreadPool& pool, StateDB& state,
+                           const Schedule& schedule,
+                           std::span<const ReadWriteSet> rwsets);
+
+}  // namespace nezha

@@ -1,0 +1,38 @@
+// Concurrent speculative execution — the paper's "concurrent execution
+// phase": every transaction of the epoch batch is simulated against the
+// previous epoch's snapshot, in parallel across a thread pool; results are
+// the read/write sets the concurrency-control phase consumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ledger/transaction.h"
+#include "storage/state_db.h"
+#include "vm/executor.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+struct BatchExecutionResult {
+  /// One per transaction, in batch order. Malformed transactions get an
+  /// empty rwset with ok == false (they abort downstream).
+  std::vector<ReadWriteSet> rwsets;
+  std::size_t malformed = 0;
+};
+
+/// Simulates the whole batch concurrently. Deterministic: each transaction
+/// executes independently against the same immutable snapshot, so the
+/// thread count never changes the results.
+BatchExecutionResult ExecuteBatchConcurrent(ThreadPool& pool,
+                                            const StateSnapshot& snapshot,
+                                            std::span<const Transaction> txs,
+                                            ExecMode mode = ExecMode::kNative);
+
+/// Single-threaded reference (tests compare it with the concurrent path).
+BatchExecutionResult ExecuteBatchSerial(const StateSnapshot& snapshot,
+                                        std::span<const Transaction> txs,
+                                        ExecMode mode = ExecMode::kNative);
+
+}  // namespace nezha

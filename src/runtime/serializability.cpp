@@ -1,0 +1,186 @@
+#include "runtime/serializability.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "vm/contract.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+
+namespace nezha {
+namespace {
+
+std::string Describe(TxIndex t, SeqNum s) {
+  std::ostringstream out;
+  out << "T" << t << "(seq " << s << ")";
+  return out.str();
+}
+
+}  // namespace
+
+ValidationReport ValidateScheduleInvariants(
+    const Schedule& schedule, std::span<const ReadWriteSet> rwsets) {
+  const std::size_t n = rwsets.size();
+  if (schedule.sequence.size() != n || schedule.aborted.size() != n) {
+    return ValidationReport::Failure("schedule size mismatch");
+  }
+
+  // Committed transactions must carry a sequence number; groups must contain
+  // exactly the committed transactions, in ascending sequence order.
+  std::vector<bool> in_group(n, false);
+  SeqNum last_group_seq = 0;
+  for (const auto& group : schedule.groups) {
+    if (group.empty()) return ValidationReport::Failure("empty commit group");
+    const SeqNum seq = schedule.sequence[group[0]];
+    if (seq <= last_group_seq) {
+      return ValidationReport::Failure("groups not in ascending seq order");
+    }
+    last_group_seq = seq;
+    for (TxIndex t : group) {
+      if (t >= n) return ValidationReport::Failure("group tx out of range");
+      if (schedule.aborted[t]) {
+        return ValidationReport::Failure("aborted tx " + Describe(t, seq) +
+                                         " inside a commit group");
+      }
+      if (schedule.sequence[t] != seq) {
+        return ValidationReport::Failure("mixed sequence numbers in a group");
+      }
+      if (in_group[t]) {
+        return ValidationReport::Failure("tx in two groups");
+      }
+      in_group[t] = true;
+    }
+  }
+  for (TxIndex t = 0; t < n; ++t) {
+    if (!schedule.aborted[t] && !in_group[t]) {
+      return ValidationReport::Failure("committed tx missing from groups: " +
+                                       Describe(t, schedule.sequence[t]));
+    }
+  }
+
+  // Per-address ordering rules over committed transactions.
+  struct AddressUse {
+    std::vector<TxIndex> readers;
+    std::vector<TxIndex> writers;
+  };
+  std::unordered_map<std::uint64_t, AddressUse> uses;
+  for (TxIndex t = 0; t < n; ++t) {
+    if (schedule.aborted[t]) continue;
+    for (Address a : rwsets[t].reads) uses[a.value].readers.push_back(t);
+    for (Address a : rwsets[t].writes) uses[a.value].writers.push_back(t);
+  }
+  for (const auto& [addr, use] : uses) {
+    for (TxIndex w : use.writers) {
+      for (TxIndex r : use.readers) {
+        if (r == w) continue;  // a tx's own read-modify-write is internal
+        if (schedule.sequence[r] >= schedule.sequence[w]) {
+          return ValidationReport::Failure(
+              "read " + Describe(r, schedule.sequence[r]) +
+              " not before write " + Describe(w, schedule.sequence[w]) +
+              " on " + ToString(Address(addr)));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < use.writers.size(); ++i) {
+      for (std::size_t j = i + 1; j < use.writers.size(); ++j) {
+        const TxIndex a = use.writers[i];
+        const TxIndex b = use.writers[j];
+        if (schedule.sequence[a] == schedule.sequence[b]) {
+          return ValidationReport::Failure(
+              "write/write collision " + Describe(a, schedule.sequence[a]) +
+              " vs " + Describe(b, schedule.sequence[b]) + " on " +
+              ToString(Address(addr)));
+        }
+      }
+    }
+  }
+  return {};
+}
+
+ValidationReport ValidateByReplay(const StateSnapshot& snapshot,
+                                  std::span<const Transaction> txs,
+                                  const Schedule& schedule,
+                                  std::span<const ReadWriteSet> rwsets,
+                                  ExecMode mode) {
+  if (txs.size() != rwsets.size()) {
+    return ValidationReport::Failure("txs/rwsets size mismatch");
+  }
+
+  // Serial order: ascending (sequence, index).
+  std::vector<TxIndex> order;
+  for (TxIndex t = 0; t < txs.size(); ++t) {
+    if (!schedule.aborted[t]) order.push_back(t);
+  }
+  std::sort(order.begin(), order.end(), [&](TxIndex a, TxIndex b) {
+    if (schedule.sequence[a] != schedule.sequence[b]) {
+      return schedule.sequence[a] < schedule.sequence[b];
+    }
+    return a < b;
+  });
+
+  // Expected final overlay: the recorded snapshot-based writes, applied in
+  // serial order (later sequence overwrites earlier).
+  LoggedStateView::Overlay expected;
+  for (TxIndex t : order) {
+    const ReadWriteSet& rw = rwsets[t];
+    for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+      expected[rw.writes[i].value] = rw.write_values[i];
+    }
+  }
+
+  // Replay: each transaction re-executes against the evolving state.
+  LoggedStateView::Overlay evolving;
+  for (TxIndex t : order) {
+    LoggedStateView view(snapshot, &evolving);
+    if (mode == ExecMode::kNative) {
+      if (Status s = ExecuteContract(txs[t].payload, view); !s.ok()) {
+        return ValidationReport::Failure("replay execution failed: " +
+                                         s.ToString());
+      }
+    } else {
+      auto program = CompileContract(txs[t].payload);
+      if (!program.ok()) {
+        return ValidationReport::Failure("replay compile failed");
+      }
+      const VmOutcome outcome = RunProgram(program.value(), view);
+      if (!outcome.status.ok()) {
+        return ValidationReport::Failure("replay VM fault: " +
+                                         outcome.status.ToString());
+      }
+    }
+    ReadWriteSet rw = view.TakeRWSet();
+    if (!rw.ok) {
+      // A committed transaction must not revert when replayed serially:
+      // the schedule guarantees its reads see the very snapshot values it
+      // was simulated against.
+      return ValidationReport::Failure(
+          "committed tx " + Describe(t, schedule.sequence[t]) +
+          " reverted during serial replay");
+    }
+    for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+      evolving[rw.writes[i].value] = rw.write_values[i];
+    }
+  }
+
+  if (evolving.size() != expected.size()) {
+    return ValidationReport::Failure(
+        "replay wrote a different set of addresses");
+  }
+  for (const auto& [addr, value] : expected) {
+    const auto it = evolving.find(addr);
+    if (it == evolving.end()) {
+      return ValidationReport::Failure("replay missed address " +
+                                       ToString(Address(addr)));
+    }
+    if (it->second != value) {
+      std::ostringstream out;
+      out << "replay divergence at " << ToString(Address(addr)) << ": serial "
+          << it->second << " vs scheduled " << value;
+      return ValidationReport::Failure(out.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace nezha

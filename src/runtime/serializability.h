@@ -1,0 +1,53 @@
+// Offline serializability validation — the correctness oracle behind the
+// property-test suite (DESIGN.md §6).
+//
+// A schedule over snapshot-simulated read/write sets is serializable iff it
+// is equivalent to some serial execution of the committed transactions. For
+// snapshot-based speculation that reduces to per-address structure:
+//   * every committed reader of an address is sequenced strictly before
+//     every committed writer of it (a later read would have observed the
+//     write, but it read the snapshot);
+//   * committed writers of one address have pairwise-distinct sequence
+//     numbers (equal numbers commit concurrently — a write/write race);
+//   * a transaction that both reads and writes an address is exempt from
+//     comparing against itself.
+// The replay check is the end-to-end variant: executing the committed
+// transactions one-by-one, in (sequence, index) order, against an evolving
+// state must land in exactly the state produced by applying the schedule's
+// recorded write sets.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "cc/scheduler.h"
+#include "ledger/transaction.h"
+#include "storage/state_db.h"
+#include "vm/executor.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string violation;  ///< empty when ok
+
+  static ValidationReport Failure(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Structural validation (per-address ordering rules + group consistency).
+ValidationReport ValidateScheduleInvariants(
+    const Schedule& schedule, std::span<const ReadWriteSet> rwsets);
+
+/// End-to-end replay validation: serially re-executes the committed
+/// transactions in schedule order against an evolving state and compares
+/// the final state with the one the recorded write sets produce.
+ValidationReport ValidateByReplay(const StateSnapshot& snapshot,
+                                  std::span<const Transaction> txs,
+                                  const Schedule& schedule,
+                                  std::span<const ReadWriteSet> rwsets,
+                                  ExecMode mode = ExecMode::kNative);
+
+}  // namespace nezha

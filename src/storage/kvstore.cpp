@@ -1,0 +1,101 @@
+#include "storage/kvstore.h"
+
+namespace nezha {
+
+Result<std::string> KVSnapshot::Get(std::string_view key) const {
+  const auto it = data_->find(std::string(key));
+  if (it == data_->end()) return Status::NotFound("key not in snapshot");
+  return it->second;
+}
+
+KVStore::KVStore() : data_(std::make_shared<Map>()) {}
+
+KVStore::Map& KVStore::MutableMap() {
+  // Caller holds the exclusive lock. If a snapshot (or iterator) still
+  // shares the map, clone it so their view stays stable.
+  if (data_.use_count() > 1) {
+    data_ = std::make_shared<Map>(*data_);
+  }
+  return *data_;
+}
+
+Status KVStore::Put(std::string_view key, std::string_view value) {
+  std::unique_lock lock(mutex_);
+  MutableMap()[std::string(key)] = std::string(value);
+  return Status::Ok();
+}
+
+Status KVStore::Delete(std::string_view key) {
+  std::unique_lock lock(mutex_);
+  MutableMap().erase(std::string(key));
+  return Status::Ok();
+}
+
+Result<std::string> KVStore::Get(std::string_view key) const {
+  std::shared_lock lock(mutex_);
+  const auto it = data_->find(std::string(key));
+  if (it == data_->end()) return Status::NotFound("key not found");
+  return it->second;
+}
+
+bool KVStore::Contains(std::string_view key) const {
+  std::shared_lock lock(mutex_);
+  return data_->count(std::string(key)) > 0;
+}
+
+Status KVStore::Write(const WriteBatch& batch) {
+  std::unique_lock lock(mutex_);
+  Map& map = MutableMap();
+  for (const auto& op : batch.ops()) {
+    if (op.type == WriteBatch::OpType::kPut) {
+      map[op.key] = op.value;
+    } else {
+      map.erase(op.key);
+    }
+  }
+  return Status::Ok();
+}
+
+KVSnapshot KVStore::GetSnapshot() const {
+  std::shared_lock lock(mutex_);
+  return KVSnapshot(data_);
+}
+
+KVIterator KVStore::NewIterator(std::string_view start,
+                                std::string_view limit) const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> items;
+  auto it = start.empty() ? data_->begin()
+                          : data_->lower_bound(std::string(start));
+  const auto end = limit.empty() ? data_->end()
+                                 : data_->lower_bound(std::string(limit));
+  for (; it != end; ++it) items.emplace_back(it->first, it->second);
+  return KVIterator(std::move(items));
+}
+
+std::size_t KVStore::Size() const {
+  std::shared_lock lock(mutex_);
+  return data_->size();
+}
+
+std::string KVStore::Checkpoint() const {
+  std::shared_lock lock(mutex_);
+  WriteBatch batch;
+  for (const auto& [key, value] : *data_) batch.Put(key, value);
+  return batch.Serialize();
+}
+
+Status KVStore::Restore(std::string_view checkpoint) {
+  WriteBatch batch;
+  if (!WriteBatch::Deserialize(checkpoint, &batch)) {
+    return Status::Corruption("bad checkpoint");
+  }
+  std::unique_lock lock(mutex_);
+  data_ = std::make_shared<Map>();
+  for (const auto& op : batch.ops()) {
+    if (op.type == WriteBatch::OpType::kPut) (*data_)[op.key] = op.value;
+  }
+  return Status::Ok();
+}
+
+}  // namespace nezha

@@ -1,0 +1,581 @@
+#include "storage/mpt.h"
+
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace nezha {
+namespace {
+
+// A decoded view of a serialized node, used for proof verification.
+struct DecodedNode {
+  char kind = 0;  // 'L', 'E', 'B'
+  std::vector<std::uint8_t> path;
+  std::optional<std::string> value;
+  std::array<std::optional<Hash256>, 16> children;
+  std::optional<Hash256> ext_child;
+};
+
+bool ReadHash(std::string_view data, std::size_t* offset, Hash256* out) {
+  if (*offset + 32 > data.size()) return false;
+  for (int i = 0; i < 32; ++i) {
+    out->bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(data[*offset + static_cast<std::size_t>(i)]);
+  }
+  *offset += 32;
+  return true;
+}
+
+bool DecodeNodeBytes(std::string_view data, DecodedNode* out) {
+  if (data.empty()) return false;
+  std::size_t offset = 0;
+  out->kind = data[offset++];
+  if (out->kind == 'L' || out->kind == 'E') {
+    std::uint64_t path_len = 0;
+    if (!GetVarint64(data, &offset, &path_len)) return false;
+    if (offset + path_len > data.size()) return false;
+    out->path.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                     data.begin() +
+                         static_cast<std::ptrdiff_t>(offset + path_len));
+    offset += path_len;
+    if (out->kind == 'L') {
+      std::uint64_t value_len = 0;
+      if (!GetVarint64(data, &offset, &value_len)) return false;
+      if (offset + value_len > data.size()) return false;
+      out->value = std::string(data.substr(offset, value_len));
+      offset += value_len;
+    } else {
+      Hash256 h;
+      if (!ReadHash(data, &offset, &h)) return false;
+      out->ext_child = h;
+    }
+  } else if (out->kind == 'B') {
+    if (offset + 2 > data.size()) return false;
+    const std::uint16_t bitmap =
+        static_cast<std::uint16_t>(
+            (static_cast<unsigned char>(data[offset]) << 8) |
+            static_cast<unsigned char>(data[offset + 1]));
+    offset += 2;
+    for (int i = 0; i < 16; ++i) {
+      if (bitmap & (1u << i)) {
+        Hash256 h;
+        if (!ReadHash(data, &offset, &h)) return false;
+        out->children[static_cast<std::size_t>(i)] = h;
+      }
+    }
+    if (offset >= data.size()) return false;
+    const char has_value = data[offset++];
+    if (has_value == 1) {
+      std::uint64_t value_len = 0;
+      if (!GetVarint64(data, &offset, &value_len)) return false;
+      if (offset + value_len > data.size()) return false;
+      out->value = std::string(data.substr(offset, value_len));
+      offset += value_len;
+    }
+  } else {
+    return false;
+  }
+  return offset == data.size();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> MerklePatriciaTrie::ToNibbles(std::string_view key) {
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    nibbles.push_back(static_cast<std::uint8_t>(c >> 4));
+    nibbles.push_back(static_cast<std::uint8_t>(c & 0xf));
+  }
+  return nibbles;
+}
+
+std::size_t MerklePatriciaTrie::CommonPrefixLen(
+    const std::vector<std::uint8_t>& a, std::size_t a_off,
+    const std::vector<std::uint8_t>& b, std::size_t b_off) {
+  std::size_t n = 0;
+  while (a_off + n < a.size() && b_off + n < b.size() &&
+         a[a_off + n] == b[b_off + n]) {
+    ++n;
+  }
+  return n;
+}
+
+void MerklePatriciaTrie::Put(std::string_view key, std::string_view value) {
+  const auto nibbles = ToNibbles(key);
+  root_ = Insert(std::move(root_), nibbles, 0, value);
+}
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
+    NodePtr node, const std::vector<std::uint8_t>& nibbles, std::size_t depth,
+    std::string_view value) {
+  if (!node) {
+    auto leaf = std::make_unique<Node>(Kind::kLeaf);
+    leaf->path.assign(nibbles.begin() + static_cast<std::ptrdiff_t>(depth),
+                      nibbles.end());
+    leaf->value = std::string(value);
+    ++size_;
+    return leaf;
+  }
+  node->cached_hash.reset();
+
+  switch (node->kind) {
+    case Kind::kLeaf: {
+      const std::size_t common =
+          CommonPrefixLen(node->path, 0, nibbles, depth);
+      const std::size_t remaining = nibbles.size() - depth;
+      if (common == node->path.size() && common == remaining) {
+        node->value = std::string(value);  // overwrite, size unchanged
+        return node;
+      }
+      // Split into a branch (optionally behind an extension).
+      auto branch = std::make_unique<Node>(Kind::kBranch);
+      // Re-seat the old leaf.
+      if (node->path.size() == common) {
+        branch->value = std::move(node->value);
+      } else {
+        const std::uint8_t idx = node->path[common];
+        auto old_leaf = std::make_unique<Node>(Kind::kLeaf);
+        old_leaf->path.assign(
+            node->path.begin() + static_cast<std::ptrdiff_t>(common + 1),
+            node->path.end());
+        old_leaf->value = std::move(node->value);
+        branch->children[idx] = std::move(old_leaf);
+      }
+      // Seat the new value.
+      if (remaining == common) {
+        branch->value = std::string(value);
+      } else {
+        const std::uint8_t idx = nibbles[depth + common];
+        auto new_leaf = std::make_unique<Node>(Kind::kLeaf);
+        new_leaf->path.assign(
+            nibbles.begin() + static_cast<std::ptrdiff_t>(depth + common + 1),
+            nibbles.end());
+        new_leaf->value = std::string(value);
+        branch->children[idx] = std::move(new_leaf);
+      }
+      ++size_;
+      if (common == 0) return branch;
+      auto ext = std::make_unique<Node>(Kind::kExtension);
+      ext->path.assign(node->path.begin(),
+                       node->path.begin() + static_cast<std::ptrdiff_t>(common));
+      ext->ext_child = std::move(branch);
+      return ext;
+    }
+
+    case Kind::kExtension: {
+      const std::size_t common =
+          CommonPrefixLen(node->path, 0, nibbles, depth);
+      if (common == node->path.size()) {
+        node->ext_child =
+            Insert(std::move(node->ext_child), nibbles, depth + common, value);
+        return node;
+      }
+      // Split the extension at `common`.
+      auto branch = std::make_unique<Node>(Kind::kBranch);
+      // Old extension remainder.
+      {
+        const std::uint8_t idx = node->path[common];
+        if (common + 1 == node->path.size()) {
+          branch->children[idx] = std::move(node->ext_child);
+        } else {
+          auto tail = std::make_unique<Node>(Kind::kExtension);
+          tail->path.assign(
+              node->path.begin() + static_cast<std::ptrdiff_t>(common + 1),
+              node->path.end());
+          tail->ext_child = std::move(node->ext_child);
+          branch->children[idx] = std::move(tail);
+        }
+      }
+      // New value.
+      const std::size_t remaining = nibbles.size() - depth;
+      if (remaining == common) {
+        branch->value = std::string(value);
+      } else {
+        const std::uint8_t idx = nibbles[depth + common];
+        auto new_leaf = std::make_unique<Node>(Kind::kLeaf);
+        new_leaf->path.assign(
+            nibbles.begin() + static_cast<std::ptrdiff_t>(depth + common + 1),
+            nibbles.end());
+        new_leaf->value = std::string(value);
+        branch->children[idx] = std::move(new_leaf);
+      }
+      ++size_;
+      if (common == 0) return branch;
+      auto ext = std::make_unique<Node>(Kind::kExtension);
+      ext->path.assign(node->path.begin(),
+                       node->path.begin() + static_cast<std::ptrdiff_t>(common));
+      ext->ext_child = std::move(branch);
+      return ext;
+    }
+
+    case Kind::kBranch: {
+      if (depth == nibbles.size()) {
+        if (!node->value.has_value()) ++size_;
+        node->value = std::string(value);
+        return node;
+      }
+      const std::uint8_t idx = nibbles[depth];
+      node->children[idx] =
+          Insert(std::move(node->children[idx]), nibbles, depth + 1, value);
+      return node;
+    }
+  }
+  return node;  // unreachable
+}
+
+Result<std::string> MerklePatriciaTrie::Get(std::string_view key) const {
+  const auto nibbles = ToNibbles(key);
+  const Node* node = Find(root_.get(), nibbles, 0);
+  if (node == nullptr || !node->value.has_value()) {
+    return Status::NotFound("key not in trie");
+  }
+  return *node->value;
+}
+
+const MerklePatriciaTrie::Node* MerklePatriciaTrie::Find(
+    const Node* node, const std::vector<std::uint8_t>& nibbles,
+    std::size_t depth) const {
+  while (node != nullptr) {
+    switch (node->kind) {
+      case Kind::kLeaf: {
+        const std::size_t remaining = nibbles.size() - depth;
+        if (node->path.size() == remaining &&
+            CommonPrefixLen(node->path, 0, nibbles, depth) == remaining) {
+          return node;
+        }
+        return nullptr;
+      }
+      case Kind::kExtension: {
+        const std::size_t common =
+            CommonPrefixLen(node->path, 0, nibbles, depth);
+        if (common != node->path.size()) return nullptr;
+        depth += common;
+        node = node->ext_child.get();
+        break;
+      }
+      case Kind::kBranch: {
+        if (depth == nibbles.size()) return node;
+        node = node->children[nibbles[depth]].get();
+        ++depth;
+        break;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool MerklePatriciaTrie::Delete(std::string_view key) {
+  const auto nibbles = ToNibbles(key);
+  bool removed = false;
+  root_ = Remove(std::move(root_), nibbles, 0, &removed);
+  if (removed) --size_;
+  return removed;
+}
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Remove(
+    NodePtr node, const std::vector<std::uint8_t>& nibbles, std::size_t depth,
+    bool* removed) {
+  if (!node) return nullptr;
+
+  switch (node->kind) {
+    case Kind::kLeaf: {
+      const std::size_t remaining = nibbles.size() - depth;
+      if (node->path.size() == remaining &&
+          CommonPrefixLen(node->path, 0, nibbles, depth) == remaining) {
+        *removed = true;
+        return nullptr;
+      }
+      return node;
+    }
+    case Kind::kExtension: {
+      const std::size_t common =
+          CommonPrefixLen(node->path, 0, nibbles, depth);
+      if (common != node->path.size()) return node;
+      node->cached_hash.reset();
+      node->ext_child = Remove(std::move(node->ext_child), nibbles,
+                               depth + common, removed);
+      if (!node->ext_child) return nullptr;
+      // Merge extension with a leaf/extension child.
+      Node* child = node->ext_child.get();
+      if (child->kind == Kind::kLeaf || child->kind == Kind::kExtension) {
+        child->path.insert(child->path.begin(), node->path.begin(),
+                           node->path.end());
+        child->cached_hash.reset();
+        return std::move(node->ext_child);
+      }
+      return node;
+    }
+    case Kind::kBranch: {
+      if (depth == nibbles.size()) {
+        if (node->value.has_value()) {
+          node->value.reset();
+          node->cached_hash.reset();
+          *removed = true;
+        }
+      } else {
+        const std::uint8_t idx = nibbles[depth];
+        if (node->children[idx]) {
+          node->cached_hash.reset();
+          node->children[idx] =
+              Remove(std::move(node->children[idx]), nibbles, depth + 1,
+                     removed);
+        }
+      }
+      if (!*removed) return node;
+      return Normalize(std::move(node));
+    }
+  }
+  return node;  // unreachable
+}
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Normalize(NodePtr node) {
+  assert(node->kind == Kind::kBranch);
+  int child_count = 0;
+  int only_idx = -1;
+  for (int i = 0; i < 16; ++i) {
+    if (node->children[static_cast<std::size_t>(i)]) {
+      ++child_count;
+      only_idx = i;
+    }
+  }
+  if (child_count == 0) {
+    if (!node->value.has_value()) return nullptr;
+    // Branch holding just a value -> leaf with empty path.
+    auto leaf = std::make_unique<Node>(Kind::kLeaf);
+    leaf->value = std::move(node->value);
+    return leaf;
+  }
+  if (child_count == 1 && !node->value.has_value()) {
+    // Single-child branch -> fold into the child with the nibble prepended.
+    NodePtr child = std::move(node->children[static_cast<std::size_t>(only_idx)]);
+    const auto idx_nibble = static_cast<std::uint8_t>(only_idx);
+    if (child->kind == Kind::kLeaf || child->kind == Kind::kExtension) {
+      child->path.insert(child->path.begin(), idx_nibble);
+      child->cached_hash.reset();
+      return child;
+    }
+    auto ext = std::make_unique<Node>(Kind::kExtension);
+    ext->path.push_back(idx_nibble);
+    ext->ext_child = std::move(child);
+    return ext;
+  }
+  return node;
+}
+
+std::string MerklePatriciaTrie::EncodeNode(const Node& node) {
+  std::string out;
+  switch (node.kind) {
+    case Kind::kLeaf: {
+      out.push_back('L');
+      PutVarint64(out, node.path.size());
+      for (std::uint8_t nib : node.path) {
+        out.push_back(static_cast<char>(nib));
+      }
+      PutVarint64(out, node.value->size());
+      out += *node.value;
+      break;
+    }
+    case Kind::kExtension: {
+      out.push_back('E');
+      PutVarint64(out, node.path.size());
+      for (std::uint8_t nib : node.path) {
+        out.push_back(static_cast<char>(nib));
+      }
+      const Hash256 child_hash = HashNode(*node.ext_child);
+      out.append(reinterpret_cast<const char*>(child_hash.bytes.data()), 32);
+      break;
+    }
+    case Kind::kBranch: {
+      out.push_back('B');
+      std::uint16_t bitmap = 0;
+      for (int i = 0; i < 16; ++i) {
+        if (node.children[static_cast<std::size_t>(i)]) {
+          bitmap = static_cast<std::uint16_t>(bitmap | (1u << i));
+        }
+      }
+      out.push_back(static_cast<char>(bitmap >> 8));
+      out.push_back(static_cast<char>(bitmap & 0xff));
+      for (int i = 0; i < 16; ++i) {
+        const auto& child = node.children[static_cast<std::size_t>(i)];
+        if (child) {
+          const Hash256 h = HashNode(*child);
+          out.append(reinterpret_cast<const char*>(h.bytes.data()), 32);
+        }
+      }
+      if (node.value.has_value()) {
+        out.push_back(1);
+        PutVarint64(out, node.value->size());
+        out += *node.value;
+      } else {
+        out.push_back(0);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Hash256 MerklePatriciaTrie::HashNode(const Node& node) {
+  if (node.cached_hash.has_value()) return *node.cached_hash;
+  const Hash256 h = Sha256::Digest(EncodeNode(node));
+  node.cached_hash = h;
+  return h;
+}
+
+Hash256 MerklePatriciaTrie::RootHash() const {
+  if (!root_) return Hash256{};  // all-zero = empty trie
+  return HashNode(*root_);
+}
+
+void MerklePatriciaTrie::CollectProof(const Node* node,
+                                      const std::vector<std::uint8_t>& nibbles,
+                                      std::size_t depth,
+                                      std::vector<std::string>& out) const {
+  while (node != nullptr) {
+    out.push_back(EncodeNode(*node));
+    switch (node->kind) {
+      case Kind::kLeaf:
+        return;
+      case Kind::kExtension: {
+        const std::size_t common =
+            CommonPrefixLen(node->path, 0, nibbles, depth);
+        if (common != node->path.size()) return;
+        depth += common;
+        node = node->ext_child.get();
+        break;
+      }
+      case Kind::kBranch: {
+        if (depth == nibbles.size()) return;
+        node = node->children[nibbles[depth]].get();
+        ++depth;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::string> MerklePatriciaTrie::GenerateProof(
+    std::string_view key) const {
+  std::vector<std::string> proof;
+  if (!root_) return proof;
+  CollectProof(root_.get(), ToNibbles(key), 0, proof);
+  return proof;
+}
+
+Result<std::string> MerklePatriciaTrie::VerifyProof(
+    const Hash256& root, std::string_view key,
+    const std::vector<std::string>& proof) {
+  if (proof.empty()) {
+    if (root.IsZero()) return Status::NotFound("empty trie");
+    return Status::Corruption("empty proof for non-empty root");
+  }
+  const auto nibbles = ToNibbles(key);
+  Hash256 expected = root;
+  std::size_t depth = 0;
+
+  for (std::size_t i = 0; i < proof.size(); ++i) {
+    if (Sha256::Digest(proof[i]) != expected) {
+      return Status::Corruption("proof node hash mismatch");
+    }
+    DecodedNode node;
+    if (!DecodeNodeBytes(proof[i], &node)) {
+      return Status::Corruption("undecodable proof node");
+    }
+    const bool last = (i + 1 == proof.size());
+    if (node.kind == 'L') {
+      const std::size_t remaining = nibbles.size() - depth;
+      const bool match =
+          node.path.size() == remaining &&
+          std::equal(node.path.begin(), node.path.end(),
+                     nibbles.begin() + static_cast<std::ptrdiff_t>(depth));
+      if (!last) return Status::Corruption("leaf before end of proof");
+      if (match) return *node.value;
+      return Status::NotFound("proven absent (diverging leaf)");
+    }
+    if (node.kind == 'E') {
+      const std::size_t common = [&] {
+        std::size_t n = 0;
+        while (n < node.path.size() && depth + n < nibbles.size() &&
+               node.path[n] == nibbles[depth + n]) {
+          ++n;
+        }
+        return n;
+      }();
+      if (common != node.path.size()) {
+        if (!last) return Status::Corruption("diverging extension mid-proof");
+        return Status::NotFound("proven absent (diverging extension)");
+      }
+      depth += common;
+      if (last) return Status::Corruption("proof ends inside extension");
+      expected = *node.ext_child;
+      continue;
+    }
+    // Branch.
+    if (depth == nibbles.size()) {
+      if (!last) return Status::Corruption("branch terminal but proof longer");
+      if (node.value.has_value()) return *node.value;
+      return Status::NotFound("proven absent (no value at branch)");
+    }
+    const std::uint8_t idx = nibbles[depth];
+    ++depth;
+    if (!node.children[idx].has_value()) {
+      if (!last) return Status::Corruption("missing child mid-proof");
+      return Status::NotFound("proven absent (no child)");
+    }
+    if (last) return Status::Corruption("proof ends at internal branch");
+    expected = *node.children[idx];
+  }
+  return Status::Corruption("unterminated proof");
+}
+
+void MerklePatriciaTrie::CollectItems(
+    const Node* node, std::vector<std::uint8_t>& prefix,
+    std::vector<std::pair<std::string, std::string>>& out) const {
+  if (node == nullptr) return;
+  const auto nibbles_to_key = [](const std::vector<std::uint8_t>& nibbles) {
+    std::string key;
+    key.reserve(nibbles.size() / 2);
+    for (std::size_t i = 0; i + 1 < nibbles.size(); i += 2) {
+      key.push_back(static_cast<char>((nibbles[i] << 4) | nibbles[i + 1]));
+    }
+    return key;
+  };
+  switch (node->kind) {
+    case Kind::kLeaf: {
+      prefix.insert(prefix.end(), node->path.begin(), node->path.end());
+      out.emplace_back(nibbles_to_key(prefix), *node->value);
+      prefix.resize(prefix.size() - node->path.size());
+      break;
+    }
+    case Kind::kExtension: {
+      prefix.insert(prefix.end(), node->path.begin(), node->path.end());
+      CollectItems(node->ext_child.get(), prefix, out);
+      prefix.resize(prefix.size() - node->path.size());
+      break;
+    }
+    case Kind::kBranch: {
+      if (node->value.has_value()) {
+        out.emplace_back(nibbles_to_key(prefix), *node->value);
+      }
+      for (std::uint8_t i = 0; i < 16; ++i) {
+        if (node->children[i]) {
+          prefix.push_back(i);
+          CollectItems(node->children[i].get(), prefix, out);
+          prefix.pop_back();
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> MerklePatriciaTrie::Items()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::vector<std::uint8_t> prefix;
+  CollectItems(root_.get(), prefix, out);
+  return out;
+}
+
+}  // namespace nezha

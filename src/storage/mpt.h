@@ -1,0 +1,120 @@
+// Merkle Patricia Trie (hexary) providing authenticated state commitments.
+//
+// The paper's prototype organizes account state in an MPT; every block
+// carries the state root of the previous epoch and validation checks it
+// (§III.B "Validation phase"). This implementation supports Put / Get /
+// Delete, deterministic root hashing (SHA-256 over a canonical node
+// encoding), and Merkle proofs with offline verification.
+//
+// Node kinds follow Ethereum's design: Leaf (key suffix + value),
+// Extension (shared nibble run + one child), Branch (16 children + optional
+// value). Keys are arbitrary byte strings, expanded to nibbles internally.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+
+namespace nezha {
+
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie() = default;
+  ~MerklePatriciaTrie() = default;
+
+  MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept = default;
+  MerklePatriciaTrie& operator=(MerklePatriciaTrie&&) noexcept = default;
+
+  /// Inserts or overwrites key -> value. Empty values are legal.
+  void Put(std::string_view key, std::string_view value);
+
+  /// Returns the value or NotFound.
+  Result<std::string> Get(std::string_view key) const;
+
+  /// Removes the key; returns true if it was present.
+  bool Delete(std::string_view key);
+
+  /// Number of key/value pairs.
+  std::size_t Size() const { return size_; }
+
+  /// Deterministic commitment over the full contents. The root of an empty
+  /// trie is the all-zero hash. Cached between mutations.
+  Hash256 RootHash() const;
+
+  /// Serialized nodes along the path from the root to `key` (inclusive).
+  /// Empty result if the trie is empty.
+  std::vector<std::string> GenerateProof(std::string_view key) const;
+
+  /// Verifies a proof against a root: returns the proven value, NotFound for
+  /// a valid non-membership proof, or Corruption if the proof is invalid.
+  static Result<std::string> VerifyProof(const Hash256& root,
+                                         std::string_view key,
+                                         const std::vector<std::string>& proof);
+
+  /// All key/value pairs in lexicographic key order (for tests/inspection).
+  std::vector<std::pair<std::string, std::string>> Items() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  enum class Kind : std::uint8_t { kLeaf, kExtension, kBranch };
+
+  struct Node {
+    Kind kind;
+    // Leaf/Extension: path nibbles. Branch: unused.
+    std::vector<std::uint8_t> path;
+    // Leaf: the value. Branch: value stored at this exact key (may be unset).
+    std::optional<std::string> value;
+    // Extension: children[0] is the single child. Branch: 16 slots.
+    std::array<NodePtr, 16> children{};
+    NodePtr ext_child;
+
+    // Cached hash; empty optional means "dirty".
+    mutable std::optional<Hash256> cached_hash;
+
+    explicit Node(Kind k) : kind(k) {}
+  };
+
+  static std::vector<std::uint8_t> ToNibbles(std::string_view key);
+  static std::size_t CommonPrefixLen(const std::vector<std::uint8_t>& a,
+                                     std::size_t a_off,
+                                     const std::vector<std::uint8_t>& b,
+                                     std::size_t b_off);
+
+  /// Recursive insert; returns the (possibly new) subtree root.
+  NodePtr Insert(NodePtr node, const std::vector<std::uint8_t>& nibbles,
+                 std::size_t depth, std::string_view value);
+
+  /// Recursive delete; sets *removed, returns the new subtree root
+  /// (possibly null / collapsed).
+  NodePtr Remove(NodePtr node, const std::vector<std::uint8_t>& nibbles,
+                 std::size_t depth, bool* removed);
+
+  /// Collapses a branch node that has <= 1 child and no value.
+  static NodePtr Normalize(NodePtr node);
+
+  const Node* Find(const Node* node, const std::vector<std::uint8_t>& nibbles,
+                   std::size_t depth) const;
+
+  static Hash256 HashNode(const Node& node);
+  static std::string EncodeNode(const Node& node);
+
+  void CollectItems(const Node* node, std::vector<std::uint8_t>& prefix,
+                    std::vector<std::pair<std::string, std::string>>& out)
+      const;
+  void CollectProof(const Node* node,
+                    const std::vector<std::uint8_t>& nibbles, std::size_t depth,
+                    std::vector<std::string>& out) const;
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nezha

@@ -1,0 +1,100 @@
+#include "storage/state_db.h"
+
+#include "common/bytes.h"
+
+namespace nezha {
+
+StateValue StateDB::Get(Address a) const {
+  const Shard& shard = shards_[ShardOf(a)];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.data.find(a.value);
+  return it == shard.data.end() ? 0 : it->second;
+}
+
+void StateDB::Set(Address a, StateValue v) {
+  Shard& shard = shards_[ShardOf(a)];
+  std::lock_guard lock(shard.mutex);
+  shard.data[a.value] = v;
+  shard.dirty.insert(a.value);
+}
+
+void StateDB::ApplyWrites(std::span<const StateWrite> writes) {
+  for (const StateWrite& w : writes) Set(w.address, w.value);
+}
+
+std::string StateDB::StateKey(Address a) {
+  std::string key = "s/";
+  PutFixed64(key, a.value);
+  return key;
+}
+
+std::string StateDB::EncodeValue(StateValue v) {
+  std::string out;
+  PutFixed64(out, static_cast<std::uint64_t>(v));
+  return out;
+}
+
+Hash256 StateDB::RootHash() {
+  std::lock_guard trie_lock(trie_mutex_);
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (std::uint64_t addr : shard.dirty) {
+      trie_.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
+    }
+    // Entries stay dirty until Flush() persists them; the trie write is
+    // idempotent so re-putting on the next RootHash call is harmless.
+  }
+  return trie_.RootHash();
+}
+
+StateSnapshot StateDB::MakeSnapshot(EpochId epoch) {
+  const Hash256 root = RootHash();
+  auto merged = std::make_shared<StateSnapshot::Map>();
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    merged->insert(shard.data.begin(), shard.data.end());
+  }
+  return StateSnapshot(std::move(merged), root, epoch);
+}
+
+Status StateDB::Flush() {
+  // Sync the commitment trie before the dirty markers are consumed — the
+  // trie and the KV store share the same dirty set.
+  RootHash();
+  WriteBatch batch;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (std::uint64_t addr : shard.dirty) {
+      batch.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
+    }
+    shard.dirty.clear();
+  }
+  if (kv_ == nullptr || batch.Empty()) return Status::Ok();
+  return kv_->Write(batch);
+}
+
+Status StateDB::LoadFromStorage() {
+  if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
+  if (Size() != 0) return Status::InvalidArgument("state DB is not empty");
+  for (auto it = kv_->NewIterator("s/", "s0"); it.Valid(); it.Next()) {
+    if (it.key().size() != 10 || it.value().size() != 8) {
+      return Status::Corruption("bad state record");
+    }
+    const Address address(GetFixed64(std::string_view(it.key()).substr(2)));
+    const auto value =
+        static_cast<StateValue>(GetFixed64(it.value()));
+    Set(address, value);
+  }
+  return Status::Ok();
+}
+
+std::size_t StateDB::Size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.data.size();
+  }
+  return total;
+}
+
+}  // namespace nezha

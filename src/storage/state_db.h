@@ -1,0 +1,128 @@
+// StateDB: the account-model world state.
+//
+// Each Address (one state cell, e.g. an account's savings or checking
+// balance) maps to a signed 64-bit value. The DB supports:
+//  * immutable snapshots, used by the concurrent speculative execution phase
+//    (every transaction of an epoch executes against the snapshot of epoch
+//    e-1, §III.B);
+//  * thread-safe concurrent writes (sharded locks), used by the grouped
+//    commitment phase where transactions with equal sequence numbers commit
+//    in parallel;
+//  * authenticated commitments via a Merkle Patricia Trie (the state root
+//    each block carries), and flushing to the underlying KVStore.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/kvstore.h"
+#include "storage/mpt.h"
+
+namespace nezha {
+
+/// The value stored at one state address (an account balance in SmallBank).
+using StateValue = std::int64_t;
+
+/// An immutable point-in-time view of the state. Reads are lock-free and
+/// safe from any number of threads.
+class StateSnapshot {
+ public:
+  using Map = std::unordered_map<std::uint64_t, StateValue>;
+
+  StateSnapshot() : data_(std::make_shared<Map>()) {}
+  StateSnapshot(std::shared_ptr<const Map> data, Hash256 root, EpochId epoch)
+      : data_(std::move(data)), root_(root), epoch_(epoch) {}
+
+  /// Missing addresses read as 0 (accounts start empty).
+  StateValue Get(Address a) const {
+    const auto it = data_->find(a.value);
+    return it == data_->end() ? 0 : it->second;
+  }
+
+  bool Contains(Address a) const { return data_->count(a.value) > 0; }
+  std::size_t Size() const { return data_->size(); }
+  const Hash256& root() const { return root_; }
+  EpochId epoch() const { return epoch_; }
+
+  /// Read-only access to the raw contents (state sync, tests).
+  const Map& items() const { return *data_; }
+
+ private:
+  std::shared_ptr<const Map> data_;
+  Hash256 root_{};
+  EpochId epoch_ = 0;
+};
+
+/// One write produced by a committed transaction.
+struct StateWrite {
+  Address address;
+  StateValue value;
+};
+
+class StateDB {
+ public:
+  /// kv may be null (no persistence); the MPT commitment always works.
+  explicit StateDB(KVStore* kv = nullptr) : kv_(kv) {}
+
+  StateValue Get(Address a) const;
+  void Set(Address a, StateValue v);
+
+  /// Applies a batch of writes. Safe to call concurrently from multiple
+  /// threads as long as no two concurrent calls write the same address
+  /// (guaranteed for Nezha's same-sequence-number commit groups).
+  void ApplyWrites(std::span<const StateWrite> writes);
+
+  /// Recomputes the MPT over all dirty addresses and returns the root.
+  Hash256 RootHash();
+
+  /// Creates an immutable snapshot tagged with the epoch id; also computes
+  /// the current root so validation can check it.
+  StateSnapshot MakeSnapshot(EpochId epoch);
+
+  /// Flushes all dirty entries to the KVStore as one atomic batch.
+  /// No-op (OK) when the DB was constructed without a KVStore.
+  Status Flush();
+
+  /// Canonical storage/commitment encoding of one state cell — shared by
+  /// the KV flush path, the commitment trie, and state sync.
+  static std::string StateKey(Address a);
+  static std::string EncodeValue(StateValue v);
+
+  /// Recovery: repopulates the DB from the "s/" records in the attached
+  /// KVStore (the DB must be freshly constructed/empty). Loaded entries are
+  /// marked dirty so the commitment trie resyncs on the next RootHash().
+  Status LoadFromStorage();
+
+  std::size_t Size() const;
+
+ private:
+  static constexpr std::size_t kNumShards = 64;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, StateValue> data;
+    std::unordered_set<std::uint64_t> dirty;
+  };
+
+  static std::size_t ShardOf(Address a) {
+    return std::hash<Address>{}(a) % kNumShards;
+  }
+
+  std::array<Shard, kNumShards> shards_;
+  KVStore* kv_;
+
+  std::mutex trie_mutex_;
+  MerklePatriciaTrie trie_;
+};
+
+}  // namespace nezha

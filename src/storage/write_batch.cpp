@@ -1,0 +1,50 @@
+#include "storage/write_batch.h"
+
+#include "common/bytes.h"
+
+namespace nezha {
+
+std::string WriteBatch::Serialize() const {
+  std::string out;
+  PutVarint64(out, ops_.size());
+  for (const Op& op : ops_) {
+    out.push_back(op.type == OpType::kPut ? '\x01' : '\x02');
+    PutVarint64(out, op.key.size());
+    out += op.key;
+    if (op.type == OpType::kPut) {
+      PutVarint64(out, op.value.size());
+      out += op.value;
+    }
+  }
+  return out;
+}
+
+bool WriteBatch::Deserialize(std::string_view data, WriteBatch* out) {
+  out->Clear();
+  std::size_t offset = 0;
+  std::uint64_t count = 0;
+  if (!GetVarint64(data, &offset, &count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (offset >= data.size()) return false;
+    const char tag = data[offset++];
+    std::uint64_t key_len = 0;
+    if (!GetVarint64(data, &offset, &key_len)) return false;
+    if (offset + key_len > data.size()) return false;
+    std::string key(data.substr(offset, key_len));
+    offset += key_len;
+    if (tag == '\x01') {
+      std::uint64_t value_len = 0;
+      if (!GetVarint64(data, &offset, &value_len)) return false;
+      if (offset + value_len > data.size()) return false;
+      out->Put(key, data.substr(offset, value_len));
+      offset += value_len;
+    } else if (tag == '\x02') {
+      out->Delete(key);
+    } else {
+      return false;
+    }
+  }
+  return offset == data.size();
+}
+
+}  // namespace nezha

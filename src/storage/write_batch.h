@@ -1,0 +1,46 @@
+// WriteBatch: an ordered group of Put/Delete operations applied atomically
+// to a KVStore (LevelDB-shaped API).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nezha {
+
+class WriteBatch {
+ public:
+  enum class OpType { kPut, kDelete };
+
+  struct Op {
+    OpType type;
+    std::string key;
+    std::string value;  // empty for deletes
+  };
+
+  void Put(std::string_view key, std::string_view value) {
+    ops_.push_back({OpType::kPut, std::string(key), std::string(value)});
+  }
+
+  void Delete(std::string_view key) {
+    ops_.push_back({OpType::kDelete, std::string(key), {}});
+  }
+
+  void Clear() { ops_.clear(); }
+
+  std::size_t Count() const { return ops_.size(); }
+  bool Empty() const { return ops_.empty(); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Serializes the batch (varint-framed) for checkpoints and tests.
+  std::string Serialize() const;
+
+  /// Parses a serialized batch; returns false on corruption.
+  static bool Deserialize(std::string_view data, WriteBatch* out);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace nezha

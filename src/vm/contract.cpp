@@ -1,0 +1,41 @@
+#include "vm/contract.h"
+
+#include "vm/kv_contract.h"
+#include "vm/smallbank.h"
+#include "vm/token_contract.h"
+
+namespace nezha {
+namespace {
+
+constexpr ContractInfo kContracts[] = {
+    {kSmallBankContract, "smallbank", &ExecuteSmallBank, &CompileSmallBank},
+    {kKVContract, "kvstore", &ExecuteKVContract, &CompileKVContract},
+    {kTokenContract, "token", &ExecuteTokenContract, &CompileTokenContract},
+};
+
+}  // namespace
+
+const ContractInfo* FindContract(std::uint32_t id) {
+  for (const ContractInfo& contract : kContracts) {
+    if (contract.id == id) return &contract;
+  }
+  return nullptr;
+}
+
+Status ExecuteContract(const TxPayload& payload, LoggedStateView& view) {
+  const ContractInfo* contract = FindContract(payload.contract);
+  if (contract == nullptr) {
+    return Status::InvalidArgument("unknown contract id");
+  }
+  return contract->execute(payload, view);
+}
+
+Result<Program> CompileContract(const TxPayload& payload) {
+  const ContractInfo* contract = FindContract(payload.contract);
+  if (contract == nullptr) {
+    return Status::InvalidArgument("unknown contract id");
+  }
+  return contract->compile(payload);
+}
+
+}  // namespace nezha

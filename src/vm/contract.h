@@ -1,0 +1,38 @@
+// Contract registry: the dispatch table from TxPayload::contract to an
+// executable contract.
+//
+// Every contract provides two equivalent execution paths — a native C++
+// implementation and a MiniVM compiler — exactly like SmallBank. Each
+// contract owns a disjoint slice of the state-address space via a 40-bit
+// namespace shift, so heterogeneous transactions can share one chain
+// without colliding:
+//   SmallBank (id 1): raw addresses [0, 2^40)  (2 cells per account)
+//   KVStore   (id 2): (1 << 40) | key
+//   Token     (id 3): (2 << 40) | ...
+#pragma once
+
+#include "common/status.h"
+#include "ledger/transaction.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+
+namespace nezha {
+
+struct ContractInfo {
+  std::uint32_t id;
+  const char* name;
+  Status (*execute)(const TxPayload&, LoggedStateView&);
+  Result<Program> (*compile)(const TxPayload&);
+};
+
+/// Looks up a registered contract; nullptr for unknown ids.
+const ContractInfo* FindContract(std::uint32_t id);
+
+/// Executes any registered contract natively.
+/// Contract-level reverts return OK with view.reverted() set.
+Status ExecuteContract(const TxPayload& payload, LoggedStateView& view);
+
+/// Compiles any registered contract's call to MiniVM bytecode.
+Result<Program> CompileContract(const TxPayload& payload);
+
+}  // namespace nezha

@@ -1,0 +1,60 @@
+// CostModel: calibrated EVM-grade execution costs.
+//
+// The paper's prototype executes Solidity SmallBank through the Go EVM on
+// 16-vCPU nodes; our MiniVM interprets the same logic in microseconds. To
+// reproduce the paper's *latency shape* without the authors' testbed, the
+// execution-phase latencies of the Serial baseline and the concurrent
+// simulation phase are modelled from per-transaction costs calibrated
+// against the paper's own Table IV (see DESIGN.md §4):
+//
+//   Table IV, skew = 0, block size 200, 16 worker threads:
+//     Nezha execute ("e"): 123.4 ms at 400 txs with 16 workers
+//       -> 123.4 * 16 / 400 = ~4.936 ms/tx of pure EVM execution, constant
+//          across every Table IV column (the "e" row is linear in N).
+//     Serial latency: 4,700 ms at 400 txs (11.75 ms/tx) but 36,600 ms at
+//       2,400 txs (15.25 ms/tx) — the per-transaction cost grows with the
+//       batch because serial commitment walks an ever-deeper MPT and a
+//       growing LevelDB. A logarithmic per-tx term fits all six columns:
+//         per_tx(N) = a + b * ln(N),  a = 0.047, b = 1.9533
+//       (solved exactly from the N=400 and N=2400 endpoints; the interior
+//       columns land within 4%).
+//
+// Concurrency-control and commitment latencies are NEVER modelled — those
+// are measured on the real implementation; the model covers only the EVM
+// execution time the paper itself treats as an orthogonal constant.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace nezha {
+
+struct CostModel {
+  /// Per-transaction EVM execution cost (simulation phase), milliseconds.
+  double execute_ms_per_tx = 4.936;
+  /// Serial per-transaction total cost: serial_a + serial_b * ln(N) ms.
+  double serial_a = 0.047;
+  double serial_b = 1.9533;
+  /// Worker threads of the modelled full node (16 vCPUs in the paper).
+  std::size_t workers = 16;
+
+  /// Latency of serially executing + committing n transactions.
+  double SerialLatencyMs(std::size_t n) const {
+    if (n == 0) return 0;
+    const double per_tx =
+        serial_a + serial_b * std::log(static_cast<double>(n));
+    return static_cast<double>(n) * per_tx;
+  }
+
+  /// Latency of the concurrent speculative-execution phase over n
+  /// transactions (perfectly divisible work across `workers`).
+  double ConcurrentExecuteLatencyMs(std::size_t n) const {
+    const double per_worker =
+        static_cast<double>(n) / static_cast<double>(std::max<std::size_t>(
+                                     1, workers));
+    return per_worker * execute_ms_per_tx;
+  }
+};
+
+}  // namespace nezha

@@ -1,0 +1,23 @@
+#include "vm/executor.h"
+
+#include "vm/contract.h"
+#include "vm/logged_state.h"
+
+namespace nezha {
+
+Result<ReadWriteSet> SimulateTransaction(const StateSnapshot& snapshot,
+                                         const Transaction& tx,
+                                         ExecMode mode) {
+  LoggedStateView view(snapshot);
+  if (mode == ExecMode::kNative) {
+    if (Status s = ExecuteContract(tx.payload, view); !s.ok()) return s;
+  } else {
+    auto program = CompileContract(tx.payload);
+    if (!program.ok()) return program.status();
+    const VmOutcome outcome = RunProgram(program.value(), view);
+    if (!outcome.status.ok()) return outcome.status;
+  }
+  return view.TakeRWSet();
+}
+
+}  // namespace nezha

@@ -1,0 +1,126 @@
+#include "vm/kv_contract.h"
+
+namespace nezha {
+namespace {
+
+Status NeedArgs(const TxPayload& payload, std::size_t n) {
+  return payload.args.size() == n
+             ? Status::Ok()
+             : Status::InvalidArgument("wrong KV contract arg count");
+}
+
+void Emit(Program& p, OpCode op, std::int64_t imm = 0) {
+  p.push_back({op, imm});
+}
+
+std::int64_t AddrImm(Address a) { return static_cast<std::int64_t>(a.value); }
+
+}  // namespace
+
+TxPayload MakeKVCall(KVOp op, std::initializer_list<std::uint64_t> args) {
+  TxPayload payload;
+  payload.contract = kKVContract;
+  payload.op = static_cast<std::uint32_t>(op);
+  payload.args.assign(args.begin(), args.end());
+  return payload;
+}
+
+Status ExecuteKVContract(const TxPayload& payload, LoggedStateView& state) {
+  if (payload.contract != kKVContract) {
+    return Status::InvalidArgument("not a KV contract call");
+  }
+  const auto& args = payload.args;
+  switch (static_cast<KVOp>(payload.op)) {
+    case KVOp::kSet: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      state.Write(KVAddress(args[0]), static_cast<StateValue>(args[1]));
+      return Status::Ok();
+    }
+    case KVOp::kGet: {
+      if (Status s = NeedArgs(payload, 1); !s.ok()) return s;
+      (void)state.Read(KVAddress(args[0]));
+      return Status::Ok();
+    }
+    case KVOp::kAdd: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      const Address addr = KVAddress(args[0]);
+      const StateValue current = state.Read(addr);
+      state.Write(addr, current + static_cast<StateValue>(args[1]));
+      return Status::Ok();
+    }
+    case KVOp::kMultiSet: {
+      if (Status s = NeedArgs(payload, 4); !s.ok()) return s;
+      state.Write(KVAddress(args[0]), static_cast<StateValue>(args[1]));
+      state.Write(KVAddress(args[2]), static_cast<StateValue>(args[3]));
+      return Status::Ok();
+    }
+    case KVOp::kCopy: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      const StateValue value = state.Read(KVAddress(args[0]));
+      state.Write(KVAddress(args[1]), value);
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown KV contract op");
+}
+
+Result<Program> CompileKVContract(const TxPayload& payload) {
+  if (payload.contract != kKVContract) {
+    return Status::InvalidArgument("not a KV contract call");
+  }
+  const auto& args = payload.args;
+  Program p;
+  switch (static_cast<KVOp>(payload.op)) {
+    case KVOp::kSet: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      Emit(p, OpCode::kPush, AddrImm(KVAddress(args[0])));
+      Emit(p, OpCode::kPush, static_cast<std::int64_t>(args[1]));
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case KVOp::kGet: {
+      if (Status s = NeedArgs(payload, 1); !s.ok()) return s;
+      Emit(p, OpCode::kPush, AddrImm(KVAddress(args[0])));
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPop);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case KVOp::kAdd: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      const Address addr = KVAddress(args[0]);
+      Emit(p, OpCode::kPush, AddrImm(addr));
+      Emit(p, OpCode::kDup);
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPush, static_cast<std::int64_t>(args[1]));
+      Emit(p, OpCode::kAdd);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case KVOp::kMultiSet: {
+      if (Status s = NeedArgs(payload, 4); !s.ok()) return s;
+      Emit(p, OpCode::kPush, AddrImm(KVAddress(args[0])));
+      Emit(p, OpCode::kPush, static_cast<std::int64_t>(args[1]));
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kPush, AddrImm(KVAddress(args[2])));
+      Emit(p, OpCode::kPush, static_cast<std::int64_t>(args[3]));
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case KVOp::kCopy: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      Emit(p, OpCode::kPush, AddrImm(KVAddress(args[1])));  // dst
+      Emit(p, OpCode::kPush, AddrImm(KVAddress(args[0])));  // src
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+  }
+  return Status::InvalidArgument("unknown KV contract op");
+}
+
+}  // namespace nezha

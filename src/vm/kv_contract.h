@@ -1,0 +1,42 @@
+// KVContract: a raw key-value smart contract (contract id 2).
+//
+// Unlike SmallBank — where every write is a read-modify-write — this
+// contract issues genuine BLIND writes (kSet, kMultiSet), the access shape
+// that makes the §IV.D reordering enhancement fire inside the full pipeline
+// (Fig. 8's write-write conflicts). kAdd provides the RMW shape, kGet the
+// read-only one.
+//
+// Keys occupy the (1 << 40) address namespace.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+
+namespace nezha {
+
+inline constexpr std::uint32_t kKVContract = 2;
+
+enum class KVOp : std::uint32_t {
+  kSet = 0,       ///< args: key, value               (blind write)
+  kGet = 1,       ///< args: key                      (read only)
+  kAdd = 2,       ///< args: key, delta               (read-modify-write)
+  kMultiSet = 3,  ///< args: k1, v1, k2, v2           (two blind writes)
+  kCopy = 4,      ///< args: src, dst                 (read src, blind-write dst)
+};
+
+/// Key -> state address (namespaced).
+inline Address KVAddress(std::uint64_t key) {
+  return Address((1ull << 40) | (key & ((1ull << 40) - 1)));
+}
+
+TxPayload MakeKVCall(KVOp op, std::initializer_list<std::uint64_t> args);
+
+Status ExecuteKVContract(const TxPayload& payload, LoggedStateView& state);
+Result<Program> CompileKVContract(const TxPayload& payload);
+
+}  // namespace nezha

@@ -1,0 +1,80 @@
+// LoggedStateView: the EVM-style read/write logger.
+//
+// Wraps an immutable state snapshot; every Read/Write a contract performs is
+// recorded. Reads observe the transaction's own earlier writes
+// (read-your-writes), and only reads that actually hit the backing state are
+// reported in the read set.
+//
+// An optional overlay map layers committed-but-unflushed writes over the
+// snapshot — the serializability validator uses it to replay schedules
+// against an evolving state.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "storage/state_db.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+class LoggedStateView {
+ public:
+  using Overlay = std::unordered_map<std::uint64_t, StateValue>;
+
+  explicit LoggedStateView(const StateSnapshot& snapshot,
+                           const Overlay* overlay = nullptr)
+      : snapshot_(&snapshot), overlay_(overlay) {}
+
+  /// Reads an address; records the read unless satisfied by an own write.
+  StateValue Read(Address a) {
+    if (const auto it = local_writes_.find(a.value);
+        it != local_writes_.end()) {
+      return it->second;
+    }
+    reads_.insert(a.value);
+    if (overlay_ != nullptr) {
+      if (const auto it = overlay_->find(a.value); it != overlay_->end()) {
+        return it->second;
+      }
+    }
+    return snapshot_->Get(a);
+  }
+
+  /// Buffers a write (visible to subsequent own reads).
+  void Write(Address a, StateValue v) { local_writes_[a.value] = v; }
+
+  /// Marks the execution as failed; the transaction will commit nothing.
+  void Revert() { reverted_ = true; }
+  bool reverted() const { return reverted_; }
+
+  /// Produces the final read/write set (sorted, deduplicated).
+  ReadWriteSet TakeRWSet() {
+    ReadWriteSet rw;
+    rw.ok = !reverted_;
+    rw.reads.reserve(reads_.size());
+    for (std::uint64_t a : reads_) rw.reads.push_back(Address(a));
+    std::sort(rw.reads.begin(), rw.reads.end());
+
+    std::vector<std::pair<std::uint64_t, StateValue>> writes(
+        local_writes_.begin(), local_writes_.end());
+    std::sort(writes.begin(), writes.end());
+    rw.writes.reserve(writes.size());
+    rw.write_values.reserve(writes.size());
+    for (const auto& [addr, value] : writes) {
+      rw.writes.push_back(Address(addr));
+      rw.write_values.push_back(value);
+    }
+    return rw;
+  }
+
+ private:
+  const StateSnapshot* snapshot_;
+  const Overlay* overlay_;
+  std::unordered_set<std::uint64_t> reads_;
+  std::unordered_map<std::uint64_t, StateValue> local_writes_;
+  bool reverted_ = false;
+};
+
+}  // namespace nezha

@@ -1,0 +1,329 @@
+#include "vm/minivm.h"
+
+#include <sstream>
+
+#include "vm/smallbank.h"
+
+namespace nezha {
+
+std::uint64_t GasCost(OpCode op) {
+  switch (op) {
+    case OpCode::kSLoad:
+      return 20;
+    case OpCode::kSStore:
+      return 50;
+    case OpCode::kJump:
+    case OpCode::kJumpI:
+      return 8;
+    default:
+      return 1;
+  }
+}
+
+VmOutcome RunProgram(const Program& program, LoggedStateView& state,
+                     const VmLimits& limits) {
+  VmOutcome outcome;
+  std::vector<std::int64_t> stack;
+  stack.reserve(16);
+  std::size_t pc = 0;
+
+  const auto pop = [&](std::int64_t* out) -> bool {
+    if (stack.empty()) return false;
+    *out = stack.back();
+    stack.pop_back();
+    return true;
+  };
+
+  while (pc < program.size()) {
+    const Instruction& ins = program[pc];
+    outcome.gas_used += GasCost(ins.op);
+    if (outcome.gas_used > limits.gas_limit) {
+      outcome.status = Status::Aborted("out of gas");
+      return outcome;
+    }
+    switch (ins.op) {
+      case OpCode::kPush: {
+        if (stack.size() >= limits.max_stack) {
+          outcome.status = Status::Aborted("stack overflow");
+          return outcome;
+        }
+        stack.push_back(ins.imm);
+        break;
+      }
+      case OpCode::kPop: {
+        std::int64_t v;
+        if (!pop(&v)) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        break;
+      }
+      case OpCode::kDup: {
+        if (stack.empty()) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        stack.push_back(stack.back());
+        break;
+      }
+      case OpCode::kSwap: {
+        if (stack.size() < 2) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kLt:
+      case OpCode::kEq: {
+        std::int64_t b, a;
+        if (!pop(&b) || !pop(&a)) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        std::int64_t r = 0;
+        switch (ins.op) {
+          case OpCode::kAdd:
+            r = a + b;
+            break;
+          case OpCode::kSub:
+            r = a - b;
+            break;
+          case OpCode::kMul:
+            r = a * b;
+            break;
+          case OpCode::kLt:
+            r = a < b ? 1 : 0;
+            break;
+          case OpCode::kEq:
+            r = a == b ? 1 : 0;
+            break;
+          default:
+            break;
+        }
+        stack.push_back(r);
+        break;
+      }
+      case OpCode::kJump: {
+        if (ins.imm < 0 ||
+            static_cast<std::size_t>(ins.imm) >= program.size()) {
+          outcome.status = Status::Aborted("jump out of range");
+          return outcome;
+        }
+        pc = static_cast<std::size_t>(ins.imm);
+        continue;
+      }
+      case OpCode::kJumpI: {
+        std::int64_t cond;
+        if (!pop(&cond)) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        if (cond != 0) {
+          if (ins.imm < 0 ||
+              static_cast<std::size_t>(ins.imm) >= program.size()) {
+            outcome.status = Status::Aborted("jump out of range");
+            return outcome;
+          }
+          pc = static_cast<std::size_t>(ins.imm);
+          continue;
+        }
+        break;
+      }
+      case OpCode::kSLoad: {
+        std::int64_t addr;
+        if (!pop(&addr)) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        if (addr < 0) {
+          outcome.status = Status::Aborted("negative state address");
+          return outcome;
+        }
+        stack.push_back(state.Read(Address(static_cast<std::uint64_t>(addr))));
+        break;
+      }
+      case OpCode::kSStore: {
+        std::int64_t value, addr;
+        if (!pop(&value) || !pop(&addr)) {
+          outcome.status = Status::Aborted("stack underflow");
+          return outcome;
+        }
+        if (addr < 0) {
+          outcome.status = Status::Aborted("negative state address");
+          return outcome;
+        }
+        state.Write(Address(static_cast<std::uint64_t>(addr)), value);
+        break;
+      }
+      case OpCode::kRevert: {
+        state.Revert();
+        outcome.reverted = true;
+        return outcome;
+      }
+      case OpCode::kStop:
+        return outcome;
+    }
+    ++pc;
+  }
+  // Falling off the end is a normal stop.
+  return outcome;
+}
+
+namespace {
+
+void Emit(Program& p, OpCode op, std::int64_t imm = 0) {
+  p.push_back({op, imm});
+}
+
+std::int64_t AddrImm(Address a) { return static_cast<std::int64_t>(a.value); }
+
+}  // namespace
+
+Result<Program> CompileSmallBank(const TxPayload& payload) {
+  if (payload.contract != kSmallBankContract) {
+    return Status::InvalidArgument("not a SmallBank call");
+  }
+  const auto& args = payload.args;
+  const auto op = static_cast<SmallBankOp>(payload.op);
+  Program p;
+
+  switch (op) {
+    case SmallBankOp::kUpdateSavings:
+    case SmallBankOp::kUpdateBalance: {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("wrong SmallBank arg count");
+      }
+      const Address addr = op == SmallBankOp::kUpdateSavings
+                               ? SavingsAddress(args[0])
+                               : CheckingAddress(args[0]);
+      Emit(p, OpCode::kPush, AddrImm(addr));   // [addr]
+      Emit(p, OpCode::kDup);                   // [addr addr]
+      Emit(p, OpCode::kSLoad);                 // [addr bal]
+      Emit(p, OpCode::kPush,
+           static_cast<std::int64_t>(args[1]));  // [addr bal delta]
+      Emit(p, OpCode::kAdd);                     // [addr bal+delta]
+      Emit(p, OpCode::kSStore);                  // []
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case SmallBankOp::kSendPayment: {
+      if (args.size() != 3) {
+        return Status::InvalidArgument("wrong SmallBank arg count");
+      }
+      const Address from = CheckingAddress(args[0]);
+      const Address to = CheckingAddress(args[1]);
+      const auto amount = static_cast<std::int64_t>(args[2]);
+      Emit(p, OpCode::kPush, AddrImm(from));
+      Emit(p, OpCode::kDup);
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPush, amount);
+      Emit(p, OpCode::kSub);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kPush, AddrImm(to));
+      Emit(p, OpCode::kDup);
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPush, amount);
+      Emit(p, OpCode::kAdd);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case SmallBankOp::kWriteCheck: {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("wrong SmallBank arg count");
+      }
+      const Address savings = SavingsAddress(args[0]);
+      const Address checking = CheckingAddress(args[0]);
+      const auto amount = static_cast<std::int64_t>(args[1]);
+      // total = savings + checking; overdraft = total < amount
+      Emit(p, OpCode::kPush, AddrImm(savings));  // 0
+      Emit(p, OpCode::kSLoad);                   // 1
+      Emit(p, OpCode::kPush, AddrImm(checking)); // 2
+      Emit(p, OpCode::kSLoad);                   // 3
+      Emit(p, OpCode::kAdd);                     // 4  [total]
+      Emit(p, OpCode::kPush, amount);            // 5
+      Emit(p, OpCode::kLt);                      // 6  [total<amount]
+      Emit(p, OpCode::kJumpI, 15);               // 7  -> overdraft branch
+      // Normal: checking -= amount
+      Emit(p, OpCode::kPush, AddrImm(checking)); // 8
+      Emit(p, OpCode::kDup);                     // 9
+      Emit(p, OpCode::kSLoad);                   // 10
+      Emit(p, OpCode::kPush, amount);            // 11
+      Emit(p, OpCode::kSub);                     // 12
+      Emit(p, OpCode::kSStore);                  // 13
+      Emit(p, OpCode::kStop);                    // 14
+      // Overdraft: checking -= amount + 1 (penalty)
+      Emit(p, OpCode::kPush, AddrImm(checking)); // 15
+      Emit(p, OpCode::kDup);                     // 16
+      Emit(p, OpCode::kSLoad);                   // 17
+      Emit(p, OpCode::kPush, amount + 1);        // 18
+      Emit(p, OpCode::kSub);                     // 19
+      Emit(p, OpCode::kSStore);                  // 20
+      Emit(p, OpCode::kStop);                    // 21
+      return p;
+    }
+    case SmallBankOp::kAmalgamate: {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("wrong SmallBank arg count");
+      }
+      const Address from_savings = SavingsAddress(args[0]);
+      const Address from_checking = CheckingAddress(args[0]);
+      const Address to_checking = CheckingAddress(args[1]);
+      Emit(p, OpCode::kPush, AddrImm(to_checking));   // [to]
+      Emit(p, OpCode::kPush, AddrImm(from_savings));  // [to fs]
+      Emit(p, OpCode::kSLoad);                        // [to sv]
+      Emit(p, OpCode::kPush, AddrImm(from_checking)); // [to sv fc]
+      Emit(p, OpCode::kSLoad);                        // [to sv cv]
+      Emit(p, OpCode::kAdd);                          // [to sv+cv]
+      Emit(p, OpCode::kPush, AddrImm(to_checking));   // [to sum tc]
+      Emit(p, OpCode::kSLoad);                        // [to sum tv]
+      Emit(p, OpCode::kAdd);                          // [to sum+tv]
+      Emit(p, OpCode::kSStore);                       // []
+      Emit(p, OpCode::kPush, AddrImm(from_savings));
+      Emit(p, OpCode::kPush, 0);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kPush, AddrImm(from_checking));
+      Emit(p, OpCode::kPush, 0);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case SmallBankOp::kGetBalance: {
+      if (args.size() != 1) {
+        return Status::InvalidArgument("wrong SmallBank arg count");
+      }
+      Emit(p, OpCode::kPush, AddrImm(SavingsAddress(args[0])));
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPush, AddrImm(CheckingAddress(args[0])));
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kAdd);
+      Emit(p, OpCode::kPop);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+  }
+  return Status::InvalidArgument("unknown SmallBank op");
+}
+
+std::string Disassemble(const Program& program) {
+  static constexpr const char* kNames[] = {
+      "PUSH", "POP",  "DUP",   "SWAP",   "ADD",    "SUB",  "MUL", "LT",
+      "EQ",   "JUMP", "JUMPI", "SLOAD", "SSTORE", "REVERT", "STOP"};
+  std::ostringstream out;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Instruction& ins = program[i];
+    out << i << ": " << kNames[static_cast<std::size_t>(ins.op)];
+    if (ins.op == OpCode::kPush || ins.op == OpCode::kJump ||
+        ins.op == OpCode::kJumpI) {
+      out << ' ' << ins.imm;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace nezha

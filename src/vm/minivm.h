@@ -1,0 +1,75 @@
+// MiniVM: a small stack-based virtual machine standing in for the EVM.
+//
+// The paper's prototype executes Solidity SmallBank through the EVM and logs
+// every state read/write. MiniVM reproduces that execution model: programs
+// are sequences of simple instructions over a 64-bit operand stack; SLOAD /
+// SSTORE go through a LoggedStateView so the interpreter produces exactly
+// the read/write sets concurrency control needs. Gas metering bounds
+// runaway programs.
+//
+// CompileSmallBank translates a SmallBank call into MiniVM bytecode; the
+// result is behaviourally identical to the native ExecuteSmallBank (tested
+// property: equal read sets, write sets, and written values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ledger/transaction.h"
+#include "vm/logged_state.h"
+
+namespace nezha {
+
+enum class OpCode : std::uint8_t {
+  kPush,    ///< push imm
+  kPop,     ///< discard top
+  kDup,     ///< push stack[-1]
+  kSwap,    ///< swap top two
+  kAdd,     ///< pop b, a; push a + b
+  kSub,     ///< pop b, a; push a - b
+  kMul,     ///< pop b, a; push a * b
+  kLt,      ///< pop b, a; push (a < b) ? 1 : 0
+  kEq,      ///< pop b, a; push (a == b) ? 1 : 0
+  kJump,    ///< unconditional jump to instruction index imm
+  kJumpI,   ///< pop cond; jump to imm if cond != 0
+  kSLoad,   ///< pop addr; push state[addr]  (logged read)
+  kSStore,  ///< pop value, addr; state[addr] = value  (logged write)
+  kRevert,  ///< abort: no writes commit
+  kStop,    ///< normal termination
+};
+
+struct Instruction {
+  OpCode op;
+  std::int64_t imm = 0;
+};
+
+using Program = std::vector<Instruction>;
+
+struct VmLimits {
+  std::uint64_t gas_limit = 100'000;
+  std::size_t max_stack = 1024;
+};
+
+struct VmOutcome {
+  Status status;          ///< OK unless the VM itself faulted
+  bool reverted = false;  ///< explicit kRevert executed
+  std::uint64_t gas_used = 0;
+};
+
+/// Gas cost of one instruction (EVM-flavoured: storage ops dominate).
+std::uint64_t GasCost(OpCode op);
+
+/// Runs `program` to completion against the logged state view.
+VmOutcome RunProgram(const Program& program, LoggedStateView& state,
+                     const VmLimits& limits = {});
+
+/// Compiles a SmallBank call into MiniVM bytecode.
+/// Returns InvalidArgument for malformed payloads.
+Result<Program> CompileSmallBank(const TxPayload& payload);
+
+/// Disassembles for debugging/tests: one instruction per line.
+std::string Disassemble(const Program& program);
+
+}  // namespace nezha

@@ -1,0 +1,77 @@
+// ReadWriteSet: the product of speculative execution and the input to
+// concurrency control.
+//
+// The concurrent execution phase simulates every transaction of an epoch
+// against the previous epoch's state snapshot and records, per transaction:
+// the addresses it read (RS), the addresses it wrote (WS), and the values it
+// would write. A transaction may appear in both sets for the same address
+// (read-modify-write); both the CG baseline and Nezha's ACG handle that case
+// explicitly.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/state_db.h"
+
+namespace nezha {
+
+struct ReadWriteSet {
+  /// Addresses read from the snapshot (sorted, unique). A read that is
+  /// satisfied by the transaction's own earlier write is not recorded —
+  /// it depends on no other transaction.
+  std::vector<Address> reads;
+  /// Addresses written (sorted, unique), aligned with write_values.
+  std::vector<Address> writes;
+  /// Final value per written address (last write wins within the tx).
+  std::vector<StateValue> write_values;
+  /// False if the contract aborted at the application level (e.g. an
+  /// explicit REVERT); such a transaction commits no writes.
+  bool ok = true;
+
+  bool ReadsAddress(Address a) const {
+    return std::binary_search(reads.begin(), reads.end(), a);
+  }
+  bool WritesAddress(Address a) const {
+    return std::binary_search(writes.begin(), writes.end(), a);
+  }
+
+  /// Materializes the writes as StateWrite records for the commit phase.
+  std::vector<StateWrite> ToStateWrites() const {
+    std::vector<StateWrite> out;
+    out.reserve(writes.size());
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      out.push_back({writes[i], write_values[i]});
+    }
+    return out;
+  }
+};
+
+/// True if u happens-before-conflicts v per Definition 1: an address read or
+/// written by u is also written by v (rw or ww dependency u -> v).
+inline bool HasDependency(const ReadWriteSet& u, const ReadWriteSet& v) {
+  const auto intersects = [](std::span<const Address> a,
+                             std::span<const Address> b) {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) return true;
+      if (a[i] < b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  };
+  return intersects(u.reads, v.writes) || intersects(u.writes, v.writes);
+}
+
+/// True if the two transactions conflict at all (some address is written by
+/// one and accessed by the other). Pure reads never conflict.
+inline bool Conflicts(const ReadWriteSet& a, const ReadWriteSet& b) {
+  return HasDependency(a, b) || HasDependency(b, a);
+}
+
+}  // namespace nezha

@@ -1,0 +1,113 @@
+#include "vm/smallbank.h"
+
+namespace nezha {
+
+TxPayload MakeSmallBankCall(SmallBankOp op,
+                            std::initializer_list<std::uint64_t> args) {
+  TxPayload payload;
+  payload.contract = kSmallBankContract;
+  payload.op = static_cast<std::uint32_t>(op);
+  payload.args.assign(args.begin(), args.end());
+  return payload;
+}
+
+const char* SmallBankOpName(SmallBankOp op) {
+  switch (op) {
+    case SmallBankOp::kUpdateSavings:
+      return "updateSavings";
+    case SmallBankOp::kUpdateBalance:
+      return "updateBalance";
+    case SmallBankOp::kSendPayment:
+      return "sendPayment";
+    case SmallBankOp::kWriteCheck:
+      return "writeCheck";
+    case SmallBankOp::kAmalgamate:
+      return "amalgamate";
+    case SmallBankOp::kGetBalance:
+      return "getBalance";
+  }
+  return "unknown";
+}
+
+Status ExecuteSmallBank(const TxPayload& payload, LoggedStateView& state) {
+  if (payload.contract != kSmallBankContract) {
+    return Status::InvalidArgument("not a SmallBank call");
+  }
+  const auto op = static_cast<SmallBankOp>(payload.op);
+  const auto& args = payload.args;
+  const auto need_args = [&](std::size_t n) {
+    return args.size() == n
+               ? Status::Ok()
+               : Status::InvalidArgument("wrong SmallBank arg count");
+  };
+
+  switch (op) {
+    case SmallBankOp::kUpdateSavings: {
+      if (Status s = need_args(2); !s.ok()) return s;
+      const Address addr = SavingsAddress(args[0]);
+      const StateValue balance = state.Read(addr);
+      state.Write(addr, balance + static_cast<StateValue>(args[1]));
+      return Status::Ok();
+    }
+    case SmallBankOp::kUpdateBalance: {
+      if (Status s = need_args(2); !s.ok()) return s;
+      const Address addr = CheckingAddress(args[0]);
+      const StateValue balance = state.Read(addr);
+      state.Write(addr, balance + static_cast<StateValue>(args[1]));
+      return Status::Ok();
+    }
+    case SmallBankOp::kSendPayment: {
+      if (Status s = need_args(3); !s.ok()) return s;
+      const Address from = CheckingAddress(args[0]);
+      const Address to = CheckingAddress(args[1]);
+      const auto amount = static_cast<StateValue>(args[2]);
+      // Read/write interleaving mirrors the compiled bytecode exactly so the
+      // two execution paths agree even on degenerate self-payments.
+      const StateValue from_balance = state.Read(from);
+      state.Write(from, from_balance - amount);
+      const StateValue to_balance = state.Read(to);
+      state.Write(to, to_balance + amount);
+      return Status::Ok();
+    }
+    case SmallBankOp::kWriteCheck: {
+      if (Status s = need_args(2); !s.ok()) return s;
+      const Address savings = SavingsAddress(args[0]);
+      const Address checking = CheckingAddress(args[0]);
+      const auto amount = static_cast<StateValue>(args[1]);
+      const StateValue total = state.Read(savings) + state.Read(checking);
+      // SmallBank: if the check overdraws, charge a 1-unit penalty.
+      const StateValue checking_balance = state.Read(checking);
+      if (total < amount) {
+        state.Write(checking, checking_balance - amount - 1);
+      } else {
+        state.Write(checking, checking_balance - amount);
+      }
+      return Status::Ok();
+    }
+    case SmallBankOp::kAmalgamate: {
+      if (Status s = need_args(2); !s.ok()) return s;
+      const Address from_savings = SavingsAddress(args[0]);
+      const Address from_checking = CheckingAddress(args[0]);
+      const Address to_checking = CheckingAddress(args[1]);
+      // Same operation order as the compiled bytecode (reads, then the
+      // destination write, then the zeroing writes).
+      const StateValue savings_balance = state.Read(from_savings);
+      const StateValue checking_balance = state.Read(from_checking);
+      const StateValue to_balance = state.Read(to_checking);
+      state.Write(to_checking, to_balance + savings_balance + checking_balance);
+      state.Write(from_savings, 0);
+      state.Write(from_checking, 0);
+      return Status::Ok();
+    }
+    case SmallBankOp::kGetBalance: {
+      if (Status s = need_args(1); !s.ok()) return s;
+      // Read both balances; the "return value" is observational only.
+      (void)state.Read(SavingsAddress(args[0]));
+      (void)state.Read(CheckingAddress(args[0]));
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown SmallBank op");
+}
+
+}  // namespace nezha

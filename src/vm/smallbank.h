@@ -1,0 +1,61 @@
+// SmallBank: the benchmark contract from the paper's evaluation (§VI.A).
+//
+// Six operations over per-account savings and checking balances; the first
+// five write, getBalance only reads. Each account occupies two state
+// addresses (savings and checking), so 10k accounts span 20k addresses.
+//
+// Two interchangeable executions are provided:
+//  * ExecuteSmallBank — a native C++ implementation (fast path);
+//  * the MiniVM bytecode produced by CompileSmallBank (src/vm/minivm.h),
+//    which interprets the same logic instruction-by-instruction.
+// Both must produce identical read/write sets and values (tested).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+#include "vm/logged_state.h"
+
+namespace nezha {
+
+/// Contract id carried in TxPayload::contract.
+inline constexpr std::uint32_t kSmallBankContract = 1;
+
+/// Operation selectors (TxPayload::op).
+enum class SmallBankOp : std::uint32_t {
+  kUpdateSavings = 0,  ///< args: account, delta        (writes savings)
+  kUpdateBalance = 1,  ///< args: account, delta        (writes checking)
+  kSendPayment = 2,    ///< args: from, to, amount      (writes 2 checkings)
+  kWriteCheck = 3,     ///< args: account, amount       (reads both, writes checking)
+  kAmalgamate = 4,     ///< args: from, to              (moves all funds)
+  kGetBalance = 5,     ///< args: account               (read-only)
+};
+inline constexpr std::uint32_t kNumSmallBankOps = 6;
+
+/// State-address mapping: account a -> savings cell 2a, checking cell 2a+1.
+inline Address SavingsAddress(std::uint64_t account) {
+  return Address(account * 2);
+}
+inline Address CheckingAddress(std::uint64_t account) {
+  return Address(account * 2 + 1);
+}
+/// The account owning a state address.
+inline std::uint64_t AccountOfAddress(Address a) { return a.value / 2; }
+inline bool IsSavingsAddress(Address a) { return a.value % 2 == 0; }
+
+/// Builds a transaction payload for one SmallBank call.
+TxPayload MakeSmallBankCall(SmallBankOp op,
+                            std::initializer_list<std::uint64_t> args);
+
+/// Executes one SmallBank call natively against the logged view.
+/// Returns InvalidArgument for malformed payloads; contract-level failures
+/// (e.g. insufficient funds on writeCheck per the lax SmallBank semantics)
+/// do not fail — SmallBank permits overdrafts, matching common usage.
+Status ExecuteSmallBank(const TxPayload& payload, LoggedStateView& state);
+
+/// Human-readable op name ("sendPayment" etc.).
+const char* SmallBankOpName(SmallBankOp op);
+
+}  // namespace nezha

@@ -1,0 +1,216 @@
+#include "vm/token_contract.h"
+
+namespace nezha {
+namespace {
+
+Status NeedArgs(const TxPayload& payload, std::size_t n) {
+  return payload.args.size() == n
+             ? Status::Ok()
+             : Status::InvalidArgument("wrong token contract arg count");
+}
+
+void Emit(Program& p, OpCode op, std::int64_t imm = 0) {
+  p.push_back({op, imm});
+}
+
+std::int64_t AddrImm(Address a) { return static_cast<std::int64_t>(a.value); }
+
+}  // namespace
+
+TxPayload MakeTokenCall(TokenOp op,
+                        std::initializer_list<std::uint64_t> args) {
+  TxPayload payload;
+  payload.contract = kTokenContract;
+  payload.op = static_cast<std::uint32_t>(op);
+  payload.args.assign(args.begin(), args.end());
+  return payload;
+}
+
+Status ExecuteTokenContract(const TxPayload& payload, LoggedStateView& state) {
+  if (payload.contract != kTokenContract) {
+    return Status::InvalidArgument("not a token contract call");
+  }
+  const auto& args = payload.args;
+  switch (static_cast<TokenOp>(payload.op)) {
+    case TokenOp::kMint: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      const Address to = TokenBalanceAddress(args[0]);
+      const StateValue balance = state.Read(to);
+      state.Write(to, balance + static_cast<StateValue>(args[1]));
+      return Status::Ok();
+    }
+    case TokenOp::kTransfer: {
+      if (Status s = NeedArgs(payload, 3); !s.ok()) return s;
+      const Address from = TokenBalanceAddress(args[0]);
+      const Address to = TokenBalanceAddress(args[1]);
+      const auto amount = static_cast<StateValue>(args[2]);
+      // Operation order mirrors the compiled bytecode exactly.
+      const StateValue from_balance = state.Read(from);
+      if (from_balance < amount) {
+        state.Revert();
+        return Status::Ok();
+      }
+      state.Write(from, from_balance - amount);
+      const StateValue to_balance = state.Read(to);
+      state.Write(to, to_balance + amount);
+      return Status::Ok();
+    }
+    case TokenOp::kApprove: {
+      if (Status s = NeedArgs(payload, 3); !s.ok()) return s;
+      state.Write(TokenAllowanceAddress(args[0], args[1]),
+                  static_cast<StateValue>(args[2]));
+      return Status::Ok();
+    }
+    case TokenOp::kTransferFrom: {
+      if (Status s = NeedArgs(payload, 4); !s.ok()) return s;
+      const std::uint64_t spender = args[0];
+      const std::uint64_t owner = args[1];
+      const Address to = TokenBalanceAddress(args[2]);
+      const auto amount = static_cast<StateValue>(args[3]);
+      const Address allowance_addr = TokenAllowanceAddress(owner, spender);
+      const Address owner_balance_addr = TokenBalanceAddress(owner);
+
+      const StateValue allowance = state.Read(allowance_addr);
+      if (allowance < amount) {
+        state.Revert();
+        return Status::Ok();
+      }
+      const StateValue owner_balance = state.Read(owner_balance_addr);
+      if (owner_balance < amount) {
+        state.Revert();
+        return Status::Ok();
+      }
+      state.Write(allowance_addr, allowance - amount);
+      state.Write(owner_balance_addr, owner_balance - amount);
+      const StateValue to_balance = state.Read(to);
+      state.Write(to, to_balance + amount);
+      return Status::Ok();
+    }
+    case TokenOp::kBalanceOf: {
+      if (Status s = NeedArgs(payload, 1); !s.ok()) return s;
+      (void)state.Read(TokenBalanceAddress(args[0]));
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown token contract op");
+}
+
+Result<Program> CompileTokenContract(const TxPayload& payload) {
+  if (payload.contract != kTokenContract) {
+    return Status::InvalidArgument("not a token contract call");
+  }
+  const auto& args = payload.args;
+  Program p;
+  switch (static_cast<TokenOp>(payload.op)) {
+    case TokenOp::kMint: {
+      if (Status s = NeedArgs(payload, 2); !s.ok()) return s;
+      const Address to = TokenBalanceAddress(args[0]);
+      Emit(p, OpCode::kPush, AddrImm(to));
+      Emit(p, OpCode::kDup);
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPush, static_cast<std::int64_t>(args[1]));
+      Emit(p, OpCode::kAdd);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case TokenOp::kTransfer: {
+      if (Status s = NeedArgs(payload, 3); !s.ok()) return s;
+      const Address from = TokenBalanceAddress(args[0]);
+      const Address to = TokenBalanceAddress(args[1]);
+      const auto amount = static_cast<std::int64_t>(args[2]);
+      Emit(p, OpCode::kPush, AddrImm(from));  // 0
+      Emit(p, OpCode::kSLoad);                // 1  [bf]
+      Emit(p, OpCode::kDup);                  // 2  [bf bf]
+      Emit(p, OpCode::kPush, amount);         // 3  [bf bf amt]
+      Emit(p, OpCode::kLt);                   // 4  [bf (bf<amt)]
+      Emit(p, OpCode::kJumpI, 15);            // 5  -> revert
+      Emit(p, OpCode::kPush, amount);         // 6  [bf amt]
+      Emit(p, OpCode::kSub);                  // 7  [bf-amt]
+      Emit(p, OpCode::kPush, AddrImm(from));  // 8
+      Emit(p, OpCode::kSwap);                 // 9  [from bf-amt]
+      Emit(p, OpCode::kSStore);               // 10
+      Emit(p, OpCode::kPush, AddrImm(to));    // 11
+      Emit(p, OpCode::kDup);                  // 12
+      Emit(p, OpCode::kSLoad);                // 13
+      Emit(p, OpCode::kPush, amount);         // 14 -- wait, collides with 15
+      // (see fixup below)
+      Emit(p, OpCode::kAdd);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      Emit(p, OpCode::kRevert);
+      // Fix the revert target to the actual REVERT slot.
+      p[5].imm = static_cast<std::int64_t>(p.size() - 1);
+      return p;
+    }
+    case TokenOp::kApprove: {
+      if (Status s = NeedArgs(payload, 3); !s.ok()) return s;
+      Emit(p, OpCode::kPush,
+           AddrImm(TokenAllowanceAddress(args[0], args[1])));
+      Emit(p, OpCode::kPush, static_cast<std::int64_t>(args[2]));
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+    case TokenOp::kTransferFrom: {
+      if (Status s = NeedArgs(payload, 4); !s.ok()) return s;
+      const Address allowance_addr = TokenAllowanceAddress(args[1], args[0]);
+      const Address owner_addr = TokenBalanceAddress(args[1]);
+      const Address to_addr = TokenBalanceAddress(args[2]);
+      const auto amount = static_cast<std::int64_t>(args[3]);
+      // allowance check
+      Emit(p, OpCode::kPush, AddrImm(allowance_addr));
+      Emit(p, OpCode::kSLoad);         // [al]
+      Emit(p, OpCode::kDup);           // [al al]
+      Emit(p, OpCode::kPush, amount);  // [al al amt]
+      Emit(p, OpCode::kLt);            // [al (al<amt)]
+      const std::size_t jump1 = p.size();
+      Emit(p, OpCode::kJumpI, 0);      // -> revert (patched)
+      // owner balance check
+      Emit(p, OpCode::kPush, AddrImm(owner_addr));
+      Emit(p, OpCode::kSLoad);         // [al ob]
+      Emit(p, OpCode::kDup);           // [al ob ob]
+      Emit(p, OpCode::kPush, amount);  // [al ob ob amt]
+      Emit(p, OpCode::kLt);            // [al ob (ob<amt)]
+      const std::size_t jump2 = p.size();
+      Emit(p, OpCode::kJumpI, 0);      // -> revert (patched)
+      // allowance -= amount  (allowance value is below owner balance)
+      Emit(p, OpCode::kSwap);          // [ob al]
+      Emit(p, OpCode::kPush, amount);  // [ob al amt]
+      Emit(p, OpCode::kSub);           // [ob al-amt]
+      Emit(p, OpCode::kPush, AddrImm(allowance_addr));
+      Emit(p, OpCode::kSwap);          // [ob addr al-amt]
+      Emit(p, OpCode::kSStore);        // [ob]
+      // owner -= amount
+      Emit(p, OpCode::kPush, amount);  // [ob amt]
+      Emit(p, OpCode::kSub);           // [ob-amt]
+      Emit(p, OpCode::kPush, AddrImm(owner_addr));
+      Emit(p, OpCode::kSwap);
+      Emit(p, OpCode::kSStore);
+      // to += amount
+      Emit(p, OpCode::kPush, AddrImm(to_addr));
+      Emit(p, OpCode::kDup);
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPush, amount);
+      Emit(p, OpCode::kAdd);
+      Emit(p, OpCode::kSStore);
+      Emit(p, OpCode::kStop);
+      const std::size_t revert_slot = p.size();
+      Emit(p, OpCode::kRevert);
+      p[jump1].imm = static_cast<std::int64_t>(revert_slot);
+      p[jump2].imm = static_cast<std::int64_t>(revert_slot);
+      return p;
+    }
+    case TokenOp::kBalanceOf: {
+      if (Status s = NeedArgs(payload, 1); !s.ok()) return s;
+      Emit(p, OpCode::kPush, AddrImm(TokenBalanceAddress(args[0])));
+      Emit(p, OpCode::kSLoad);
+      Emit(p, OpCode::kPop);
+      Emit(p, OpCode::kStop);
+      return p;
+    }
+  }
+  return Status::InvalidArgument("unknown token contract op");
+}
+
+}  // namespace nezha

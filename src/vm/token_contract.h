@@ -1,0 +1,47 @@
+// TokenContract: an ERC20-style fungible token (contract id 3).
+//
+// Exercises the contract-level REVERT path through the whole pipeline: a
+// transfer exceeding the sender's balance (or an allowance-violating
+// transferFrom) reverts, producing rwset.ok == false — such transactions
+// abort at execution and never reach concurrency control.
+//
+// State layout in the (2 << 40) namespace:
+//   balance(holder)            = (2 << 40) | holder
+//   allowance(owner, spender)  = (2 << 40) | (1 << 39) | (owner << 19) | spender
+// Holder/owner/spender ids must stay below 2^19 (plenty for benchmarks).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+
+namespace nezha {
+
+inline constexpr std::uint32_t kTokenContract = 3;
+
+enum class TokenOp : std::uint32_t {
+  kMint = 0,          ///< args: to, amount
+  kTransfer = 1,      ///< args: from, to, amount        (reverts if short)
+  kApprove = 2,       ///< args: owner, spender, amount
+  kTransferFrom = 3,  ///< args: spender, owner, to, amount
+  kBalanceOf = 4,     ///< args: holder                  (read only)
+};
+
+inline Address TokenBalanceAddress(std::uint64_t holder) {
+  return Address((2ull << 40) | holder);
+}
+inline Address TokenAllowanceAddress(std::uint64_t owner,
+                                     std::uint64_t spender) {
+  return Address((2ull << 40) | (1ull << 39) | (owner << 19) | spender);
+}
+
+TxPayload MakeTokenCall(TokenOp op, std::initializer_list<std::uint64_t> args);
+
+Status ExecuteTokenContract(const TxPayload& payload, LoggedStateView& state);
+Result<Program> CompileTokenContract(const TxPayload& payload);
+
+}  // namespace nezha

@@ -1,0 +1,62 @@
+#include "workload/conflict_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace nezha {
+
+std::uint64_t ConflictPairCount(std::uint64_t n_txs) {
+  return n_txs * (n_txs - 1) / 2;
+}
+
+double ExpectedDistinctAddresses(std::uint64_t population, double skew,
+                                 std::uint64_t draws) {
+  const ZipfianGenerator dist(population, skew);
+  double expected = 0;
+  for (std::uint64_t k = 0; k < population; ++k) {
+    const double pk = dist.ProbabilityOfRank(k);
+    expected += 1.0 - std::pow(1.0 - pk, static_cast<double>(draws));
+  }
+  return expected;
+}
+
+ConflictStats MeasureConflicts(std::span<const ReadWriteSet> rwsets) {
+  ConflictStats stats;
+  stats.n_txs = rwsets.size();
+  stats.pair_count = ConflictPairCount(stats.n_txs);
+
+  for (std::size_t i = 0; i < rwsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < rwsets.size(); ++j) {
+      if (Conflicts(rwsets[i], rwsets[j])) ++stats.conflicting_pairs;
+    }
+  }
+  stats.conflict_probability =
+      stats.pair_count == 0
+          ? 0
+          : static_cast<double>(stats.conflicting_pairs) /
+                static_cast<double>(stats.pair_count);
+
+  std::unordered_map<std::uint64_t, std::uint64_t> txs_per_address;
+  for (const ReadWriteSet& rw : rwsets) {
+    // Count each tx once per address it touches (read or write).
+    std::vector<Address> touched(rw.reads);
+    touched.insert(touched.end(), rw.writes.begin(), rw.writes.end());
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (Address a : touched) ++txs_per_address[a.value];
+  }
+  stats.distinct_addresses = txs_per_address.size();
+  for (const auto& [addr, count] : txs_per_address) {
+    stats.max_txs_on_one_address =
+        std::max(stats.max_txs_on_one_address, count);
+  }
+  stats.avg_conflicts_per_address =
+      stats.distinct_addresses == 0
+          ? 0
+          : static_cast<double>(stats.conflicting_pairs) /
+                static_cast<double>(stats.distinct_addresses);
+  return stats;
+}
+
+}  // namespace nezha

@@ -1,0 +1,49 @@
+// Conflict analytics behind the paper's Table I and §III.C.
+//
+// The paper models the number of potential conflicts among N_e concurrent
+// transactions as C = N_e(N_e-1)/2 * p, where p is the probability that two
+// transactions conflict, and reports (with block size 20 and a fixed Zipfian
+// over 10k accounts):
+//
+//   block concurrency     2      4      6       8
+//   total conflicts     780p  3160p  7140p  12720p
+//   per-address         26p    56p   106p    150p
+//
+// This module provides the closed-form pair count, the expected number of
+// distinct addresses touched (the denominator of the per-address row), and
+// empirical measurement of both on real generated workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/zipfian.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+/// N(N-1)/2 — the number of transaction pairs ("total conflicts" in units
+/// of p).
+std::uint64_t ConflictPairCount(std::uint64_t n_txs);
+
+/// Expected number of distinct values seen in `draws` samples from a
+/// Zipfian(population, skew) distribution: sum_k (1 - (1 - p_k)^draws).
+double ExpectedDistinctAddresses(std::uint64_t population, double skew,
+                                 std::uint64_t draws);
+
+struct ConflictStats {
+  std::uint64_t n_txs = 0;
+  std::uint64_t pair_count = 0;          ///< N(N-1)/2
+  std::uint64_t conflicting_pairs = 0;   ///< measured conflicts
+  double conflict_probability = 0;       ///< measured p
+  std::uint64_t distinct_addresses = 0;  ///< addresses accessed by the batch
+  double avg_conflicts_per_address = 0;  ///< conflicting pairs / addresses
+  std::uint64_t max_txs_on_one_address = 0;
+};
+
+/// Measures conflicts across a batch of simulated read/write sets:
+/// a pair conflicts if one writes an address the other reads or writes.
+ConflictStats MeasureConflicts(std::span<const ReadWriteSet> rwsets);
+
+}  // namespace nezha

@@ -1,0 +1,44 @@
+#include "workload/kv_workload.h"
+
+#include <algorithm>
+
+namespace nezha {
+
+ReadWriteSet KVWorkload::NextRWSet() {
+  ReadWriteSet rw;
+  // Draw distinct write keys first (a tx writes each key once).
+  std::vector<std::uint64_t> writes;
+  while (writes.size() < config_.writes_per_tx) {
+    const std::uint64_t key = sampler_.Next(rng_);
+    if (std::find(writes.begin(), writes.end(), key) == writes.end()) {
+      writes.push_back(key);
+    }
+  }
+  // Non-blind writes read their own key; plus independent extra reads.
+  std::vector<std::uint64_t> reads;
+  for (std::uint64_t key : writes) {
+    if (!rng_.Chance(config_.blind_write_fraction)) reads.push_back(key);
+  }
+  for (std::size_t i = 0; i < config_.reads_per_tx; ++i) {
+    reads.push_back(sampler_.Next(rng_));
+  }
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  std::sort(writes.begin(), writes.end());
+
+  for (std::uint64_t key : reads) rw.reads.push_back(Address(key));
+  for (std::uint64_t key : writes) {
+    rw.writes.push_back(Address(key));
+    rw.write_values.push_back(static_cast<StateValue>(rng_.Below(1'000'000)));
+  }
+  return rw;
+}
+
+std::vector<ReadWriteSet> KVWorkload::MakeBatch(std::size_t n) {
+  std::vector<ReadWriteSet> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(NextRWSet());
+  return batch;
+}
+
+}  // namespace nezha

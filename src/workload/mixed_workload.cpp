@@ -1,0 +1,119 @@
+#include "workload/mixed_workload.h"
+
+#include "vm/kv_contract.h"
+#include "vm/smallbank.h"
+#include "vm/token_contract.h"
+
+namespace nezha {
+
+MixedWorkload::MixedWorkload(const MixedWorkloadConfig& config,
+                             std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      smallbank_sampler_(config.smallbank_accounts, config.skew),
+      kv_sampler_(config.kv_keys, config.skew),
+      token_sampler_(config.token_holders, config.skew) {}
+
+std::uint64_t MixedWorkload::PickDistinct(ZipfianGenerator& sampler,
+                                          std::uint64_t other) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t pick = sampler.Next(rng_);
+    if (pick != other) return pick;
+  }
+  return (other + 1) % sampler.population();
+}
+
+Transaction MixedWorkload::NextTransaction() {
+  Transaction tx;
+  tx.nonce = next_nonce_++;
+  const double total = config_.smallbank_weight + config_.kv_weight +
+                       config_.token_weight;
+  const double roll = rng_.NextDouble() * total;
+  const std::uint64_t amount = rng_.Between(1, config_.max_amount);
+
+  if (roll < config_.smallbank_weight) {
+    const auto op = static_cast<SmallBankOp>(rng_.Below(kNumSmallBankOps));
+    const std::uint64_t a = smallbank_sampler_.Next(rng_);
+    switch (op) {
+      case SmallBankOp::kSendPayment:
+        tx.payload = MakeSmallBankCall(
+            op, {a, PickDistinct(smallbank_sampler_, a), amount});
+        break;
+      case SmallBankOp::kAmalgamate:
+        tx.payload =
+            MakeSmallBankCall(op, {a, PickDistinct(smallbank_sampler_, a)});
+        break;
+      case SmallBankOp::kGetBalance:
+        tx.payload = MakeSmallBankCall(op, {a});
+        break;
+      default:
+        tx.payload = MakeSmallBankCall(op, {a, amount});
+        break;
+    }
+  } else if (roll < config_.smallbank_weight + config_.kv_weight) {
+    const auto op = static_cast<KVOp>(rng_.Below(5));
+    const std::uint64_t k = kv_sampler_.Next(rng_);
+    switch (op) {
+      case KVOp::kSet:
+      case KVOp::kAdd:
+        tx.payload = MakeKVCall(op, {k, amount});
+        break;
+      case KVOp::kGet:
+        tx.payload = MakeKVCall(op, {k});
+        break;
+      case KVOp::kMultiSet:
+        tx.payload = MakeKVCall(
+            op, {k, amount, PickDistinct(kv_sampler_, k), amount + 1});
+        break;
+      case KVOp::kCopy:
+        tx.payload = MakeKVCall(op, {k, PickDistinct(kv_sampler_, k)});
+        break;
+    }
+  } else {
+    const auto op = static_cast<TokenOp>(rng_.Below(5));
+    const std::uint64_t holder = token_sampler_.Next(rng_);
+    switch (op) {
+      case TokenOp::kMint:
+        tx.payload = MakeTokenCall(op, {holder, amount});
+        break;
+      case TokenOp::kTransfer:
+        tx.payload = MakeTokenCall(
+            op, {holder, PickDistinct(token_sampler_, holder), amount});
+        break;
+      case TokenOp::kApprove:
+        tx.payload = MakeTokenCall(
+            op, {holder, PickDistinct(token_sampler_, holder), amount});
+        break;
+      case TokenOp::kTransferFrom: {
+        const std::uint64_t owner = PickDistinct(token_sampler_, holder);
+        tx.payload = MakeTokenCall(
+            op, {holder, owner, PickDistinct(token_sampler_, owner), amount});
+        break;
+      }
+      case TokenOp::kBalanceOf:
+        tx.payload = MakeTokenCall(op, {holder});
+        break;
+    }
+  }
+  return tx;
+}
+
+std::vector<Transaction> MixedWorkload::MakeBatch(std::size_t n) {
+  std::vector<Transaction> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(NextTransaction());
+  return batch;
+}
+
+void MixedWorkload::InitState(StateDB& db, const MixedWorkloadConfig& config,
+                              StateValue initial_balance) {
+  for (std::uint64_t a = 0; a < config.smallbank_accounts; ++a) {
+    db.Set(SavingsAddress(a), initial_balance);
+    db.Set(CheckingAddress(a), initial_balance);
+  }
+  for (std::uint64_t h = 0; h < config.token_holders; ++h) {
+    db.Set(TokenBalanceAddress(h), initial_balance);
+  }
+}
+
+}  // namespace nezha

@@ -1,0 +1,73 @@
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+
+SmallBankWorkload::SmallBankWorkload(const WorkloadConfig& config,
+                                     std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      account_sampler_(config.num_accounts,
+                       config.scrambled ? config.skew : config.skew) {}
+
+std::uint64_t SmallBankWorkload::PickAccount() {
+  return account_sampler_.Next(rng_);
+}
+
+std::uint64_t SmallBankWorkload::PickAccountDistinctFrom(std::uint64_t other) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t account = PickAccount();
+    if (account != other) return account;
+  }
+  // Pathological single-account population: fall back to a neighbour.
+  return (other + 1) % config_.num_accounts;
+}
+
+Transaction SmallBankWorkload::NextTransaction() {
+  Transaction tx;
+  tx.nonce = next_nonce_++;
+  const auto op = static_cast<SmallBankOp>(rng_.Below(kNumSmallBankOps));
+  const std::uint64_t amount = rng_.Between(1, config_.max_amount);
+  switch (op) {
+    case SmallBankOp::kUpdateSavings:
+    case SmallBankOp::kUpdateBalance:
+    case SmallBankOp::kWriteCheck: {
+      tx.payload = MakeSmallBankCall(op, {PickAccount(), amount});
+      break;
+    }
+    case SmallBankOp::kSendPayment: {
+      const std::uint64_t from = PickAccount();
+      const std::uint64_t to = PickAccountDistinctFrom(from);
+      tx.payload = MakeSmallBankCall(op, {from, to, amount});
+      break;
+    }
+    case SmallBankOp::kAmalgamate: {
+      const std::uint64_t from = PickAccount();
+      const std::uint64_t to = PickAccountDistinctFrom(from);
+      tx.payload = MakeSmallBankCall(op, {from, to});
+      break;
+    }
+    case SmallBankOp::kGetBalance: {
+      tx.payload = MakeSmallBankCall(op, {PickAccount()});
+      break;
+    }
+  }
+  return tx;
+}
+
+std::vector<Transaction> SmallBankWorkload::MakeBatch(std::size_t n) {
+  std::vector<Transaction> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(NextTransaction());
+  return batch;
+}
+
+void SmallBankWorkload::InitAccounts(StateDB& db, std::uint64_t num_accounts,
+                                     StateValue initial_savings,
+                                     StateValue initial_checking) {
+  for (std::uint64_t account = 0; account < num_accounts; ++account) {
+    db.Set(SavingsAddress(account), initial_savings);
+    db.Set(CheckingAddress(account), initial_checking);
+  }
+}
+
+}  // namespace nezha

@@ -1,0 +1,56 @@
+// SmallBank workload generator (§VI.A of the paper).
+//
+// Each generated transaction picks one of the six SmallBank operations
+// uniformly at random; accounts are drawn from a Zipfian distribution over
+// `num_accounts` accounts (skew = 0 degenerates to uniform). Larger skew
+// concentrates accesses on hot accounts and raises the conflict rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "ledger/transaction.h"
+#include "storage/state_db.h"
+#include "vm/smallbank.h"
+
+namespace nezha {
+
+struct WorkloadConfig {
+  std::uint64_t num_accounts = 10'000;  ///< paper: 10k accounts
+  double skew = 0.0;                    ///< Zipfian coefficient
+  std::uint64_t max_amount = 100;       ///< transfer amounts in [1, max]
+  bool scrambled = true;  ///< spread hot accounts across the id space
+};
+
+class SmallBankWorkload {
+ public:
+  SmallBankWorkload(const WorkloadConfig& config, std::uint64_t seed);
+
+  const WorkloadConfig& config() const { return config_; }
+
+  /// One random SmallBank transaction (monotonically increasing nonce).
+  Transaction NextTransaction();
+
+  /// A batch of n transactions.
+  std::vector<Transaction> MakeBatch(std::size_t n);
+
+  /// Funds every account with the given starting balances so transfers act
+  /// on non-trivial state.
+  static void InitAccounts(StateDB& db, std::uint64_t num_accounts,
+                           StateValue initial_savings,
+                           StateValue initial_checking);
+
+ private:
+  std::uint64_t PickAccount();
+  /// Picks a second account distinct from `other` (two-account ops).
+  std::uint64_t PickAccountDistinctFrom(std::uint64_t other);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  ScrambledZipfianGenerator account_sampler_;
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace nezha

@@ -1,0 +1,401 @@
+// Unit tests for src/common: SHA-256, byte utilities, RNG, Zipfian sampler,
+// histogram, status/result, thread pool, logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "common/zipfian.h"
+
+namespace nezha {
+namespace {
+
+// ---------- SHA-256 (FIPS 180-4 test vectors) ----------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Digest("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Digest("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .ToHex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(hasher.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  Sha256 hasher;
+  for (char c : data) hasher.Update(std::string_view(&c, 1));
+  EXPECT_EQ(hasher.Finish(), Sha256::Digest(data));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  const std::string block(64, 'x');
+  const std::string two_blocks(128, 'x');
+  EXPECT_NE(Sha256::Digest(block), Sha256::Digest(two_blocks));
+  // 55/56/57 bytes straddle the padding boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    Sha256 split;
+    const std::string msg(len, 'y');
+    split.Update(msg.substr(0, len / 2));
+    split.Update(msg.substr(len / 2));
+    EXPECT_EQ(split.Finish(), Sha256::Digest(msg)) << "len=" << len;
+  }
+}
+
+TEST(Hash256Test, ZeroDetection) {
+  Hash256 h;
+  EXPECT_TRUE(h.IsZero());
+  h.bytes[31] = 1;
+  EXPECT_FALSE(h.IsZero());
+}
+
+TEST(Hash256Test, HexIs64Chars) {
+  EXPECT_EQ(Sha256::Digest("x").ToHex().size(), 64u);
+}
+
+// ---------- bytes ----------
+
+TEST(BytesTest, HexRoundTrip) {
+  const std::string data = "\x00\x01\xab\xff\x7f";
+  const std::string data_full(data.data(), 5);
+  EXPECT_EQ(FromHex(ToHex(data_full)), data_full);
+}
+
+TEST(BytesTest, HexRejectsMalformed) {
+  EXPECT_EQ(FromHex("abc"), "");   // odd length
+  EXPECT_EQ(FromHex("zz"), "");    // bad digit
+}
+
+TEST(BytesTest, Fixed64RoundTrip) {
+  std::string out;
+  PutFixed64(out, 0xdeadbeefcafebabeull);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(GetFixed64(out), 0xdeadbeefcafebabeull);
+}
+
+TEST(BytesTest, Fixed64BigEndianOrdering) {
+  // Big-endian encoding preserves numeric order lexicographically.
+  std::string a, b;
+  PutFixed64(a, 5);
+  PutFixed64(b, 300);
+  EXPECT_LT(a, b);
+}
+
+TEST(BytesTest, Fixed32RoundTrip) {
+  std::string out;
+  PutFixed32(out, 0x12345678u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(GetFixed32(out), 0x12345678u);
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                          ~0ull, 0xdeadbeefull}) {
+    std::string out;
+    PutVarint64(out, v);
+    std::size_t offset = 0;
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(out, &offset, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(offset, out.size());
+  }
+}
+
+TEST(BytesTest, VarintTruncatedFails) {
+  std::string out;
+  PutVarint64(out, 1u << 20);
+  out.pop_back();
+  std::size_t offset = 0;
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint64(out, &offset, &decoded));
+}
+
+// ---------- types ----------
+
+TEST(AddressTest, OrderingAndEquality) {
+  EXPECT_LT(Address(1), Address(2));
+  EXPECT_EQ(Address(7), Address(7));
+  EXPECT_NE(Address(7), Address(8));
+  EXPECT_EQ(ToString(Address(17)), "A17");
+}
+
+TEST(AddressTest, HashSpreadsSequentialIds) {
+  std::set<std::size_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<Address>{}(Address(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on a small range
+}
+
+// ---------- status / result ----------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  const Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Aborted("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+// ---------- RNG ----------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---------- Zipfian ----------
+
+TEST(ZipfianTest, UniformAtZeroSkew) {
+  ZipfianGenerator gen(100, 0.0);
+  Rng rng(1);
+  int counts[100] = {};
+  for (int i = 0; i < 100000; ++i) ++counts[gen.Next(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(ZipfianTest, RankZeroIsHottest) {
+  ZipfianGenerator gen(1000, 0.99);
+  Rng rng(2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[gen.Next(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[999]);
+  // Rank 0 under theta~1 over 1000 items should take a noticeable share.
+  EXPECT_GT(counts[0], 5000);
+}
+
+TEST(ZipfianTest, EmpiricalMatchesAnalyticMass) {
+  const std::uint64_t n = 100;
+  ZipfianGenerator gen(n, 0.8);
+  Rng rng(3);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.Next(rng)];
+  for (std::uint64_t k : {0ull, 1ull, 5ull, 20ull}) {
+    const double expected = gen.ProbabilityOfRank(k) * kSamples;
+    EXPECT_NEAR(counts[k], expected, std::max(50.0, expected * 0.15))
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfianTest, ProbabilitiesSumToOne) {
+  ZipfianGenerator gen(500, 0.6);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < 500; ++k) sum += gen.ProbabilityOfRank(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfianTest, ScrambledPreservesHotSetSize) {
+  // Scrambling must move the hot key away from rank 0 but keep skewness:
+  // the most frequent key's share should match the unscrambled rank-0 share.
+  const std::uint64_t n = 1000;
+  ScrambledZipfianGenerator scrambled(n, 0.99);
+  ZipfianGenerator plain(n, 0.99);
+  Rng rng(4);
+  std::vector<int> counts(n, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[scrambled.Next(rng)];
+  const int hottest = *std::max_element(counts.begin(), counts.end());
+  const double expected_share = plain.ProbabilityOfRank(0);
+  EXPECT_NEAR(hottest, expected_share * kSamples,
+              expected_share * kSamples * 0.2);
+}
+
+// ---------- histogram ----------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Median(), 50.5, 1.0);
+  EXPECT_NEAR(h.Percentile(99), 99, 1.5);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Add(1);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+// ---------- thread pool ----------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 10,
+                                [](std::size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ChunkedGivesDistinctSlots) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::size_t> slots;
+  pool.ParallelForChunked(0, 100,
+                          [&](std::size_t lo, std::size_t hi,
+                              std::size_t slot) {
+                            EXPECT_LT(lo, hi);
+                            std::lock_guard lock(mu);
+                            slots.insert(slot);
+                          });
+  EXPECT_GE(slots.size(), 1u);
+  EXPECT_LE(slots.size(), 4u);
+}
+
+// ---------- stopwatch ----------
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(w.ElapsedMillis(), 5.0);
+  EXPECT_LT(w.ElapsedSeconds(), 5.0);
+}
+
+TEST(PhaseTimerTest, Accumulates) {
+  PhaseTimer t;
+  t.Add(100);
+  t.Add(200);
+  EXPECT_DOUBLE_EQ(t.TotalMicros(), 300);
+  EXPECT_DOUBLE_EQ(t.MeanMicros(), 150);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+// ---------- logging ----------
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  NEZHA_LOG(kInfo) << "suppressed";  // should not crash, goes nowhere
+  NEZHA_LOG(kError) << "visible";
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace nezha

@@ -1,0 +1,316 @@
+// Tests for the DAG-Rider-style BFT DAG: vertex validation, the round
+// clock, wave commits (including leader skipping), BFT agreement across the
+// simulated network, and the execution bridge.
+#include <gtest/gtest.h>
+
+#include "consensus/dagrider_sim.h"
+#include "node/dagrider_bridge.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+// A hand-driven 4-node network where every vertex is delivered to every
+// view immediately (a synchronous round).
+class DagRiderHarness {
+ public:
+  static constexpr std::uint32_t kNodes = 4;
+
+  DagRiderHarness() {
+    for (NodeId id = 0; id < kNodes; ++id) {
+      views_.emplace_back(id, kNodes);
+    }
+  }
+
+  /// Every node emits its next vertex; all vertices broadcast to everyone.
+  /// `skip` suppresses one node's emission for the round (a slow node).
+  void RunRound(int skip = -1) {
+    std::vector<DagVertex> emitted;
+    for (NodeId id = 0; id < kNodes; ++id) {
+      if (static_cast<int>(id) == skip) continue;
+      EXPECT_TRUE(views_[id].CanEmit()) << "node " << id;
+      DagVertex vertex = views_[id].PrepareVertex({});
+      vertex.Seal();
+      emitted.push_back(std::move(vertex));
+    }
+    for (const DagVertex& vertex : emitted) {
+      for (NodeId id = 0; id < kNodes; ++id) {
+        EXPECT_TRUE(views_[id].OnVertex(vertex).ok());
+      }
+    }
+  }
+
+  DagRiderView& view(NodeId id) { return views_[id]; }
+
+ private:
+  std::vector<DagRiderView> views_;
+};
+
+TEST(DagRiderTest, RoundClockAdvancesWithQuorum) {
+  DagRiderHarness net;
+  EXPECT_EQ(net.view(0).NextEmitRound(), 1u);
+  EXPECT_TRUE(net.view(0).CanEmit());
+  net.RunRound();
+  EXPECT_EQ(net.view(0).NextEmitRound(), 2u);
+  EXPECT_TRUE(net.view(0).CanEmit());  // full round 1 present
+}
+
+TEST(DagRiderTest, CannotEmitWithoutQuorum) {
+  // Node 0 emits round 1 alone; without 2f+1 = 3 round-1 vertices it is
+  // stuck at round 2.
+  DagRiderView lone(0, 4);
+  DagVertex vertex = lone.PrepareVertex({});
+  vertex.Seal();
+  ASSERT_TRUE(lone.OnVertex(vertex).ok());
+  EXPECT_EQ(lone.NextEmitRound(), 2u);
+  EXPECT_FALSE(lone.CanEmit());
+}
+
+TEST(DagRiderTest, FirstWaveCommitsAfterFourRounds) {
+  DagRiderHarness net;
+  for (int round = 0; round < 3; ++round) net.RunRound();
+  EXPECT_TRUE(net.view(0).CommittedSequence().empty());
+  net.RunRound();  // round 4 completes wave 0
+  const auto& committed = net.view(0).CommittedSequence();
+  ASSERT_FALSE(committed.empty());
+  // Wave 0's anchor is the leader's round-1 vertex; its causal history is
+  // exactly that single vertex (round-1 vertices have no parents).
+  EXPECT_EQ(committed.back()->round, 1u);
+  EXPECT_EQ(committed.back()->source,
+            DagRiderView::WaveLeader(0, DagRiderHarness::kNodes));
+  EXPECT_EQ(net.view(0).NumBatches(), 1u);
+}
+
+TEST(DagRiderTest, CommittedSequencesAgreeAcrossViews) {
+  DagRiderHarness net;
+  for (int round = 0; round < 13; ++round) net.RunRound();
+  const auto& reference = net.view(0).CommittedSequence();
+  ASSERT_GT(reference.size(), 4u);
+  for (NodeId id = 1; id < DagRiderHarness::kNodes; ++id) {
+    const auto& other = net.view(id).CommittedSequence();
+    ASSERT_EQ(other.size(), reference.size()) << "node " << id;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(other[i]->hash, reference[i]->hash);
+    }
+  }
+}
+
+TEST(DagRiderTest, CausalHistoryDeliversEveryVertexExactlyOnce) {
+  DagRiderHarness net;
+  for (int round = 0; round < 17; ++round) net.RunRound();
+  const auto& committed = net.view(0).CommittedSequence();
+  std::set<Hash256> seen;
+  for (const DagVertex* vertex : committed) {
+    EXPECT_TRUE(seen.insert(vertex->hash).second) << "delivered twice";
+  }
+  // With synchronous rounds every wave commits, so all vertices up to the
+  // last committed wave's first round are delivered: at least 4 nodes x 9
+  // rounds' worth for 17 rounds (waves 0 and 1 fully, wave 2's leader...).
+  EXPECT_GE(committed.size(), 4u * 9u);
+}
+
+TEST(DagRiderTest, SlowLeaderWaveIsSkippedButOrderStaysConsistent) {
+  // Suppress the wave-1 leader's first-round vertex (round 5): wave 1
+  // cannot commit directly; wave 2's commit must still produce agreement.
+  const NodeId wave1_leader =
+      DagRiderView::WaveLeader(1, DagRiderHarness::kNodes);
+  DagRiderHarness net;
+  for (int round = 1; round <= 16; ++round) {
+    net.RunRound(round == 5 ? static_cast<int>(wave1_leader) : -1);
+  }
+  const auto& reference = net.view(0).CommittedSequence();
+  ASSERT_FALSE(reference.empty());
+  for (NodeId id = 1; id < DagRiderHarness::kNodes; ++id) {
+    const auto& other = net.view(id).CommittedSequence();
+    ASSERT_EQ(other.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(other[i]->hash, reference[i]->hash);
+    }
+  }
+  // The suppressed leader vertex is absent from the committed sequence.
+  for (const DagVertex* vertex : reference) {
+    EXPECT_FALSE(vertex->round == 5 && vertex->source == wave1_leader);
+  }
+}
+
+TEST(DagRiderTest, RejectsMalformedVertices) {
+  DagRiderHarness net;
+  net.RunRound();
+  DagRiderView& view = net.view(0);
+
+  DagVertex thin = view.PrepareVertex({});
+  thin.parents.resize(2);  // below the 2f+1 = 3 quorum
+  thin.Seal();
+  EXPECT_FALSE(view.OnVertex(thin).ok());
+
+  DagVertex tampered = view.PrepareVertex({});
+  tampered.Seal();
+  tampered.txs.push_back(Transaction{});
+  EXPECT_FALSE(view.OnVertex(tampered).ok());
+
+  DagVertex bad_round1 = view.PrepareVertex({});
+  bad_round1.round = 1;  // round-1 vertices must have no parents
+  bad_round1.Seal();
+  EXPECT_FALSE(view.OnVertex(bad_round1).ok());
+}
+
+TEST(DagRiderTest, OrphansAttachWhenParentsArrive) {
+  DagRiderHarness producer;
+  producer.RunRound();
+  // Build a round-2 vertex in the full network, then feed it to a fresh
+  // view before its parents.
+  DagVertex late = producer.view(1).PrepareVertex({});
+  late.Seal();
+
+  DagRiderView fresh(2, 4);
+  auto r = fresh.OnVertex(late);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  EXPECT_EQ(fresh.NumOrphans(), 1u);
+  // Deliver the round-1 parents; the orphan should cascade in.
+  std::size_t attached = 0;
+  for (NodeId id = 0; id < 4; ++id) {
+    DagVertex parent = DagRiderView(id, 4).PrepareVertex({});
+    parent.Seal();
+    auto result = fresh.OnVertex(parent);
+    ASSERT_TRUE(result.ok());
+    attached += *result;
+  }
+  EXPECT_TRUE(fresh.Knows(late.hash));
+  EXPECT_EQ(fresh.NumOrphans(), 0u);
+  EXPECT_EQ(attached, 5u);  // 4 parents + the orphan
+}
+
+// ---------- network simulation ----------
+
+TEST(DagRiderSimTest, AsynchronousNetworkCommitsAndAgrees) {
+  DagRiderSimConfig config;
+  config.num_nodes = 4;
+  config.duration_ms = 30'000;
+  config.seed = 3;
+  DagRiderSimulation sim(config);
+  sim.Run();
+  ASSERT_GT(sim.stats().vertices_emitted, 100u);
+  ASSERT_GT(sim.stats().committed_vertices, 50u);
+  ASSERT_GT(sim.stats().committed_batches, 5u);
+
+  const auto& reference = sim.node(0).CommittedSequence();
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    const auto& other = sim.node(i).CommittedSequence();
+    const std::size_t common = std::min(other.size(), reference.size());
+    // Views may trail each other slightly at the horizon, but the committed
+    // prefix must agree vertex-for-vertex.
+    for (std::size_t j = 0; j < common; ++j) {
+      ASSERT_EQ(other[j]->hash, reference[j]->hash)
+          << "node " << i << " diverges at " << j;
+    }
+  }
+}
+
+TEST(DagRiderSimTest, Deterministic) {
+  DagRiderSimConfig config;
+  config.duration_ms = 10'000;
+  config.seed = 4;
+  DagRiderSimulation a(config), b(config);
+  a.Run();
+  b.Run();
+  EXPECT_EQ(a.stats().vertices_emitted, b.stats().vertices_emitted);
+  EXPECT_EQ(a.stats().committed_vertices, b.stats().committed_vertices);
+}
+
+TEST(DagRiderSimTest, SevenNodesAlsoAgree) {
+  DagRiderSimConfig config;
+  config.num_nodes = 7;  // f = 2, quorum = 5
+  config.duration_ms = 20'000;
+  config.seed = 5;
+  DagRiderSimulation sim(config);
+  sim.Run();
+  ASSERT_GT(sim.stats().committed_vertices, 20u);
+  const auto& reference = sim.node(0).CommittedSequence();
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    const auto& other = sim.node(i).CommittedSequence();
+    const std::size_t common = std::min(other.size(), reference.size());
+    for (std::size_t j = 0; j < common; ++j) {
+      ASSERT_EQ(other[j]->hash, reference[j]->hash);
+    }
+  }
+}
+
+// ---------- execution bridge ----------
+
+TEST(DagRiderBridgeTest, ReplicasAgreeOnState) {
+  WorkloadConfig wl;
+  wl.num_accounts = 400;
+  wl.skew = 0.8;
+  SmallBankWorkload workload(wl, 21);
+  DagRiderSimConfig config;
+  config.num_nodes = 4;
+  config.duration_ms = 20'000;
+  config.seed = 6;
+  DagRiderSimulation sim(config, [&workload](NodeId) {
+    return workload.MakeBatch(5);
+  });
+  sim.Run();
+  ASSERT_GT(sim.stats().committed_batches, 3u);
+
+  // Execute the common committed-batch prefix on every replica.
+  std::size_t common_batches = sim.node(0).NumBatches();
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    common_batches = std::min(common_batches, sim.node(i).NumBatches());
+  }
+  ASSERT_GT(common_batches, 0u);
+
+  Hash256 reference{};
+  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+    DagRiderDeferredExecutor executor(DeferredExecConfig{});
+    // Feed only the common prefix by a partial catch-up trick: process all
+    // batches, then compare roots after the common prefix using a second
+    // executor. Simpler: all views ran to convergence after the drain, so
+    // batch counts actually match; assert and compare full roots.
+    ASSERT_EQ(sim.node(i).NumBatches(), common_batches) << "node " << i;
+    auto reports = executor.CatchUp(sim.node(i));
+    ASSERT_TRUE(reports.ok());
+    const Hash256 root = executor.state().RootHash();
+    if (i == 0) {
+      reference = root;
+      EXPECT_FALSE(root.IsZero());
+    } else {
+      EXPECT_EQ(root, reference) << "node " << i;
+    }
+  }
+}
+
+TEST(DagRiderBridgeTest, IncrementalCatchUpIsConsistent) {
+  WorkloadConfig wl;
+  wl.num_accounts = 200;
+  DagRiderSimConfig config;
+  config.duration_ms = 20'000;
+  config.seed = 7;
+
+  const auto run_sim = [&](double horizon) {
+    SmallBankWorkload workload(wl, 9);
+    DagRiderSimConfig c = config;
+    c.duration_ms = horizon;
+    auto sim = std::make_unique<DagRiderSimulation>(
+        c, [workload = std::move(workload)](NodeId) mutable {
+          return workload.MakeBatch(4);
+        });
+    sim->Run();
+    return sim;
+  };
+
+  auto full = run_sim(20'000);
+  DagRiderDeferredExecutor one_shot(DeferredExecConfig{});
+  ASSERT_TRUE(one_shot.CatchUp(full->node(0)).ok());
+
+  DagRiderDeferredExecutor incremental(DeferredExecConfig{});
+  for (double horizon : {8'000.0, 14'000.0, 20'000.0}) {
+    auto partial = run_sim(horizon);
+    ASSERT_TRUE(incremental.CatchUp(partial->node(0)).ok());
+  }
+  EXPECT_EQ(incremental.executed_batches(), one_shot.executed_batches());
+  EXPECT_EQ(incremental.state().RootHash(), one_shot.state().RootHash());
+}
+
+}  // namespace
+}  // namespace nezha

@@ -1,0 +1,317 @@
+// Unit tests for the graph substrate: digraph, Tarjan SCC, Johnson
+// elementary circuits, and topological sorting/leveling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/digraph.h"
+#include "graph/johnson.h"
+#include "graph/tarjan.h"
+#include "graph/toposort.h"
+
+namespace nezha {
+namespace {
+
+using Vertex = Digraph::Vertex;
+
+// ---------- Digraph ----------
+
+TEST(DigraphTest, EdgesAndDegrees) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, DeduplicateSkipsRepeats) {
+  Digraph g(2);
+  g.AddEdge(0, 1, /*deduplicate=*/true);
+  g.AddEdge(0, 1, /*deduplicate=*/true);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(DigraphTest, ReversedFlipsEdges) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_EQ(r.NumEdges(), 2u);
+}
+
+// ---------- Tarjan ----------
+
+TEST(TarjanTest, DagHasSingletonComponents) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const auto sccs = TarjanSCC(g);
+  EXPECT_EQ(sccs.size(), 4u);
+  for (const auto& scc : sccs) EXPECT_EQ(scc.size(), 1u);
+  EXPECT_FALSE(HasCycle(g));
+}
+
+TEST(TarjanTest, FindsSimpleCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  const auto sccs = TarjanSCC(g);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), 3u);
+  EXPECT_TRUE(HasCycle(g));
+}
+
+TEST(TarjanTest, MixedComponents) {
+  // 0 <-> 1 cycle, 2 -> 3 chain, 4 isolated.
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const auto sccs = TarjanSCC(g);
+  std::multiset<std::size_t> sizes;
+  for (const auto& scc : sccs) sizes.insert(scc.size());
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{1, 1, 1, 2}));
+}
+
+TEST(TarjanTest, SelfLoopIsCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_TRUE(HasCycle(g));
+}
+
+TEST(TarjanTest, DeepChainDoesNotOverflowStack) {
+  constexpr std::size_t kDepth = 200'000;
+  Digraph g(kDepth);
+  for (Vertex v = 0; v + 1 < kDepth; ++v) g.AddEdge(v, v + 1);
+  EXPECT_EQ(TarjanSCC(g).size(), kDepth);  // iterative: no stack overflow
+}
+
+TEST(TarjanTest, ComponentsCoverAllVerticesExactlyOnce) {
+  Rng rng(42);
+  Digraph g(100);
+  for (int i = 0; i < 300; ++i) {
+    g.AddEdge(static_cast<Vertex>(rng.Below(100)),
+              static_cast<Vertex>(rng.Below(100)));
+  }
+  const auto sccs = TarjanSCC(g);
+  std::set<Vertex> seen;
+  for (const auto& scc : sccs) {
+    for (Vertex v : scc) EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+// ---------- Johnson ----------
+
+std::set<std::vector<Vertex>> Canonical(
+    const std::vector<std::vector<Vertex>>& circuits) {
+  std::set<std::vector<Vertex>> out;
+  for (auto c : circuits) {
+    // Rotate so the smallest vertex leads (canonical cycle form).
+    const auto it = std::min_element(c.begin(), c.end());
+    std::rotate(c.begin(), it, c.end());
+    out.insert(c);
+  }
+  return out;
+}
+
+TEST(JohnsonTest, NoCyclesInDag) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  const auto result = FindElementaryCircuits(g);
+  EXPECT_TRUE(result.circuits.empty());
+  EXPECT_FALSE(result.budget_exceeded);
+}
+
+TEST(JohnsonTest, SingleTriangle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  const auto result = FindElementaryCircuits(g);
+  EXPECT_EQ(Canonical(result.circuits),
+            (std::set<std::vector<Vertex>>{{0, 1, 2}}));
+}
+
+TEST(JohnsonTest, TwoVertexCycleAndTriangle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  const auto result = FindElementaryCircuits(g);
+  EXPECT_EQ(Canonical(result.circuits),
+            (std::set<std::vector<Vertex>>{{0, 1}, {0, 1, 2}}));
+}
+
+TEST(JohnsonTest, SelfLoopCounts) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  const auto result = FindElementaryCircuits(g);
+  EXPECT_EQ(Canonical(result.circuits),
+            (std::set<std::vector<Vertex>>{{0}}));
+}
+
+TEST(JohnsonTest, CompleteGraphCircuitCount) {
+  // K4 (directed, both directions) has 20 elementary circuits:
+  // 6 of length 2, 8 of length 3, 6 of length 4.
+  Digraph g(4);
+  for (Vertex u = 0; u < 4; ++u) {
+    for (Vertex v = 0; v < 4; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  const auto result = FindElementaryCircuits(g);
+  EXPECT_EQ(result.circuits.size(), 20u);
+  std::size_t len2 = 0, len3 = 0, len4 = 0;
+  for (const auto& c : result.circuits) {
+    if (c.size() == 2) ++len2;
+    if (c.size() == 3) ++len3;
+    if (c.size() == 4) ++len4;
+  }
+  EXPECT_EQ(len2, 6u);
+  EXPECT_EQ(len3, 8u);
+  EXPECT_EQ(len4, 6u);
+}
+
+TEST(JohnsonTest, BudgetStopsEnumeration) {
+  // K6 has 409 elementary circuits; a budget of 10 must stop early.
+  Digraph g(6);
+  for (Vertex u = 0; u < 6; ++u) {
+    for (Vertex v = 0; v < 6; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  JohnsonOptions opts;
+  opts.max_circuits = 10;
+  const auto result = FindElementaryCircuits(g, opts);
+  EXPECT_TRUE(result.budget_exceeded);
+  EXPECT_EQ(result.circuits.size(), 10u);
+}
+
+TEST(JohnsonTest, VertexBudgetStopsEnumeration) {
+  Digraph g(5);
+  for (Vertex u = 0; u < 5; ++u) {
+    for (Vertex v = 0; v < 5; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  JohnsonOptions opts;
+  opts.max_total_vertices = 30;
+  const auto result = FindElementaryCircuits(g, opts);
+  EXPECT_TRUE(result.budget_exceeded);
+  std::size_t total = 0;
+  for (const auto& c : result.circuits) total += c.size();
+  EXPECT_GE(total, 30u);
+  EXPECT_LT(total, 40u);  // stopped promptly after tripping
+}
+
+TEST(JohnsonTest, DisjointCyclesAllFound) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 4);
+  const auto result = FindElementaryCircuits(g);
+  EXPECT_EQ(result.circuits.size(), 3u);
+}
+
+// ---------- topological sort ----------
+
+TEST(TopoSortTest, LinearChain) {
+  Digraph g(4);
+  g.AddEdge(3, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(1, 0);
+  const auto order = TopologicalSort(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<Vertex>{3, 2, 1, 0}));
+}
+
+TEST(TopoSortTest, DeterministicSmallestFirst) {
+  Digraph g(4);
+  g.AddEdge(2, 3);  // 0, 1, 2 all sources: must come out 0, 1, 2
+  const auto order = TopologicalSort(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(TopoSortTest, CycleReturnsNullopt) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_FALSE(TopologicalSort(g).has_value());
+  EXPECT_FALSE(TopologicalLevels(g).has_value());
+}
+
+TEST(TopoSortTest, OrderRespectsAllEdges) {
+  Rng rng(9);
+  Digraph g(50);
+  // Random DAG: edges only from lower to higher ids.
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<Vertex>(rng.Below(49));
+    const auto v = static_cast<Vertex>(u + 1 + rng.Below(49 - u));
+    g.AddEdge(u, v);
+  }
+  const auto order = TopologicalSort(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(50);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (Vertex u = 0; u < 50; ++u) {
+    for (Vertex v : g.OutNeighbors(u)) EXPECT_LT(pos[u], pos[v]);
+  }
+}
+
+TEST(TopoLevelsTest, LevelsAreLongestPathDepth) {
+  // Diamond: 0 -> {1,2} -> 3; plus a long path 0 -> 4 -> 3.
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(0, 4);
+  g.AddEdge(4, 3);
+  const auto levels = TopologicalLevels(g);
+  ASSERT_TRUE(levels.has_value());
+  EXPECT_EQ((*levels)[0], 0u);
+  EXPECT_EQ((*levels)[1], 1u);
+  EXPECT_EQ((*levels)[2], 1u);
+  EXPECT_EQ((*levels)[4], 1u);
+  EXPECT_EQ((*levels)[3], 2u);
+}
+
+TEST(TopoLevelsTest, SameLevelVerticesAreIndependent) {
+  Rng rng(13);
+  Digraph g(40);
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<Vertex>(rng.Below(39));
+    const auto v = static_cast<Vertex>(u + 1 + rng.Below(39 - u));
+    g.AddEdge(u, v);
+  }
+  const auto levels = TopologicalLevels(g);
+  ASSERT_TRUE(levels.has_value());
+  for (Vertex u = 0; u < 40; ++u) {
+    for (Vertex v : g.OutNeighbors(u)) {
+      EXPECT_NE((*levels)[u], (*levels)[v]);  // an edge separates levels
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nezha

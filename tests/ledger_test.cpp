@@ -1,0 +1,244 @@
+// Unit tests for the ledger substrate: transaction/block serialization and
+// hashing, Merkle roots, epoch flattening, and parallel-chain validation.
+#include <gtest/gtest.h>
+
+#include "ledger/block.h"
+#include "ledger/epoch.h"
+#include "ledger/ledger.h"
+#include "ledger/transaction.h"
+#include "vm/smallbank.h"
+
+namespace nezha {
+namespace {
+
+Transaction MakeTx(std::uint64_t nonce, std::uint64_t account = 1) {
+  Transaction tx;
+  tx.nonce = nonce;
+  tx.payload =
+      MakeSmallBankCall(SmallBankOp::kUpdateBalance, {account, 10});
+  return tx;
+}
+
+// ---------- Transaction ----------
+
+TEST(TransactionTest, SerializeRoundTrip) {
+  const Transaction tx = MakeTx(42, 7);
+  auto decoded = Transaction::Deserialize(tx.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tx);
+}
+
+TEST(TransactionTest, IdIsStable) {
+  EXPECT_EQ(MakeTx(1).Id(), MakeTx(1).Id());
+  EXPECT_NE(MakeTx(1).Id(), MakeTx(2).Id());
+}
+
+TEST(TransactionTest, IdDependsOnPayload) {
+  Transaction a = MakeTx(1, 5);
+  Transaction b = MakeTx(1, 6);
+  EXPECT_NE(a.Id(), b.Id());
+}
+
+TEST(TransactionTest, DeserializeRejectsTruncated) {
+  std::string bytes = MakeTx(1).Serialize();
+  bytes.pop_back();
+  EXPECT_FALSE(Transaction::Deserialize(bytes).ok());
+}
+
+TEST(TransactionTest, DeserializeRejectsTrailing) {
+  std::string bytes = MakeTx(1).Serialize();
+  bytes += "x";
+  EXPECT_FALSE(Transaction::Deserialize(bytes).ok());
+}
+
+// ---------- Merkle root ----------
+
+TEST(MerkleRootTest, EmptyIsZero) {
+  EXPECT_TRUE(ComputeTxMerkleRoot({}).IsZero());
+}
+
+TEST(MerkleRootTest, SensitiveToContentAndOrder) {
+  const std::vector<Transaction> a = {MakeTx(1), MakeTx(2)};
+  const std::vector<Transaction> b = {MakeTx(2), MakeTx(1)};
+  const std::vector<Transaction> c = {MakeTx(1), MakeTx(3)};
+  EXPECT_NE(ComputeTxMerkleRoot(a), ComputeTxMerkleRoot(b));
+  EXPECT_NE(ComputeTxMerkleRoot(a), ComputeTxMerkleRoot(c));
+  EXPECT_EQ(ComputeTxMerkleRoot(a), ComputeTxMerkleRoot(a));
+}
+
+TEST(MerkleRootTest, OddCountsWork) {
+  for (std::uint64_t n : {1u, 3u, 5u, 7u}) {
+    std::vector<Transaction> txs;
+    for (std::uint64_t i = 0; i < n; ++i) txs.push_back(MakeTx(i));
+    EXPECT_FALSE(ComputeTxMerkleRoot(txs).IsZero()) << n;
+  }
+}
+
+// ---------- Block ----------
+
+TEST(BlockTest, SerializeRoundTrip) {
+  Block block;
+  block.header.epoch = 3;
+  block.header.chain = 2;
+  block.header.height = 5;
+  block.header.proposer = 9;
+  block.transactions = {MakeTx(1), MakeTx(2), MakeTx(3)};
+  block.header.tx_root = ComputeTxMerkleRoot(block.transactions);
+
+  auto decoded = Block::Deserialize(block.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.epoch, 3u);
+  EXPECT_EQ(decoded->header.chain, 2u);
+  EXPECT_EQ(decoded->transactions.size(), 3u);
+  EXPECT_EQ(decoded->Hash(), block.Hash());
+}
+
+TEST(BlockTest, HashCoversHeaderFields) {
+  Block a, b;
+  a.header.epoch = 1;
+  b.header.epoch = 2;
+  EXPECT_NE(a.Hash(), b.Hash());
+  b.header.epoch = 1;
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.header.prev_state_root.bytes[0] = 1;
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+// ---------- EpochBatch ----------
+
+TEST(EpochBatchTest, FlattensInBlockOrder) {
+  Block b0, b1;
+  b0.header.chain = 0;
+  b0.transactions = {MakeTx(1), MakeTx(2)};
+  b1.header.chain = 1;
+  b1.transactions = {MakeTx(3)};
+  const EpochBatch batch = EpochBatch::FromBlocks(1, {b0, b1});
+  ASSERT_EQ(batch.TxCount(), 3u);
+  EXPECT_EQ(batch.txs[0].nonce, 1u);
+  EXPECT_EQ(batch.txs[1].nonce, 2u);
+  EXPECT_EQ(batch.txs[2].nonce, 3u);
+  EXPECT_EQ(batch.BlockConcurrency(), 2u);
+}
+
+TEST(EpochBatchTest, DropsDuplicates) {
+  Block b0, b1;
+  b0.transactions = {MakeTx(1), MakeTx(2)};
+  b1.transactions = {MakeTx(2), MakeTx(3)};  // tx 2 repeated
+  const EpochBatch batch = EpochBatch::FromBlocks(1, {b0, b1});
+  EXPECT_EQ(batch.TxCount(), 3u);
+  EXPECT_EQ(batch.duplicates_dropped, 1u);
+}
+
+// ---------- ParallelChainLedger ----------
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : ledger_(4, &kv_) {}
+
+  Block MakeValidBlock(ChainId chain, EpochId epoch,
+                       std::vector<Transaction> txs) {
+    return ledger_.BuildBlock(chain, epoch, std::move(txs));
+  }
+
+  KVStore kv_;
+  ParallelChainLedger ledger_;
+};
+
+TEST_F(LedgerTest, AppendValidBlocks) {
+  for (ChainId c = 0; c < 4; ++c) {
+    ASSERT_TRUE(ledger_.AppendBlock(MakeValidBlock(c, 1, {MakeTx(c)})).ok());
+  }
+  EXPECT_EQ(ledger_.TotalBlocks(), 4u);
+  EXPECT_EQ(ledger_.ChainHeight(0), 1u);
+}
+
+TEST_F(LedgerTest, RejectsWrongChainId) {
+  Block block = MakeValidBlock(0, 1, {});
+  block.header.chain = 7;  // out of range
+  EXPECT_FALSE(ledger_.ValidateBlock(block).ok());
+}
+
+TEST_F(LedgerTest, RejectsWrongParentHash) {
+  ASSERT_TRUE(ledger_.AppendBlock(MakeValidBlock(0, 1, {MakeTx(1)})).ok());
+  Block block = MakeValidBlock(0, 2, {MakeTx(2)});
+  block.header.parent_hash.bytes[5] ^= 1;
+  EXPECT_FALSE(ledger_.ValidateBlock(block).ok());
+}
+
+TEST_F(LedgerTest, RejectsWrongHeight) {
+  Block block = MakeValidBlock(0, 1, {});
+  block.header.height = 3;
+  EXPECT_FALSE(ledger_.ValidateBlock(block).ok());
+}
+
+TEST_F(LedgerTest, RejectsStaleStateRoot) {
+  // Paper §III.B: a block whose state root does not match the previous
+  // epoch's state is invalid and discarded.
+  ASSERT_TRUE(ledger_.AppendBlock(MakeValidBlock(0, 1, {MakeTx(1)})).ok());
+  Hash256 new_root;
+  new_root.bytes[0] = 0xaa;
+  ledger_.CommitEpochRoot(1, new_root);
+
+  Block stale = MakeValidBlock(0, 2, {MakeTx(2)});
+  stale.header.prev_state_root = Hash256{};  // pretends epoch 1 never ran
+  EXPECT_FALSE(ledger_.ValidateBlock(stale).ok());
+
+  Block fresh = MakeValidBlock(0, 2, {MakeTx(2)});
+  EXPECT_EQ(fresh.header.prev_state_root, new_root);
+  EXPECT_TRUE(ledger_.AppendBlock(std::move(fresh)).ok());
+}
+
+TEST_F(LedgerTest, RejectsWrongTxRoot) {
+  Block block = MakeValidBlock(0, 1, {MakeTx(1)});
+  block.transactions.push_back(MakeTx(99));  // body no longer matches root
+  EXPECT_FALSE(ledger_.ValidateBlock(block).ok());
+}
+
+TEST_F(LedgerTest, RejectsNonAdvancingEpoch) {
+  ASSERT_TRUE(ledger_.AppendBlock(MakeValidBlock(0, 2, {})).ok());
+  Block block = MakeValidBlock(0, 2, {});
+  EXPECT_FALSE(ledger_.ValidateBlock(block).ok());
+}
+
+TEST_F(LedgerTest, SealEpochCollectsAcrossChains) {
+  for (ChainId c = 0; c < 3; ++c) {
+    ASSERT_TRUE(
+        ledger_.AppendBlock(MakeValidBlock(c, 1, {MakeTx(10 + c)})).ok());
+  }
+  auto batch = ledger_.SealEpoch(1);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->BlockConcurrency(), 3u);
+  EXPECT_EQ(batch->TxCount(), 3u);
+  // Blocks must be ordered by chain id.
+  EXPECT_EQ(batch->blocks[0].header.chain, 0u);
+  EXPECT_EQ(batch->blocks[2].header.chain, 2u);
+}
+
+TEST_F(LedgerTest, SealEmptyEpochFails) {
+  EXPECT_FALSE(ledger_.SealEpoch(9).ok());
+}
+
+TEST_F(LedgerTest, PersistsAndReloadsBlocks) {
+  const Block original = MakeValidBlock(1, 1, {MakeTx(5), MakeTx(6)});
+  ASSERT_TRUE(ledger_.AppendBlock(original).ok());
+  auto loaded = ledger_.LoadBlock(1, 0);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Hash(), original.Hash());
+  EXPECT_EQ(loaded->transactions.size(), 2u);
+}
+
+TEST_F(LedgerTest, StateRootBeforeWalksHistory) {
+  EXPECT_TRUE(ledger_.StateRootBefore(1).IsZero());
+  Hash256 r1, r2;
+  r1.bytes[0] = 1;
+  r2.bytes[0] = 2;
+  ledger_.CommitEpochRoot(1, r1);
+  ledger_.CommitEpochRoot(2, r2);
+  EXPECT_TRUE(ledger_.StateRootBefore(1).IsZero());
+  EXPECT_EQ(ledger_.StateRootBefore(2), r1);
+  EXPECT_EQ(ledger_.StateRootBefore(3), r2);
+  EXPECT_EQ(ledger_.StateRootBefore(100), r2);
+}
+
+}  // namespace
+}  // namespace nezha

@@ -1,0 +1,124 @@
+// MiniVM robustness fuzzing: arbitrary instruction streams must never
+// crash, hang, corrupt the logged state view, or escape gas metering —
+// blockchain nodes execute adversarial bytecode.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/state_db.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+
+namespace nezha {
+namespace {
+
+Program RandomProgram(Rng& rng, std::size_t max_len) {
+  const std::size_t len = 1 + rng.Below(max_len);
+  Program p;
+  p.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    Instruction ins;
+    ins.op = static_cast<OpCode>(rng.Below(15));  // all opcodes incl. bad mixes
+    switch (rng.Below(4)) {
+      case 0:
+        ins.imm = static_cast<std::int64_t>(rng.Below(len + 4));  // plausible jump
+        break;
+      case 1:
+        ins.imm = static_cast<std::int64_t>(rng.Below(1000));  // small value
+        break;
+      case 2:
+        ins.imm = -static_cast<std::int64_t>(rng.Below(1000));  // negative
+        break;
+      default:
+        ins.imm = static_cast<std::int64_t>(rng.Next());  // garbage
+        break;
+    }
+    p.push_back(ins);
+  }
+  return p;
+}
+
+TEST(MiniVmFuzzTest, RandomProgramsNeverCrashOrHang) {
+  StateDB db;
+  for (std::uint64_t i = 0; i < 50; ++i) db.Set(Address(i), 1);
+  const StateSnapshot snap = db.MakeSnapshot(0);
+
+  Rng rng(0xF022);
+  VmLimits limits;
+  limits.gas_limit = 20'000;
+  std::size_t clean = 0, faulted = 0, reverted = 0;
+  for (int trial = 0; trial < 20'000; ++trial) {
+    LoggedStateView view(snap);
+    const Program p = RandomProgram(rng, 40);
+    const VmOutcome outcome = RunProgram(p, view, limits);
+    ASSERT_LE(outcome.gas_used, limits.gas_limit + 50);  // metering holds
+    if (!outcome.status.ok()) {
+      ++faulted;
+    } else if (outcome.reverted) {
+      ++reverted;
+    } else {
+      ++clean;
+    }
+    // The logged view must stay internally consistent no matter what.
+    const ReadWriteSet rw = view.TakeRWSet();
+    EXPECT_TRUE(std::is_sorted(rw.reads.begin(), rw.reads.end()));
+    EXPECT_TRUE(std::is_sorted(rw.writes.begin(), rw.writes.end()));
+    EXPECT_EQ(rw.writes.size(), rw.write_values.size());
+  }
+  // All three outcome classes should appear across 20k random programs.
+  EXPECT_GT(clean, 0u);
+  EXPECT_GT(faulted, 0u);
+  EXPECT_GT(reverted, 0u);
+}
+
+TEST(MiniVmFuzzTest, DeterministicUnderRepetition) {
+  StateDB db;
+  db.Set(Address(3), 42);
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const Program p = RandomProgram(rng, 30);
+    LoggedStateView v1(snap), v2(snap);
+    const VmOutcome o1 = RunProgram(p, v1);
+    const VmOutcome o2 = RunProgram(p, v2);
+    ASSERT_EQ(o1.status.code(), o2.status.code());
+    ASSERT_EQ(o1.reverted, o2.reverted);
+    ASSERT_EQ(o1.gas_used, o2.gas_used);
+    ReadWriteSet r1 = v1.TakeRWSet(), r2 = v2.TakeRWSet();
+    ASSERT_EQ(r1.reads, r2.reads);
+    ASSERT_EQ(r1.writes, r2.writes);
+    ASSERT_EQ(r1.write_values, r2.write_values);
+  }
+}
+
+TEST(MiniVmFuzzTest, TightGasAlwaysTerminates) {
+  // Even with a gas limit of 1 the interpreter must exit immediately.
+  StateDB db;
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  Rng rng(0xCAFE);
+  VmLimits limits;
+  limits.gas_limit = 1;
+  for (int trial = 0; trial < 5'000; ++trial) {
+    LoggedStateView view(snap);
+    const Program p = RandomProgram(rng, 20);
+    const VmOutcome outcome = RunProgram(p, view, limits);
+    ASSERT_LE(outcome.gas_used, 51u);  // one instruction at most (max cost 50)
+  }
+}
+
+TEST(MiniVmFuzzTest, StackLimitEnforced) {
+  // A push loop must fault on max_stack, not allocate unboundedly.
+  Program p = {{OpCode::kPush, 1}, {OpCode::kJump, 0}};
+  StateDB db;
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  LoggedStateView view(snap);
+  VmLimits limits;
+  limits.gas_limit = 1'000'000;
+  limits.max_stack = 64;
+  const VmOutcome outcome = RunProgram(p, view, limits);
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_NE(outcome.status.message().find("stack overflow"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nezha

@@ -1,0 +1,228 @@
+// Unit + property tests for the Merkle Patricia Trie: CRUD, root
+// determinism, structural collapse on delete, and proof verification.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "storage/mpt.h"
+
+namespace nezha {
+namespace {
+
+TEST(MptTest, EmptyTrie) {
+  MerklePatriciaTrie trie;
+  EXPECT_EQ(trie.Size(), 0u);
+  EXPECT_TRUE(trie.RootHash().IsZero());
+  EXPECT_FALSE(trie.Get("missing").ok());
+}
+
+TEST(MptTest, SingleKey) {
+  MerklePatriciaTrie trie;
+  trie.Put("hello", "world");
+  EXPECT_EQ(trie.Size(), 1u);
+  EXPECT_EQ(*trie.Get("hello"), "world");
+  EXPECT_FALSE(trie.RootHash().IsZero());
+}
+
+TEST(MptTest, OverwriteKeepsSize) {
+  MerklePatriciaTrie trie;
+  trie.Put("k", "1");
+  const Hash256 first = trie.RootHash();
+  trie.Put("k", "2");
+  EXPECT_EQ(trie.Size(), 1u);
+  EXPECT_EQ(*trie.Get("k"), "2");
+  EXPECT_NE(trie.RootHash(), first);
+}
+
+TEST(MptTest, PrefixKeysSplitCorrectly) {
+  MerklePatriciaTrie trie;
+  trie.Put("abc", "1");
+  trie.Put("abcd", "2");  // extends past a leaf
+  trie.Put("ab", "3");    // prefix of both
+  trie.Put("abce", "4");
+  EXPECT_EQ(*trie.Get("abc"), "1");
+  EXPECT_EQ(*trie.Get("abcd"), "2");
+  EXPECT_EQ(*trie.Get("ab"), "3");
+  EXPECT_EQ(*trie.Get("abce"), "4");
+  EXPECT_EQ(trie.Size(), 4u);
+  EXPECT_FALSE(trie.Get("abcf").ok());
+  EXPECT_FALSE(trie.Get("a").ok());
+}
+
+TEST(MptTest, EmptyKeyAndEmptyValue) {
+  MerklePatriciaTrie trie;
+  trie.Put("", "empty key");
+  trie.Put("k", "");
+  EXPECT_EQ(*trie.Get(""), "empty key");
+  EXPECT_EQ(*trie.Get("k"), "");
+  EXPECT_EQ(trie.Size(), 2u);
+}
+
+TEST(MptTest, DeleteLeaf) {
+  MerklePatriciaTrie trie;
+  trie.Put("a", "1");
+  EXPECT_TRUE(trie.Delete("a"));
+  EXPECT_EQ(trie.Size(), 0u);
+  EXPECT_TRUE(trie.RootHash().IsZero());
+  EXPECT_FALSE(trie.Delete("a"));  // second delete finds nothing
+}
+
+TEST(MptTest, DeleteCollapsesBranches) {
+  MerklePatriciaTrie trie;
+  trie.Put("abc", "1");
+  trie.Put("abd", "2");
+  const Hash256 two_keys = trie.RootHash();
+  trie.Put("abe", "3");
+  EXPECT_TRUE(trie.Delete("abe"));
+  // Root must return exactly to the two-key shape (canonical structure).
+  EXPECT_EQ(trie.RootHash(), two_keys);
+  EXPECT_EQ(*trie.Get("abc"), "1");
+  EXPECT_EQ(*trie.Get("abd"), "2");
+}
+
+TEST(MptTest, RootIndependentOfInsertionOrder) {
+  const std::vector<std::pair<std::string, std::string>> items = {
+      {"alpha", "1"}, {"beta", "2"}, {"gamma", "3"}, {"al", "4"},
+      {"alphabet", "5"}};
+  MerklePatriciaTrie forward, backward;
+  for (const auto& [k, v] : items) forward.Put(k, v);
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    backward.Put(it->first, it->second);
+  }
+  EXPECT_EQ(forward.RootHash(), backward.RootHash());
+}
+
+TEST(MptTest, RootMatchesAfterInsertDeleteChurn) {
+  // Inserting extra keys then deleting them must restore the exact root.
+  MerklePatriciaTrie trie;
+  trie.Put("base1", "v1");
+  trie.Put("base2", "v2");
+  const Hash256 base = trie.RootHash();
+  Rng rng(99);
+  std::vector<std::string> extras;
+  for (int i = 0; i < 200; ++i) {
+    extras.push_back("extra" + std::to_string(rng.Below(10000)));
+    trie.Put(extras.back(), "x");
+  }
+  for (const auto& k : extras) trie.Delete(k);
+  EXPECT_EQ(trie.RootHash(), base);
+  EXPECT_EQ(trie.Size(), 2u);
+}
+
+TEST(MptTest, ItemsReturnsSortedContents) {
+  MerklePatriciaTrie trie;
+  trie.Put("b", "2");
+  trie.Put("a", "1");
+  trie.Put("c", "3");
+  const auto items = trie.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, "a");
+  EXPECT_EQ(items[1].first, "b");
+  EXPECT_EQ(items[2].first, "c");
+}
+
+TEST(MptTest, MirrorsStdMapUnderRandomOps) {
+  // Property: the trie behaves exactly like std::map under a random
+  // insert/overwrite/delete workload, and equal contents imply equal roots.
+  Rng rng(12345);
+  MerklePatriciaTrie trie;
+  std::map<std::string, std::string> reference;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string key = "k" + std::to_string(rng.Below(400));
+    const int action = static_cast<int>(rng.Below(3));
+    if (action < 2) {
+      const std::string value = "v" + std::to_string(rng.Below(1000));
+      trie.Put(key, value);
+      reference[key] = value;
+    } else {
+      const bool trie_removed = trie.Delete(key);
+      const bool map_removed = reference.erase(key) > 0;
+      EXPECT_EQ(trie_removed, map_removed) << "step " << step;
+    }
+  }
+  EXPECT_EQ(trie.Size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    auto got = trie.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+  // Rebuild from the reference map: identical root.
+  MerklePatriciaTrie rebuilt;
+  for (const auto& [k, v] : reference) rebuilt.Put(k, v);
+  EXPECT_EQ(rebuilt.RootHash(), trie.RootHash());
+}
+
+// ---------- proofs ----------
+
+TEST(MptProofTest, MembershipProofVerifies) {
+  MerklePatriciaTrie trie;
+  trie.Put("account1", "100");
+  trie.Put("account2", "200");
+  trie.Put("acct", "300");
+  const Hash256 root = trie.RootHash();
+  const auto proof = trie.GenerateProof("account2");
+  auto proven = MerklePatriciaTrie::VerifyProof(root, "account2", proof);
+  ASSERT_TRUE(proven.ok());
+  EXPECT_EQ(*proven, "200");
+}
+
+TEST(MptProofTest, NonMembershipProofVerifies) {
+  MerklePatriciaTrie trie;
+  trie.Put("abc", "1");
+  trie.Put("abd", "2");
+  const Hash256 root = trie.RootHash();
+  const auto proof = trie.GenerateProof("abe");
+  const auto result = MerklePatriciaTrie::VerifyProof(root, "abe", proof);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MptProofTest, TamperedProofRejected) {
+  MerklePatriciaTrie trie;
+  trie.Put("key", "value");
+  trie.Put("kez", "other");
+  const Hash256 root = trie.RootHash();
+  auto proof = trie.GenerateProof("key");
+  ASSERT_FALSE(proof.empty());
+  proof.back()[proof.back().size() - 1] ^= 1;  // flip one bit of the value
+  const auto result = MerklePatriciaTrie::VerifyProof(root, "key", proof);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(MptProofTest, WrongRootRejected) {
+  MerklePatriciaTrie trie;
+  trie.Put("key", "value");
+  const auto proof = trie.GenerateProof("key");
+  Hash256 wrong = trie.RootHash();
+  wrong.bytes[0] ^= 0xff;
+  const auto result = MerklePatriciaTrie::VerifyProof(wrong, "key", proof);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(MptProofTest, EmptyTrieNonMembership) {
+  MerklePatriciaTrie trie;
+  const auto result =
+      MerklePatriciaTrie::VerifyProof(Hash256{}, "anything", {});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MptProofTest, ProofsForManyRandomKeys) {
+  MerklePatriciaTrie trie;
+  Rng rng(777);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    trie.Put(keys.back(), "value" + std::to_string(i));
+  }
+  const Hash256 root = trie.RootHash();
+  for (int i = 0; i < 300; i += 7) {
+    const auto proof = trie.GenerateProof(keys[static_cast<std::size_t>(i)]);
+    auto proven = MerklePatriciaTrie::VerifyProof(
+        root, keys[static_cast<std::size_t>(i)], proof);
+    ASSERT_TRUE(proven.ok()) << keys[static_cast<std::size_t>(i)];
+    EXPECT_EQ(*proven, "value" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace nezha

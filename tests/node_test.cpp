@@ -1,0 +1,168 @@
+// Integration tests: the full-node pipeline over the parallel-chain ledger,
+// the simulation driver, and cross-scheme state agreement.
+#include <gtest/gtest.h>
+
+#include "node/full_node.h"
+#include "node/simulation.h"
+
+namespace nezha {
+namespace {
+
+SimulationConfig SmallConfig(SchemeKind scheme, double skew = 0.5,
+                             std::size_t omega = 3) {
+  SimulationConfig config;
+  config.node.scheme = scheme;
+  config.node.worker_threads = 2;
+  config.workload.num_accounts = 500;
+  config.workload.skew = skew;
+  config.block_size = 50;
+  config.block_concurrency = omega;
+  config.epochs = 3;
+  config.seed = 1234;
+  return config;
+}
+
+TEST(SimulationTest, NezhaPipelineRuns) {
+  auto summary = RunSimulation(SmallConfig(SchemeKind::kNezha));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->reports.size(), 3u);
+  EXPECT_EQ(summary->TotalTxs(), 3u * 3u * 50u);
+  EXPECT_GT(summary->TotalCommitted(), 0u);
+  EXPECT_EQ(summary->TotalCommitted() + summary->TotalAborted(),
+            summary->TotalTxs());
+  for (const auto& r : summary->reports) {
+    EXPECT_EQ(r.block_concurrency, 3u);
+    EXPECT_FALSE(r.state_root.IsZero());
+  }
+}
+
+TEST(SimulationTest, EpochRootsEvolve) {
+  auto summary = RunSimulation(SmallConfig(SchemeKind::kNezha));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NE(summary->reports[0].state_root, summary->reports[1].state_root);
+  EXPECT_NE(summary->reports[1].state_root, summary->reports[2].state_root);
+}
+
+TEST(SimulationTest, SerialCommitsEverything) {
+  auto summary = RunSimulation(SmallConfig(SchemeKind::kSerial));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->TotalAborted(), 0u);
+  EXPECT_EQ(summary->TotalCommitted(), summary->TotalTxs());
+}
+
+TEST(SimulationTest, AllSchemesProduceSameRootOnConflictFreeWorkload) {
+  // With skew 0 over a huge account space and few transactions, conflicts
+  // are (almost surely) absent, so every scheme commits everything and all
+  // schemes must agree on the final state root.
+  auto config_for = [](SchemeKind scheme) {
+    SimulationConfig config;
+    config.node.scheme = scheme;
+    config.node.worker_threads = 2;
+    config.workload.num_accounts = 200'000;
+    config.workload.skew = 0.0;
+    config.block_size = 20;
+    config.block_concurrency = 2;
+    config.epochs = 2;
+    config.seed = 777;
+    return config;
+  };
+  auto serial = RunSimulation(config_for(SchemeKind::kSerial));
+  auto nezha = RunSimulation(config_for(SchemeKind::kNezha));
+  auto cg = RunSimulation(config_for(SchemeKind::kCg));
+  auto occ = RunSimulation(config_for(SchemeKind::kOcc));
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(nezha.ok());
+  ASSERT_TRUE(cg.ok());
+  ASSERT_TRUE(occ.ok());
+  ASSERT_EQ(nezha->TotalAborted(), 0u);  // precondition: conflict-free
+  const Hash256 expected = serial->reports.back().state_root;
+  EXPECT_EQ(nezha->reports.back().state_root, expected);
+  EXPECT_EQ(cg->reports.back().state_root, expected);
+  EXPECT_EQ(occ->reports.back().state_root, expected);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto a = RunSimulation(SmallConfig(SchemeKind::kNezha, 0.9));
+  auto b = RunSimulation(SmallConfig(SchemeKind::kNezha, 0.9));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->reports.back().state_root, b->reports.back().state_root);
+  EXPECT_EQ(a->TotalAborted(), b->TotalAborted());
+}
+
+TEST(SimulationTest, NezhaCommitGroupsExploitConcurrency) {
+  auto summary = RunSimulation(SmallConfig(SchemeKind::kNezha, 0.2, 4));
+  ASSERT_TRUE(summary.ok());
+  for (const auto& r : summary->reports) {
+    EXPECT_GT(r.max_commit_group, 1u);  // parallel commitment happened
+  }
+}
+
+TEST(SimulationTest, ModeledCostReportsTableIVScale) {
+  SimulationConfig config = SmallConfig(SchemeKind::kSerial, 0.0, 2);
+  config.node.model_execution_cost = true;
+  config.block_size = 200;
+  config.epochs = 1;
+  auto summary = RunSimulation(config);
+  ASSERT_TRUE(summary.ok());
+  // 400 txs * 11.75 ms/tx ~ 4700 ms (Table IV, concurrency 2).
+  EXPECT_NEAR(summary->MeanTotalMs(), 4700, 300);
+}
+
+TEST(SimulationTest, RejectsZeroConcurrency) {
+  SimulationConfig config = SmallConfig(SchemeKind::kNezha);
+  config.block_concurrency = 0;
+  EXPECT_FALSE(RunSimulation(config).ok());
+}
+
+TEST(FullNodeTest, SchemeParsingRoundTrips) {
+  for (SchemeKind kind :
+       {SchemeKind::kSerial, SchemeKind::kOcc, SchemeKind::kCg,
+        SchemeKind::kNezha, SchemeKind::kNezhaNoReorder}) {
+    auto parsed = ParseScheme(SchemeName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseScheme("bogus").ok());
+}
+
+TEST(FullNodeTest, RejectsTamperedEpoch) {
+  NodeConfig config;
+  config.scheme = SchemeKind::kNezha;
+  config.worker_threads = 2;
+  config.max_chains = 2;
+  FullNode node(config, nullptr);
+  node.ledger().CommitEpochRoot(0, node.state().RootHash());
+
+  Transaction tx;
+  tx.payload = MakeSmallBankCall(SmallBankOp::kUpdateBalance, {1, 5});
+  Block block = node.ledger().BuildBlock(0, 1, {tx});
+  ASSERT_TRUE(node.ledger().AppendBlock(block).ok());
+  auto batch = node.ledger().SealEpoch(1);
+  ASSERT_TRUE(batch.ok());
+
+  // Tamper with the sealed batch: swap in a different transaction.
+  EpochBatch tampered = *batch;
+  tampered.blocks[0].transactions[0].payload.args[1] = 999;
+  EXPECT_FALSE(node.ProcessEpoch(tampered).ok());
+
+  // The untampered batch processes fine.
+  EXPECT_TRUE(node.ProcessEpoch(*batch).ok());
+}
+
+TEST(FullNodeTest, ThroughputAccountingUsesCadenceFloor) {
+  SimulationSummary summary;
+  EpochReport fast;
+  fast.committed = 100;
+  fast.commit_ms = 10;  // well under the 1 s cadence
+  summary.reports = {fast};
+  EXPECT_NEAR(summary.EffectiveTps(1.0), 100.0, 1e-9);
+
+  EpochReport slow = fast;
+  slow.commit_ms = 4000;  // pipeline-bound epoch
+  summary.reports = {slow};
+  EXPECT_NEAR(summary.EffectiveTps(1.0), 25.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nezha

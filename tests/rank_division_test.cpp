@@ -1,0 +1,146 @@
+// Tests for Algorithm 1 (sorting-rank division), anchored on the paper's
+// Fig. 6 example and exercising the cycle-handling tie-breaks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cc/nezha/rank_division.h"
+#include "common/rng.h"
+
+namespace nezha {
+namespace {
+
+using Vertex = Digraph::Vertex;
+
+TEST(RankDivisionTest, PaperFig6Example) {
+  // Vertices 0..3 = addresses A1..A4; edges from Fig. 6:
+  // A1->A2, A2->A3, A2->A4, A3->A4, A3->A1 (cycle A1->A2->A3->A1).
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 0);
+  const auto order = ComputeSortingRanks(g);
+  // Paper: A2 ranks first (min in-degree tie broken by max out-degree),
+  // then A3, then A1, then A4.
+  EXPECT_EQ(order, (std::vector<Vertex>{1, 2, 0, 3}));
+}
+
+TEST(RankDivisionTest, AcyclicGraphIsPlainTopoOrder) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(ComputeSortingRanks(g), (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(RankDivisionTest, NoEdgesGivesSubscriptOrder) {
+  Digraph g(5);
+  EXPECT_EQ(ComputeSortingRanks(g), (std::vector<Vertex>{0, 1, 2, 3, 4}));
+}
+
+TEST(RankDivisionTest, PureCycleBreaksByOutDegree) {
+  // 0 -> 1 -> 2 -> 0 plus 1 -> 3: all cycle members have in-degree 1; vertex
+  // 1 has out-degree 2 (most dependencies) and must rank first.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 3);
+  const auto order = ComputeSortingRanks(g);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(RankDivisionTest, OutDegreeTieBreaksBySubscript) {
+  // Symmetric two-cycle: equal in/out degrees everywhere; the smaller
+  // subscript wins.
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_EQ(ComputeSortingRanks(g), (std::vector<Vertex>{0, 1}));
+}
+
+TEST(RankDivisionTest, EveryVertexAppearsOnce) {
+  Digraph g(30);
+  // dense-ish graph with multiple cycles
+  for (Vertex v = 0; v < 30; ++v) {
+    g.AddEdge(v, (v + 1) % 30, true);
+    g.AddEdge(v, (v + 7) % 30, true);
+  }
+  const auto order = ComputeSortingRanks(g);
+  std::set<Vertex> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), 30u);
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(RankDivisionTest, AcyclicPortionRespectsEdges) {
+  // Edges outside cycles must still be respected: ranks follow topological
+  // order wherever no cycle forces a tie-break.
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  // cycle among 3,4
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);
+  g.AddEdge(2, 3);
+  const auto order = ComputeSortingRanks(g);
+  std::vector<std::size_t> pos(6);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_LT(pos[2], pos[4]);
+}
+
+TEST(RankDivisionTest, DeterministicAcrossRuns) {
+  Digraph g(50);
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<Vertex>(SplitMix64(x) % 50);
+    const auto v = static_cast<Vertex>(SplitMix64(x) % 50);
+    if (u != v) g.AddEdge(u, v, true);
+  }
+  EXPECT_EQ(ComputeSortingRanks(g), ComputeSortingRanks(g));
+}
+
+TEST(RankDivisionTest, EmptyGraph) {
+  Digraph g(0);
+  EXPECT_TRUE(ComputeSortingRanks(g).empty());
+}
+
+TEST(RankDivisionTest, OptimizedMatchesReferenceOnRandomGraphs) {
+  // The bucketed implementation must produce byte-identical rank orders to
+  // the literal pseudocode across graph densities and both policies.
+  std::uint64_t x = 424242;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + SplitMix64(x) % 120;
+    const std::size_t edges = SplitMix64(x) % (4 * n);
+    Digraph g(n);
+    for (std::size_t i = 0; i < edges; ++i) {
+      const auto u = static_cast<Vertex>(SplitMix64(x) % n);
+      const auto v = static_cast<Vertex>(SplitMix64(x) % n);
+      if (u != v) g.AddEdge(u, v, true);
+    }
+    for (RankPolicy policy : {RankPolicy::kNezha, RankPolicy::kNaive}) {
+      EXPECT_EQ(ComputeSortingRanks(g, policy),
+                ComputeSortingRanksReference(g, policy))
+          << "trial " << trial << " n=" << n << " edges=" << edges;
+    }
+  }
+}
+
+TEST(RankDivisionTest, OptimizedMatchesReferenceOnWorstCaseCycles) {
+  // Nested cycles sharing vertices: the densest break-path exercise.
+  Digraph g(40);
+  for (Vertex v = 0; v < 40; ++v) {
+    g.AddEdge(v, (v + 1) % 40, true);
+    g.AddEdge(v, (v + 13) % 40, true);
+    g.AddEdge((v + 7) % 40, v, true);
+  }
+  EXPECT_EQ(ComputeSortingRanks(g), ComputeSortingRanksReference(g));
+}
+
+}  // namespace
+}  // namespace nezha

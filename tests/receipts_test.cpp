@@ -1,0 +1,177 @@
+// Tests for transaction receipts: outcome classification, serialization,
+// Merkle roots, the KV-backed store, and end-to-end receipt generation
+// through the full node.
+#include <gtest/gtest.h>
+
+#include "node/full_node.h"
+#include "node/receipts.h"
+#include "vm/token_contract.h"
+#include "workload/mixed_workload.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+Receipt SomeReceipt(std::uint8_t tag, TxOutcome outcome) {
+  Receipt receipt;
+  receipt.tx_id.bytes[0] = tag;
+  receipt.outcome = outcome;
+  receipt.epoch = 7;
+  receipt.seq = outcome == TxOutcome::kCommitted ? 3 : kUnassignedSeq;
+  receipt.writes = outcome == TxOutcome::kCommitted ? 2 : 0;
+  return receipt;
+}
+
+TEST(ReceiptTest, SerializeRoundTrip) {
+  for (TxOutcome outcome :
+       {TxOutcome::kCommitted, TxOutcome::kRevertedAtExecution,
+        TxOutcome::kAbortedBySchedule}) {
+    const Receipt original = SomeReceipt(9, outcome);
+    auto decoded = Receipt::Deserialize(original.Serialize());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+TEST(ReceiptTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Receipt::Deserialize("short").ok());
+  std::string bytes = SomeReceipt(1, TxOutcome::kCommitted).Serialize();
+  bytes[32] = 7;  // invalid outcome tag
+  EXPECT_FALSE(Receipt::Deserialize(bytes).ok());
+  bytes = SomeReceipt(1, TxOutcome::kCommitted).Serialize();
+  bytes += "x";
+  EXPECT_FALSE(Receipt::Deserialize(bytes).ok());
+}
+
+TEST(ReceiptTest, OutcomeNames) {
+  EXPECT_STREQ(TxOutcomeName(TxOutcome::kCommitted), "committed");
+  EXPECT_STREQ(TxOutcomeName(TxOutcome::kRevertedAtExecution), "reverted");
+  EXPECT_STREQ(TxOutcomeName(TxOutcome::kAbortedBySchedule), "aborted");
+}
+
+TEST(ReceiptRootTest, EmptyIsZeroAndContentSensitive) {
+  EXPECT_TRUE(ComputeReceiptRoot({}).IsZero());
+  const std::vector<Receipt> a = {SomeReceipt(1, TxOutcome::kCommitted),
+                                  SomeReceipt(2, TxOutcome::kCommitted)};
+  std::vector<Receipt> b = a;
+  EXPECT_EQ(ComputeReceiptRoot(a), ComputeReceiptRoot(b));
+  b[1].outcome = TxOutcome::kAbortedBySchedule;
+  EXPECT_NE(ComputeReceiptRoot(a), ComputeReceiptRoot(b));
+  std::vector<Receipt> swapped = {a[1], a[0]};
+  EXPECT_NE(ComputeReceiptRoot(a), ComputeReceiptRoot(swapped));
+}
+
+TEST(ReceiptStoreTest, PutGetRoundTrip) {
+  KVStore kv;
+  ReceiptStore store(&kv);
+  const std::vector<Receipt> receipts = {
+      SomeReceipt(1, TxOutcome::kCommitted),
+      SomeReceipt(2, TxOutcome::kRevertedAtExecution)};
+  ASSERT_TRUE(store.Put(receipts).ok());
+  auto got = store.Get(receipts[1].tx_id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, receipts[1]);
+  Hash256 unknown;
+  unknown.bytes[5] = 0x77;
+  EXPECT_FALSE(store.Get(unknown).ok());
+}
+
+TEST(ReceiptBuildTest, ClassifiesAllThreeOutcomes) {
+  std::vector<Transaction> txs(3);
+  txs[0].payload = MakeSmallBankCall(SmallBankOp::kGetBalance, {1});
+  txs[1].payload = MakeSmallBankCall(SmallBankOp::kGetBalance, {2});
+  txs[2].payload = MakeSmallBankCall(SmallBankOp::kGetBalance, {3});
+  std::vector<ReadWriteSet> rwsets(3);
+  rwsets[0].writes = {Address(1)};
+  rwsets[0].write_values = {5};
+  rwsets[1].ok = false;  // reverted at execution
+  Schedule schedule;
+  schedule.sequence = {4, kUnassignedSeq, kUnassignedSeq};
+  schedule.aborted = {false, true, true};
+  schedule.RebuildGroups();
+
+  const auto receipts = BuildReceipts(9, txs, rwsets, schedule);
+  ASSERT_EQ(receipts.size(), 3u);
+  EXPECT_EQ(receipts[0].outcome, TxOutcome::kCommitted);
+  EXPECT_EQ(receipts[0].seq, 4u);
+  EXPECT_EQ(receipts[0].writes, 1u);
+  EXPECT_EQ(receipts[0].epoch, 9u);
+  EXPECT_EQ(receipts[1].outcome, TxOutcome::kRevertedAtExecution);
+  EXPECT_EQ(receipts[2].outcome, TxOutcome::kAbortedBySchedule);
+  EXPECT_EQ(receipts[0].tx_id, txs[0].Id());
+}
+
+TEST(ReceiptEndToEndTest, FullNodeWritesQueryableReceipts) {
+  KVStore kv;
+  NodeConfig config;
+  config.scheme = SchemeKind::kNezha;
+  config.worker_threads = 2;
+  config.max_chains = 1;
+  FullNode node(config, &kv);
+  node.ledger().CommitEpochRoot(0, node.state().RootHash());
+
+  // A batch with all three outcomes: a committed transfer, a token
+  // overdraft (revert), and two RMW racers (one cc-abort).
+  std::vector<Transaction> txs(4);
+  txs[0].payload = MakeSmallBankCall(SmallBankOp::kUpdateBalance, {1, 50});
+  txs[1].payload = MakeTokenCall(TokenOp::kTransfer, {1, 2, 100});  // broke
+  txs[2].payload = MakeSmallBankCall(SmallBankOp::kUpdateSavings, {3, 5});
+  txs[3].payload = MakeSmallBankCall(SmallBankOp::kUpdateSavings, {3, 9});
+
+  Block block = node.ledger().BuildBlock(0, 1, txs);
+  ASSERT_TRUE(node.ledger().AppendBlock(std::move(block)).ok());
+  auto batch = node.ledger().SealEpoch(1);
+  ASSERT_TRUE(batch.ok());
+  auto report = node.ProcessEpoch(*batch);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->receipt_root.IsZero());
+
+  auto committed = node.receipts().Get(txs[0].Id());
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->outcome, TxOutcome::kCommitted);
+  EXPECT_GT(committed->seq, 0u);
+
+  auto reverted = node.receipts().Get(txs[1].Id());
+  ASSERT_TRUE(reverted.ok());
+  EXPECT_EQ(reverted->outcome, TxOutcome::kRevertedAtExecution);
+
+  auto racer_a = node.receipts().Get(txs[2].Id());
+  auto racer_b = node.receipts().Get(txs[3].Id());
+  ASSERT_TRUE(racer_a.ok());
+  ASSERT_TRUE(racer_b.ok());
+  const int aborted =
+      (racer_a->outcome == TxOutcome::kAbortedBySchedule ? 1 : 0) +
+      (racer_b->outcome == TxOutcome::kAbortedBySchedule ? 1 : 0);
+  EXPECT_EQ(aborted, 1);  // exactly one RMW racer survives
+}
+
+Hash256 RunContendedEpochReceiptRoot() {
+  MixedWorkloadConfig wl;
+  wl.skew = 1.0;
+  MixedWorkload workload(wl, 3);
+  KVStore kv;
+  NodeConfig config;
+  config.worker_threads = 2;
+  config.max_chains = 1;
+  FullNode node(config, &kv);
+  MixedWorkload::InitState(node.state(), wl, 100);
+  EXPECT_TRUE(node.state().Flush().ok());
+  node.ledger().CommitEpochRoot(0, node.state().RootHash());
+  Block block = node.ledger().BuildBlock(0, 1, workload.MakeBatch(200));
+  EXPECT_TRUE(node.ledger().AppendBlock(std::move(block)).ok());
+  auto batch = node.ledger().SealEpoch(1);
+  EXPECT_TRUE(batch.ok());
+  auto report = node.ProcessEpoch(*batch);
+  EXPECT_TRUE(report.ok());
+  return report.ok() ? report->receipt_root : Hash256{};
+}
+
+TEST(ReceiptEndToEndTest, ReceiptRootIsDeterministic) {
+  const Hash256 first = RunContendedEpochReceiptRoot();
+  const Hash256 second = RunContendedEpochReceiptRoot();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.IsZero());
+}
+
+}  // namespace
+}  // namespace nezha

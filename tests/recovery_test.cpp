@@ -1,0 +1,292 @@
+// Crash-recovery and mempool tests: reloading state/ledger from the KV
+// store, root cross-checks, corruption detection, and transaction-pool
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "node/full_node.h"
+#include "node/mempool.h"
+#include "vm/smallbank.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+// ---------- StateDB recovery ----------
+
+TEST(StateRecoveryTest, RoundTripsThroughKV) {
+  KVStore kv;
+  {
+    StateDB db(&kv);
+    db.Set(Address(1), 100);
+    db.Set(Address(999), -5);
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  StateDB recovered(&kv);
+  ASSERT_TRUE(recovered.LoadFromStorage().ok());
+  EXPECT_EQ(recovered.Get(Address(1)), 100);
+  EXPECT_EQ(recovered.Get(Address(999)), -5);
+  EXPECT_EQ(recovered.Size(), 2u);
+}
+
+TEST(StateRecoveryTest, RecoveredRootMatchesOriginal) {
+  KVStore kv;
+  Hash256 original;
+  {
+    StateDB db(&kv);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      db.Set(Address(i), static_cast<StateValue>(i * 7));
+    }
+    ASSERT_TRUE(db.Flush().ok());
+    original = db.RootHash();
+  }
+  StateDB recovered(&kv);
+  ASSERT_TRUE(recovered.LoadFromStorage().ok());
+  EXPECT_EQ(recovered.RootHash(), original);
+}
+
+TEST(StateRecoveryTest, UnflushedWritesAreLost) {
+  KVStore kv;
+  {
+    StateDB db(&kv);
+    db.Set(Address(1), 1);
+    ASSERT_TRUE(db.Flush().ok());
+    db.Set(Address(2), 2);  // never flushed: the "crash" loses it
+  }
+  StateDB recovered(&kv);
+  ASSERT_TRUE(recovered.LoadFromStorage().ok());
+  EXPECT_EQ(recovered.Get(Address(1)), 1);
+  EXPECT_EQ(recovered.Get(Address(2)), 0);
+}
+
+TEST(StateRecoveryTest, RequiresKVAndEmptyDB) {
+  StateDB no_kv;
+  EXPECT_FALSE(no_kv.LoadFromStorage().ok());
+
+  KVStore kv;
+  StateDB db(&kv);
+  db.Set(Address(1), 1);
+  EXPECT_FALSE(db.LoadFromStorage().ok());  // not empty
+}
+
+TEST(StateRecoveryTest, DetectsCorruptRecord) {
+  KVStore kv;
+  {
+    StateDB db(&kv);
+    db.Set(Address(1), 1);
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  // Truncate the stored value.
+  auto it = kv.NewIterator("s/", "s0");
+  ASSERT_TRUE(it.Valid());
+  kv.Put(it.key(), "short");
+  StateDB recovered(&kv);
+  EXPECT_EQ(recovered.LoadFromStorage().code(), StatusCode::kCorruption);
+}
+
+// ---------- ledger recovery ----------
+
+TEST(LedgerRecoveryTest, ReloadsChainsAndRoots) {
+  KVStore kv;
+  Hash256 tip0, root;
+  {
+    ParallelChainLedger ledger(2, &kv);
+    Transaction tx;
+    tx.payload = MakeSmallBankCall(SmallBankOp::kGetBalance, {1});
+    ASSERT_TRUE(ledger.AppendBlock(ledger.BuildBlock(0, 1, {tx})).ok());
+    ASSERT_TRUE(ledger.AppendBlock(ledger.BuildBlock(1, 1, {})).ok());
+    root.bytes[0] = 0x42;
+    ledger.CommitEpochRoot(1, root);
+    ASSERT_TRUE(ledger.AppendBlock(ledger.BuildBlock(0, 2, {})).ok());
+    tip0 = ledger.ChainTip(0);
+  }
+  ParallelChainLedger recovered(2, &kv);
+  ASSERT_TRUE(recovered.LoadFromStorage().ok());
+  EXPECT_EQ(recovered.ChainHeight(0), 2u);
+  EXPECT_EQ(recovered.ChainHeight(1), 1u);
+  EXPECT_EQ(recovered.ChainTip(0), tip0);
+  EXPECT_EQ(recovered.StateRootBefore(2), root);
+}
+
+TEST(LedgerRecoveryTest, DetectsTamperedBlock) {
+  KVStore kv;
+  {
+    ParallelChainLedger ledger(1, &kv);
+    ASSERT_TRUE(ledger.AppendBlock(ledger.BuildBlock(0, 1, {})).ok());
+  }
+  // Corrupt the stored block bytes.
+  auto it = kv.NewIterator("b/", "b0");
+  ASSERT_TRUE(it.Valid());
+  std::string bytes = it.value();
+  bytes[bytes.size() / 2] ^= 0x01;
+  kv.Put(it.key(), bytes);
+
+  ParallelChainLedger recovered(1, &kv);
+  EXPECT_FALSE(recovered.LoadFromStorage().ok());
+}
+
+TEST(LedgerRecoveryTest, RejectsNonEmptyLedger) {
+  KVStore kv;
+  ParallelChainLedger ledger(1, &kv);
+  ASSERT_TRUE(ledger.AppendBlock(ledger.BuildBlock(0, 1, {})).ok());
+  EXPECT_FALSE(ledger.LoadFromStorage().ok());
+}
+
+// ---------- full node recovery ----------
+
+TEST(NodeRecoveryTest, RestartContinuesIdenticallyToUnbrokenRun) {
+  // Run A: 4 epochs straight through. Run B: 2 epochs, "crash", recover a
+  // fresh node from storage, process epochs 3-4. Final roots must match.
+  const auto make_config = [] {
+    NodeConfig config;
+    config.scheme = SchemeKind::kNezha;
+    config.worker_threads = 2;
+    config.max_chains = 2;
+    return config;
+  };
+  const auto drive = [](FullNode& node, SmallBankWorkload& workload,
+                        EpochId from, EpochId to) -> Hash256 {
+    Hash256 root{};
+    for (EpochId epoch = from; epoch <= to; ++epoch) {
+      for (ChainId chain = 0; chain < 2; ++chain) {
+        Block block =
+            node.ledger().BuildBlock(chain, epoch, workload.MakeBatch(30));
+        EXPECT_TRUE(node.ledger().AppendBlock(std::move(block)).ok());
+      }
+      auto batch = node.ledger().SealEpoch(epoch);
+      EXPECT_TRUE(batch.ok());
+      auto report = node.ProcessEpoch(*batch);
+      EXPECT_TRUE(report.ok()) << report.status().ToString();
+      root = report->state_root;
+    }
+    return root;
+  };
+  WorkloadConfig wl;
+  wl.num_accounts = 200;
+  wl.skew = 0.6;
+
+  // Continuous run.
+  KVStore kv_a;
+  FullNode node_a(make_config(), &kv_a);
+  SmallBankWorkload workload_a(wl, 77);
+  SmallBankWorkload::InitAccounts(node_a.state(), wl.num_accounts, 100, 100);
+  ASSERT_TRUE(node_a.state().Flush().ok());
+  node_a.ledger().CommitEpochRoot(0, node_a.state().RootHash());
+  const Hash256 continuous = drive(node_a, workload_a, 1, 4);
+
+  // Crash-and-recover run (same workload stream).
+  KVStore kv_b;
+  SmallBankWorkload workload_b(wl, 77);
+  {
+    FullNode node_b(make_config(), &kv_b);
+    SmallBankWorkload::InitAccounts(node_b.state(), wl.num_accounts, 100, 100);
+    ASSERT_TRUE(node_b.state().Flush().ok());
+    node_b.ledger().CommitEpochRoot(0, node_b.state().RootHash());
+    drive(node_b, workload_b, 1, 2);
+  }  // crash: everything in memory is gone
+  FullNode recovered(make_config(), &kv_b);
+  ASSERT_TRUE(recovered.RecoverFromStorage().ok());
+  const Hash256 resumed = drive(recovered, workload_b, 3, 4);
+
+  EXPECT_EQ(resumed, continuous);
+}
+
+TEST(NodeRecoveryTest, DetectsStateLedgerMismatch) {
+  KVStore kv;
+  {
+    FullNode node(NodeConfig{}, &kv);
+    node.state().Set(Address(1), 1);
+    ASSERT_TRUE(node.state().Flush().ok());
+    node.ledger().CommitEpochRoot(0, node.state().RootHash());
+  }
+  // Tamper with the persisted state so it no longer matches the root.
+  auto it = kv.NewIterator("s/", "s0");
+  ASSERT_TRUE(it.Valid());
+  std::string bytes = it.value();
+  bytes[7] = static_cast<char>(bytes[7] + 1);
+  kv.Put(it.key(), bytes);
+
+  FullNode recovered(NodeConfig{}, &kv);
+  EXPECT_EQ(recovered.RecoverFromStorage().code(), StatusCode::kCorruption);
+}
+
+// ---------- mempool ----------
+
+Transaction TxWithNonce(std::uint64_t nonce) {
+  Transaction tx;
+  tx.nonce = nonce;
+  tx.payload = MakeSmallBankCall(SmallBankOp::kGetBalance, {nonce});
+  return tx;
+}
+
+TEST(MempoolTest, FifoOrder) {
+  Mempool pool;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(pool.Add(TxWithNonce(i)).ok());
+  }
+  const auto batch = pool.TakeBatch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].nonce, 1u);
+  EXPECT_EQ(batch[2].nonce, 3u);
+  EXPECT_EQ(pool.PendingCount(), 2u);
+}
+
+TEST(MempoolTest, RejectsDuplicates) {
+  Mempool pool;
+  ASSERT_TRUE(pool.Add(TxWithNonce(1)).ok());
+  EXPECT_EQ(pool.Add(TxWithNonce(1)).code(), StatusCode::kAlreadyExists);
+  // Still deduplicated after the tx leaves in a batch (until committed).
+  pool.TakeBatch(1);
+  EXPECT_EQ(pool.Add(TxWithNonce(1)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MempoolTest, CapacityBound) {
+  Mempool pool(2);
+  ASSERT_TRUE(pool.Add(TxWithNonce(1)).ok());
+  ASSERT_TRUE(pool.Add(TxWithNonce(2)).ok());
+  EXPECT_EQ(pool.Add(TxWithNonce(3)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MempoolTest, RemoveCommittedReleasesDedup) {
+  Mempool pool;
+  const Transaction tx = TxWithNonce(1);
+  ASSERT_TRUE(pool.Add(tx).ok());
+  const Hash256 id = tx.Id();
+  pool.RemoveCommitted(std::vector<Hash256>{id});
+  EXPECT_EQ(pool.PendingCount(), 0u);
+  EXPECT_FALSE(pool.Contains(id));
+  // Re-submission after commitment is allowed again.
+  EXPECT_TRUE(pool.Add(tx).ok());
+}
+
+TEST(MempoolTest, RemoveCommittedDropsPending) {
+  Mempool pool;
+  const Transaction keep = TxWithNonce(1);
+  const Transaction drop = TxWithNonce(2);
+  ASSERT_TRUE(pool.Add(keep).ok());
+  ASSERT_TRUE(pool.Add(drop).ok());
+  pool.RemoveCommitted(std::vector<Hash256>{drop.Id()});
+  const auto batch = pool.TakeBatch(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].nonce, 1u);
+}
+
+TEST(MempoolTest, ConcurrentProducersAndConsumer) {
+  Mempool pool;
+  ThreadPool workers(4);
+  std::atomic<std::size_t> taken{0};
+  workers.ParallelFor(0, 1000, [&](std::size_t i) {
+    if (i % 10 == 9) {
+      taken += pool.TakeBatch(5).size();
+    } else {
+      (void)pool.Add(TxWithNonce(i));
+    }
+  });
+  taken += pool.TakeBatch(10'000).size();
+  EXPECT_EQ(taken.load(), 900u);  // every admitted tx comes out exactly once
+}
+
+}  // namespace
+}  // namespace nezha

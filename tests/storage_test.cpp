@@ -1,0 +1,252 @@
+// Unit tests for the KV store, write batches, and the StateDB.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "storage/kvstore.h"
+#include "storage/state_db.h"
+#include "storage/write_batch.h"
+
+namespace nezha {
+namespace {
+
+// ---------- WriteBatch ----------
+
+TEST(WriteBatchTest, CollectsOps) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Delete("b");
+  EXPECT_EQ(batch.Count(), 2u);
+  EXPECT_EQ(batch.ops()[0].type, WriteBatch::OpType::kPut);
+  EXPECT_EQ(batch.ops()[1].type, WriteBatch::OpType::kDelete);
+}
+
+TEST(WriteBatchTest, SerializeRoundTrip) {
+  WriteBatch batch;
+  batch.Put("key1", "value with \0 byte");
+  batch.Put(std::string("\x00\x01", 2), "bin");
+  batch.Delete("gone");
+  WriteBatch decoded;
+  ASSERT_TRUE(WriteBatch::Deserialize(batch.Serialize(), &decoded));
+  ASSERT_EQ(decoded.Count(), 3u);
+  EXPECT_EQ(decoded.ops()[0].key, "key1");
+  EXPECT_EQ(decoded.ops()[1].key, std::string("\x00\x01", 2));
+  EXPECT_EQ(decoded.ops()[2].type, WriteBatch::OpType::kDelete);
+}
+
+TEST(WriteBatchTest, DeserializeRejectsGarbage) {
+  WriteBatch decoded;
+  EXPECT_FALSE(WriteBatch::Deserialize("not a batch", &decoded));
+}
+
+TEST(WriteBatchTest, DeserializeRejectsTruncation) {
+  WriteBatch batch;
+  batch.Put("abcdef", "ghijkl");
+  std::string bytes = batch.Serialize();
+  bytes.resize(bytes.size() - 3);
+  WriteBatch decoded;
+  EXPECT_FALSE(WriteBatch::Deserialize(bytes, &decoded));
+}
+
+// ---------- KVStore ----------
+
+TEST(KVStoreTest, PutGetDelete) {
+  KVStore kv;
+  ASSERT_TRUE(kv.Put("k", "v").ok());
+  auto got = kv.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+  ASSERT_TRUE(kv.Delete("k").ok());
+  EXPECT_EQ(kv.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KVStoreTest, OverwriteReplaces) {
+  KVStore kv;
+  kv.Put("k", "1");
+  kv.Put("k", "2");
+  EXPECT_EQ(*kv.Get("k"), "2");
+  EXPECT_EQ(kv.Size(), 1u);
+}
+
+TEST(KVStoreTest, BatchIsAtomicallyVisible) {
+  KVStore kv;
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(kv.Write(batch).ok());
+  EXPECT_FALSE(kv.Contains("a"));
+  EXPECT_EQ(*kv.Get("b"), "2");
+}
+
+TEST(KVStoreTest, SnapshotIsStableUnderWrites) {
+  KVStore kv;
+  kv.Put("x", "old");
+  const KVSnapshot snap = kv.GetSnapshot();
+  kv.Put("x", "new");
+  kv.Put("y", "added");
+  EXPECT_EQ(*snap.Get("x"), "old");
+  EXPECT_FALSE(snap.Get("y").ok());
+  EXPECT_EQ(*kv.Get("x"), "new");
+}
+
+TEST(KVStoreTest, IteratorRange) {
+  KVStore kv;
+  for (char c = 'a'; c <= 'f'; ++c) {
+    kv.Put(std::string(1, c), "v");
+  }
+  auto it = kv.NewIterator("b", "e");
+  std::string seen;
+  for (; it.Valid(); it.Next()) seen += it.key();
+  EXPECT_EQ(seen, "bcd");
+}
+
+TEST(KVStoreTest, IteratorFullScanIsOrdered) {
+  KVStore kv;
+  kv.Put("zebra", "1");
+  kv.Put("apple", "2");
+  kv.Put("mango", "3");
+  auto it = kv.NewIterator();
+  std::vector<std::string> keys;
+  for (; it.Valid(); it.Next()) keys.push_back(it.key());
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(KVStoreTest, CheckpointRestoreRoundTrip) {
+  KVStore kv;
+  kv.Put("a", "1");
+  kv.Put("b", "2");
+  const std::string checkpoint = kv.Checkpoint();
+
+  KVStore other;
+  other.Put("junk", "x");
+  ASSERT_TRUE(other.Restore(checkpoint).ok());
+  EXPECT_EQ(other.Size(), 2u);
+  EXPECT_EQ(*other.Get("a"), "1");
+  EXPECT_FALSE(other.Contains("junk"));
+}
+
+TEST(KVStoreTest, RestoreRejectsCorruption) {
+  KVStore kv;
+  EXPECT_EQ(kv.Restore("garbage").code(), StatusCode::kCorruption);
+}
+
+TEST(KVStoreTest, ConcurrentReadersAndWriters) {
+  KVStore kv;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 1000, [&](std::size_t i) {
+    const std::string key = "k" + std::to_string(i % 50);
+    kv.Put(key, std::to_string(i));
+    auto snap = kv.GetSnapshot();
+    (void)snap.Get(key);
+    (void)kv.Get(key);
+  });
+  EXPECT_EQ(kv.Size(), 50u);
+}
+
+// ---------- StateDB ----------
+
+TEST(StateDBTest, MissingAddressReadsZero) {
+  StateDB db;
+  EXPECT_EQ(db.Get(Address(42)), 0);
+}
+
+TEST(StateDBTest, SetGet) {
+  StateDB db;
+  db.Set(Address(1), 100);
+  db.Set(Address(2), -50);
+  EXPECT_EQ(db.Get(Address(1)), 100);
+  EXPECT_EQ(db.Get(Address(2)), -50);
+  EXPECT_EQ(db.Size(), 2u);
+}
+
+TEST(StateDBTest, ApplyWritesBatch) {
+  StateDB db;
+  const std::vector<StateWrite> writes = {{Address(1), 5}, {Address(2), 6}};
+  db.ApplyWrites(writes);
+  EXPECT_EQ(db.Get(Address(1)), 5);
+  EXPECT_EQ(db.Get(Address(2)), 6);
+}
+
+TEST(StateDBTest, SnapshotIsImmutable) {
+  StateDB db;
+  db.Set(Address(1), 10);
+  const StateSnapshot snap = db.MakeSnapshot(1);
+  db.Set(Address(1), 20);
+  db.Set(Address(2), 30);
+  EXPECT_EQ(snap.Get(Address(1)), 10);
+  EXPECT_EQ(snap.Get(Address(2)), 0);
+  EXPECT_EQ(snap.epoch(), 1u);
+}
+
+TEST(StateDBTest, RootHashChangesWithState) {
+  StateDB db;
+  const Hash256 empty_root = db.RootHash();
+  db.Set(Address(1), 1);
+  const Hash256 one_root = db.RootHash();
+  EXPECT_NE(empty_root, one_root);
+  db.Set(Address(1), 2);
+  EXPECT_NE(db.RootHash(), one_root);
+}
+
+TEST(StateDBTest, RootHashIsOrderInsensitive) {
+  StateDB a, b;
+  a.Set(Address(1), 10);
+  a.Set(Address(2), 20);
+  b.Set(Address(2), 20);
+  b.Set(Address(1), 10);
+  EXPECT_EQ(a.RootHash(), b.RootHash());
+}
+
+TEST(StateDBTest, RootHashIsStableAcrossCalls) {
+  StateDB db;
+  db.Set(Address(7), 7);
+  EXPECT_EQ(db.RootHash(), db.RootHash());
+}
+
+TEST(StateDBTest, FlushPersistsToKV) {
+  KVStore kv;
+  StateDB db(&kv);
+  db.Set(Address(1), 42);
+  ASSERT_TRUE(db.Flush().ok());
+  EXPECT_GE(kv.Size(), 1u);
+  // Flushing twice with no new writes adds nothing.
+  const std::size_t size_after = kv.Size();
+  ASSERT_TRUE(db.Flush().ok());
+  EXPECT_EQ(kv.Size(), size_after);
+}
+
+TEST(StateDBTest, RootHashSurvivesFlush) {
+  // Regression: Flush consumes the dirty markers; the commitment trie must
+  // be synced first or a post-flush RootHash would miss the writes.
+  StateDB db;
+  db.Set(Address(9), 99);
+  ASSERT_TRUE(db.Flush().ok());
+  EXPECT_FALSE(db.RootHash().IsZero());
+
+  StateDB reference;
+  reference.Set(Address(9), 99);
+  EXPECT_EQ(db.RootHash(), reference.RootHash());
+}
+
+TEST(StateDBTest, ConcurrentDisjointWritesAreSafe) {
+  StateDB db;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 10000, [&](std::size_t i) {
+    db.Set(Address(i), static_cast<StateValue>(i));
+  });
+  for (std::size_t i = 0; i < 10000; i += 997) {
+    EXPECT_EQ(db.Get(Address(i)), static_cast<StateValue>(i));
+  }
+  EXPECT_EQ(db.Size(), 10000u);
+}
+
+TEST(StateDBTest, SnapshotSizeMatches) {
+  StateDB db;
+  for (std::uint64_t i = 0; i < 100; ++i) db.Set(Address(i), 1);
+  EXPECT_EQ(db.MakeSnapshot(0).Size(), 100u);
+}
+
+}  // namespace
+}  // namespace nezha

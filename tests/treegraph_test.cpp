@@ -1,0 +1,292 @@
+// Tests for the Conflux-style tree-graph substrate: GHOST pivot selection,
+// reference weaving, epoch formation/ordering, confirmation, network
+// simulation convergence, and the execution bridge.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "consensus/treegraph_sim.h"
+#include "node/treegraph_bridge.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+class TreeGraphTest : public ::testing::Test {
+ protected:
+  TreeGraphTest() : view_(0, /*confirm_depth=*/2) {}
+
+  TGBlock Mine(const TreeGraphView& from) {
+    TGBlock block = from.PrepareBlock(counter_++, {});
+    block.Seal();
+    return block;
+  }
+
+  TreeGraphView view_;
+  std::uint64_t counter_ = 0;
+};
+
+TEST_F(TreeGraphTest, StartsAtGenesis) {
+  EXPECT_EQ(view_.NumBlocks(), 1u);
+  EXPECT_EQ(view_.PivotTip()->height, 0u);
+  EXPECT_TRUE(view_.ConfirmedEpochs().empty());
+  EXPECT_TRUE(view_.LooseTips().empty());
+}
+
+TEST_F(TreeGraphTest, LinearChainGrowsPivot) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(view_.OnBlock(Mine(view_)).ok());
+  }
+  EXPECT_EQ(view_.PivotTip()->height, 5u);
+  EXPECT_EQ(view_.PivotChain().size(), 6u);
+  EXPECT_TRUE(view_.LooseTips().empty());  // every block is someone's parent
+}
+
+TEST_F(TreeGraphTest, GhostPicksHeavierSubtree) {
+  // Fork at genesis: branch A gets 1 block, branch B gets 3.
+  TreeGraphView a(1, 2), b(2, 2);
+  const TGBlock block_a = Mine(a);
+  ASSERT_TRUE(a.OnBlock(block_a).ok());
+
+  TGBlock b1 = Mine(b);
+  ASSERT_TRUE(b.OnBlock(b1).ok());
+  // Build b's chain without seeing a's block.
+  TGBlock b2 = Mine(b);
+  ASSERT_TRUE(b.OnBlock(b2).ok());
+  TGBlock b3 = Mine(b);
+  ASSERT_TRUE(b.OnBlock(b3).ok());
+
+  ASSERT_TRUE(view_.OnBlock(block_a).ok());
+  ASSERT_TRUE(view_.OnBlock(b1).ok());
+  ASSERT_TRUE(view_.OnBlock(b2).ok());
+  ASSERT_TRUE(view_.OnBlock(b3).ok());
+  EXPECT_EQ(view_.PivotTip()->hash, b3.hash);  // heavier branch wins
+  // a's block is a loose tip (nothing references it yet in view_).
+  const auto tips = view_.LooseTips();
+  ASSERT_EQ(tips.size(), 1u);
+  EXPECT_EQ(tips[0], block_a.hash);
+}
+
+TEST_F(TreeGraphTest, NewBlockWeavesLooseTipsIn) {
+  // Create a fork, then mine on top: the new block must reference the
+  // losing tip, folding it into the DAG.
+  TreeGraphView other(1, 2);
+  const TGBlock fork = Mine(other);
+  ASSERT_TRUE(view_.OnBlock(Mine(view_)).ok());
+  ASSERT_TRUE(view_.OnBlock(fork).ok());
+  ASSERT_EQ(view_.LooseTips().size(), 1u);
+
+  const TGBlock weaver = Mine(view_);
+  EXPECT_EQ(weaver.references.size(), 1u);
+  ASSERT_TRUE(view_.OnBlock(weaver).ok());
+  EXPECT_TRUE(view_.LooseTips().empty());
+}
+
+TEST_F(TreeGraphTest, TamperedBlockRejected) {
+  TGBlock block = Mine(view_);
+  block.txs.push_back(Transaction{});
+  EXPECT_FALSE(view_.OnBlock(block).ok());
+  TGBlock bad_hash = Mine(view_);
+  bad_hash.hash.bytes[0] ^= 1;
+  EXPECT_FALSE(view_.OnBlock(bad_hash).ok());
+}
+
+TEST_F(TreeGraphTest, OrphanBufferedUntilDependenciesArrive) {
+  TreeGraphView other(1, 2);
+  const TGBlock first = Mine(other);
+  ASSERT_TRUE(other.OnBlock(first).ok());
+  const TGBlock second = Mine(other);
+  ASSERT_TRUE(other.OnBlock(second).ok());
+
+  auto r = view_.OnBlock(second);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  EXPECT_EQ(view_.NumOrphans(), 1u);
+  r = view_.OnBlock(first);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+  EXPECT_EQ(view_.NumOrphans(), 0u);
+}
+
+TEST_F(TreeGraphTest, EpochsPartitionTheDag) {
+  // Fork + weave + grow past confirm depth, then check every confirmed
+  // block appears in exactly one epoch, pivot last in its epoch.
+  TreeGraphView other(1, 2);
+  const TGBlock fork = Mine(other);
+  ASSERT_TRUE(view_.OnBlock(Mine(view_)).ok());
+  ASSERT_TRUE(view_.OnBlock(fork).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(view_.OnBlock(Mine(view_)).ok());
+  }
+  const auto epochs = view_.ConfirmedEpochs();
+  ASSERT_FALSE(epochs.empty());
+  std::set<Hash256> seen;
+  for (const TGEpoch& epoch : epochs) {
+    ASSERT_FALSE(epoch.blocks.empty());
+    // Pivot (the block at epoch.pivot_height on the pivot chain) is last.
+    EXPECT_EQ(epoch.blocks.back()->height, epoch.pivot_height);
+    for (const TGBlock* block : epoch.blocks) {
+      EXPECT_TRUE(seen.insert(block->hash).second)
+          << "block in two epochs";
+    }
+  }
+  // The woven-in fork block must appear in some epoch.
+  EXPECT_TRUE(seen.count(fork.hash) > 0);
+}
+
+TEST_F(TreeGraphTest, EpochOrderRespectsDependencies) {
+  TreeGraphView other(1, 2);
+  const TGBlock fork = Mine(other);
+  ASSERT_TRUE(view_.OnBlock(Mine(view_)).ok());
+  ASSERT_TRUE(view_.OnBlock(fork).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(view_.OnBlock(Mine(view_)).ok());
+  }
+  for (const TGEpoch& epoch : view_.ConfirmedEpochs()) {
+    // Topological soundness: no block's dependency (parent or reference)
+    // may appear LATER than the block within the same epoch.
+    std::set<Hash256> remaining;
+    for (const TGBlock* block : epoch.blocks) remaining.insert(block->hash);
+    for (const TGBlock* block : epoch.blocks) {
+      remaining.erase(block->hash);
+      EXPECT_EQ(remaining.count(block->parent), 0u)
+          << "parent emitted after its child";
+      for (const Hash256& ref : block->references) {
+        EXPECT_EQ(remaining.count(ref), 0u)
+            << "reference emitted after its dependant";
+      }
+    }
+  }
+}
+
+// ---------- network simulation ----------
+
+TEST(TreeGraphSimTest, AllNodesConvergeToSameEpochs) {
+  TreeGraphSimConfig config;
+  config.num_nodes = 5;
+  config.mean_block_interval_ms = 150;
+  config.duration_ms = 30'000;
+  config.seed = 5;
+  TreeGraphSimulation sim(config);
+  sim.Run();
+  ASSERT_GT(sim.stats().blocks_mined, 50u);
+  ASSERT_GT(sim.stats().confirmed_epochs, 5u);
+
+  const auto reference = sim.node(0).ConfirmedEpochs();
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    const auto other = sim.node(i).ConfirmedEpochs();
+    ASSERT_EQ(other.size(), reference.size()) << "node " << i;
+    for (std::size_t e = 0; e < reference.size(); ++e) {
+      ASSERT_EQ(other[e].blocks.size(), reference[e].blocks.size());
+      for (std::size_t b = 0; b < reference[e].blocks.size(); ++b) {
+        EXPECT_EQ(other[e].blocks[b]->hash, reference[e].blocks[b]->hash);
+      }
+    }
+  }
+}
+
+TEST(TreeGraphSimTest, EveryMinedBlockLandsInSomeEpochEventually) {
+  // Unlike plain Nakamoto, the tree-graph wastes no blocks: forked blocks
+  // get woven in by reference edges and contribute to epochs.
+  TreeGraphSimConfig config;
+  config.mean_block_interval_ms = 60;  // aggressive: many concurrent blocks
+  config.base_latency_ms = 100;
+  config.jitter_ms = 100;
+  config.duration_ms = 30'000;
+  config.confirm_depth = 8;
+  config.seed = 6;
+  TreeGraphSimulation sim(config);
+  sim.Run();
+  ASSERT_GT(sim.stats().blocks_mined, 100u);
+  // Concurrency shows up as multi-block epochs.
+  EXPECT_GT(sim.stats().max_epoch_size, 1.0);
+  EXPECT_GT(sim.stats().mean_epoch_size, 1.0);
+  // Confirmed blocks track mined blocks closely (minus the unconfirmed
+  // tail): nothing is permanently discarded.
+  EXPECT_GT(sim.stats().confirmed_blocks,
+            sim.stats().blocks_mined * 6 / 10);
+}
+
+TEST(TreeGraphSimTest, Deterministic) {
+  TreeGraphSimConfig config;
+  config.duration_ms = 10'000;
+  config.seed = 7;
+  TreeGraphSimulation a(config), b(config);
+  a.Run();
+  b.Run();
+  EXPECT_EQ(a.stats().blocks_mined, b.stats().blocks_mined);
+  EXPECT_EQ(a.node(0).PivotTip()->hash, b.node(0).PivotTip()->hash);
+}
+
+// ---------- execution bridge ----------
+
+TEST(TreeGraphBridgeTest, ReplicasAgreeOnState) {
+  WorkloadConfig wl;
+  wl.num_accounts = 400;
+  wl.skew = 0.8;
+  SmallBankWorkload workload(wl, 77);
+  TreeGraphSimConfig config;
+  config.num_nodes = 4;
+  config.mean_block_interval_ms = 100;
+  config.duration_ms = 20'000;
+  config.confirm_depth = 5;
+  config.seed = 8;
+  TreeGraphSimulation sim(config, [&workload](NodeId) {
+    return workload.MakeBatch(10);
+  });
+  sim.Run();
+  ASSERT_GT(sim.stats().confirmed_epochs, 5u);
+
+  Hash256 reference{};
+  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+    TreeGraphDeferredExecutor executor(DeferredExecConfig{});
+    auto reports = executor.CatchUp(sim.node(i));
+    ASSERT_TRUE(reports.ok());
+    ASSERT_FALSE(reports->empty());
+    const Hash256 root = executor.state().RootHash();
+    if (i == 0) {
+      reference = root;
+      EXPECT_FALSE(root.IsZero());
+    } else {
+      EXPECT_EQ(root, reference) << "node " << i;
+    }
+  }
+}
+
+TEST(TreeGraphBridgeTest, IncrementalMatchesOneShot) {
+  WorkloadConfig wl;
+  wl.num_accounts = 300;
+  wl.skew = 0.6;
+  TreeGraphSimConfig config;
+  config.duration_ms = 20'000;
+  config.mean_block_interval_ms = 100;
+  config.confirm_depth = 5;
+  config.seed = 9;
+
+  const auto run_sim = [&](double horizon) {
+    SmallBankWorkload workload(wl, 55);
+    TreeGraphSimConfig c = config;
+    c.duration_ms = horizon;
+    auto sim = std::make_unique<TreeGraphSimulation>(
+        c, [workload = std::move(workload)](NodeId) mutable {
+          return workload.MakeBatch(8);
+        });
+    sim->Run();
+    return sim;
+  };
+
+  auto full = run_sim(20'000);
+  TreeGraphDeferredExecutor one_shot(DeferredExecConfig{});
+  ASSERT_TRUE(one_shot.CatchUp(full->node(0)).ok());
+
+  TreeGraphDeferredExecutor incremental(DeferredExecConfig{});
+  for (double horizon : {8'000.0, 14'000.0, 20'000.0}) {
+    auto partial = run_sim(horizon);
+    ASSERT_TRUE(incremental.CatchUp(partial->node(0)).ok());
+  }
+  EXPECT_EQ(incremental.executed_epochs(), one_shot.executed_epochs());
+  EXPECT_EQ(incremental.state().RootHash(), one_shot.state().RootHash());
+}
+
+}  // namespace
+}  // namespace nezha

@@ -1,0 +1,343 @@
+// Unit + property tests for the execution layer: SmallBank semantics, the
+// MiniVM interpreter, native-vs-bytecode equivalence, and the logged state
+// view.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "storage/state_db.h"
+#include "vm/cost_model.h"
+#include "vm/executor.h"
+#include "vm/logged_state.h"
+#include "vm/minivm.h"
+#include "vm/smallbank.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+StateSnapshot SnapshotWith(
+    std::initializer_list<std::pair<Address, StateValue>> values) {
+  StateDB db;
+  for (const auto& [a, v] : values) db.Set(a, v);
+  return db.MakeSnapshot(0);
+}
+
+// ---------- LoggedStateView ----------
+
+TEST(LoggedStateTest, RecordsReadsAndWrites) {
+  const StateSnapshot snap = SnapshotWith({{Address(1), 10}});
+  LoggedStateView view(snap);
+  EXPECT_EQ(view.Read(Address(1)), 10);
+  view.Write(Address(2), 99);
+  const ReadWriteSet rw = view.TakeRWSet();
+  EXPECT_EQ(rw.reads, (std::vector<Address>{Address(1)}));
+  EXPECT_EQ(rw.writes, (std::vector<Address>{Address(2)}));
+  EXPECT_EQ(rw.write_values, (std::vector<StateValue>{99}));
+  EXPECT_TRUE(rw.ok);
+}
+
+TEST(LoggedStateTest, ReadYourOwnWriteIsNotARead) {
+  const StateSnapshot snap = SnapshotWith({{Address(1), 10}});
+  LoggedStateView view(snap);
+  view.Write(Address(1), 50);
+  EXPECT_EQ(view.Read(Address(1)), 50);  // own write, not snapshot
+  const ReadWriteSet rw = view.TakeRWSet();
+  EXPECT_TRUE(rw.reads.empty());  // satisfied locally
+}
+
+TEST(LoggedStateTest, LastWriteWins) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  view.Write(Address(3), 1);
+  view.Write(Address(3), 2);
+  const ReadWriteSet rw = view.TakeRWSet();
+  ASSERT_EQ(rw.writes.size(), 1u);
+  EXPECT_EQ(rw.write_values[0], 2);
+}
+
+TEST(LoggedStateTest, RevertClearsOk) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  view.Revert();
+  EXPECT_FALSE(view.TakeRWSet().ok);
+}
+
+TEST(LoggedStateTest, OverlayShadowsSnapshot) {
+  const StateSnapshot snap = SnapshotWith({{Address(1), 10}});
+  LoggedStateView::Overlay overlay{{1, 77}};
+  LoggedStateView view(snap, &overlay);
+  EXPECT_EQ(view.Read(Address(1)), 77);
+}
+
+// ---------- SmallBank semantics ----------
+
+TEST(SmallBankTest, AddressMapping) {
+  EXPECT_EQ(SavingsAddress(5), Address(10));
+  EXPECT_EQ(CheckingAddress(5), Address(11));
+  EXPECT_EQ(AccountOfAddress(Address(10)), 5u);
+  EXPECT_EQ(AccountOfAddress(Address(11)), 5u);
+  EXPECT_TRUE(IsSavingsAddress(Address(10)));
+  EXPECT_FALSE(IsSavingsAddress(Address(11)));
+}
+
+TEST(SmallBankTest, UpdateSavingsAddsDelta) {
+  const StateSnapshot snap = SnapshotWith({{SavingsAddress(1), 100}});
+  LoggedStateView view(snap);
+  ASSERT_TRUE(ExecuteSmallBank(
+                  MakeSmallBankCall(SmallBankOp::kUpdateSavings, {1, 25}),
+                  view)
+                  .ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  ASSERT_EQ(rw.writes.size(), 1u);
+  EXPECT_EQ(rw.writes[0], SavingsAddress(1));
+  EXPECT_EQ(rw.write_values[0], 125);
+}
+
+TEST(SmallBankTest, SendPaymentMovesMoney) {
+  const StateSnapshot snap = SnapshotWith(
+      {{CheckingAddress(1), 100}, {CheckingAddress(2), 50}});
+  LoggedStateView view(snap);
+  ASSERT_TRUE(ExecuteSmallBank(
+                  MakeSmallBankCall(SmallBankOp::kSendPayment, {1, 2, 30}),
+                  view)
+                  .ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  ASSERT_EQ(rw.writes.size(), 2u);
+  EXPECT_EQ(rw.write_values[0], 70);   // checking(1) = 100 - 30
+  EXPECT_EQ(rw.write_values[1], 80);   // checking(2) = 50 + 30
+}
+
+TEST(SmallBankTest, WriteCheckNormal) {
+  const StateSnapshot snap = SnapshotWith(
+      {{SavingsAddress(1), 100}, {CheckingAddress(1), 50}});
+  LoggedStateView view(snap);
+  ASSERT_TRUE(
+      ExecuteSmallBank(MakeSmallBankCall(SmallBankOp::kWriteCheck, {1, 120}),
+                       view)
+          .ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  EXPECT_EQ(rw.write_values[0], -70);  // 50 - 120, no penalty (total 150)
+}
+
+TEST(SmallBankTest, WriteCheckOverdraftPenalty) {
+  const StateSnapshot snap = SnapshotWith(
+      {{SavingsAddress(1), 10}, {CheckingAddress(1), 10}});
+  LoggedStateView view(snap);
+  ASSERT_TRUE(
+      ExecuteSmallBank(MakeSmallBankCall(SmallBankOp::kWriteCheck, {1, 50}),
+                       view)
+          .ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  EXPECT_EQ(rw.write_values[0], 10 - 50 - 1);  // penalty applied
+}
+
+TEST(SmallBankTest, AmalgamateMovesEverything) {
+  const StateSnapshot snap = SnapshotWith({{SavingsAddress(1), 100},
+                                           {CheckingAddress(1), 20},
+                                           {CheckingAddress(2), 5}});
+  LoggedStateView view(snap);
+  ASSERT_TRUE(
+      ExecuteSmallBank(MakeSmallBankCall(SmallBankOp::kAmalgamate, {1, 2}),
+                       view)
+          .ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  ASSERT_EQ(rw.writes.size(), 3u);
+  // writes sorted by address: savings(1)=2, checking(1)=3, checking(2)=5.
+  EXPECT_EQ(rw.writes[0], SavingsAddress(1));
+  EXPECT_EQ(rw.write_values[0], 0);
+  EXPECT_EQ(rw.writes[1], CheckingAddress(1));
+  EXPECT_EQ(rw.write_values[1], 0);
+  EXPECT_EQ(rw.writes[2], CheckingAddress(2));
+  EXPECT_EQ(rw.write_values[2], 125);
+}
+
+TEST(SmallBankTest, GetBalanceIsReadOnly) {
+  const StateSnapshot snap = SnapshotWith({{SavingsAddress(3), 1}});
+  LoggedStateView view(snap);
+  ASSERT_TRUE(ExecuteSmallBank(
+                  MakeSmallBankCall(SmallBankOp::kGetBalance, {3}), view)
+                  .ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  EXPECT_EQ(rw.reads.size(), 2u);
+  EXPECT_TRUE(rw.writes.empty());
+}
+
+TEST(SmallBankTest, RejectsWrongArgCount) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  TxPayload bad = MakeSmallBankCall(SmallBankOp::kSendPayment, {1, 2});
+  EXPECT_FALSE(ExecuteSmallBank(bad, view).ok());
+}
+
+TEST(SmallBankTest, RejectsWrongContract) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  TxPayload bad = MakeSmallBankCall(SmallBankOp::kGetBalance, {1});
+  bad.contract = 99;
+  EXPECT_FALSE(ExecuteSmallBank(bad, view).ok());
+}
+
+TEST(SmallBankTest, OpNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::uint32_t op = 0; op < kNumSmallBankOps; ++op) {
+    names.insert(SmallBankOpName(static_cast<SmallBankOp>(op)));
+  }
+  EXPECT_EQ(names.size(), kNumSmallBankOps);
+}
+
+// ---------- MiniVM ----------
+
+TEST(MiniVmTest, ArithmeticAndStack) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  // (2 + 3) * 4 - 1 = 19, stored at address 7.
+  const Program p = {
+      {OpCode::kPush, 7},  {OpCode::kPush, 2},  {OpCode::kPush, 3},
+      {OpCode::kAdd, 0},   {OpCode::kPush, 4},  {OpCode::kMul, 0},
+      {OpCode::kPush, 1},  {OpCode::kSub, 0},   {OpCode::kSStore, 0},
+      {OpCode::kStop, 0}};
+  const VmOutcome outcome = RunProgram(p, view);
+  ASSERT_TRUE(outcome.status.ok());
+  const ReadWriteSet rw = view.TakeRWSet();
+  ASSERT_EQ(rw.writes.size(), 1u);
+  EXPECT_EQ(rw.write_values[0], 19);
+}
+
+TEST(MiniVmTest, ConditionalJumpTaken) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  const Program p = {
+      {OpCode::kPush, 1},    // condition
+      {OpCode::kJumpI, 4},   // jump over the "wrong" store
+      {OpCode::kPush, 0},    // (skipped)
+      {OpCode::kStop, 0},    // (skipped)
+      {OpCode::kPush, 5},    // addr
+      {OpCode::kPush, 123},  // value
+      {OpCode::kSStore, 0},
+      {OpCode::kStop, 0}};
+  ASSERT_TRUE(RunProgram(p, view).status.ok());
+  EXPECT_EQ(view.TakeRWSet().write_values[0], 123);
+}
+
+TEST(MiniVmTest, StackUnderflowFaults) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  const Program p = {{OpCode::kAdd, 0}};
+  EXPECT_FALSE(RunProgram(p, view).status.ok());
+}
+
+TEST(MiniVmTest, JumpOutOfRangeFaults) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  const Program p = {{OpCode::kJump, 99}};
+  EXPECT_FALSE(RunProgram(p, view).status.ok());
+}
+
+TEST(MiniVmTest, NegativeAddressFaults) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  const Program p = {{OpCode::kPush, -1}, {OpCode::kSLoad, 0}};
+  EXPECT_FALSE(RunProgram(p, view).status.ok());
+}
+
+TEST(MiniVmTest, GasLimitStopsInfiniteLoop) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  const Program p = {{OpCode::kJump, 0}};
+  VmLimits limits;
+  limits.gas_limit = 1000;
+  const VmOutcome outcome = RunProgram(p, view, limits);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_GE(outcome.gas_used, limits.gas_limit);
+}
+
+TEST(MiniVmTest, RevertMarksStateView) {
+  const StateSnapshot snap = SnapshotWith({});
+  LoggedStateView view(snap);
+  const Program p = {{OpCode::kPush, 1}, {OpCode::kPush, 2},
+                     {OpCode::kSStore, 0}, {OpCode::kRevert, 0}};
+  const VmOutcome outcome = RunProgram(p, view);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_TRUE(outcome.reverted);
+  EXPECT_FALSE(view.TakeRWSet().ok);
+}
+
+TEST(MiniVmTest, GasAccountsStorageHeavier) {
+  EXPECT_GT(GasCost(OpCode::kSStore), GasCost(OpCode::kSLoad));
+  EXPECT_GT(GasCost(OpCode::kSLoad), GasCost(OpCode::kAdd));
+}
+
+TEST(MiniVmTest, DisassembleListsInstructions) {
+  const Program p = {{OpCode::kPush, 42}, {OpCode::kStop, 0}};
+  const std::string text = Disassemble(p);
+  EXPECT_NE(text.find("PUSH 42"), std::string::npos);
+  EXPECT_NE(text.find("STOP"), std::string::npos);
+}
+
+// ---------- native vs bytecode equivalence (property test) ----------
+
+class ExecEquivalenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExecEquivalenceTest, NativeAndBytecodeAgreeOnRandomWorkload) {
+  // Property: for every SmallBank transaction the MiniVM bytecode produces
+  // exactly the native read set, write set, and written values.
+  WorkloadConfig config;
+  config.num_accounts = 50;  // small world -> plenty of collisions
+  config.skew = GetParam();
+  SmallBankWorkload workload(config, /*seed=*/2024);
+
+  StateDB db;
+  SmallBankWorkload::InitAccounts(db, config.num_accounts, 1000, 1000);
+  const StateSnapshot snap = db.MakeSnapshot(0);
+
+  for (int i = 0; i < 500; ++i) {
+    const Transaction tx = workload.NextTransaction();
+    auto native = SimulateTransaction(snap, tx, ExecMode::kNative);
+    auto bytecode = SimulateTransaction(snap, tx, ExecMode::kBytecode);
+    ASSERT_TRUE(native.ok());
+    ASSERT_TRUE(bytecode.ok());
+    EXPECT_EQ(native->reads, bytecode->reads) << "tx " << i;
+    EXPECT_EQ(native->writes, bytecode->writes) << "tx " << i;
+    EXPECT_EQ(native->write_values, bytecode->write_values) << "tx " << i;
+    EXPECT_EQ(native->ok, bytecode->ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ExecEquivalenceTest,
+                         ::testing::Values(0.0, 0.6, 0.9, 1.2));
+
+TEST(ExecutorTest, UnknownContractRejected) {
+  StateDB db;
+  const StateSnapshot snap = db.MakeSnapshot(0);
+  Transaction tx;
+  tx.payload.contract = 42;
+  EXPECT_FALSE(SimulateTransaction(snap, tx).ok());
+}
+
+// ---------- cost model ----------
+
+TEST(CostModelTest, MatchesTableIVWithinTolerance) {
+  // The calibrated model must reproduce every Table IV cell within 5%.
+  CostModel model;
+  const struct {
+    std::size_t txs;
+    double serial_ms;
+    double execute_ms;
+  } kTableIV[] = {
+      {400, 4700, 123.4},   {800, 10900, 246.4},  {1200, 17200, 369.3},
+      {1600, 23800, 511.7}, {2000, 30000, 641.5}, {2400, 36600, 743.4},
+  };
+  for (const auto& row : kTableIV) {
+    EXPECT_NEAR(model.SerialLatencyMs(row.txs), row.serial_ms,
+                row.serial_ms * 0.05)
+        << "N=" << row.txs;
+    EXPECT_NEAR(model.ConcurrentExecuteLatencyMs(row.txs), row.execute_ms,
+                row.execute_ms * 0.05)
+        << "N=" << row.txs;
+  }
+}
+
+}  // namespace
+}  // namespace nezha
