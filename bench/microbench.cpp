@@ -12,6 +12,7 @@
 #include "common/sha256.h"
 #include "common/zipfian.h"
 #include "graph/johnson.h"
+#include "obs/metrics.h"
 #include "runtime/concurrent_executor.h"
 #include "storage/mpt.h"
 #include "workload/smallbank_workload.h"
@@ -77,6 +78,26 @@ void BM_NezhaFullSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_NezhaFullSchedule)
+    ->Args({400, 2})
+    ->Args({2400, 2})
+    ->Args({400, 8})
+    ->Args({2400, 8});
+
+// Same schedule build with the metrics registry kill-switched off: the
+// delta between this and BM_NezhaFullSchedule is the observability
+// overhead (acceptance bar: < 3%).
+void BM_NezhaFullScheduleMetricsOff(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  NezhaScheduler scheduler;
+  obs::SetMetricsEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.BuildSchedule(rwsets));
+  }
+  obs::SetMetricsEnabled(true);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NezhaFullScheduleMetricsOff)
     ->Args({400, 2})
     ->Args({2400, 2})
     ->Args({400, 8})

@@ -178,6 +178,9 @@ Result<Schedule> CGScheduler::BuildSchedule(
   metrics_.sorting_us = watch.ElapsedMicros();
 
   schedule.RebuildGroups();
+  PublishSchedulerObs(name(), metrics_, schedule, rwsets,
+                      metrics_.resource_exhausted ? "budget-exhausted"
+                                                  : "cycle");
   return schedule;
 }
 

@@ -3,6 +3,7 @@
 #include "cc/nezha/acg.h"
 #include "cc/nezha/rank_division.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace nezha {
 
@@ -12,23 +13,33 @@ Result<Schedule> NezhaScheduler::BuildSchedule(
   Stopwatch watch;
 
   // Step 1: address-based conflict graph (linear in read/write units).
-  const AddressConflictGraph acg = AddressConflictGraph::Build(rwsets);
+  AddressConflictGraph acg;
+  {
+    obs::TraceSpan span("acg_build");
+    acg = AddressConflictGraph::Build(rwsets);
+  }
   metrics_.construction_us = watch.ElapsedMicros();
   metrics_.graph_vertices = acg.NumAddresses();
   metrics_.graph_edges = acg.NumEdges();
 
   // Step 2: sorting-rank division over the address-dependency graph.
   watch.Restart();
-  const std::vector<Digraph::Vertex> ranks =
-      ComputeSortingRanks(acg.dependencies(), options_.rank_policy);
+  std::vector<Digraph::Vertex> ranks;
+  {
+    obs::TraceSpan span("rank_division");
+    ranks = ComputeSortingRanks(acg.dependencies(), options_.rank_policy);
+  }
   metrics_.cycle_us = watch.ElapsedMicros();
 
   // Step 3: per-address transaction sorting.
   watch.Restart();
   TxSorterOptions sorter_options;
   sorter_options.enable_reordering = options_.enable_reordering;
-  TxSorterResult sorted =
-      SortTransactions(acg, ranks, rwsets.size(), sorter_options);
+  TxSorterResult sorted;
+  {
+    obs::TraceSpan span("tx_sorting");
+    sorted = SortTransactions(acg, ranks, rwsets.size(), sorter_options);
+  }
   metrics_.sorting_us = watch.ElapsedMicros();
   metrics_.reordered_txs = sorted.reordered_txs;
 
@@ -46,6 +57,7 @@ Result<Schedule> NezhaScheduler::BuildSchedule(
     }
   }
   schedule.RebuildGroups();
+  PublishSchedulerObs(name(), metrics_, schedule, rwsets, "unserializable");
   return schedule;
 }
 

@@ -39,6 +39,7 @@ Result<Schedule> OCCScheduler::BuildSchedule(
   }
   metrics_.sorting_us = watch.ElapsedMicros();
   schedule.RebuildGroups();
+  PublishSchedulerObs(name(), metrics_, schedule, rwsets, "stale-read");
   return schedule;
 }
 

@@ -19,4 +19,107 @@ void Schedule::RebuildGroups() {
   }
 }
 
+namespace {
+
+std::string Str(std::string_view s) { return std::string(s); }
+
+void PublishPhase(obs::MetricsRegistry& registry, const std::string& scheduler,
+                  const char* phase, double micros) {
+  const obs::Labels labels = {{"scheduler", scheduler}, {"phase", phase}};
+  registry.GetHistogram("nezha_scheduler_phase_us", labels)->Observe(micros);
+  registry.GetGauge("nezha_scheduler_last_phase_ns", labels)
+      ->Set(static_cast<std::int64_t>(micros * 1000.0));
+}
+
+}  // namespace
+
+void PublishSchedulerObs(std::string_view scheduler,
+                         const SchedulerMetrics& metrics,
+                         const Schedule& schedule,
+                         std::span<const ReadWriteSet> rwsets,
+                         std::string_view conflict_reason) {
+  if (!obs::MetricsEnabled()) return;
+  auto& registry = obs::Registry();
+  const std::string name = Str(scheduler);
+  const obs::Labels by_scheduler = {{"scheduler", name}};
+
+  PublishPhase(registry, name, "construction", metrics.construction_us);
+  PublishPhase(registry, name, "division", metrics.cycle_us);
+  PublishPhase(registry, name, "sorting", metrics.sorting_us);
+
+  registry.GetCounter("nezha_scheduler_builds_total", by_scheduler)->Inc();
+  registry.GetCounter("nezha_scheduler_txs_total", by_scheduler)
+      ->Inc(schedule.TxCount());
+  registry.GetCounter("nezha_scheduler_committed_total", by_scheduler)
+      ->Inc(schedule.NumCommitted());
+
+  std::uint64_t reverted = 0;
+  for (const ReadWriteSet& rw : rwsets) reverted += rw.ok ? 0 : 1;
+  const std::uint64_t conflicted = schedule.NumAborted() - reverted;
+  if (reverted > 0) {
+    registry
+        .GetCounter("nezha_scheduler_aborts_total",
+                    {{"scheduler", name}, {"reason", "reverted"}})
+        ->Inc(reverted);
+  }
+  if (conflicted > 0) {
+    registry
+        .GetCounter("nezha_scheduler_aborts_total",
+                    {{"scheduler", name}, {"reason", Str(conflict_reason)}})
+        ->Inc(conflicted);
+  }
+
+  registry.GetGauge("nezha_scheduler_graph_vertices", by_scheduler)
+      ->Set(static_cast<std::int64_t>(metrics.graph_vertices));
+  registry.GetGauge("nezha_scheduler_graph_edges", by_scheduler)
+      ->Set(static_cast<std::int64_t>(metrics.graph_edges));
+  registry.GetGauge("nezha_scheduler_last_cycles", by_scheduler)
+      ->Set(static_cast<std::int64_t>(metrics.cycles_found));
+  registry.GetGauge("nezha_scheduler_last_reordered", by_scheduler)
+      ->Set(static_cast<std::int64_t>(metrics.reordered_txs));
+  registry.GetGauge("nezha_scheduler_resource_exhausted", by_scheduler)
+      ->Set(metrics.resource_exhausted ? 1 : 0);
+  if (metrics.cycles_found > 0) {
+    registry.GetCounter("nezha_scheduler_cycles_total", by_scheduler)
+        ->Inc(metrics.cycles_found);
+  }
+  if (metrics.reordered_txs > 0) {
+    registry.GetCounter("nezha_scheduler_reordered_total", by_scheduler)
+        ->Inc(metrics.reordered_txs);
+  }
+
+  obs::BucketHistogram* group_size = registry.GetHistogram(
+      "nezha_scheduler_commit_group_size", by_scheduler,
+      obs::DefaultSizeBounds());
+  for (const auto& group : schedule.groups) {
+    group_size->Observe(static_cast<double>(group.size()));
+  }
+}
+
+SchedulerMetrics SchedulerMetricsFromSnapshot(
+    const obs::RegistrySnapshot& snapshot, std::string_view scheduler) {
+  const std::string name = Str(scheduler);
+  const auto phase_us = [&](const char* phase) {
+    const std::string labels = obs::RenderLabels(
+        {{"scheduler", name}, {"phase", phase}});
+    return snapshot.Value("nezha_scheduler_last_phase_ns", labels) / 1000.0;
+  };
+  const std::string labels = obs::RenderLabels({{"scheduler", name}});
+  SchedulerMetrics m;
+  m.construction_us = phase_us("construction");
+  m.cycle_us = phase_us("division");
+  m.sorting_us = phase_us("sorting");
+  m.graph_vertices = static_cast<std::size_t>(
+      snapshot.Value("nezha_scheduler_graph_vertices", labels));
+  m.graph_edges = static_cast<std::size_t>(
+      snapshot.Value("nezha_scheduler_graph_edges", labels));
+  m.cycles_found = static_cast<std::uint64_t>(
+      snapshot.Value("nezha_scheduler_last_cycles", labels));
+  m.resource_exhausted =
+      snapshot.Value("nezha_scheduler_resource_exhausted", labels) != 0;
+  m.reordered_txs = static_cast<std::size_t>(
+      snapshot.Value("nezha_scheduler_last_reordered", labels));
+  return m;
+}
+
 }  // namespace nezha

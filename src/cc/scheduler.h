@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "vm/rwset.h"
 
 namespace nezha {
@@ -62,6 +63,29 @@ struct SchedulerMetrics {
 
   double TotalUs() const { return construction_us + cycle_us + sorting_us; }
 };
+
+/// Publishes one BuildSchedule outcome into the global metrics registry
+/// (docs/OBSERVABILITY.md), all series labeled scheduler=<name>:
+///   * nezha_scheduler_phase_us{phase=construction|division|sorting} hists
+///     plus nezha_scheduler_last_phase_ns{phase} gauges (last build);
+///   * nezha_scheduler_aborts_total{reason=...} — reason="reverted" for
+///     application-level reverts, `conflict_reason` for scheduler aborts;
+///   * nezha_scheduler_{txs,committed,builds,reordered,cycles}_total;
+///   * last-build gauges for graph size, cycles, reorders and exhaustion.
+/// Every Scheduler implementation calls this at the end of BuildSchedule,
+/// which makes SchedulerMetrics (and EpochReport.cc_metrics) a thin view
+/// over the registry: SchedulerMetricsFromSnapshot reconstructs it.
+void PublishSchedulerObs(std::string_view scheduler,
+                         const SchedulerMetrics& metrics,
+                         const Schedule& schedule,
+                         std::span<const ReadWriteSet> rwsets,
+                         std::string_view conflict_reason);
+
+/// Rebuilds the most recent build's SchedulerMetrics from a registry
+/// snapshot (inverse of PublishSchedulerObs; timing fields round-trip
+/// through nanosecond gauges, so they match to < 1 ns).
+SchedulerMetrics SchedulerMetricsFromSnapshot(
+    const obs::RegistrySnapshot& snapshot, std::string_view scheduler);
 
 class Scheduler {
  public:

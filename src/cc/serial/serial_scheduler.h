@@ -27,6 +27,7 @@ class SerialScheduler final : public Scheduler {
     SeqNum next = 1;
     for (TxIndex t = 0; t < n; ++t) schedule.sequence[t] = next++;
     schedule.RebuildGroups();
+    PublishSchedulerObs(name(), metrics_, schedule, rwsets, "conflict");
     return schedule;
   }
 

@@ -1,8 +1,133 @@
 #include "common/histogram.h"
 
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace nezha {
+
+void Histogram::Add(double value) {
+  if (!streaming_) {
+    samples_.push_back(value);
+    sorted_ = false;
+    return;
+  }
+  ++buckets_[BucketOf(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (!streaming_ && !other.streaming_) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    return;
+  }
+  if (other.streaming_) {
+    if (streaming_ && lo_ == other.lo_ && hi_ == other.hi_ &&
+        buckets_.size() == other.buckets_.size()) {
+      // Identical bucketing: exact merge.
+      for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+      }
+      count_ += other.count_;
+      sum_ += other.sum_;
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+      return;
+    }
+    // Mismatched bucketing (or raw += streaming): fold by bucket midpoint.
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      const double mid =
+          0.5 * (other.BucketLow(i) + other.BucketHigh(i));
+      for (std::uint64_t k = 0; k < other.buckets_[i]; ++k) Add(mid);
+    }
+    return;
+  }
+  // streaming += raw.
+  for (double s : other.samples_) Add(s);
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = false;
+  if (streaming_) {
+    buckets_.assign(buckets_.size(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+}
+
+void Histogram::EnableStreaming(double lo, double hi,
+                                std::size_t num_buckets) {
+  assert(lo > 0 && hi > lo && num_buckets > 0);
+  std::vector<double> pending;
+  pending.swap(samples_);
+  sorted_ = false;
+
+  streaming_ = true;
+  lo_ = lo;
+  hi_ = hi;
+  log_lo_ = std::log(lo);
+  log_step_ = (std::log(hi) - log_lo_) / static_cast<double>(num_buckets);
+  buckets_.assign(num_buckets, 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+
+  for (double s : pending) Add(s);
+}
+
+std::size_t Histogram::BucketOf(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return buckets_.size() - 1;
+  const auto bucket =
+      static_cast<std::size_t>((std::log(value) - log_lo_) / log_step_);
+  return std::min(bucket, buckets_.size() - 1);
+}
+
+double Histogram::BucketLow(std::size_t bucket) const {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(bucket));
+}
+
+double Histogram::BucketHigh(std::size_t bucket) const {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(bucket + 1));
+}
+
+double Histogram::Percentile(double p) {
+  if (Count() == 0) return 0;
+  if (!streaming_) {
+    EnsureSorted();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(cumulative + buckets_[i]) >= target) {
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[i]);
+      const double v = BucketLow(i) +
+                       (BucketHigh(i) - BucketLow(i)) *
+                           std::clamp(frac, 0.0, 1.0);
+      // Clamp to the observed range so edge buckets report real values.
+      return std::clamp(v, min_, max_);
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
 
 std::string Histogram::Summary() {
   char buf[160];

@@ -10,55 +10,62 @@
 namespace nezha {
 
 /// Collects samples (e.g. latencies in microseconds) and reports
-/// mean / min / max / percentiles. Stores raw samples; intended for
-/// benchmark-scale sample counts (<= millions).
+/// mean / min / max / percentiles.
+///
+/// Two storage modes:
+///  * raw (default) — every sample is kept; percentiles are exact.
+///    Call Reserve() up front for large runs to avoid regrowth.
+///  * streaming — EnableStreaming(lo, hi, buckets) switches to log-spaced
+///    bucket counts: O(buckets) memory no matter how many samples, and
+///    Percentile() interpolates inside the bucket instead of sorting a
+///    raw vector (million-sample bench runs stay flat and never re-sort).
+///    Samples already collected are folded into the buckets.
 class Histogram {
  public:
-  void Add(double value) {
-    samples_.push_back(value);
-    sorted_ = false;
+  void Add(double value);
+
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+  /// Pre-allocates raw-sample storage (no-op in streaming mode).
+  void Reserve(std::size_t n) {
+    if (!streaming_) samples_.reserve(n);
   }
 
-  void Merge(const Histogram& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
-    sorted_ = false;
-  }
+  /// Switches to streaming bucketed mode with `num_buckets` log-spaced
+  /// buckets covering [lo, hi] (values outside clamp to the edge buckets).
+  /// Requires 0 < lo < hi. Existing raw samples are folded in and freed.
+  void EnableStreaming(double lo, double hi, std::size_t num_buckets = 128);
 
-  void Clear() {
-    samples_.clear();
-    sorted_ = false;
-  }
+  bool streaming() const { return streaming_; }
 
-  std::size_t Count() const { return samples_.size(); }
+  std::size_t Count() const { return streaming_ ? count_ : samples_.size(); }
 
   double Mean() const {
-    if (samples_.empty()) return 0;
+    const std::size_t n = Count();
+    if (n == 0) return 0;
+    if (streaming_) return sum_ / static_cast<double>(n);
     double sum = 0;
     for (double s : samples_) sum += s;
-    return sum / static_cast<double>(samples_.size());
+    return sum / static_cast<double>(n);
   }
 
   double Min() const {
-    if (samples_.empty()) return 0;
+    if (Count() == 0) return 0;
+    if (streaming_) return min_;
     return *std::min_element(samples_.begin(), samples_.end());
   }
 
   double Max() const {
-    if (samples_.empty()) return 0;
+    if (Count() == 0) return 0;
+    if (streaming_) return max_;
     return *std::max_element(samples_.begin(), samples_.end());
   }
 
-  /// Percentile in [0, 100] by nearest-rank on the sorted samples.
-  double Percentile(double p) {
-    if (samples_.empty()) return 0;
-    EnsureSorted();
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
-  }
+  /// Percentile in [0, 100]: nearest-rank with interpolation on the sorted
+  /// raw samples; bucket-interpolated (approximate) in streaming mode.
+  double Percentile(double p);
 
   double Median() { return Percentile(50); }
   double P99() { return Percentile(99); }
@@ -74,8 +81,26 @@ class Histogram {
     }
   }
 
+  /// Bucket index for a value in streaming mode (clamped).
+  std::size_t BucketOf(double value) const;
+  /// Representative lower/upper value of one bucket.
+  double BucketLow(std::size_t bucket) const;
+  double BucketHigh(std::size_t bucket) const;
+
   std::vector<double> samples_;
   bool sorted_ = false;
+
+  // Streaming state.
+  bool streaming_ = false;
+  double lo_ = 0;
+  double hi_ = 0;
+  double log_lo_ = 0;
+  double log_step_ = 0;  ///< log-width of one bucket
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace nezha

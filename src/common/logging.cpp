@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "obs/trace.h"
 
 namespace nezha {
 namespace {
@@ -36,7 +40,23 @@ LogLevel GetLogLevel() {
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char stamp[48];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis));
+
+  std::fprintf(stderr, "[%s] [%s] [t%u] %s\n", stamp, LevelName(level),
+               obs::CurrentThreadId(), message.c_str());
 }
 
 }  // namespace nezha

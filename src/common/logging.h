@@ -1,8 +1,12 @@
 // Minimal leveled logging to stderr. Off by default at DEBUG level; benches
 // and examples raise the level explicitly. Thread-safe (single write call
-// per message).
+// per message). Each line carries a wall-clock timestamp and the dense
+// per-process thread id (obs::CurrentThreadId):
+//   [2026-08-05 12:00:00.123] [INFO] [t3] message
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -14,7 +18,7 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes one formatted line: "[LEVEL] message\n".
+/// Writes one formatted line: "[timestamp] [LEVEL] [tid] message\n".
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal {
@@ -46,3 +50,17 @@ class LogLine {
       static_cast<int>(::nezha::GetLogLevel())) {            \
   } else                                                     \
     ::nezha::internal::LogLine(::nezha::LogLevel::level)
+
+// Rate-limited logging: emits occurrence 1, n+1, 2n+1, ... of this call
+// site (per-site atomic counter), so per-transaction logging cannot swamp a
+// bench. Usage: NEZHA_LOG_EVERY_N(kInfo, 1000) << "committed " << n;
+#define NEZHA_LOG_EVERY_N(level, n)                                          \
+  if (bool nezha_log_hit = []() {                                            \
+        static ::std::atomic<::std::uint64_t> nezha_log_count{0};            \
+        return nezha_log_count.fetch_add(1, ::std::memory_order_relaxed) %   \
+                   static_cast<::std::uint64_t>(n) ==                        \
+               0;                                                            \
+      }();                                                                   \
+      !nezha_log_hit) {                                                      \
+  } else                                                                     \
+    NEZHA_LOG(level)

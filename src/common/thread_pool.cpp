@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
+
+#include "obs/trace.h"
 
 namespace nezha {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  auto& registry = obs::Registry();
+  queue_depth_ = registry.GetGauge("nezha_threadpool_queue_depth");
+  tasks_total_ = registry.GetCounter("nezha_threadpool_tasks_total");
+  busy_us_total_ = registry.GetCounter("nezha_threadpool_busy_us_total");
+  task_wait_us_ = registry.GetHistogram("nezha_threadpool_task_wait_us");
+  task_run_us_ = registry.GetHistogram("nezha_threadpool_task_run_us");
+
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  registry.GetGauge("nezha_threadpool_workers")
+      ->Add(static_cast<std::int64_t>(num_threads));
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -22,31 +34,43 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  obs::Registry()
+      .GetGauge("nezha_threadpool_workers")
+      ->Add(-static_cast<std::int64_t>(workers_.size()));
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> wrapped(std::move(task));
-  std::future<void> fut = wrapped.get_future();
+  QueuedTask queued{std::packaged_task<void()>(std::move(task)),
+                    obs::PhaseTracer::NowUs()};
+  std::future<void> fut = queued.task.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(!stopping_);
-    tasks_.push(std::move(wrapped));
+    tasks_.push(std::move(queued));
   }
+  tasks_total_->Inc();
+  queue_depth_->Add(1);
   cv_.notify_one();
   return fut;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask queued;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      queued = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();  // exceptions are captured in the packaged_task's future
+    queue_depth_->Add(-1);
+    const double start_us = obs::PhaseTracer::NowUs();
+    task_wait_us_->Observe(start_us - queued.enqueue_us);
+    queued.task();  // exceptions are captured in the packaged_task's future
+    const double run_us = obs::PhaseTracer::NowUs() - start_us;
+    task_run_us_->Observe(run_us);
+    busy_us_total_->Inc(static_cast<std::uint64_t>(run_us));
   }
 }
 
@@ -77,7 +101,17 @@ void ThreadPool::ParallelForChunked(
     if (lo >= hi) break;
     futures.push_back(Submit([&fn, lo, hi, c] { fn(lo, hi, c); }));
   }
-  for (auto& f : futures) f.get();  // rethrows the first captured exception
+  // Wait for every chunk before rethrowing: an early rethrow would destroy
+  // `fn` while still-queued chunks reference it.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace nezha

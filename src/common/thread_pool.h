@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace nezha {
 
 class ThreadPool {
@@ -44,13 +46,26 @@ class ThreadPool {
                                std::size_t worker_slot)>& fn);
 
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    double enqueue_us = 0;  ///< tracer-clock timestamp at Submit
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Registry instrumentation, shared across all pools in the process
+  // (docs/OBSERVABILITY.md). Pointers are registry-owned and stable.
+  obs::Gauge* queue_depth_;
+  obs::Counter* tasks_total_;
+  obs::Counter* busy_us_total_;
+  obs::BucketHistogram* task_wait_us_;
+  obs::BucketHistogram* task_run_us_;
 };
 
 }  // namespace nezha

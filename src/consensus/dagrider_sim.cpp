@@ -1,5 +1,7 @@
 #include "consensus/dagrider_sim.h"
 
+#include "obs/metrics.h"
+
 namespace nezha {
 
 DagRiderSimulation::DagRiderSimulation(const DagRiderSimConfig& config,
@@ -28,6 +30,9 @@ void DagRiderSimulation::Emit(NodeId node) {
   DagVertex vertex = nodes_[node]->PrepareVertex(std::move(txs));
   vertex.Seal();
   ++stats_.vertices_emitted;
+  obs::Registry()
+      .GetCounter("nezha_consensus_blocks_total", {{"sim", "dagrider"}})
+      ->Inc();
 
   (void)nodes_[node]->OnVertex(vertex);
   ArmEmit(node);  // next round, once the quorum clock allows
@@ -52,6 +57,21 @@ void DagRiderSimulation::Run() {
   stats_.max_round = nodes_[0]->NextEmitRound();
   stats_.committed_vertices = nodes_[0]->CommittedSequence().size();
   stats_.committed_batches = nodes_[0]->NumBatches();
+
+  auto& registry = obs::Registry();
+  const obs::Labels sim_label = {{"sim", "dagrider"}};
+  registry.GetGauge("nezha_consensus_confirmed_blocks", sim_label)
+      ->Set(static_cast<std::int64_t>(stats_.committed_vertices));
+  registry.GetGauge("nezha_consensus_confirmed_epochs", sim_label)
+      ->Set(static_cast<std::int64_t>(stats_.committed_batches));
+  if (stats_.committed_batches > 0) {
+    // Wave-anchored batches are DagRider's epoch analogue.
+    registry
+        .GetHistogram("nezha_consensus_epoch_blocks", sim_label,
+                      obs::DefaultSizeBounds())
+        ->Observe(static_cast<double>(stats_.committed_vertices) /
+                  static_cast<double>(stats_.committed_batches));
+  }
 }
 
 }  // namespace nezha

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace nezha {
 
 OhieSimulation::OhieSimulation(const OhieSimConfig& config, TxSource tx_source)
@@ -38,6 +40,9 @@ void OhieSimulation::MineBlock() {
   block.Seal(config_.num_chains);
   ++stats_.blocks_mined;
   ++stats_.blocks_per_chain[block.chain];
+  obs::Registry()
+      .GetCounter("nezha_consensus_blocks_total", {{"sim", "ohie"}})
+      ->Inc();
 
   // The miner adopts its own block immediately, then broadcasts.
   (void)nodes_[miner]->OnBlock(block);
@@ -120,6 +125,17 @@ void OhieSimulation::Run() {
   stats_.forked_blocks =
       stats_.blocks_mined - (on_main.size() - config_.num_chains);
   stats_.confirmed_blocks = nodes_[0]->ConfirmedOrder().size();
+
+  auto& registry = obs::Registry();
+  const obs::Labels sim_label = {{"sim", "ohie"}};
+  registry.GetGauge("nezha_consensus_confirmed_blocks", sim_label)
+      ->Set(static_cast<std::int64_t>(stats_.confirmed_blocks));
+  registry.GetGauge("nezha_consensus_forked_blocks", sim_label)
+      ->Set(static_cast<std::int64_t>(stats_.forked_blocks));
+  registry.GetCounter("nezha_consensus_dropped_deliveries_total", sim_label)
+      ->Inc(stats_.dropped_deliveries);
+  registry.GetCounter("nezha_consensus_gossip_transfers_total", sim_label)
+      ->Inc(stats_.gossip_transfers);
 }
 
 }  // namespace nezha

@@ -1,6 +1,9 @@
 #include "consensus/treegraph_sim.h"
 
 #include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
 
 namespace nezha {
 
@@ -33,6 +36,10 @@ void TreeGraphSimulation::MineBlock() {
   TGBlock block = nodes_[miner]->PrepareBlock(mine_counter_++, std::move(txs));
   block.Seal();
   ++stats_.blocks_mined;
+  mined_at_ms_[block.mine_counter] = queue_.Now();
+  obs::Registry()
+      .GetCounter("nezha_consensus_blocks_total", {{"sim", "treegraph"}})
+      ->Inc();
 
   (void)nodes_[miner]->OnBlock(block);
   for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
@@ -53,16 +60,39 @@ void TreeGraphSimulation::Run() {
   const auto epochs = nodes_[0]->ConfirmedEpochs();
   stats_.confirmed_epochs = epochs.size();
   std::size_t total_blocks = 0;
+  auto& registry = obs::Registry();
+  const obs::Labels sim_label = {{"sim", "treegraph"}};
+  obs::BucketHistogram* epoch_blocks = registry.GetHistogram(
+      "nezha_consensus_epoch_blocks", sim_label, obs::DefaultSizeBounds());
+  // Assembly lag: how long an epoch stays open — the spread between its
+  // earliest and latest mined block (ms of simulated time).
+  obs::BucketHistogram* assembly_lag = registry.GetHistogram(
+      "nezha_consensus_epoch_assembly_lag_ms", sim_label,
+      obs::DefaultLatencyBoundsMs());
   for (const TGEpoch& epoch : epochs) {
     total_blocks += epoch.blocks.size();
     stats_.max_epoch_size = std::max(
         stats_.max_epoch_size, static_cast<double>(epoch.blocks.size()));
+    epoch_blocks->Observe(static_cast<double>(epoch.blocks.size()));
+    double first = std::numeric_limits<double>::infinity();
+    double last = -std::numeric_limits<double>::infinity();
+    for (const TGBlock* block : epoch.blocks) {
+      const auto it = mined_at_ms_.find(block->mine_counter);
+      if (it == mined_at_ms_.end()) continue;
+      first = std::min(first, it->second);
+      last = std::max(last, it->second);
+    }
+    if (last >= first) assembly_lag->Observe(last - first);
   }
   stats_.confirmed_blocks = total_blocks;
   stats_.mean_epoch_size =
       epochs.empty() ? 0
                      : static_cast<double>(total_blocks) /
                            static_cast<double>(epochs.size());
+  registry.GetGauge("nezha_consensus_confirmed_blocks", sim_label)
+      ->Set(static_cast<std::int64_t>(total_blocks));
+  registry.GetGauge("nezha_consensus_confirmed_epochs", sim_label)
+      ->Set(static_cast<std::int64_t>(epochs.size()));
 }
 
 }  // namespace nezha

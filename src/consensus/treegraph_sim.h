@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -55,6 +56,9 @@ class TreeGraphSimulation {
   EventQueue queue_;
   std::vector<std::unique_ptr<TreeGraphView>> nodes_;
   std::uint64_t mine_counter_ = 0;
+  /// Simulated mining time per mine_counter — feeds the per-epoch
+  /// assembly-lag histogram at the end of Run().
+  std::unordered_map<std::uint64_t, double> mined_at_ms_;
   TreeGraphSimStats stats_;
 };
 

@@ -7,6 +7,8 @@
 #include "cc/occ/occ_scheduler.h"
 #include "cc/serial/serial_scheduler.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/committer.h"
 #include "runtime/concurrent_executor.h"
 #include "vm/contract.h"
@@ -68,9 +70,52 @@ FullNode::FullNode(const NodeConfig& config, KVStore* kv)
       scheduler_(MakeScheduler(config.scheme)),
       receipts_(kv) {}
 
+namespace {
+
+/// Mirrors one finished EpochReport into the global metrics registry so
+/// dashboards see what the report structs see (docs/OBSERVABILITY.md).
+void PublishEpochObs(const NodeConfig& config, const EpochReport& report) {
+  if (!obs::MetricsEnabled()) return;
+  auto& registry = obs::Registry();
+  const std::string scheme = SchemeName(config.scheme);
+  const obs::Labels by_scheme = {{"scheme", scheme}};
+
+  const auto observe_phase = [&](const char* phase, double ms) {
+    registry
+        .GetHistogram("nezha_node_phase_ms",
+                      {{"scheme", scheme}, {"phase", phase}},
+                      obs::DefaultLatencyBoundsMs())
+        ->Observe(ms);
+  };
+  observe_phase("validate", report.validate_ms);
+  observe_phase("execute", report.execute_ms);
+  observe_phase("cc", report.cc_ms);
+  observe_phase("commit", report.commit_ms);
+  registry
+      .GetHistogram("nezha_node_epoch_total_ms", by_scheme,
+                    obs::DefaultLatencyBoundsMs())
+      ->Observe(report.TotalMs());
+
+  registry.GetCounter("nezha_node_epochs_total", by_scheme)->Inc();
+  registry.GetCounter("nezha_node_txs_total", by_scheme)->Inc(report.txs);
+  registry.GetCounter("nezha_node_committed_total", by_scheme)
+      ->Inc(report.committed);
+  registry.GetCounter("nezha_node_aborted_total", by_scheme)
+      ->Inc(report.aborted);
+  registry.GetGauge("nezha_node_last_epoch", by_scheme)
+      ->Set(static_cast<std::int64_t>(report.epoch));
+  registry.GetGauge("nezha_node_block_concurrency", by_scheme)
+      ->Set(static_cast<std::int64_t>(report.block_concurrency));
+  registry.GetGauge("nezha_node_max_commit_group", by_scheme)
+      ->Set(static_cast<std::int64_t>(report.max_commit_group));
+}
+
+}  // namespace
+
 Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   if (config_.scheme == SchemeKind::kSerial) return ProcessSerial(batch);
 
+  obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
   report.block_concurrency = batch.BlockConcurrency();
@@ -78,23 +123,31 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
 
   // ---- Phase 1: validation ----
   Stopwatch watch;
-  for (const Block& block : batch.blocks) {
-    // Blocks already appended to the ledger were validated on the way in;
-    // re-check the semantic parts that depend on the current state.
-    if (block.header.prev_state_root != ledger_.StateRootBefore(batch.epoch)) {
-      return Status::InvalidArgument("block state root does not match epoch");
-    }
-    if (block.header.tx_root != ComputeTxMerkleRoot(block.transactions)) {
-      return Status::InvalidArgument("block tx merkle root mismatch");
+  {
+    obs::TraceSpan span("validate");
+    for (const Block& block : batch.blocks) {
+      // Blocks already appended to the ledger were validated on the way in;
+      // re-check the semantic parts that depend on the current state.
+      if (block.header.prev_state_root !=
+          ledger_.StateRootBefore(batch.epoch)) {
+        return Status::InvalidArgument("block state root does not match epoch");
+      }
+      if (block.header.tx_root != ComputeTxMerkleRoot(block.transactions)) {
+        return Status::InvalidArgument("block tx merkle root mismatch");
+      }
     }
   }
   report.validate_ms = watch.ElapsedMillis();
 
   // ---- Phase 2: concurrent speculative execution ----
   watch.Restart();
-  const StateSnapshot snapshot = state_.MakeSnapshot(batch.epoch);
-  BatchExecutionResult exec =
-      ExecuteBatchConcurrent(*pool_, snapshot, batch.txs, config_.exec_mode);
+  BatchExecutionResult exec;
+  {
+    obs::TraceSpan span("execute");
+    const StateSnapshot snapshot = state_.MakeSnapshot(batch.epoch);
+    exec =
+        ExecuteBatchConcurrent(*pool_, snapshot, batch.txs, config_.exec_mode);
+  }
   report.execute_ms = watch.ElapsedMillis();
   if (config_.model_execution_cost) {
     report.execute_ms =
@@ -103,17 +156,24 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
 
   // ---- Phase 3: concurrency control ----
   watch.Restart();
-  auto schedule = scheduler_->BuildSchedule(exec.rwsets);
+  Result<Schedule> schedule = Schedule{};
+  {
+    obs::TraceSpan span("cc");
+    schedule = scheduler_->BuildSchedule(exec.rwsets);
+  }
   if (!schedule.ok()) return schedule.status();
   report.cc_ms = watch.ElapsedMillis();
   report.cc_metrics = scheduler_->metrics();
 
   // ---- Phase 4: commitment ----
   watch.Restart();
-  const CommitStats commit =
-      CommitSchedule(*pool_, state_, schedule.value(), exec.rwsets);
-  if (Status s = state_.Flush(); !s.ok()) return s;
-  report.state_root = state_.RootHash();
+  CommitStats commit;
+  {
+    obs::TraceSpan span("commit");
+    commit = CommitSchedule(*pool_, state_, schedule.value(), exec.rwsets);
+    if (Status s = state_.Flush(); !s.ok()) return s;
+    report.state_root = state_.RootHash();
+  }
   report.commit_ms = watch.ElapsedMillis();
 
   report.committed = commit.committed_txs;
@@ -127,6 +187,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   if (Status s = receipts_.Put(receipts); !s.ok()) return s;
 
   ledger_.CommitEpochRoot(batch.epoch, report.state_root);
+  PublishEpochObs(config_, report);
   return report;
 }
 
@@ -146,18 +207,23 @@ Status FullNode::RecoverFromStorage() {
 }
 
 Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
+  obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
   report.block_concurrency = batch.BlockConcurrency();
   report.txs = batch.TxCount();
 
   Stopwatch watch;
-  for (const Block& block : batch.blocks) {
-    if (block.header.prev_state_root != ledger_.StateRootBefore(batch.epoch)) {
-      return Status::InvalidArgument("block state root does not match epoch");
-    }
-    if (block.header.tx_root != ComputeTxMerkleRoot(block.transactions)) {
-      return Status::InvalidArgument("block tx merkle root mismatch");
+  {
+    obs::TraceSpan span("validate");
+    for (const Block& block : batch.blocks) {
+      if (block.header.prev_state_root !=
+          ledger_.StateRootBefore(batch.epoch)) {
+        return Status::InvalidArgument("block state root does not match epoch");
+      }
+      if (block.header.tx_root != ComputeTxMerkleRoot(block.transactions)) {
+        return Status::InvalidArgument("block tx merkle root mismatch");
+      }
     }
   }
   report.validate_ms = watch.ElapsedMillis();
@@ -167,6 +233,7 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   // one snapshot makes each transaction see all earlier effects without
   // re-snapshotting the whole state per transaction.
   watch.Restart();
+  obs::TraceSpan commit_span("commit");
   const StateSnapshot base = state_.MakeSnapshot(batch.epoch);
   LoggedStateView::Overlay overlay;
   for (const Transaction& tx : batch.txs) {
@@ -198,6 +265,7 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
     report.execute_ms = config_.cost_model.SerialLatencyMs(batch.TxCount());
   }
   ledger_.CommitEpochRoot(batch.epoch, report.state_root);
+  PublishEpochObs(config_, report);
   return report;
 }
 

@@ -1,0 +1,342 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace nezha::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-library form).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected && !target.compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected && !target.compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatNumber(double v) {
+  // Integers print without a trailing ".000000"; everything else with
+  // enough precision for latency micros.
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].key;
+    out += "=\"";
+    out += sorted[i].value;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = {
+      1,      2.5,    5,      10,      25,      50,      100,
+      250,    500,    1000,   2500,    5000,    10000,   25000,
+      50000,  100000, 250000, 500000,  1000000, 2500000, 10000000};
+  return kBounds;
+}
+
+const std::vector<double>& DefaultLatencyBoundsMs() {
+  static const std::vector<double> kBounds = {
+      0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1,    2.5,   5,     10,
+      25,   50,    100,  250,  500,  1000, 2500, 5000,  10000, 60000};
+  return kBounds;
+}
+
+const std::vector<double>& DefaultSizeBounds() {
+  static const std::vector<double> kBounds = {
+      1,      4,      16,     64,     256,    1024,  4096,
+      16384,  65536,  262144, 1048576, 4194304, 16777216, 1073741824};
+  return kBounds;
+}
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate linearly inside [lo, hi); clamp to observed min/max so
+      // single-sample histograms report the sample, not a bucket edge.
+      const double lo = i == 0 ? min : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void BucketHistogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+HistogramData BucketHistogram::Snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.counts.resize(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    data.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  const double min = min_.load(std::memory_order_relaxed);
+  const double max = max_.load(std::memory_order_relaxed);
+  data.min = data.count == 0 ? 0 : min;
+  data.max = data.count == 0 ? 0 : max;
+  // A concurrent Observe may have bumped count_ after the bucket loop; keep
+  // the snapshot internally consistent by trusting the bucket sums.
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : data.counts) bucket_total += c;
+  data.count = std::min(data.count, bucket_total);
+  return data;
+}
+
+void BucketHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const MetricSample* RegistrySnapshot::Find(std::string_view name,
+                                           std::string_view labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && (labels.empty() || s.labels == labels)) return &s;
+  }
+  return nullptr;
+}
+
+double RegistrySnapshot::Value(std::string_view name,
+                               std::string_view labels) const {
+  const MetricSample* s = Find(name, labels);
+  return s == nullptr ? 0 : s->value;
+}
+
+double RegistrySnapshot::SumAcrossLabels(std::string_view name) const {
+  double total = 0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    std::string_view name, const Labels& labels, MetricKind kind,
+    const std::vector<double>* bounds) {
+  const std::string rendered = RenderLabels(labels);
+  std::string key(name);
+  key += rendered;
+  Stripe& stripe = stripes_[std::hash<std::string>{}(key) % kStripes];
+  std::lock_guard lock(stripe.mutex);
+  for (const auto& entry : stripe.entries) {
+    if (entry->name == name && entry->labels == rendered) return entry.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = std::string(name);
+  entry->labels = rendered;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<BucketHistogram>(
+          bounds != nullptr ? *bounds : DefaultLatencyBoundsUs());
+      break;
+  }
+  stripe.entries.push_back(std::move(entry));
+  return stripe.entries.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const Labels& labels) {
+  return FindOrCreate(name, labels, MetricKind::kCounter, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const Labels& labels) {
+  return FindOrCreate(name, labels, MetricKind::kGauge, nullptr)->gauge.get();
+}
+
+BucketHistogram* MetricsRegistry::GetHistogram(
+    std::string_view name, const Labels& labels,
+    const std::vector<double>& bounds) {
+  return FindOrCreate(name, labels, MetricKind::kHistogram, &bounds)
+      ->histogram.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    for (const auto& entry : stripe.entries) {
+      MetricSample sample;
+      sample.name = entry->name;
+      sample.labels = entry->labels;
+      sample.kind = entry->kind;
+      switch (entry->kind) {
+        case MetricKind::kCounter:
+          sample.value = static_cast<double>(entry->counter->Value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = static_cast<double>(entry->gauge->Value());
+          break;
+        case MetricKind::kHistogram:
+          sample.histogram = entry->histogram->Snapshot();
+          sample.value = sample.histogram.sum;
+          break;
+      }
+      snapshot.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.FullName() < b.FullName();
+            });
+  return snapshot;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  const RegistrySnapshot snapshot = Snapshot();
+  std::ostringstream out;
+  std::string last_name;
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.name != last_name) {
+      const char* type = s.kind == MetricKind::kCounter   ? "counter"
+                         : s.kind == MetricKind::kGauge   ? "gauge"
+                                                          : "histogram";
+      out << "# TYPE " << s.name << " " << type << "\n";
+      last_name = s.name;
+    }
+    if (s.kind != MetricKind::kHistogram) {
+      out << s.name << s.labels << " " << FormatNumber(s.value) << "\n";
+      continue;
+    }
+    // Prometheus histogram exposition: cumulative _bucket series plus
+    // _sum/_count, with the label set merged into each series.
+    const std::string base_labels =
+        s.labels.empty() ? "" : s.labels.substr(1, s.labels.size() - 2);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.histogram.counts.size(); ++i) {
+      cumulative += s.histogram.counts[i];
+      const std::string le =
+          i < s.histogram.bounds.size()
+              ? FormatNumber(s.histogram.bounds[i])
+              : "+Inf";
+      out << s.name << "_bucket{";
+      if (!base_labels.empty()) out << base_labels << ",";
+      out << "le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << s.name << "_sum" << s.labels << " " << FormatNumber(s.histogram.sum)
+        << "\n";
+    out << s.name << "_count" << s.labels << " " << s.histogram.count << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    for (const auto& entry : stripe.entries) {
+      switch (entry->kind) {
+        case MetricKind::kCounter:
+          entry->counter->Reset();
+          break;
+        case MetricKind::kGauge:
+          entry->gauge->Reset();
+          break;
+        case MetricKind::kHistogram:
+          entry->histogram->Reset();
+          break;
+      }
+    }
+  }
+}
+
+std::size_t MetricsRegistry::MetricCount() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    total += stripe.entries.size();
+  }
+  return total;
+}
+
+}  // namespace nezha::obs

@@ -1,0 +1,202 @@
+// Process-wide metrics registry — the observability substrate every layer
+// of the pipeline reports into (docs/OBSERVABILITY.md).
+//
+// Three metric kinds:
+//   * Counter        — monotonically increasing uint64 (events, bytes, txs);
+//   * Gauge          — last-set int64 (queue depth, graph size);
+//   * BucketHistogram— bounded-bucket distribution (latencies) with atomic
+//                      per-bucket counts, sum, min and max. Unlike
+//                      common/histogram.h it never stores raw samples, so a
+//                      week-long run costs the same memory as a short one.
+//
+// The registry is lock-striped: metric lookup/creation takes one stripe
+// mutex keyed by the metric's full name; recording on an already-obtained
+// metric pointer is entirely lock-free (relaxed atomics). Hot paths fetch
+// the pointer once (constructor or function-local static) and then only pay
+// an atomic add per event.
+//
+// `SetMetricsEnabled(false)` turns every Record/Inc/Set into a near-no-op
+// (one relaxed load) — bench/microbench uses it to price the
+// instrumentation itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nezha::obs {
+
+/// Global kill-switch checked by every recording call (relaxed load).
+/// Metrics are enabled by default.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// One metric label, e.g. {"scheme", "nezha"}. Label sets are canonicalised
+/// (sorted by key) so {a,b} and {b,a} name the same metric.
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// Serialises labels as `{k1="v1",k2="v2"}` (empty string when no labels) —
+/// the Prometheus exposition form, also used as the registry map key suffix.
+std::string RenderLabels(const Labels& labels);
+
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Upper bounds suited to microsecond latencies spanning 1us..10s.
+const std::vector<double>& DefaultLatencyBoundsUs();
+/// Upper bounds suited to millisecond latencies spanning 0.01ms..60s.
+const std::vector<double>& DefaultLatencyBoundsMs();
+/// Upper bounds suited to sizes/counts spanning 1..1e9 (powers of ~4).
+const std::vector<double>& DefaultSizeBounds();
+
+/// Point-in-time copy of one histogram (see BucketHistogram::Snapshot).
+struct HistogramData {
+  std::vector<double> bounds;         ///< ascending; implicit +inf last
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 buckets
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< 0 when empty
+  double max = 0;
+
+  double Mean() const {
+    return count == 0 ? 0 : sum / static_cast<double>(count);
+  }
+  /// Approximate percentile by linear interpolation inside the bucket.
+  double Percentile(double p) const;
+};
+
+class BucketHistogram {
+ public:
+  explicit BucketHistogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramData Snapshot() const;
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric in a registry snapshot.
+struct MetricSample {
+  std::string name;
+  std::string labels;  ///< rendered, e.g. {phase="commit"}
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  ///< counter/gauge value; histogram sum
+  HistogramData histogram;
+
+  std::string FullName() const { return name + labels; }
+};
+
+/// A stable point-in-time view of the whole registry.
+struct RegistrySnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by FullName()
+
+  const MetricSample* Find(std::string_view name,
+                           std::string_view labels = "") const;
+  /// Counter/gauge value (histograms: sum); 0 when absent.
+  double Value(std::string_view name, std::string_view labels = "") const;
+  /// Sum of every sample of `name` across all label sets.
+  double SumAcrossLabels(std::string_view name) const;
+};
+
+/// Lock-striped process-wide registry. Use MetricsRegistry::Global().
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; the returned pointer is valid for the registry's
+  /// lifetime (metrics are never destroyed, only Reset()).
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` applies on first creation only (ascending upper bounds).
+  BucketHistogram* GetHistogram(std::string_view name,
+                                const Labels& labels = {},
+                                const std::vector<double>& bounds =
+                                    DefaultLatencyBoundsUs());
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Prometheus-style text exposition of the whole registry.
+  std::string RenderText() const;
+
+  /// Zeroes every registered metric (pointers stay valid). Tests and
+  /// long-running tools use this to take per-interval deltas.
+  void ResetAll();
+
+  std::size_t MetricCount() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name;    ///< base name
+    std::string labels;  ///< rendered labels
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<BucketHistogram> histogram;
+  };
+
+  static constexpr std::size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mutex;
+    // Key: name + rendered labels. unique_ptr keeps Entry addresses stable.
+    std::vector<std::unique_ptr<Entry>> entries;
+  };
+
+  Entry* FindOrCreate(std::string_view name, const Labels& labels,
+                      MetricKind kind, const std::vector<double>* bounds);
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Shorthand for MetricsRegistry::Global().
+inline MetricsRegistry& Registry() { return MetricsRegistry::Global(); }
+
+}  // namespace nezha::obs

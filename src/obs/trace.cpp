@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace nezha::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point TracerEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::atomic<std::uint32_t> g_next_thread_id{1};
+
+thread_local std::uint32_t t_thread_id = 0;
+thread_local std::uint32_t t_span_depth = 0;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t CurrentThreadId() {
+  if (t_thread_id == 0) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
+PhaseTracer& PhaseTracer::Global() {
+  static PhaseTracer* tracer = new PhaseTracer();  // never freed
+  return *tracer;
+}
+
+double PhaseTracer::NowUs() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   TracerEpoch())
+      .count();
+}
+
+void PhaseTracer::SetCapacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  if (ring_.size() > capacity_) {
+    // Keep the newest events: rotate so the ring is in insertion order,
+    // then drop from the front.
+    std::rotate(ring_.begin(), ring_.begin() + static_cast<long>(next_),
+                ring_.end());
+    ring_.erase(ring_.begin(),
+                ring_.end() - static_cast<long>(capacity_));
+    next_ = 0;
+  }
+}
+
+void PhaseTracer::Record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> PhaseTracer::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mutex_);
+    out = ring_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::size_t PhaseTracer::EventCount() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t PhaseTracer::TotalRecorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+void PhaseTracer::Clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string PhaseTracer::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\""
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+        << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":" << e.depth
+        << "}}";
+    if (i + 1 < events.size()) out << ",";
+    out << "\n";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+bool PhaseTracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << ExportChromeTrace();
+  return file.good();
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  PhaseTracer& tracer = PhaseTracer::Global();
+  if (!tracer.enabled()) return;
+  armed_ = true;
+  name_ = std::string(name);
+  depth_ = t_span_depth++;
+  start_us_ = PhaseTracer::NowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  --t_span_depth;
+  PhaseTracer& tracer = PhaseTracer::Global();
+  if (!tracer.enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.tid = CurrentThreadId();
+  event.depth = depth_;
+  event.ts_us = start_us_;
+  event.dur_us = PhaseTracer::NowUs() - start_us_;
+  tracer.Record(std::move(event));
+}
+
+}  // namespace nezha::obs

@@ -1,0 +1,89 @@
+// Phase-span tracer: RAII spans with thread id and nesting depth, collected
+// into a bounded ring buffer and exportable as Chrome trace_event JSON
+// (load the file in chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is OFF by default — a disabled TraceSpan costs one relaxed load.
+// Spans record on destruction as complete ("ph":"X") events; nesting falls
+// out of the per-thread begin/end times, so an "epoch" span enclosing
+// "validate".."commit" spans renders as a flame graph row per thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nezha::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;   ///< dense per-process thread number (1-based)
+  std::uint32_t depth = 0; ///< span nesting depth on that thread (0 = root)
+  double ts_us = 0;        ///< start, microseconds since tracer epoch
+  double dur_us = 0;
+};
+
+/// Dense id of the calling thread (1, 2, 3, ... in first-use order).
+std::uint32_t CurrentThreadId();
+
+class PhaseTracer {
+ public:
+  static PhaseTracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Ring capacity in events (default 65536). Shrinking drops the oldest.
+  void SetCapacity(std::size_t capacity);
+
+  void Record(TraceEvent event);
+
+  /// Copies out the buffered events in start-time order.
+  std::vector<TraceEvent> Events() const;
+  std::size_t EventCount() const;
+  /// Total events recorded, including ones the ring has since overwritten.
+  std::uint64_t TotalRecorded() const;
+  void Clear();
+
+  /// Chrome trace_event JSON (the "traceEvents" array form).
+  std::string ExportChromeTrace() const;
+  /// Writes ExportChromeTrace() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Microseconds since the tracer epoch (process start), the spans' clock.
+  static double NowUs();
+
+ private:
+  PhaseTracer() = default;
+
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 65536;
+  std::size_t next_ = 0;        ///< ring write cursor
+  std::uint64_t recorded_ = 0;  ///< lifetime event count
+};
+
+/// RAII span. Construction stamps the start; destruction records the event
+/// (when the tracer is enabled at destruction time).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  double start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace nezha::obs

@@ -1,10 +1,30 @@
 #include "storage/state_db.h"
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nezha {
+namespace {
+
+// Hot-path metric handles: resolved once, then a relaxed atomic add per
+// access (docs/OBSERVABILITY.md).
+obs::Counter* ReadsCounter() {
+  static obs::Counter* c =
+      obs::Registry().GetCounter("nezha_statedb_reads_total");
+  return c;
+}
+
+obs::Counter* WritesCounter() {
+  static obs::Counter* c =
+      obs::Registry().GetCounter("nezha_statedb_writes_total");
+  return c;
+}
+
+}  // namespace
 
 StateValue StateDB::Get(Address a) const {
+  ReadsCounter()->Inc();
   const Shard& shard = shards_[ShardOf(a)];
   std::lock_guard lock(shard.mutex);
   const auto it = shard.data.find(a.value);
@@ -12,6 +32,7 @@ StateValue StateDB::Get(Address a) const {
 }
 
 void StateDB::Set(Address a, StateValue v) {
+  WritesCounter()->Inc();
   Shard& shard = shards_[ShardOf(a)];
   std::lock_guard lock(shard.mutex);
   shard.data[a.value] = v;
@@ -58,6 +79,7 @@ StateSnapshot StateDB::MakeSnapshot(EpochId epoch) {
 }
 
 Status StateDB::Flush() {
+  const double start_us = obs::PhaseTracer::NowUs();
   // Sync the commitment trie before the dirty markers are consumed — the
   // trie and the KV store share the same dirty set.
   RootHash();
@@ -69,8 +91,16 @@ Status StateDB::Flush() {
     }
     shard.dirty.clear();
   }
-  if (kv_ == nullptr || batch.Empty()) return Status::Ok();
-  return kv_->Write(batch);
+  Status status = Status::Ok();
+  if (kv_ != nullptr && !batch.Empty()) status = kv_->Write(batch);
+
+  auto& registry = obs::Registry();
+  registry.GetCounter("nezha_statedb_flushes_total")->Inc();
+  registry.GetCounter("nezha_statedb_flush_entries_total")->Inc(batch.Count());
+  registry.GetCounter("nezha_statedb_flush_bytes_total")->Inc(batch.ByteSize());
+  registry.GetHistogram("nezha_statedb_flush_us")
+      ->Observe(obs::PhaseTracer::NowUs() - start_us);
+  return status;
 }
 
 Status StateDB::LoadFromStorage() {

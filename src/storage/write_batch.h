@@ -31,6 +31,14 @@ class WriteBatch {
   std::size_t Count() const { return ops_.size(); }
   bool Empty() const { return ops_.empty(); }
 
+  /// Payload bytes carried by the batch (keys + values, framing excluded) —
+  /// what the flush-bytes metric reports.
+  std::size_t ByteSize() const {
+    std::size_t total = 0;
+    for (const Op& op : ops_) total += op.key.size() + op.value.size();
+    return total;
+  }
+
   const std::vector<Op>& ops() const { return ops_; }
 
   /// Serializes the batch (varint-framed) for checkpoints and tests.

@@ -317,6 +317,91 @@ TEST(HistogramTest, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
 }
 
+TEST(HistogramTest, ReserveKeepsRawSemantics) {
+  Histogram h;
+  h.Reserve(1000);
+  for (int i = 1; i <= 10; ++i) h.Add(i);
+  EXPECT_EQ(h.Count(), 10u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.5);
+}
+
+TEST(HistogramTest, StreamingMatchesRawStats) {
+  Histogram raw, streaming;
+  streaming.EnableStreaming(0.1, 10'000, 512);
+  EXPECT_TRUE(streaming.streaming());
+  EXPECT_FALSE(raw.streaming());
+  for (int i = 1; i <= 10'000; ++i) {
+    raw.Add(i);
+    streaming.Add(i);
+  }
+  EXPECT_EQ(streaming.Count(), raw.Count());
+  EXPECT_DOUBLE_EQ(streaming.Mean(), raw.Mean());
+  EXPECT_DOUBLE_EQ(streaming.Min(), raw.Min());
+  EXPECT_DOUBLE_EQ(streaming.Max(), raw.Max());
+  // Log-bucket interpolation: within ~2% of the exact percentile.
+  EXPECT_NEAR(streaming.Median(), raw.Median(), raw.Median() * 0.02);
+  EXPECT_NEAR(streaming.P99(), raw.P99(), raw.P99() * 0.02);
+}
+
+TEST(HistogramTest, EnableStreamingFoldsExistingSamples) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  h.EnableStreaming(0.5, 1000, 256);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Median(), 50.5, 2.0);
+}
+
+TEST(HistogramTest, StreamingClampsOutOfRangeToEdgeBuckets) {
+  Histogram h;
+  h.EnableStreaming(1, 100, 16);
+  h.Add(0.001);  // below lo
+  h.Add(1e9);    // above hi
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.Max(), 1e9);
+  // Percentiles clamp to the observed range, not the bucket bounds.
+  EXPECT_GE(h.Percentile(1), 0.001);
+  EXPECT_LE(h.Percentile(99), 1e9);
+}
+
+TEST(HistogramTest, StreamingMergeIdenticalConfigIsExact) {
+  Histogram a, b;
+  a.EnableStreaming(1, 1000, 64);
+  b.EnableStreaming(1, 1000, 64);
+  for (int i = 1; i <= 50; ++i) a.Add(i);
+  for (int i = 51; i <= 100; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(a.Min(), 1);
+  EXPECT_DOUBLE_EQ(a.Max(), 100);
+}
+
+TEST(HistogramTest, MergeRawIntoStreaming) {
+  Histogram streaming, raw;
+  streaming.EnableStreaming(1, 1000, 64);
+  raw.Add(10);
+  raw.Add(20);
+  streaming.Merge(raw);
+  EXPECT_EQ(streaming.Count(), 2u);
+  EXPECT_DOUBLE_EQ(streaming.Mean(), 15.0);
+}
+
+TEST(HistogramTest, StreamingClearResets) {
+  Histogram h;
+  h.EnableStreaming(1, 100, 16);
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  h.Add(7);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 7);
+}
+
 // ---------- thread pool ----------
 
 TEST(ThreadPoolTest, RunsSubmittedTasks) {
@@ -395,6 +480,18 @@ TEST(LoggingTest, LevelGate) {
   NEZHA_LOG(kInfo) << "suppressed";  // should not crash, goes nowhere
   NEZHA_LOG(kError) << "visible";
   SetLogLevel(before);
+}
+
+TEST(LoggingTest, LogEveryNSamplesTheCallSite) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  int evaluations = 0;
+  for (int i = 0; i < 100; ++i) {
+    NEZHA_LOG_EVERY_N(kInfo, 10) << "tick " << ++evaluations;
+  }
+  SetLogLevel(before);
+  // The message expression only runs on the sampled hits (1 in 10).
+  EXPECT_EQ(evaluations, 10);
 }
 
 }  // namespace

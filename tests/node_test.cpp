@@ -4,6 +4,7 @@
 
 #include "node/full_node.h"
 #include "node/simulation.h"
+#include "obs/metrics.h"
 
 namespace nezha {
 namespace {
@@ -148,6 +149,64 @@ TEST(FullNodeTest, RejectsTamperedEpoch) {
 
   // The untampered batch processes fine.
   EXPECT_TRUE(node.ProcessEpoch(*batch).ok());
+}
+
+TEST(ObservabilityTest, RegistrySnapshotAgreesWithEpochReport) {
+  // EpochReport / SchedulerMetrics are thin views over the registry: after a
+  // run, the published series must reproduce the report for every scheme.
+  for (SchemeKind kind :
+       {SchemeKind::kSerial, SchemeKind::kOcc, SchemeKind::kCg,
+        SchemeKind::kNezha, SchemeKind::kNezhaNoReorder}) {
+    SCOPED_TRACE(SchemeName(kind));
+    obs::Registry().ResetAll();
+    auto summary = RunSimulation(SmallConfig(kind, 0.8));
+    ASSERT_TRUE(summary.ok());
+    const obs::RegistrySnapshot snapshot = obs::Registry().Snapshot();
+
+    // Node-level totals agree with the summary.
+    const std::string scheme_labels =
+        std::string("{scheme=\"") + SchemeName(kind) + "\"}";
+    EXPECT_DOUBLE_EQ(snapshot.Value("nezha_node_epochs_total", scheme_labels),
+                     static_cast<double>(summary->reports.size()));
+    EXPECT_DOUBLE_EQ(snapshot.Value("nezha_node_txs_total", scheme_labels),
+                     static_cast<double>(summary->TotalTxs()));
+    EXPECT_DOUBLE_EQ(
+        snapshot.Value("nezha_node_committed_total", scheme_labels),
+        static_cast<double>(summary->TotalCommitted()));
+    EXPECT_DOUBLE_EQ(snapshot.Value("nezha_node_aborted_total", scheme_labels),
+                     static_cast<double>(summary->TotalAborted()));
+
+    if (kind == SchemeKind::kSerial) continue;  // no scheduler build
+
+    // Scheduler-level totals: every transaction of every epoch was fed to
+    // exactly one BuildSchedule, and every abort carries a reason label.
+    const std::string sched_labels =
+        std::string("{scheduler=\"") + SchemeName(kind) + "\"}";
+    EXPECT_DOUBLE_EQ(snapshot.Value("nezha_scheduler_builds_total",
+                                    sched_labels),
+                     static_cast<double>(summary->reports.size()));
+    EXPECT_DOUBLE_EQ(snapshot.Value("nezha_scheduler_txs_total", sched_labels),
+                     static_cast<double>(summary->TotalTxs()));
+    EXPECT_DOUBLE_EQ(
+        snapshot.Value("nezha_scheduler_committed_total", sched_labels),
+        static_cast<double>(summary->TotalCommitted()));
+    EXPECT_DOUBLE_EQ(
+        snapshot.SumAcrossLabels("nezha_scheduler_aborts_total"),
+        static_cast<double>(summary->TotalAborted()));
+
+    // The last build's SchedulerMetrics round-trips through the registry.
+    const SchedulerMetrics& expected = summary->reports.back().cc_metrics;
+    const SchedulerMetrics got =
+        SchedulerMetricsFromSnapshot(snapshot, SchemeName(kind));
+    EXPECT_NEAR(got.construction_us, expected.construction_us, 1e-3);
+    EXPECT_NEAR(got.cycle_us, expected.cycle_us, 1e-3);
+    EXPECT_NEAR(got.sorting_us, expected.sorting_us, 1e-3);
+    EXPECT_EQ(got.graph_vertices, expected.graph_vertices);
+    EXPECT_EQ(got.graph_edges, expected.graph_edges);
+    EXPECT_EQ(got.cycles_found, expected.cycles_found);
+    EXPECT_EQ(got.resource_exhausted, expected.resource_exhausted);
+    EXPECT_EQ(got.reordered_txs, expected.reordered_txs);
+  }
 }
 
 TEST(FullNodeTest, ThroughputAccountingUsesCadenceFloor) {

@@ -1,0 +1,283 @@
+// Registry and tracer semantics: counters/gauges/histograms under
+// concurrent writers, label canonicalisation, snapshot stability, span
+// nesting, ring-buffer bounds, and both export formats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nezha::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    Registry().ResetAll();
+    PhaseTracer::Global().SetEnabled(false);
+    PhaseTracer::Global().Clear();
+  }
+};
+
+TEST_F(ObsTest, CounterConcurrentWritersLoseNothing) {
+  Counter* counter = Registry().GetCounter("obs_test_counter");
+  counter->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  Gauge* gauge = Registry().GetGauge("obs_test_gauge");
+  gauge->Set(42);
+  EXPECT_EQ(gauge->Value(), 42);
+  gauge->Add(-50);
+  EXPECT_EQ(gauge->Value(), -8);
+}
+
+TEST_F(ObsTest, GaugeConcurrentAddBalances) {
+  Gauge* gauge = Registry().GetGauge("obs_test_gauge_conc");
+  gauge->Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < 5'000; ++i) {
+        gauge->Add(3);
+        gauge->Add(-3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST_F(ObsTest, SameNameAndLabelsYieldSameMetric) {
+  Counter* a = Registry().GetCounter("obs_test_dedup", {{"x", "1"}, {"y", "2"}});
+  // Label order must not matter (canonicalised by key).
+  Counter* b = Registry().GetCounter("obs_test_dedup", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);
+  Counter* c = Registry().GetCounter("obs_test_dedup", {{"x", "1"}, {"y", "3"}});
+  EXPECT_NE(a, c);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndStats) {
+  BucketHistogram* h =
+      Registry().GetHistogram("obs_test_hist", {}, {10, 100, 1000});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+  h->Observe(5000);
+  const HistogramData data = h->Snapshot();
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_DOUBLE_EQ(data.sum, 5555);
+  EXPECT_DOUBLE_EQ(data.min, 5);
+  EXPECT_DOUBLE_EQ(data.max, 5000);
+  ASSERT_EQ(data.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(data.counts[0], 1u);
+  EXPECT_EQ(data.counts[1], 1u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.counts[3], 1u);
+  EXPECT_GE(data.Percentile(99), 500);
+  EXPECT_LE(data.Percentile(1), 10);
+  EXPECT_GE(data.Mean(), 1000);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObserversLoseNothing) {
+  BucketHistogram* h = Registry().GetHistogram("obs_test_hist_conc");
+  constexpr int kThreads = 8;
+  constexpr int kSamples = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kSamples; ++i) {
+        h->Observe(static_cast<double>(t * kSamples + i) / 100.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramData data = h->Snapshot();
+  EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads) * kSamples);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : data.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, data.count);
+}
+
+TEST_F(ObsTest, SnapshotIsStableUnderConcurrentWriters) {
+  Counter* counter = Registry().GetCounter("obs_test_snap_counter");
+  BucketHistogram* hist = Registry().GetHistogram("obs_test_snap_hist");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      counter->Inc();
+      hist->Observe(1.0);
+    }
+  });
+  double last_counter = -1;
+  for (int round = 0; round < 50; ++round) {
+    const RegistrySnapshot snapshot = Registry().Snapshot();
+    const double v = snapshot.Value("obs_test_snap_counter");
+    EXPECT_GE(v, last_counter);  // counters are monotone across snapshots
+    last_counter = v;
+    const MetricSample* s = snapshot.Find("obs_test_snap_hist");
+    ASSERT_NE(s, nullptr);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t c : s->histogram.counts) bucket_total += c;
+    // Internal consistency: the reported count never exceeds the buckets.
+    EXPECT_LE(s->histogram.count, bucket_total);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(ObsTest, DisabledMetricsRecordNothing) {
+  Counter* counter = Registry().GetCounter("obs_test_disabled");
+  counter->Reset();
+  SetMetricsEnabled(false);
+  counter->Inc(100);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Inc(1);
+  EXPECT_EQ(counter->Value(), 1u);
+}
+
+TEST_F(ObsTest, RenderTextExposesAllKinds) {
+  Registry().GetCounter("obs_test_render_total", {{"kind", "a"}})->Inc(7);
+  Registry().GetGauge("obs_test_render_depth")->Set(3);
+  Registry()
+      .GetHistogram("obs_test_render_lat_us", {}, {10, 100})
+      ->Observe(42);
+  const std::string text = Registry().RenderText();
+  EXPECT_NE(text.find("# TYPE obs_test_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_total{kind=\"a\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_render_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_lat_us_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_lat_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_lat_us_sum 42"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_lat_us_count 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetAllZeroesEverything) {
+  Counter* counter = Registry().GetCounter("obs_test_reset");
+  counter->Inc(9);
+  Registry().ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+TEST_F(ObsTest, SpanNestingRecordsDepthAndContainment) {
+  PhaseTracer& tracer = PhaseTracer::Global();
+  tracer.SetEnabled(true);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  tracer.SetEnabled(false);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(outer->tid, inner->tid);
+  // Containment: the inner span starts and ends inside the outer one.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  PhaseTracer& tracer = PhaseTracer::Global();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    TraceSpan span("ignored");
+  }
+  EXPECT_EQ(tracer.EventCount(), 0u);
+}
+
+TEST_F(ObsTest, RingBufferStaysBounded) {
+  PhaseTracer& tracer = PhaseTracer::Global();
+  tracer.SetCapacity(16);
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("span " + std::to_string(i));
+  }
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.EventCount(), 16u);
+  EXPECT_EQ(tracer.TotalRecorded(), 100u);
+  // The ring keeps the newest events.
+  bool found_last = false;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.name == "span 99") found_last = true;
+  }
+  EXPECT_TRUE(found_last);
+  tracer.SetCapacity(65536);
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromManyThreads) {
+  PhaseTracer& tracer = PhaseTracer::Global();
+  tracer.SetEnabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 500; ++i) {
+        TraceSpan span("worker");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.TotalRecorded(), 8u * 500u);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormed) {
+  PhaseTracer& tracer = PhaseTracer::Global();
+  tracer.SetEnabled(true);
+  {
+    TraceSpan span("epoch 1");
+    TraceSpan nested("validate \"quoted\"");
+  }
+  tracer.SetEnabled(false);
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"epoch 1\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces is a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ObsTest, SnapshotHelpersFindAndSum) {
+  Registry().GetCounter("obs_test_sum", {{"k", "a"}})->Inc(2);
+  Registry().GetCounter("obs_test_sum", {{"k", "b"}})->Inc(3);
+  const RegistrySnapshot snapshot = Registry().Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.SumAcrossLabels("obs_test_sum"), 5);
+  EXPECT_DOUBLE_EQ(snapshot.Value("obs_test_sum", "{k=\"b\"}"), 3);
+  EXPECT_EQ(snapshot.Find("obs_test_missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace nezha::obs
