@@ -11,6 +11,7 @@
 #include "cc/nezha/tx_sorter.h"
 #include "common/sha256.h"
 #include "common/zipfian.h"
+#include "fault/fault.h"
 #include "graph/johnson.h"
 #include "obs/metrics.h"
 #include "runtime/concurrent_executor.h"
@@ -151,6 +152,28 @@ void BM_MptRootHash(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MptRootHash)->Arg(1000)->Arg(20000);
+
+// The disarmed fault-injection probe: the per-site cost every production
+// storage write / commit step pays. Must stay at "one relaxed atomic load"
+// — single-digit nanoseconds (docs/ROBUSTNESS.md).
+void BM_FaultCheckDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::Check(fault::sites::kKvWrite));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultCheckDisarmed);
+
+// The armed counterpart (empty plan: every probe misses): what a test run
+// pays per site. Orders of magnitude slower is fine — it never ships.
+void BM_FaultCheckArmedMiss(benchmark::State& state) {
+  fault::ScopedPlan armed(fault::Plan{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::Check(fault::sites::kKvWrite));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultCheckArmedMiss);
 
 void BM_Sha256(benchmark::State& state) {
   const std::string data(static_cast<std::size_t>(state.range(0)), 'x');

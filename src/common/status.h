@@ -21,6 +21,7 @@ enum class StatusCode {
   kAborted,
   kOutOfRange,
   kInternal,
+  kUnavailable,  ///< transient failure (drop/timeout); safe to retry
 };
 
 /// Human-readable name of a status code ("OK", "NotFound", ...).
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string m = "") {
     return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status Unavailable(std::string m = "") {
+    return {StatusCode::kUnavailable, std::move(m)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

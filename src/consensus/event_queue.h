@@ -5,9 +5,11 @@
 // simulated milliseconds (double).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace nezha {
@@ -16,9 +18,13 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `fn` at absolute simulation time `when` (>= Now()).
+  /// Schedules `fn` at absolute simulation time `when`. Scheduling into the
+  /// past is a logic error (asserted in debug builds); release builds clamp
+  /// to Now() so time still never runs backwards.
   void ScheduleAt(double when, Callback fn) {
-    events_.push(Event{when, next_seq_++, std::move(fn)});
+    assert(when >= now_ && "event scheduled in the past");
+    events_.push_back(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+    std::push_heap(events_.begin(), events_.end(), Later{});
   }
 
   /// Schedules `fn` after a delay relative to the current time.
@@ -33,8 +39,9 @@ class EventQueue {
   /// Runs the next event; returns false when the queue is empty.
   bool Step() {
     if (events_.empty()) return false;
-    Event event = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
+    std::pop_heap(events_.begin(), events_.end(), Later{});
+    Event event = std::move(events_.back());
+    events_.pop_back();
     now_ = event.time;
     event.fn();
     return true;
@@ -43,7 +50,7 @@ class EventQueue {
   /// Runs events until the queue drains or the horizon is passed. Events
   /// scheduled beyond `horizon` stay queued; Now() never exceeds it.
   void RunUntil(double horizon) {
-    while (!events_.empty() && events_.top().time <= horizon) {
+    while (!events_.empty() && events_.front().time <= horizon) {
       Step();
     }
     now_ = std::max(now_, horizon);
@@ -60,14 +67,21 @@ class EventQueue {
     double time;
     std::uint64_t seq;
     Callback fn;
+  };
 
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  /// Heap comparator: a max-heap under "fires later" keeps the earliest
+  /// (time, seq) event at the front.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // An explicit binary heap instead of std::priority_queue: top() of a
+  // priority_queue is const, forcing a const_cast to move the callback out.
+  // With our own vector the extraction is a plain (safe) move.
+  std::vector<Event> events_;
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

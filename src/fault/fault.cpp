@@ -1,0 +1,126 @@
+#include "fault/fault.h"
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace nezha::fault {
+
+namespace {
+
+/// Message prefix shared by every injected crash (IsInjectedCrash keys on
+/// it; no real error path produces it).
+constexpr std::string_view kCrashPrefix = "fault: injected crash at ";
+
+}  // namespace
+
+const char* ActionName(Action action) {
+  switch (action) {
+    case Action::kNone:
+      return "none";
+    case Action::kFail:
+      return "fail";
+    case Action::kCrash:
+      return "crash";
+    case Action::kTear:
+      return "tear";
+    case Action::kDrop:
+      return "drop";
+    case Action::kDelay:
+      return "delay";
+    case Action::kCorrupt:
+      return "corrupt";
+    case Action::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& CommitPathSites() {
+  static const std::vector<std::string> kSites = {
+      sites::kCommitBeforeJournal, sites::kCommitAfterJournal,
+      sites::kCommitBeforeFlush,   sites::kKvWrite,
+      sites::kCommitAfterFlush,
+  };
+  return kSites;
+}
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+void Injector::Arm(Plan plan) {
+  std::lock_guard lock(mutex_);
+  plan_ = std::move(plan);
+  rng_state_ = plan_.seed();
+  fires_.assign(plan_.specs().size(), 0);
+  hits_.clear();
+  total_fires_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void Injector::Disarm() {
+  std::lock_guard lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+}
+
+Hit Injector::Check(std::string_view site) {
+  if (!Armed()) return {};
+  return CheckSlow(site);
+}
+
+Hit Injector::CheckSlow(std::string_view site) {
+  Hit hit;
+  {
+    std::lock_guard lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return {};
+    const std::uint64_t hit_number = ++hits_[std::string(site)];
+    const auto& specs = plan_.specs();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const Spec& spec = specs[i];
+      if (spec.site != site) continue;
+      if (spec.hit_number != 0 && spec.hit_number != hit_number) continue;
+      if (spec.max_fires != 0 && fires_[i] >= spec.max_fires) continue;
+      if (spec.probability < 1.0) {
+        // SplitMix64 on the plan's rolling state: one deterministic draw
+        // per eligible (spec, hit) pair.
+        const double draw =
+            static_cast<double>(SplitMix64(rng_state_) >> 11) * 0x1.0p-53;
+        if (draw >= spec.probability) continue;
+      }
+      ++fires_[i];
+      ++total_fires_;
+      hit = {spec.action, spec.param};
+      break;
+    }
+  }
+  if (hit.fired()) {
+    obs::Registry()
+        .GetCounter("nezha_fault_injected_total",
+                    {{"site", std::string(site)},
+                     {"action", ActionName(hit.action)}})
+        ->Inc();
+  }
+  return hit;
+}
+
+std::unordered_map<std::string, std::uint64_t> Injector::HitCounts() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t Injector::FireCount() const {
+  std::lock_guard lock(mutex_);
+  return total_fires_;
+}
+
+Status CrashStatus(std::string_view site) {
+  return Status::Aborted(std::string(kCrashPrefix) + std::string(site));
+}
+
+bool IsInjectedCrash(const Status& status) {
+  return status.code() == StatusCode::kAborted &&
+         status.message().compare(0, kCrashPrefix.size(), kCrashPrefix) == 0;
+}
+
+}  // namespace nezha::fault

@@ -1,0 +1,178 @@
+// Deterministic fault injection: the machinery that turns "what if the node
+// crashes between the ledger append and the state flush?" into a
+// seed-reproducible unit test (docs/ROBUSTNESS.md).
+//
+// Library code declares *injection sites* — named points where a fault could
+// strike in production (a torn write batch, a dropped sync chunk, a crash
+// between two storage writes) — by calling fault::Check(site) and acting on
+// the returned verdict. A test arms a FaultPlan listing which sites fire,
+// on which hit, with what probability, and with what action; everything is
+// driven by one seed, so a failing schedule replays exactly.
+//
+// When no plan is armed (the production configuration), Check() is a single
+// relaxed atomic load — bench/microbench.cpp prices it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nezha::fault {
+
+/// What an armed site does to the caller.
+enum class Action : std::uint8_t {
+  kNone = 0,  ///< proceed normally
+  kFail,      ///< report an error without side effects
+  kCrash,     ///< abandon the operation mid-flight (process death)
+  kTear,      ///< apply only the first `param` records of a batch
+  kDrop,      ///< swallow the message/chunk (network loss)
+  kDelay,     ///< deliver late by `param` simulated milliseconds
+  kCorrupt,   ///< deliver with flipped bytes (mode selected by `param`)
+  kTruncate,  ///< deliver with the tail cut off
+};
+
+const char* ActionName(Action action);
+
+/// Canonical site names, so tests and docs agree on the vocabulary.
+/// (A site string not listed here still works; this is the registry of
+/// everything the library currently wires.)
+namespace sites {
+inline constexpr char kKvWrite[] = "kvstore/write";
+inline constexpr char kKvRestore[] = "kvstore/restore";
+inline constexpr char kStateFlush[] = "statedb/flush";
+inline constexpr char kLedgerAppend[] = "ledger/append_block";
+inline constexpr char kCommitBeforeJournal[] = "node/commit/before_journal";
+inline constexpr char kCommitAfterJournal[] = "node/commit/after_journal";
+inline constexpr char kCommitBeforeFlush[] = "node/commit/before_flush";
+inline constexpr char kCommitAfterFlush[] = "node/commit/after_flush";
+inline constexpr char kSyncServeChunk[] = "statesync/server/chunk";
+}  // namespace sites
+
+/// The sites on the FullNode epoch-commit path, in the order they are hit —
+/// what the crash-at-every-site recovery sweep iterates over.
+const std::vector<std::string>& CommitPathSites();
+
+/// One injection rule. A spec is *eligible* on a given hit of its site when
+/// the hit number matches (`hit_number` counts from 1; 0 = every hit) and it
+/// has fires left; an eligible spec then fires with `probability` (decided
+/// by the plan's seeded RNG, so runs replay exactly).
+struct Spec {
+  std::string site;
+  Action action = Action::kFail;
+  std::uint64_t hit_number = 1;  ///< fire on the Nth Check() of this site; 0 = any
+  double probability = 1.0;
+  std::uint64_t param = 0;     ///< tear record index / delay ms / corrupt mode
+  std::uint64_t max_fires = 1; ///< 0 = unlimited
+};
+
+/// A reproducible set of injection rules, driven by one seed.
+class Plan {
+ public:
+  explicit Plan(std::uint64_t seed = 0xfa'17'5eedull) : seed_(seed) {}
+
+  Plan& Add(Spec spec) {
+    specs_.push_back(std::move(spec));
+    return *this;
+  }
+
+  /// Shorthands for the common shapes.
+  Plan& CrashAt(std::string_view site, std::uint64_t hit_number = 1) {
+    return Add({std::string(site), Action::kCrash, hit_number, 1.0, 0, 1});
+  }
+  Plan& FailAt(std::string_view site, std::uint64_t hit_number = 1) {
+    return Add({std::string(site), Action::kFail, hit_number, 1.0, 0, 1});
+  }
+  Plan& TearAt(std::string_view site, std::uint64_t record,
+               std::uint64_t hit_number = 1) {
+    return Add({std::string(site), Action::kTear, hit_number, 1.0, record, 1});
+  }
+  /// Probabilistic rules for flaky-network modelling (every hit eligible,
+  /// unlimited fires).
+  Plan& WithProbability(std::string_view site, Action action, double p,
+                        std::uint64_t param = 0) {
+    return Add({std::string(site), action, 0, p, param, 0});
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<Spec>& specs() const { return specs_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<Spec> specs_;
+};
+
+/// The verdict one Check() call returns.
+struct Hit {
+  Action action = Action::kNone;
+  std::uint64_t param = 0;
+
+  bool fired() const { return action != Action::kNone; }
+};
+
+/// Process-wide injector. Arm/Disarm bracket a test scenario; library code
+/// only ever calls Check(). Checks are thread-safe; the armed slow path
+/// takes one mutex (tests), the disarmed fast path is a relaxed load.
+class Injector {
+ public:
+  static Injector& Global();
+
+  /// Installs a plan (replacing any previous one) and zeroes hit counts.
+  void Arm(Plan plan);
+  void Disarm();
+  bool Armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// The per-site query. Returns kNone when disarmed or no spec fires.
+  Hit Check(std::string_view site);
+
+  /// Hits observed per site since Arm() (tests discover which sites a code
+  /// path crosses by arming an empty plan and reading these).
+  std::unordered_map<std::string, std::uint64_t> HitCounts() const;
+  /// Total number of specs that fired since Arm().
+  std::uint64_t FireCount() const;
+
+ private:
+  Injector() = default;
+  Hit CheckSlow(std::string_view site);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  Plan plan_{0};
+  std::uint64_t rng_state_ = 0;
+  std::vector<std::uint64_t> fires_;  ///< per-spec fire counts
+  std::unordered_map<std::string, std::uint64_t> hits_;
+  std::uint64_t total_fires_ = 0;
+};
+
+/// The hot-path query library code uses at a named site.
+inline Hit Check(std::string_view site) {
+  Injector& injector = Injector::Global();
+  if (!injector.Armed()) return {};
+  return injector.Check(site);
+}
+
+/// RAII plan scope for tests: arms on construction, disarms on destruction.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(Plan plan) { Injector::Global().Arm(std::move(plan)); }
+  ~ScopedPlan() { Injector::Global().Disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+/// The Status an injected crash surfaces as. Callers that hit a kCrash
+/// verdict return CrashStatus(site) immediately — the "process" is dead from
+/// that point; the test discards the node object and recovers a fresh one
+/// from storage.
+Status CrashStatus(std::string_view site);
+
+/// True iff `status` came from an injected crash (as opposed to a real
+/// error): recovery tests use it to tell the two apart.
+bool IsInjectedCrash(const Status& status);
+
+}  // namespace nezha::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "fault/fault.h"
 
 namespace nezha {
 
@@ -20,14 +21,30 @@ Hash256 ParallelChainLedger::StateRootBefore(EpochId epoch) const {
 }
 
 void ParallelChainLedger::CommitEpochRoot(EpochId epoch, const Hash256& root) {
-  epoch_roots_.emplace_back(epoch, root);
+  CommitEpochRootLocal(epoch, root);
   if (kv_ != nullptr) {
-    std::string key = "r/";
-    PutFixed64(key, epoch);
-    (void)kv_->Put(key,
-                   std::string(reinterpret_cast<const char*>(root.bytes.data()),
-                               32));
+    const auto [key, value] = EpochRootRecord(epoch, root);
+    (void)kv_->Put(key, value);
   }
+}
+
+std::pair<std::string, std::string> ParallelChainLedger::EpochRootRecord(
+    EpochId epoch, const Hash256& root) {
+  std::string key = "r/";
+  PutFixed64(key, epoch);
+  return {std::move(key),
+          std::string(reinterpret_cast<const char*>(root.bytes.data()), 32)};
+}
+
+void ParallelChainLedger::CommitEpochRootLocal(EpochId epoch,
+                                               const Hash256& root) {
+  epoch_roots_.emplace_back(epoch, root);
+}
+
+EpochId ParallelChainLedger::LastCommittedEpoch() const {
+  EpochId last = 0;
+  for (const auto& [epoch, root] : epoch_roots_) last = std::max(last, epoch);
+  return last;
 }
 
 Status ParallelChainLedger::LoadFromStorage() {
@@ -71,6 +88,22 @@ Hash256 ParallelChainLedger::ChainTip(ChainId chain) const {
   return c.empty() ? Hash256{} : c.back().Hash();
 }
 
+bool ParallelChainLedger::ChainContains(ChainId chain,
+                                        const Hash256& hash) const {
+  if (chain >= num_chains_) return false;
+  for (const Block& block : chains_[chain]) {
+    if (block.Hash() == hash) return true;
+  }
+  return false;
+}
+
+bool ParallelChainLedger::ContainsBlock(const Hash256& hash) const {
+  for (ChainId chain = 0; chain < num_chains_; ++chain) {
+    if (ChainContains(chain, hash)) return true;
+  }
+  return false;
+}
+
 Status ParallelChainLedger::ValidateBlock(const Block& block) const {
   const BlockHeader& h = block.header;
   if (h.chain >= num_chains_) {
@@ -101,10 +134,23 @@ Status ParallelChainLedger::ValidateBlock(const Block& block) const {
 
 Status ParallelChainLedger::AppendBlock(Block block) {
   if (Status s = ValidateBlock(block); !s.ok()) return s;
+  // Injection site: param 0 crashes before the block is persisted (block
+  // lost), param 1 crashes after (block durable but never attached in
+  // memory — recovery must pick it up from storage).
+  const fault::Hit hit = fault::Check(fault::sites::kLedgerAppend);
+  if (hit.action == fault::Action::kFail) {
+    return Status::Unavailable("fault: block append rejected");
+  }
+  if (hit.action == fault::Action::kCrash && hit.param == 0) {
+    return fault::CrashStatus(fault::sites::kLedgerAppend);
+  }
   if (kv_ != nullptr) {
     const Status s = kv_->Put(BlockKey(block.header.chain, block.header.height),
                               block.Serialize());
     if (!s.ok()) return s;
+  }
+  if (hit.action == fault::Action::kCrash) {
+    return fault::CrashStatus(fault::sites::kLedgerAppend);
   }
   chains_[block.header.chain].push_back(std::move(block));
   return Status::Ok();

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -41,6 +42,21 @@ class ParallelChainLedger {
   /// KVStore when one is attached, for crash recovery).
   void CommitEpochRoot(EpochId epoch, const Hash256& root);
 
+  /// The KV key/value encoding of one epoch-root record — exposed so
+  /// FullNode can fold the root write into its atomic epoch-commit batch
+  /// instead of issuing a separate (crash-tearable) Put.
+  static std::pair<std::string, std::string> EpochRootRecord(
+      EpochId epoch, const Hash256& root);
+
+  /// Records the root in memory only; storage is the caller's business
+  /// (used together with EpochRootRecord in the atomic commit path).
+  void CommitEpochRootLocal(EpochId epoch, const Hash256& root);
+
+  /// Newest epoch with a committed root (0 when none committed yet; check
+  /// HasCommittedRoot to disambiguate a real epoch 0).
+  EpochId LastCommittedEpoch() const;
+  bool HasCommittedRoot() const { return !epoch_roots_.empty(); }
+
   /// Rebuilds the ledger (epoch roots + all chains) from the attached
   /// KVStore, re-validating every block on the way in. The ledger must be
   /// freshly constructed (empty chains).
@@ -51,6 +67,14 @@ class ParallelChainLedger {
 
   /// Hash of the tip block on `chain` (zero hash for an empty chain).
   Hash256 ChainTip(ChainId chain) const;
+
+  /// True iff `hash` is a block on `chain`. Recovery cross-checks journaled
+  /// tips with this: a tip recorded at commit time may legitimately have
+  /// been extended by later appends, but must still be on its chain.
+  bool ChainContains(ChainId chain, const Hash256& hash) const;
+
+  /// True iff `hash` is a block on any chain.
+  bool ContainsBlock(const Hash256& hash) const;
 
   /// Full structural + semantic validation of a proposed block:
   /// chain id in range, height/parent linkage, epoch monotonicity,

@@ -1,0 +1,58 @@
+// Epoch-commit journal: the write-ahead record that makes epoch commitment
+// crash-consistent (docs/ROBUSTNESS.md).
+//
+// Committing an epoch touches several KV namespaces — state cells ("s/"),
+// receipts ("t/"), the epoch root ("r/") — and a crash between any two of
+// those writes used to leave the store torn: ledger and state disagreeing
+// about which epoch the node is at. The journal closes that window:
+//
+//   1. before the commit batch, the node writes "j/pending": the journal
+//      header (epoch id, block ids, state root, receipt root, chain tips)
+//      plus a *redo payload* — the serialized WriteBatch of the entire
+//      commit (a single-key put, atomic in the KVStore contract);
+//   2. the commit batch itself is ONE atomic WriteBatch: all state records,
+//      all receipts, the epoch root, "j/last" (the header, for cross-checks)
+//      and a delete of "j/pending";
+//   3. recovery finding "j/pending" simply re-applies the redo payload —
+//      idempotent overwrites, so a torn or missing commit batch rolls
+//      forward to exactly the committed state; finding none, the store is
+//      either pre-epoch or fully committed, never a hybrid.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nezha {
+
+/// KV keys of the two journal slots.
+inline constexpr char kPendingJournalKey[] = "j/pending";
+inline constexpr char kLastJournalKey[] = "j/last";
+
+struct CommitJournal {
+  EpochId epoch = 0;
+  Hash256 state_root{};
+  Hash256 receipt_root{};
+  /// Hashes of the epoch's blocks, in consensus (chain-id) order.
+  std::vector<Hash256> block_ids;
+  /// Per-chain ledger tips at commit time (every chain, in id order).
+  std::vector<std::pair<ChainId, Hash256>> chain_tips;
+  /// Serialized WriteBatch re-applying the full commit; empty in "j/last".
+  std::string redo;
+
+  /// Copy with the redo payload stripped — what "j/last" stores.
+  CommitJournal Header() const;
+
+  /// Checksummed binary encoding (magic + fields + SHA-256 trailer).
+  std::string Serialize() const;
+
+  /// Rejects truncated or bit-flipped input with a descriptive Corruption.
+  static Result<CommitJournal> Deserialize(std::string_view data);
+};
+
+}  // namespace nezha

@@ -7,6 +7,8 @@
 #include "cc/occ/occ_scheduler.h"
 #include "cc/serial/serial_scheduler.h"
 #include "common/stopwatch.h"
+#include "fault/fault.h"
+#include "node/commit_journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/committer.h"
@@ -171,8 +173,15 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   {
     obs::TraceSpan span("commit");
     commit = CommitSchedule(*pool_, state_, schedule.value(), exec.rwsets);
-    if (Status s = state_.Flush(); !s.ok()) return s;
     report.state_root = state_.RootHash();
+    // Receipts: the per-transaction outcome record, committed to by a root
+    // and flushed inside the same atomic batch as the state.
+    const std::vector<Receipt> receipts =
+        BuildReceipts(batch.epoch, batch.txs, exec.rwsets, *schedule);
+    report.receipt_root = ComputeReceiptRoot(receipts);
+    if (Status s = CommitEpochDurable(batch, report, receipts); !s.ok()) {
+      return s;
+    }
   }
   report.commit_ms = watch.ElapsedMillis();
 
@@ -180,31 +189,176 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   report.aborted = schedule->NumAborted();
   report.max_commit_group = commit.max_group;
 
-  // Receipts: the per-transaction outcome record, committed to by a root.
-  const std::vector<Receipt> receipts =
-      BuildReceipts(batch.epoch, batch.txs, exec.rwsets, *schedule);
-  report.receipt_root = ComputeReceiptRoot(receipts);
-  if (Status s = receipts_.Put(receipts); !s.ok()) return s;
-
-  ledger_.CommitEpochRoot(batch.epoch, report.state_root);
   PublishEpochObs(config_, report);
   return report;
 }
 
-Status FullNode::RecoverFromStorage() {
-  if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
-  if (Status s = ledger_.LoadFromStorage(); !s.ok()) return s;
-  if (Status s = state_.LoadFromStorage(); !s.ok()) return s;
-  // Cross-check: the recovered state must hash to the last committed epoch
-  // root (StateRootBefore of any future epoch is the newest root).
-  const Hash256 expected =
-      ledger_.StateRootBefore(std::numeric_limits<EpochId>::max());
-  if (!expected.IsZero() && state_.RootHash() != expected) {
-    return Status::Corruption(
-        "recovered state root does not match the last epoch root");
+Status FullNode::CommitEpochDurable(const EpochBatch& batch,
+                                    EpochReport& report,
+                                    std::span<const Receipt> receipts) {
+  if (const fault::Hit hit = fault::Check(fault::sites::kCommitBeforeJournal);
+      hit.fired()) {
+    if (hit.action == fault::Action::kCrash) {
+      return fault::CrashStatus(fault::sites::kCommitBeforeJournal);
+    }
+    return Status::Unavailable("fault: commit rejected before journal");
+  }
+  if (kv_ == nullptr) {
+    // No persistence attached: Flush() still syncs the commitment trie and
+    // clears the dirty markers; nothing can tear.
+    if (Status s = state_.Flush(); !s.ok()) return s;
+    ledger_.CommitEpochRootLocal(batch.epoch, report.state_root);
+    return Status::Ok();
+  }
+
+  // Assemble the entire epoch commit as ONE WriteBatch: state records,
+  // receipts, the epoch root, the "j/last" journal header, and the delete
+  // of the pending slot. Applied atomically, a reader (or a restarted
+  // node) sees all of it or none of it.
+  WriteBatch commit_batch;
+  state_.AppendDirtyTo(commit_batch);
+  ReceiptStore::AppendTo(commit_batch, receipts);
+  const auto [root_key, root_value] =
+      ParallelChainLedger::EpochRootRecord(batch.epoch, report.state_root);
+  commit_batch.Put(root_key, root_value);
+
+  CommitJournal journal;
+  journal.epoch = batch.epoch;
+  journal.state_root = report.state_root;
+  journal.receipt_root = report.receipt_root;
+  journal.block_ids.reserve(batch.blocks.size());
+  for (const Block& block : batch.blocks) {
+    journal.block_ids.push_back(block.Hash());
+  }
+  for (ChainId chain = 0; chain < ledger_.num_chains(); ++chain) {
+    journal.chain_tips.emplace_back(chain, ledger_.ChainTip(chain));
+  }
+  commit_batch.Put(kLastJournalKey, journal.Header().Serialize());
+  commit_batch.Delete(kPendingJournalKey);
+  // The redo payload IS the commit batch: recovery re-applies it verbatim
+  // to roll a torn or missing commit forward.
+  journal.redo = commit_batch.Serialize();
+
+  // Step 1 — write-ahead: the pending journal, a single-key put (atomic by
+  // the KVStore contract even under injected tears).
+  if (Status s = kv_->Put(kPendingJournalKey, journal.Serialize()); !s.ok()) {
+    return s;
+  }
+  if (const fault::Hit hit = fault::Check(fault::sites::kCommitAfterJournal);
+      hit.fired()) {
+    if (hit.action == fault::Action::kCrash) {
+      return fault::CrashStatus(fault::sites::kCommitAfterJournal);
+    }
+    return Status::Unavailable("fault: commit interrupted after journal");
+  }
+  if (const fault::Hit hit = fault::Check(fault::sites::kCommitBeforeFlush);
+      hit.fired()) {
+    if (hit.action == fault::Action::kCrash) {
+      return fault::CrashStatus(fault::sites::kCommitBeforeFlush);
+    }
+    return Status::Unavailable("fault: commit interrupted before flush");
+  }
+  // Step 2 — the atomic commit batch (the kvstore/write site can fail,
+  // tear, or crash it; the journal repairs all three).
+  if (Status s = kv_->Write(commit_batch); !s.ok()) return s;
+  state_.ClearDirty();
+  ledger_.CommitEpochRootLocal(batch.epoch, report.state_root);
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::Registry();
+    registry.GetCounter("nezha_commit_journal_writes_total")->Inc();
+    registry.GetCounter("nezha_commit_batch_records_total")
+        ->Inc(commit_batch.Count());
+    registry.GetCounter("nezha_commit_batch_bytes_total")
+        ->Inc(commit_batch.ByteSize());
+  }
+  if (const fault::Hit hit = fault::Check(fault::sites::kCommitAfterFlush);
+      hit.action == fault::Action::kCrash) {
+    return fault::CrashStatus(fault::sites::kCommitAfterFlush);
   }
   return Status::Ok();
 }
+
+Result<FullNode::RecoveryReport> FullNode::Recover() {
+  if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
+  RecoveryReport recovery;
+  // Step 1 — a pending journal means the node died with a commit in flight.
+  // Re-applying its redo batch is idempotent (pure overwrites), so a torn,
+  // partial, or entirely missing commit batch all converge to the fully
+  // committed store. The redo batch ends by installing "j/last" and
+  // deleting the pending slot.
+  if (auto pending = kv_->Get(kPendingJournalKey); pending.ok()) {
+    auto journal = CommitJournal::Deserialize(*pending);
+    if (!journal.ok()) {
+      // The pending slot is written in one atomic put, so bad contents are
+      // bit rot, not a tear — nothing trustworthy to roll forward from.
+      return Status::Corruption("pending commit journal is corrupt: " +
+                                journal.status().message());
+    }
+    WriteBatch redo;
+    if (!WriteBatch::Deserialize(journal->redo, &redo)) {
+      return Status::Corruption("pending commit journal redo does not parse");
+    }
+    if (Status s = kv_->Write(redo); !s.ok()) return s;
+    recovery.rolled_forward = true;
+    obs::Registry()
+        .GetCounter("nezha_recovery_total", {{"outcome", "rolled_forward"}})
+        ->Inc();
+  }
+  // Step 2 — rebuild the ledger (with full block re-validation) and the
+  // state from storage.
+  if (Status s = ledger_.LoadFromStorage(); !s.ok()) return s;
+  if (Status s = state_.LoadFromStorage(); !s.ok()) return s;
+  recovery.state_root = state_.RootHash();
+  // Step 3 — the recovered state must hash to the last committed epoch
+  // root (StateRootBefore of any future epoch is the newest root).
+  const Hash256 expected =
+      ledger_.StateRootBefore(std::numeric_limits<EpochId>::max());
+  if (!expected.IsZero() && recovery.state_root != expected) {
+    return Status::Corruption(
+        "recovered state root does not match the last epoch root");
+  }
+  // Step 4 — cross-check the commit journal against the recovered ledger:
+  // its epoch must be the newest committed one, its roots must match, and
+  // its block ids and chain tips must all still be in the ledger (tips may
+  // have been extended by appends the crash cut short, but never replaced).
+  if (auto last = kv_->Get(kLastJournalKey); last.ok()) {
+    auto journal = CommitJournal::Deserialize(*last);
+    if (!journal.ok()) {
+      return Status::Corruption("commit journal is corrupt: " +
+                                journal.status().message());
+    }
+    recovery.last_committed = journal->epoch;
+    recovery.receipt_root = journal->receipt_root;
+    if (!ledger_.HasCommittedRoot() ||
+        journal->epoch != ledger_.LastCommittedEpoch()) {
+      return Status::Corruption("commit journal epoch disagrees with ledger");
+    }
+    if (journal->state_root != expected) {
+      return Status::Corruption(
+          "commit journal state root disagrees with epoch root");
+    }
+    for (const Hash256& id : journal->block_ids) {
+      if (!ledger_.ContainsBlock(id)) {
+        return Status::Corruption("journaled block missing from ledger");
+      }
+    }
+    for (const auto& [chain, tip] : journal->chain_tips) {
+      if (!tip.IsZero() && !ledger_.ChainContains(chain, tip)) {
+        return Status::Corruption(
+            "journaled chain tip missing from recovered chain " +
+            std::to_string(chain));
+      }
+    }
+  }
+  if (!recovery.rolled_forward) {
+    obs::Registry()
+        .GetCounter("nezha_recovery_total", {{"outcome", "clean"}})
+        ->Inc();
+  }
+  return recovery;
+}
+
+Status FullNode::RecoverFromStorage() { return Recover().status(); }
 
 Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
@@ -257,14 +411,15 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
     }
     ++report.committed;
   }
-  if (Status s = state_.Flush(); !s.ok()) return s;
   report.state_root = state_.RootHash();
+  // Same durable-commit tail as the concurrent pipeline (no receipts: the
+  // serial baseline has no abort outcomes to attest).
+  if (Status s = CommitEpochDurable(batch, report, {}); !s.ok()) return s;
   report.commit_ms = watch.ElapsedMillis();
   if (config_.model_execution_cost) {
     report.commit_ms = 0;
     report.execute_ms = config_.cost_model.SerialLatencyMs(batch.TxCount());
   }
-  ledger_.CommitEpochRoot(batch.epoch, report.state_root);
   PublishEpochObs(config_, report);
   return report;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "cc/scheduler.h"
 #include "common/thread_pool.h"
@@ -88,18 +89,42 @@ class FullNode {
   /// Current state snapshot (what the next epoch executes against).
   StateSnapshot Snapshot(EpochId epoch) { return state_.MakeSnapshot(epoch); }
 
-  /// Runs the full pipeline over one epoch batch, updates the state, flushes
-  /// it, records the epoch's state root in the ledger.
+  /// Runs the full pipeline over one epoch batch, updates the state, and
+  /// commits it durably: the state records, receipts, epoch root and commit
+  /// journal land in ONE atomic KV batch, preceded by a "j/pending" redo
+  /// record — so a crash anywhere in the sequence leaves the store either
+  /// pre-epoch or (after Recover()) fully committed, never torn.
   Result<EpochReport> ProcessEpoch(const EpochBatch& batch);
 
-  /// Crash recovery: rebuilds the ledger (with re-validation) and the state
-  /// from the attached KVStore. Must be called on a fresh node. The
-  /// recovered state root must match the last recorded epoch root, or
-  /// Corruption is returned.
+  /// What Recover() found and did (docs/ROBUSTNESS.md).
+  struct RecoveryReport {
+    bool rolled_forward = false;  ///< a pending commit journal was re-applied
+    EpochId last_committed = 0;   ///< newest journaled epoch (0 when none)
+    Hash256 state_root{};         ///< recovered state root
+    Hash256 receipt_root{};       ///< from the commit journal (zero if none)
+  };
+
+  /// Crash recovery. Must be called on a fresh node with a KVStore:
+  ///  1. a pending commit journal (a crash mid-commit) is rolled forward by
+  ///     re-applying its redo batch — a torn commit batch becomes whole;
+  ///  2. ledger and state are rebuilt from storage with full re-validation;
+  ///  3. cross-checks: the state root must match the last epoch root, and
+  ///     the commit journal's epoch, state root, block ids and chain tips
+  ///     must agree with the recovered ledger — Corruption otherwise.
+  Result<RecoveryReport> Recover();
+
+  /// Status-only wrapper around Recover() (pre-journal API, kept for
+  /// callers that don't need the report).
   Status RecoverFromStorage();
 
  private:
   Result<EpochReport> ProcessSerial(const EpochBatch& batch);
+
+  /// The shared durable-commit tail of both pipelines: journal + one atomic
+  /// commit batch (state, receipts, epoch root), with the commit-path
+  /// injection sites. Updates the ledger's in-memory root on success.
+  Status CommitEpochDurable(const EpochBatch& batch, EpochReport& report,
+                            std::span<const Receipt> receipts);
 
   NodeConfig config_;
   KVStore* kv_;

@@ -104,10 +104,15 @@ std::string ReceiptStore::Key(const Hash256& tx_id) {
 Status ReceiptStore::Put(std::span<const Receipt> receipts) {
   if (kv_ == nullptr) return Status::Ok();  // no persistence attached
   WriteBatch batch;
+  AppendTo(batch, receipts);
+  return kv_->Write(batch);
+}
+
+void ReceiptStore::AppendTo(WriteBatch& batch,
+                            std::span<const Receipt> receipts) {
   for (const Receipt& receipt : receipts) {
     batch.Put(Key(receipt.tx_id), receipt.Serialize());
   }
-  return kv_->Write(batch);
 }
 
 Result<Receipt> ReceiptStore::Get(const Hash256& tx_id) const {

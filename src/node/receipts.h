@@ -67,6 +67,10 @@ class ReceiptStore {
   Status Put(std::span<const Receipt> receipts);
   Result<Receipt> Get(const Hash256& tx_id) const;
 
+  /// Appends the receipts' KV puts to `batch` without writing — FullNode
+  /// folds them into the atomic epoch-commit batch.
+  static void AppendTo(WriteBatch& batch, std::span<const Receipt> receipts);
+
  private:
   static std::string Key(const Hash256& tx_id);
   KVStore* kv_;

@@ -16,7 +16,10 @@
 //    the boundary proofs cannot).
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/sha256.h"
@@ -33,6 +36,16 @@ struct StateChunk {
   /// Merkle proofs for the first and last record (empty for empty chunks).
   std::vector<std::string> first_proof;
   std::vector<std::string> last_proof;
+  /// Server-computed digest over every field above: in-flight corruption is
+  /// caught per chunk (and just re-requested) instead of poisoning the
+  /// whole stream until the final root rebuild. A malicious server can
+  /// forge it — which is exactly what the boundary proofs still catch.
+  Hash256 checksum{};
+  /// Simulated transport latency (fault injection); never serialized.
+  double delay_ms = 0;
+
+  /// The digest `checksum` must carry.
+  Hash256 ComputeChecksum() const;
 };
 
 /// Serves chunks from one immutable state snapshot.
@@ -54,6 +67,69 @@ class StateSyncServer {
   Hash256 root_{};
 };
 
+/// Transport abstraction over "fetch chunk i from somewhere": lets the
+/// retry driver treat an in-process server, a flaky injected one, and (in a
+/// real deployment) a network peer identically.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Fetches chunk `index`. A source that cannot deliver within
+  /// `timeout_ms` reports Unavailable (retryable) instead of blocking.
+  virtual Result<StateChunk> FetchChunk(std::uint64_t index,
+                                        double timeout_ms) = 0;
+
+  /// Human-readable identity for logs / metrics labels.
+  virtual std::string Name() const = 0;
+};
+
+/// ChunkSource over an in-process StateSyncServer. Injected delays
+/// (statesync/server/chunk, kDelay) are compared against the caller's
+/// timeout deterministically — no real sleeping.
+class ServerChunkSource : public ChunkSource {
+ public:
+  explicit ServerChunkSource(const StateSyncServer& server,
+                             std::string name = "local")
+      : server_(server), name_(std::move(name)) {}
+
+  Result<StateChunk> FetchChunk(std::uint64_t index,
+                                double timeout_ms) override;
+  std::string Name() const override { return name_; }
+
+ private:
+  const StateSyncServer& server_;
+  std::string name_;
+};
+
+/// Retry/backoff/blacklist knobs for StateSyncClient::SyncFrom.
+/// All time is simulated (accounted, never slept) so tests stay
+/// deterministic and instant.
+struct SyncRetryPolicy {
+  std::size_t max_attempts_per_chunk = 8;  ///< per chunk, per source
+  double chunk_timeout_ms = 50;            ///< per-fetch deadline
+  double initial_backoff_ms = 5;           ///< first retry delay
+  double max_backoff_ms = 250;             ///< backoff growth cap
+  double backoff_multiplier = 2.0;         ///< exponential growth factor
+  double jitter = 0.25;                    ///< +/- fraction, seeded draw
+  /// A source is blacklisted after this many proof-level failures (wrong
+  /// root, invalid/forged boundary proof, non-ascending records). Transport
+  /// corruption (checksum mismatch) only burns retry attempts.
+  std::size_t blacklist_after_proof_failures = 3;
+  std::uint64_t seed = 0x5eedc0de;  ///< jitter RNG seed
+};
+
+/// What a SyncFrom run did (mirrored into the obs metrics registry).
+struct SyncStats {
+  std::uint64_t chunks_verified = 0;
+  std::uint64_t fetch_attempts = 0;
+  std::uint64_t retries = 0;         ///< attempts beyond the first per chunk
+  std::uint64_t drops = 0;           ///< Unavailable fetches (drop/timeout)
+  std::uint64_t checksum_failures = 0;  ///< transport corruption, retried
+  std::uint64_t proof_failures = 0;  ///< forged/invalid proof-level chunks
+  std::uint64_t sources_blacklisted = 0;
+  double backoff_ms_total = 0;       ///< simulated waiting time
+};
+
 /// Assembles and verifies a state from chunks.
 class StateSyncClient {
  public:
@@ -61,9 +137,15 @@ class StateSyncClient {
   explicit StateSyncClient(const Hash256& trusted_root)
       : trusted_root_(trusted_root) {}
 
-  /// Feeds the next chunk (must arrive in index order). Boundary proofs are
-  /// verified immediately; Corruption on any mismatch.
+  /// Feeds the next chunk (must arrive in index order). The chunk checksum
+  /// and boundary proofs are verified immediately; Corruption on any
+  /// mismatch (checksum failures carry the "chunk checksum mismatch"
+  /// message prefix — see IsChecksumFailure).
   Status AddChunk(const StateChunk& chunk);
+
+  /// True iff `status` is AddChunk's transport-corruption verdict (as
+  /// opposed to a proof-level failure only a lying server can produce).
+  static bool IsChecksumFailure(const Status& status);
 
   bool Complete() const { return complete_; }
 
@@ -71,11 +153,28 @@ class StateSyncClient {
   /// records into `db` iff the rebuilt root equals the trusted root.
   Status Finish(StateDB& db);
 
+  /// End-to-end resilient sync driver: fetches every remaining chunk from
+  /// `sources` with per-chunk timeout, bounded exponential backoff with
+  /// seeded jitter, re-requests of dropped/corrupt chunks (verified chunks
+  /// are never re-fetched), and blacklisting of sources after repeated
+  /// proof failures; then runs Finish(db). Fails Unavailable when every
+  /// source is blacklisted or a chunk exhausts its attempts everywhere.
+  Status SyncFrom(std::span<ChunkSource* const> sources, StateDB& db,
+                  const SyncRetryPolicy& policy = {});
+
+  /// Single-source convenience overload.
+  Status SyncFrom(ChunkSource& source, StateDB& db,
+                  const SyncRetryPolicy& policy = {});
+
+  /// Counters from the last SyncFrom run.
+  const SyncStats& stats() const { return stats_; }
+
  private:
   Hash256 trusted_root_;
   std::vector<StateWrite> records_;
   std::uint64_t next_index_ = 0;
   bool complete_ = false;
+  SyncStats stats_;
 };
 
 }  // namespace nezha

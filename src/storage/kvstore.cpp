@@ -1,6 +1,22 @@
 #include "storage/kvstore.h"
 
+#include "common/bytes.h"
+#include "common/sha256.h"
+#include "fault/fault.h"
+
 namespace nezha {
+
+namespace {
+
+// Checkpoint framing: magic + version + payload length + payload + SHA-256
+// over everything before the digest. Any single flipped or missing byte is
+// detected before the store is touched.
+constexpr char kCheckpointMagic[4] = {'N', 'Z', 'C', 'P'};
+constexpr char kCheckpointVersion = 0x01;
+constexpr std::size_t kCheckpointHeader = 4 + 1 + 8;  // magic+version+length
+constexpr std::size_t kCheckpointDigest = 32;
+
+}  // namespace
 
 Result<std::string> KVSnapshot::Get(std::string_view key) const {
   const auto it = data_->find(std::string(key));
@@ -44,14 +60,32 @@ bool KVStore::Contains(std::string_view key) const {
 }
 
 Status KVStore::Write(const WriteBatch& batch) {
+  // Injection site: a full-batch failure (kFail) models a rejected write, a
+  // tear (kTear, param k) models the torn prefix a mid-batch power cut
+  // leaves behind, and a crash (kCrash) models dying right after the batch
+  // lands durably.
+  const fault::Hit hit = fault::Check(fault::sites::kKvWrite);
+  if (hit.action == fault::Action::kFail) {
+    return Status::Unavailable("fault: write batch rejected");
+  }
   std::unique_lock lock(mutex_);
   Map& map = MutableMap();
+  std::size_t applied = 0;
   for (const auto& op : batch.ops()) {
+    if (hit.action == fault::Action::kTear && applied >= hit.param) {
+      return Status::Aborted("fault: write batch torn after " +
+                             std::to_string(applied) + " of " +
+                             std::to_string(batch.Count()) + " records");
+    }
     if (op.type == WriteBatch::OpType::kPut) {
       map[op.key] = op.value;
     } else {
       map.erase(op.key);
     }
+    ++applied;
+  }
+  if (hit.action == fault::Action::kCrash) {
+    return fault::CrashStatus(fault::sites::kKvWrite);
   }
   return Status::Ok();
 }
@@ -79,16 +113,62 @@ std::size_t KVStore::Size() const {
 }
 
 std::string KVStore::Checkpoint() const {
-  std::shared_lock lock(mutex_);
-  WriteBatch batch;
-  for (const auto& [key, value] : *data_) batch.Put(key, value);
-  return batch.Serialize();
+  std::string payload;
+  {
+    std::shared_lock lock(mutex_);
+    WriteBatch batch;
+    for (const auto& [key, value] : *data_) batch.Put(key, value);
+    payload = batch.Serialize();
+  }
+  std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
+  out.push_back(kCheckpointVersion);
+  PutFixed64(out, payload.size());
+  out += payload;
+  const Hash256 digest = Sha256::Digest(out);
+  out.append(reinterpret_cast<const char*>(digest.bytes.data()),
+             kCheckpointDigest);
+  return out;
 }
 
 Status KVStore::Restore(std::string_view checkpoint) {
+  if (const fault::Hit hit = fault::Check(fault::sites::kKvRestore);
+      hit.action == fault::Action::kFail) {
+    return Status::Unavailable("fault: restore rejected");
+  }
+  // Validate the framing end to end before touching the store: a failed
+  // Restore must leave the previous contents intact.
+  if (checkpoint.size() < kCheckpointHeader + kCheckpointDigest) {
+    return Status::Corruption("checkpoint truncated: " +
+                              std::to_string(checkpoint.size()) +
+                              " bytes is smaller than the minimal frame");
+  }
+  if (checkpoint.compare(0, sizeof(kCheckpointMagic),
+                         std::string_view(kCheckpointMagic,
+                                          sizeof(kCheckpointMagic))) != 0) {
+    return Status::Corruption("checkpoint magic mismatch (not a checkpoint)");
+  }
+  if (checkpoint[4] != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(checkpoint[4]));
+  }
+  const std::uint64_t payload_size = GetFixed64(checkpoint.substr(5));
+  if (payload_size !=
+      checkpoint.size() - kCheckpointHeader - kCheckpointDigest) {
+    return Status::Corruption("checkpoint length field disagrees with frame");
+  }
+  const std::string_view body =
+      checkpoint.substr(0, checkpoint.size() - kCheckpointDigest);
+  const Hash256 expected = Sha256::Digest(body);
+  const std::string_view stored =
+      checkpoint.substr(checkpoint.size() - kCheckpointDigest);
+  if (std::string_view(reinterpret_cast<const char*>(expected.bytes.data()),
+                       kCheckpointDigest) != stored) {
+    return Status::Corruption("checkpoint checksum mismatch (corrupt bytes)");
+  }
   WriteBatch batch;
-  if (!WriteBatch::Deserialize(checkpoint, &batch)) {
-    return Status::Corruption("bad checkpoint");
+  if (!WriteBatch::Deserialize(
+          checkpoint.substr(kCheckpointHeader, payload_size), &batch)) {
+    return Status::Corruption("checkpoint payload does not parse");
   }
   std::unique_lock lock(mutex_);
   data_ = std::make_shared<Map>();

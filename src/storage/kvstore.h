@@ -80,10 +80,13 @@ class KVStore {
 
   std::size_t Size() const;
 
-  /// Serializes the full store contents (one big WriteBatch).
+  /// Serializes the full store contents as a checksummed frame
+  /// (magic + version + length + WriteBatch payload + SHA-256).
   std::string Checkpoint() const;
 
-  /// Replaces the store contents from a Checkpoint() string.
+  /// Replaces the store contents from a Checkpoint() string. Rejects
+  /// truncated, bit-flipped, or otherwise malformed frames with a
+  /// descriptive Corruption status, leaving the current contents intact.
   Status Restore(std::string_view checkpoint);
 
  private:

@@ -1,6 +1,7 @@
 #include "storage/state_db.h"
 
 #include "common/bytes.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -78,21 +79,39 @@ StateSnapshot StateDB::MakeSnapshot(EpochId epoch) {
   return StateSnapshot(std::move(merged), root, epoch);
 }
 
-Status StateDB::Flush() {
-  const double start_us = obs::PhaseTracer::NowUs();
+void StateDB::AppendDirtyTo(WriteBatch& batch) {
   // Sync the commitment trie before the dirty markers are consumed — the
   // trie and the KV store share the same dirty set.
   RootHash();
-  WriteBatch batch;
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
     for (std::uint64_t addr : shard.dirty) {
       batch.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
     }
+  }
+}
+
+void StateDB::ClearDirty() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
     shard.dirty.clear();
   }
+}
+
+Status StateDB::Flush() {
+  const double start_us = obs::PhaseTracer::NowUs();
+  if (const fault::Hit hit = fault::Check(fault::sites::kStateFlush);
+      hit.action != fault::Action::kNone) {
+    if (hit.action == fault::Action::kCrash) {
+      return fault::CrashStatus(fault::sites::kStateFlush);
+    }
+    return Status::Unavailable("fault: state flush failed");
+  }
+  WriteBatch batch;
+  AppendDirtyTo(batch);
   Status status = Status::Ok();
   if (kv_ != nullptr && !batch.Empty()) status = kv_->Write(batch);
+  if (status.ok()) ClearDirty();
 
   auto& registry = obs::Registry();
   registry.GetCounter("nezha_statedb_flushes_total")->Inc();

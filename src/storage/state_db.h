@@ -93,6 +93,18 @@ class StateDB {
   /// No-op (OK) when the DB was constructed without a KVStore.
   Status Flush();
 
+  /// Appends every dirty entry (as canonical StateKey/EncodeValue puts) to
+  /// `batch` after syncing the commitment trie, WITHOUT clearing the dirty
+  /// markers — the caller owns the KV write (FullNode folds the state flush
+  /// into one atomic epoch-commit batch) and calls ClearDirty() once it
+  /// lands.
+  void AppendDirtyTo(WriteBatch& batch);
+
+  /// Marks every entry clean after the caller durably wrote the batch
+  /// produced by AppendDirtyTo. Leaving entries dirty on a failed write is
+  /// what makes a retried flush still complete.
+  void ClearDirty();
+
   /// Canonical storage/commitment encoding of one state cell — shared by
   /// the KV flush path, the commitment trie, and state sync.
   static std::string StateKey(Address a);

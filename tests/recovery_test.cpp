@@ -1,11 +1,13 @@
 // Crash-recovery and mempool tests: reloading state/ledger from the KV
-// store, root cross-checks, corruption detection, and transaction-pool
-// behaviour.
+// store, root cross-checks, corruption detection, commit-journal
+// roll-forward, and transaction-pool behaviour.
 #include <gtest/gtest.h>
 
 #include <atomic>
 
 #include "common/thread_pool.h"
+#include "fault/fault.h"
+#include "node/commit_journal.h"
 #include "node/full_node.h"
 #include "node/mempool.h"
 #include "vm/smallbank.h"
@@ -210,6 +212,127 @@ TEST(NodeRecoveryTest, DetectsStateLedgerMismatch) {
 
   FullNode recovered(NodeConfig{}, &kv);
   EXPECT_EQ(recovered.RecoverFromStorage().code(), StatusCode::kCorruption);
+}
+
+// ---------- commit journal ----------
+
+TEST(CommitJournalTest, SerializeRoundTrip) {
+  CommitJournal journal;
+  journal.epoch = 7;
+  journal.state_root.bytes[0] = 0xab;
+  journal.receipt_root.bytes[31] = 0xcd;
+  journal.block_ids.resize(2);
+  journal.block_ids[1].bytes[5] = 0x11;
+  journal.chain_tips.emplace_back(0, Hash256{});
+  journal.chain_tips.emplace_back(3, journal.block_ids[1]);
+  journal.redo = "opaque redo bytes";
+
+  auto decoded = CommitJournal::Deserialize(journal.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->state_root, journal.state_root);
+  EXPECT_EQ(decoded->receipt_root, journal.receipt_root);
+  EXPECT_EQ(decoded->block_ids, journal.block_ids);
+  EXPECT_EQ(decoded->chain_tips, journal.chain_tips);
+  EXPECT_EQ(decoded->redo, journal.redo);
+  // Header() is the journal minus the (bulky) redo payload.
+  auto header = CommitJournal::Deserialize(journal.Header().Serialize());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->epoch, 7u);
+  EXPECT_TRUE(header->redo.empty());
+}
+
+TEST(CommitJournalTest, EveryByteFlipIsDetected) {
+  CommitJournal journal;
+  journal.epoch = 3;
+  journal.redo = "redo";
+  journal.block_ids.resize(1);
+  const std::string bytes = journal.Serialize();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutant = bytes;
+    mutant[i] ^= 0x01;
+    EXPECT_EQ(CommitJournal::Deserialize(mutant).status().code(),
+              StatusCode::kCorruption)
+        << "flip at offset " << i;
+  }
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(CommitJournal::Deserialize(bytes.substr(0, len)).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(NodeRecoveryTest, PendingJournalRollsForwardAfterCrash) {
+  // Crash between the journal write and the commit batch; the restarted
+  // node must report a roll-forward and land on the committed state.
+  NodeConfig config;
+  config.max_chains = 1;
+  config.worker_threads = 1;
+  WorkloadConfig wl;
+  wl.num_accounts = 60;
+
+  KVStore kv;
+  {
+    FullNode node(config, &kv);
+    SmallBankWorkload workload(wl, 9);
+    SmallBankWorkload::InitAccounts(node.state(), wl.num_accounts, 100, 100);
+    ASSERT_TRUE(node.state().Flush().ok());
+    node.ledger().CommitEpochRoot(0, node.state().RootHash());
+    Block block = node.ledger().BuildBlock(0, 1, workload.MakeBatch(25));
+    ASSERT_TRUE(node.ledger().AppendBlock(std::move(block)).ok());
+    auto batch = node.ledger().SealEpoch(1);
+    ASSERT_TRUE(batch.ok());
+    fault::ScopedPlan armed(
+        fault::Plan().CrashAt(fault::sites::kCommitAfterJournal));
+    auto report = node.ProcessEpoch(*batch);
+    ASSERT_FALSE(report.ok());
+    ASSERT_TRUE(fault::IsInjectedCrash(report.status()));
+  }
+  ASSERT_TRUE(kv.Contains(kPendingJournalKey));
+
+  FullNode recovered(config, &kv);
+  auto rec = recovered.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->rolled_forward);
+  EXPECT_EQ(rec->last_committed, EpochId(1));
+  EXPECT_EQ(recovered.state().RootHash(), rec->state_root);
+  EXPECT_FALSE(kv.Contains(kPendingJournalKey));  // consumed by roll-forward
+  EXPECT_TRUE(kv.Contains(kLastJournalKey));
+}
+
+TEST(NodeRecoveryTest, CorruptPendingJournalDetected) {
+  KVStore kv;
+  {
+    FullNode node(NodeConfig{}, &kv);
+    node.state().Set(Address(1), 1);
+    ASSERT_TRUE(node.state().Flush().ok());
+    node.ledger().CommitEpochRoot(0, node.state().RootHash());
+  }
+  kv.Put(kPendingJournalKey, "definitely not a journal");
+  FullNode recovered(NodeConfig{}, &kv);
+  EXPECT_EQ(recovered.Recover().status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeRecoveryTest, CorruptLastJournalDetected) {
+  KVStore kv;
+  {
+    FullNode node(NodeConfig{}, &kv);
+    SmallBankWorkload workload(WorkloadConfig{}, 1);
+    SmallBankWorkload::InitAccounts(node.state(), 50, 100, 100);
+    ASSERT_TRUE(node.state().Flush().ok());
+    node.ledger().CommitEpochRoot(0, node.state().RootHash());
+    Block block = node.ledger().BuildBlock(0, 1, workload.MakeBatch(10));
+    ASSERT_TRUE(node.ledger().AppendBlock(std::move(block)).ok());
+    auto batch = node.ledger().SealEpoch(1);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(node.ProcessEpoch(*batch).ok());
+  }
+  auto bytes = kv.Get(kLastJournalKey);
+  ASSERT_TRUE(bytes.ok());
+  std::string mutant = *bytes;
+  mutant[mutant.size() / 2] ^= 0x01;
+  kv.Put(kLastJournalKey, mutant);
+  FullNode recovered(NodeConfig{}, &kv);
+  EXPECT_EQ(recovered.Recover().status().code(), StatusCode::kCorruption);
 }
 
 // ---------- mempool ----------

@@ -126,7 +126,9 @@ TEST(StateSyncTest, FullSyncReproducesRootAndValues) {
   ASSERT_TRUE(client.Finish(target).ok());
   EXPECT_EQ(target.RootHash(), root);
   EXPECT_EQ(target.Size(), source.Size());
-  for (const auto& [address, value] : source.MakeSnapshot(0).items()) {
+  // Keep the snapshot alive across the loop: items() references into it.
+  const StateSnapshot snapshot = source.MakeSnapshot(0);
+  for (const auto& [address, value] : snapshot.items()) {
     EXPECT_EQ(target.Get(Address(address)), value);
   }
 }
@@ -153,7 +155,9 @@ TEST(StateSyncTest, TamperedValueDetectedAtBoundary) {
   auto chunk = server.GetChunk(0);
   ASSERT_TRUE(chunk.ok());
   chunk->records.front().value += 1;  // lie about a proven record
+  chunk->checksum = chunk->ComputeChecksum();  // malicious server: forged
   EXPECT_EQ(client.AddChunk(*chunk).code(), StatusCode::kCorruption);
+  EXPECT_FALSE(StateSyncClient::IsChecksumFailure(client.AddChunk(*chunk)));
 }
 
 TEST(StateSyncTest, InteriorTamperingCaughtAtFinish) {
@@ -164,7 +168,10 @@ TEST(StateSyncTest, InteriorTamperingCaughtAtFinish) {
   for (std::uint64_t i = 0; i < server.NumChunks(); ++i) {
     auto chunk = server.GetChunk(i);
     ASSERT_TRUE(chunk.ok());
-    if (i == 1) chunk->records[50].value += 1;  // interior, not proven
+    if (i == 1) {
+      chunk->records[50].value += 1;  // interior, not proven
+      chunk->checksum = chunk->ComputeChecksum();  // forged by the server
+    }
     ASSERT_TRUE(client.AddChunk(*chunk).ok());
   }
   StateDB target;
@@ -182,6 +189,7 @@ TEST(StateSyncTest, DroppedRecordCaughtAtFinish) {
     ASSERT_TRUE(chunk.ok());
     if (i == 2) {
       chunk->records.erase(chunk->records.begin() + 10);  // interior drop
+      chunk->checksum = chunk->ComputeChecksum();  // forged by the server
     }
     ASSERT_TRUE(client.AddChunk(*chunk).ok());
   }
@@ -219,6 +227,7 @@ TEST(StateSyncTest, ReorderedRecordsRejected) {
   auto chunk = server.GetChunk(0);
   ASSERT_TRUE(chunk.ok());
   std::swap(chunk->records[10], chunk->records[20]);
+  chunk->checksum = chunk->ComputeChecksum();  // forged by the server
   EXPECT_EQ(client.AddChunk(*chunk).code(), StatusCode::kCorruption);
 }
 

@@ -132,6 +132,46 @@ TEST(KVStoreTest, RestoreRejectsCorruption) {
   EXPECT_EQ(kv.Restore("garbage").code(), StatusCode::kCorruption);
 }
 
+TEST(KVStoreTest, RestoreCorruptionSweep) {
+  // Flip one byte at EVERY offset of a checkpoint: each mutant must be
+  // rejected as Corruption and must leave the target store untouched.
+  KVStore kv;
+  kv.Put("alpha", "1");
+  kv.Put("beta", std::string("\x00\xff", 2));
+  kv.Delete("absent");
+  const std::string checkpoint = kv.Checkpoint();
+
+  for (std::size_t offset = 0; offset < checkpoint.size(); ++offset) {
+    for (const char flip : {char(0x01), char(0x80)}) {
+      std::string mutant = checkpoint;
+      mutant[offset] = static_cast<char>(mutant[offset] ^ flip);
+      KVStore target;
+      target.Put("sentinel", "intact");
+      const Status s = target.Restore(mutant);
+      EXPECT_EQ(s.code(), StatusCode::kCorruption)
+          << "offset " << offset << ": " << s.ToString();
+      EXPECT_EQ(*target.Get("sentinel"), "intact")
+          << "store mutated by rejected restore at offset " << offset;
+    }
+  }
+}
+
+TEST(KVStoreTest, RestoreTruncationSweep) {
+  // Every proper prefix of a checkpoint must be rejected without touching
+  // the store.
+  KVStore kv;
+  kv.Put("key", "value");
+  const std::string checkpoint = kv.Checkpoint();
+
+  for (std::size_t len = 0; len < checkpoint.size(); ++len) {
+    KVStore target;
+    target.Put("sentinel", "intact");
+    const Status s = target.Restore(checkpoint.substr(0, len));
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "length " << len;
+    EXPECT_EQ(*target.Get("sentinel"), "intact") << "length " << len;
+  }
+}
+
 TEST(KVStoreTest, ConcurrentReadersAndWriters) {
   KVStore kv;
   ThreadPool pool(4);
