@@ -4,6 +4,7 @@
 // sampler.
 #include <benchmark/benchmark.h>
 
+#include "analysis/schedule_verifier.h"
 #include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/acg.h"
 #include "cc/nezha/nezha_scheduler.h"
@@ -82,7 +83,9 @@ BENCHMARK(BM_NezhaFullSchedule)
     ->Args({400, 2})
     ->Args({2400, 2})
     ->Args({400, 8})
-    ->Args({2400, 8});
+    ->Args({2400, 8})
+    ->Args({4096, 2})
+    ->Args({4096, 8});
 
 // Same schedule build with the metrics registry kill-switched off: the
 // delta between this and BM_NezhaFullSchedule is the observability
@@ -103,6 +106,47 @@ BENCHMARK(BM_NezhaFullScheduleMetricsOff)
     ->Args({2400, 2})
     ->Args({400, 8})
     ->Args({2400, 8});
+
+// The serializability oracle alone on one epoch-sized batch (4096 txs is
+// the paper's largest block-size point): the cost the debug/ASan suites pay
+// per BuildSchedule, and the denominator for docs/ANALYSIS.md §Overhead.
+void BM_VerifySchedule(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  SetScheduleVerification(false);  // measure the oracle alone
+  NezhaScheduler scheduler;
+  const auto schedule = scheduler.BuildSchedule(rwsets);
+  SetScheduleVerification(std::nullopt);
+  analysis::VerifierOptions options;
+  options.reordered = schedule->reordered;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::VerifySchedule(*schedule, rwsets, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VerifySchedule)
+    ->Args({400, 2})
+    ->Args({4096, 2})
+    ->Args({4096, 8});
+
+// Full build with the oracle hooked in (what a debug-build BuildSchedule
+// costs); compare against BM_NezhaFullSchedule for the end-to-end overhead.
+void BM_NezhaFullScheduleVerified(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  NezhaScheduler scheduler;
+  SetScheduleVerification(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.BuildSchedule(rwsets));
+  }
+  SetScheduleVerification(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NezhaFullScheduleVerified)
+    ->Args({400, 2})
+    ->Args({4096, 2})
+    ->Args({4096, 8});
 
 void BM_CgFullSchedule(benchmark::State& state) {
   const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),

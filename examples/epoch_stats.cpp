@@ -9,12 +9,19 @@
 //
 // Usage: epoch_stats [--scheme S] [--epochs N] [--block-size B]
 //                    [--concurrency W] [--skew Z] [--trace-out PATH]
-//   e.g.: ./build/examples/epoch_stats --scheme nezha --epochs 20
+//                    [--verify]
+//   e.g.: ./build/examples/epoch_stats --scheme nezha --epochs 20 --verify
+//
+// --verify forces the serializability oracle (docs/ANALYSIS.md) onto every
+// schedule regardless of build type, so the nezha_verify_schedules_total /
+// nezha_verify_failures_total counters and the nezha_verify_us latency
+// histogram show up in the Prometheus dump.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "cc/scheduler.h"
 #include "node/simulation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,11 +64,13 @@ int main(int argc, char** argv) {
       config.workload.skew = std::strtod(next(), nullptr);
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_path = next();
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      SetScheduleVerification(true);
     } else {
       std::fprintf(stderr,
                    "usage: epoch_stats [--scheme S] [--epochs N] "
                    "[--block-size B] [--concurrency W] [--skew Z] "
-                   "[--trace-out PATH]\n");
+                   "[--trace-out PATH] [--verify]\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
     }
   }

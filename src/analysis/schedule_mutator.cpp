@@ -1,0 +1,195 @@
+#include "analysis/schedule_mutator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nezha::analysis {
+namespace {
+
+/// A committed (reader, writer, address) conflict triple.
+struct RwTarget {
+  TxIndex reader;
+  TxIndex writer;
+  Address address;
+};
+
+/// Two committed writers of one address.
+struct WwTarget {
+  TxIndex first;
+  TxIndex second;
+  Address address;
+};
+
+/// An aborted transaction plus a committed conflict partner to seat it on
+/// (kInvalidTx when the rwset itself is reverted — that alone rejects).
+struct AbortTarget {
+  TxIndex tx;
+  TxIndex partner;
+  SeqNum partner_seq;
+};
+
+struct Targets {
+  std::vector<RwTarget> rw;
+  std::vector<WwTarget> ww;
+  std::vector<AbortTarget> aborted;
+  std::vector<TxIndex> committed;
+};
+
+Targets CollectTargets(const Schedule& schedule,
+                       std::span<const ReadWriteSet> rwsets) {
+  Targets targets;
+  std::unordered_map<Address, std::vector<TxIndex>> readers;
+  std::unordered_map<Address, std::vector<TxIndex>> writers;
+  for (TxIndex t = 0; t < rwsets.size(); ++t) {
+    if (schedule.aborted[t]) continue;
+    targets.committed.push_back(t);
+    for (const Address a : rwsets[t].reads) readers[a].push_back(t);
+    for (const Address a : rwsets[t].writes) writers[a].push_back(t);
+  }
+  for (const auto& [addr, ws] : writers) {
+    const auto it = readers.find(addr);
+    if (it != readers.end()) {
+      for (const TxIndex w : ws) {
+        for (const TxIndex r : it->second) {
+          if (r != w) targets.rw.push_back({r, w, addr});
+        }
+      }
+    }
+    for (std::size_t i = 1; i < ws.size(); ++i) {
+      targets.ww.push_back({ws[i - 1], ws[i], addr});
+    }
+  }
+  for (TxIndex t = 0; t < rwsets.size(); ++t) {
+    if (!schedule.aborted[t]) continue;
+    if (!rwsets[t].ok) {
+      targets.aborted.push_back({t, kInvalidTx, 0});
+      continue;
+    }
+    // Seat the resurrected tx exactly on a committed accessor of an address
+    // it writes: colliding with a writer or tying a reader is a guaranteed
+    // violation.
+    for (const Address a : rwsets[t].writes) {
+      const auto wit = writers.find(a);
+      if (wit != writers.end() && !wit->second.empty()) {
+        const TxIndex p = wit->second.front();
+        targets.aborted.push_back({t, p, schedule.sequence[p]});
+        break;
+      }
+      const auto rit = readers.find(a);
+      if (rit != readers.end() && !rit->second.empty()) {
+        const TxIndex p = rit->second.front();
+        targets.aborted.push_back({t, p, schedule.sequence[p]});
+        break;
+      }
+    }
+  }
+  return targets;
+}
+
+std::string TxName(TxIndex t) { return "T" + std::to_string(t); }
+
+}  // namespace
+
+std::vector<Mutation> MutateSchedule(const Schedule& schedule,
+                                     std::span<const ReadWriteSet> rwsets,
+                                     std::uint64_t seed, std::size_t count) {
+  const Targets targets = CollectTargets(schedule, rwsets);
+  Rng rng(seed);
+  std::vector<Mutation> out;
+  out.reserve(count);
+
+  // Round-robin over the eligible mutation families so a sweep exercises
+  // every rejection path, with seeded target choice inside each family.
+  for (std::size_t i = 0; out.size() < count; ++i) {
+    const std::size_t family = i % 5;
+    Mutation m;
+    m.schedule = schedule;
+    switch (family) {
+      case 0: {  // merge: writer's number pulled down onto a reader's
+        if (targets.rw.empty()) break;
+        const RwTarget& t = targets.rw[rng.Below(targets.rw.size())];
+        m.schedule.sequence[t.writer] = m.schedule.sequence[t.reader];
+        m.schedule.RebuildGroups();
+        m.expected = {ViolationKind::kReadAfterWrite,
+                      ViolationKind::kWriterSeqCollision,
+                      ViolationKind::kPrecedenceCycle};
+        m.description = "merge " + TxName(t.writer) + " down to " +
+                        TxName(t.reader) + "'s seq on " + ToString(t.address);
+        out.push_back(std::move(m));
+        continue;
+      }
+      case 1: {  // swap a reader/writer pair
+        if (targets.rw.empty()) break;
+        const RwTarget& t = targets.rw[rng.Below(targets.rw.size())];
+        std::swap(m.schedule.sequence[t.reader],
+                  m.schedule.sequence[t.writer]);
+        m.schedule.RebuildGroups();
+        m.expected = {ViolationKind::kReadAfterWrite,
+                      ViolationKind::kWriterSeqCollision,
+                      ViolationKind::kPrecedenceCycle};
+        m.description = "swap seqs of reader " + TxName(t.reader) +
+                        " and writer " + TxName(t.writer) + " on " +
+                        ToString(t.address);
+        out.push_back(std::move(m));
+        continue;
+      }
+      case 2: {  // collide two writers of one address
+        if (targets.ww.empty()) break;
+        const WwTarget& t = targets.ww[rng.Below(targets.ww.size())];
+        m.schedule.sequence[t.second] = m.schedule.sequence[t.first];
+        m.schedule.RebuildGroups();
+        m.expected = {ViolationKind::kWriterSeqCollision,
+                      ViolationKind::kReadAfterWrite,
+                      ViolationKind::kPrecedenceCycle};
+        m.description = "collide writers " + TxName(t.first) + " and " +
+                        TxName(t.second) + " on " + ToString(t.address);
+        out.push_back(std::move(m));
+        continue;
+      }
+      case 3: {  // resurrect an aborted transaction
+        if (targets.aborted.empty()) break;
+        const AbortTarget& t =
+            targets.aborted[rng.Below(targets.aborted.size())];
+        m.schedule.aborted[t.tx] = false;
+        m.schedule.sequence[t.tx] =
+            t.partner == kInvalidTx ? 1 : t.partner_seq;
+        m.schedule.RebuildGroups();
+        m.expected = {ViolationKind::kAbortedInOrder,
+                      ViolationKind::kReadAfterWrite,
+                      ViolationKind::kWriterSeqCollision,
+                      ViolationKind::kPrecedenceCycle};
+        m.description = "resurrect aborted " + TxName(t.tx);
+        out.push_back(std::move(m));
+        continue;
+      }
+      case 4: {  // tamper with the commit groups directly
+        if (targets.committed.empty() || m.schedule.groups.size() < 2) break;
+        const TxIndex t =
+            targets.committed[rng.Below(targets.committed.size())];
+        // Duplicate t into some other group: the groups now lie about
+        // (sequence, aborted).
+        for (auto& group : m.schedule.groups) {
+          if (m.schedule.sequence[group[0]] != m.schedule.sequence[t]) {
+            group.push_back(t);
+            break;
+          }
+        }
+        m.expected = {ViolationKind::kMalformedSchedule};
+        m.description = "duplicate " + TxName(t) + " into a foreign group";
+        out.push_back(std::move(m));
+        continue;
+      }
+      default:
+        break;
+    }
+    // Family had no eligible target; if none do, stop rather than spin.
+    if (targets.rw.empty() && targets.ww.empty() && targets.aborted.empty() &&
+        (targets.committed.empty() || schedule.groups.size() < 2)) {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nezha::analysis

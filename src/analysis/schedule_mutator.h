@@ -1,0 +1,43 @@
+// Seeded corrupt-schedule generator — the adversary the oracle is tested
+// against (docs/ANALYSIS.md §Testing the oracle).
+//
+// Starting from a schedule the oracle accepts, every emitted mutation is a
+// *guaranteed* violation: targets are chosen so the corruption provably
+// breaks a serializability invariant (a writer merged down to a reader's
+// number, a reader/writer swap, colliding writer numbers, a resurrected
+// aborted transaction seated on a conflict, a tampered commit group). Each
+// mutation carries the violation kinds the oracle may legitimately report,
+// so tests can assert not just rejection but a *correct* counterexample.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_verifier.h"
+#include "cc/scheduler.h"
+#include "vm/rwset.h"
+
+namespace nezha::analysis {
+
+struct Mutation {
+  /// The corrupted schedule (groups rebuilt to match the tampered sequence,
+  /// except for group-tamper mutations whose groups lie on purpose).
+  Schedule schedule;
+  /// Violation kinds the oracle may correctly report for this corruption
+  /// (a merged-down writer may surface as read-after-write OR as the
+  /// precedence cycle it creates, depending on which check fires first).
+  std::vector<ViolationKind> expected;
+  std::string description;
+};
+
+/// Generates up to `count` seed-reproducible corrupt schedules derived from
+/// `schedule`. Returns fewer when the schedule offers no eligible targets
+/// (e.g. a fully conflict-free batch admits no read/write corruption, only
+/// structural tampering).
+std::vector<Mutation> MutateSchedule(const Schedule& schedule,
+                                     std::span<const ReadWriteSet> rwsets,
+                                     std::uint64_t seed, std::size_t count);
+
+}  // namespace nezha::analysis

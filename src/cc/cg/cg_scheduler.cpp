@@ -30,7 +30,7 @@ bool Intersects(std::span<const Address> a, std::span<const Address> b) {
 
 }  // namespace
 
-Result<Schedule> CGScheduler::BuildSchedule(
+Result<Schedule> CGScheduler::BuildScheduleImpl(
     std::span<const ReadWriteSet> rwsets) {
   metrics_ = SchedulerMetrics{};
   const std::size_t n = rwsets.size();

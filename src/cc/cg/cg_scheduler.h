@@ -38,10 +38,11 @@ class CGScheduler final : public Scheduler {
 
   std::string_view name() const override { return "cg"; }
 
-  Result<Schedule> BuildSchedule(
-      std::span<const ReadWriteSet> rwsets) override;
-
   const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  Result<Schedule> BuildScheduleImpl(
+      std::span<const ReadWriteSet> rwsets) override;
 
  private:
   CGOptions options_;

@@ -7,7 +7,7 @@
 
 namespace nezha {
 
-Result<Schedule> NezhaScheduler::BuildSchedule(
+Result<Schedule> NezhaScheduler::BuildScheduleImpl(
     std::span<const ReadWriteSet> rwsets) {
   metrics_ = SchedulerMetrics{};
   Stopwatch watch;
@@ -46,6 +46,7 @@ Result<Schedule> NezhaScheduler::BuildSchedule(
   Schedule schedule;
   schedule.sequence = std::move(sorted.sequence);
   schedule.aborted = std::move(sorted.aborted);
+  schedule.reordered = std::move(sorted.reordered);
   for (TxIndex t = 0; t < rwsets.size(); ++t) {
     if (!rwsets[t].ok) {
       // Application-level revert: excluded from the ACG, commits nothing.

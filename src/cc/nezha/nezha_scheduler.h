@@ -27,10 +27,11 @@ class NezhaScheduler final : public Scheduler {
     return options_.enable_reordering ? "nezha" : "nezha-noreorder";
   }
 
-  Result<Schedule> BuildSchedule(
-      std::span<const ReadWriteSet> rwsets) override;
-
   const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  Result<Schedule> BuildScheduleImpl(
+      std::span<const ReadWriteSet> rwsets) override;
 
  private:
   NezhaOptions options_;

@@ -23,6 +23,7 @@ struct SorterState {
   std::vector<std::vector<std::uint32_t>> tx_writes;
 
   std::size_t reordered = 0;
+  std::vector<TxIndex> reordered_txs;
 
   explicit SorterState(const AddressConflictGraph& g, std::size_t num_txs,
                        const TxSorterOptions& opts)
@@ -175,11 +176,12 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
     for (TxIndex t : entry.writers) {
       if (!st.Alive(t) || st.seq[t] == kNoSeq || is_reader(t)) continue;
       const bool below_reads = st.seq[t] <= max_read;
-      const bool collides = used_write_seqs.count(st.seq[t]) > 0;
+      const bool collides = used_write_seqs.contains(st.seq[t]);
       if (below_reads || collides) {
         if (st.options.enable_reordering &&
             st.TryRaise(t, max_read + 1, entry_idx)) {
           ++st.reordered;
+          st.reordered_txs.push_back(t);
         } else {
           st.aborted[t] = true;
           continue;
@@ -193,7 +195,7 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
         max_read == 0 ? options.initial_seq : max_read + 1;
     for (TxIndex t : entry.writers) {
       if (!st.Alive(t) || st.seq[t] != kNoSeq) continue;
-      while (used_write_seqs.count(write_seq) > 0) ++write_seq;
+      while (used_write_seqs.contains(write_seq)) ++write_seq;
       st.seq[t] = write_seq;
       used_write_seqs.insert(write_seq);
       ++write_seq;
@@ -207,6 +209,15 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
   // Aborted transactions surrender their numbers.
   for (TxIndex t = 0; t < result.sequence.size(); ++t) {
     if (result.aborted[t]) result.sequence[t] = kNoSeq;
+  }
+  // Only surviving rescues count as reordered commits (a raise on one
+  // address does not shield the transaction on later addresses).
+  std::sort(st.reordered_txs.begin(), st.reordered_txs.end());
+  st.reordered_txs.erase(
+      std::unique(st.reordered_txs.begin(), st.reordered_txs.end()),
+      st.reordered_txs.end());
+  for (const TxIndex t : st.reordered_txs) {
+    if (!result.aborted[t]) result.reordered.push_back(t);
   }
   return result;
 }

@@ -42,7 +42,11 @@ struct TxSorterOptions {
 struct TxSorterResult {
   std::vector<SeqNum> sequence;  ///< per TxIndex; kUnassignedSeq = untouched
   std::vector<bool> aborted;     ///< per TxIndex
-  std::size_t reordered_txs = 0; ///< §IV.D rescues
+  std::size_t reordered_txs = 0; ///< §IV.D rescues (raises performed)
+  /// Reordered transactions that survived to commit, ascending TxIndex (a
+  /// raised transaction can still abort on a later-sorted address, so this
+  /// can be shorter than reordered_txs).
+  std::vector<TxIndex> reordered;
 };
 
 /// Sorts all transactions of a batch given its ACG and the address rank

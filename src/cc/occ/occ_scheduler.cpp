@@ -6,7 +6,7 @@
 
 namespace nezha {
 
-Result<Schedule> OCCScheduler::BuildSchedule(
+Result<Schedule> OCCScheduler::BuildScheduleImpl(
     std::span<const ReadWriteSet> rwsets) {
   metrics_ = SchedulerMetrics{};
   Stopwatch watch;
@@ -25,7 +25,7 @@ Result<Schedule> OCCScheduler::BuildSchedule(
     }
     bool stale = false;
     for (Address a : rwsets[t].reads) {
-      if (written.count(a.value) > 0) {
+      if (written.contains(a.value)) {
         stale = true;
         break;
       }

@@ -16,10 +16,11 @@ class OCCScheduler final : public Scheduler {
  public:
   std::string_view name() const override { return "occ"; }
 
-  Result<Schedule> BuildSchedule(
-      std::span<const ReadWriteSet> rwsets) override;
-
   const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  Result<Schedule> BuildScheduleImpl(
+      std::span<const ReadWriteSet> rwsets) override;
 
  private:
   SchedulerMetrics metrics_;

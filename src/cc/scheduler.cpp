@@ -1,22 +1,82 @@
 #include "cc/scheduler.h"
 
-#include <algorithm>
-#include <map>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "analysis/schedule_verifier.h"
 
 namespace nezha {
+namespace {
 
-void Schedule::RebuildGroups() {
-  groups.clear();
-  std::map<SeqNum, std::vector<TxIndex>> by_seq;
-  for (TxIndex t = 0; t < sequence.size(); ++t) {
-    if (aborted[t]) continue;
-    by_seq[sequence[t]].push_back(t);
+std::optional<bool>& VerificationOverride() {
+  static std::optional<bool> override_value;
+  return override_value;
+}
+
+bool VerificationDefault() {
+  const char* env = std::getenv("NEZHA_VERIFY_SCHEDULES");
+  if (env != nullptr) {
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0 &&
+           std::strcmp(env, "off") != 0;
   }
-  groups.reserve(by_seq.size());
-  for (auto& [seq, txs] : by_seq) {
-    std::sort(txs.begin(), txs.end());
-    groups.push_back(std::move(txs));
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace
+
+bool ScheduleVerificationEnabled() {
+  if (VerificationOverride().has_value()) return *VerificationOverride();
+  static const bool resolved = VerificationDefault();
+  return resolved;
+}
+
+void SetScheduleVerification(std::optional<bool> enabled) {
+  VerificationOverride() = enabled;
+}
+
+Result<Schedule> Scheduler::BuildSchedule(
+    std::span<const ReadWriteSet> rwsets) {
+  Result<Schedule> result = BuildScheduleImpl(rwsets);
+  if (!result.ok() || !ScheduleVerificationEnabled()) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+  analysis::VerifierOptions options;
+  options.snapshot_semantics = snapshot_semantics();
+  options.reordered = result->reordered;
+  const analysis::VerifyReport report =
+      analysis::VerifySchedule(*result, rwsets, options);
+  const double micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::Registry();
+    const obs::Labels by_scheduler = {{"scheduler", std::string(name())}};
+    registry.GetCounter("nezha_verify_schedules_total", by_scheduler)->Inc();
+    registry.GetHistogram("nezha_verify_us", by_scheduler)->Observe(micros);
+    if (!report.ok) {
+      registry.GetCounter("nezha_verify_failures_total", by_scheduler)->Inc();
+    }
   }
+
+  if (!report.ok) {
+    const std::string counterexample = report.counterexample.ToString();
+    std::fprintf(stderr,
+                 "[nezha] serializability oracle REJECTED a %.*s schedule "
+                 "(%zu txs): %s\n",
+                 static_cast<int>(name().size()), name().data(), rwsets.size(),
+                 counterexample.c_str());
+    return Status::Internal("schedule failed serializability verification: " +
+                            counterexample);
+  }
+  return result;
 }
 
 namespace {

@@ -9,7 +9,10 @@
 // guaranteed conflict-free); groups commit in ascending sequence order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -30,6 +33,10 @@ struct Schedule {
   /// Commit groups in ascending sequence order; within a group, transactions
   /// are listed by ascending TxIndex. Aborted transactions appear nowhere.
   std::vector<std::vector<TxIndex>> groups;
+  /// Committed transactions the scheduler re-seated via the §IV.D reordering
+  /// enhancement (empty for schemes without it). The serializability oracle
+  /// checks these against the reorder landing rule.
+  std::vector<TxIndex> reordered;
 
   std::size_t TxCount() const { return sequence.size(); }
   std::size_t NumAborted() const {
@@ -46,7 +53,21 @@ struct Schedule {
   }
 
   /// Rebuilds `groups` from `sequence` + `aborted` (helper for schedulers).
-  void RebuildGroups();
+  /// Defined inline so src/analysis can use Schedule without linking the
+  /// scheduler implementations (which link src/analysis for the oracle).
+  void RebuildGroups() {
+    groups.clear();
+    std::map<SeqNum, std::vector<TxIndex>> by_seq;
+    for (TxIndex t = 0; t < sequence.size(); ++t) {
+      if (aborted[t]) continue;
+      by_seq[sequence[t]].push_back(t);
+    }
+    groups.reserve(by_seq.size());
+    for (auto& [seq, txs] : by_seq) {
+      std::sort(txs.begin(), txs.end());
+      groups.push_back(std::move(txs));
+    }
+  }
 };
 
 /// Phase timings and size counters a scheduler reports, matching the paper's
@@ -95,11 +116,40 @@ class Scheduler {
 
   /// Builds a schedule for one batch. Deterministic: identical inputs yield
   /// identical schedules.
-  virtual Result<Schedule> BuildSchedule(
-      std::span<const ReadWriteSet> rwsets) = 0;
+  ///
+  /// When schedule verification is enabled (ScheduleVerificationEnabled),
+  /// every successful build is re-checked by the independent
+  /// serializability oracle (src/analysis) before being returned; a
+  /// violation dumps the counterexample to stderr and surfaces as
+  /// Status::Internal. Outcomes are published as
+  /// nezha_verify_{schedules,failures}_total counters and the
+  /// nezha_verify_us histogram, labeled scheduler=<name>.
+  Result<Schedule> BuildSchedule(std::span<const ReadWriteSet> rwsets);
 
   /// Metrics of the most recent BuildSchedule call.
   virtual const SchedulerMetrics& metrics() const = 0;
+
+ protected:
+  /// Scheme-specific schedule construction; BuildSchedule wraps this with
+  /// the verification hook (template method).
+  virtual Result<Schedule> BuildScheduleImpl(
+      std::span<const ReadWriteSet> rwsets) = 0;
+
+  /// True when the scheme's reads observed the pre-epoch snapshot
+  /// (nezha/occ/cg) — the full precedence-graph oracle applies. Serial
+  /// execution against the evolving state overrides this to false.
+  virtual bool snapshot_semantics() const { return true; }
 };
+
+/// Whether BuildSchedule re-checks every schedule with the serializability
+/// oracle. Resolution order: SetScheduleVerification override if set, else
+/// the NEZHA_VERIFY_SCHEDULES environment variable ("0"/"false"/"off"
+/// disables, anything else enables; read once per process), else on in
+/// debug builds (NDEBUG not defined) and off in release.
+bool ScheduleVerificationEnabled();
+
+/// Programmatic override (wins over the environment variable); pass
+/// std::nullopt to fall back to env/build-type resolution.
+void SetScheduleVerification(std::optional<bool> enabled);
 
 }  // namespace nezha

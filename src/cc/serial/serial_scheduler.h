@@ -17,7 +17,10 @@ class SerialScheduler final : public Scheduler {
  public:
   std::string_view name() const override { return "serial"; }
 
-  Result<Schedule> BuildSchedule(
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  Result<Schedule> BuildScheduleImpl(
       std::span<const ReadWriteSet> rwsets) override {
     metrics_ = SchedulerMetrics{};
     const std::size_t n = rwsets.size();
@@ -31,7 +34,9 @@ class SerialScheduler final : public Scheduler {
     return schedule;
   }
 
-  const SchedulerMetrics& metrics() const override { return metrics_; }
+  /// Serial transactions execute against the evolving state, so any total
+  /// order is a serial execution; the oracle only checks shape invariants.
+  bool snapshot_semantics() const override { return false; }
 
  private:
   SchedulerMetrics metrics_;

@@ -1,0 +1,140 @@
+// Clang thread-safety annotations plus the annotated mutex vocabulary the
+// whole codebase locks with (docs/ANALYSIS.md §Annotations).
+//
+// The macros expand to clang's `-Wthread-safety` attributes under clang and
+// to nothing elsewhere, so GCC builds are unaffected while the clang CI job
+// (`-Werror=thread-safety-analysis`) proves at compile time that every
+// GUARDED_BY field is only touched with its mutex held.
+//
+// Lock with the annotated types below — std::mutex/std::lock_guard are
+// invisible to the analysis:
+//   * Mutex        — exclusive capability (wraps std::mutex);
+//   * SharedMutex  — reader/writer capability (wraps std::shared_mutex);
+//   * MutexLock    — scoped exclusive acquisition of either;
+//   * ReaderMutexLock — scoped shared acquisition of a SharedMutex.
+// Mutex also satisfies BasicLockable (lowercase lock/unlock), so
+// std::condition_variable_any can wait on it directly.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define NEZHA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define NEZHA_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+#define CAPABILITY(x) NEZHA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define SCOPED_CAPABILITY NEZHA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#define GUARDED_BY(x) NEZHA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define PT_GUARDED_BY(x) NEZHA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define RETURN_CAPABILITY(x) NEZHA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NEZHA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace nezha {
+
+/// Exclusive mutex the analysis can see. BasicLockable so
+/// std::condition_variable_any waits on it directly (the wait's internal
+/// unlock/relock is opaque to the analysis and restores the held state).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling (std::condition_variable_any).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex the analysis can see.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over a Mutex or SharedMutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu), shared_(nullptr) {
+    mu_->Lock();
+  }
+  explicit MutexLock(SharedMutex& mu) ACQUIRE(mu)
+      : mu_(nullptr), shared_(&mu) {
+    shared_->Lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+    } else {
+      shared_->Unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+  SharedMutex* shared_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace nezha

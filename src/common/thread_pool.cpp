@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -44,7 +44,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
                     obs::PhaseTracer::NowUs()};
   std::future<void> fut = queued.task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     assert(!stopping_);
     tasks_.push(std::move(queued));
   }
@@ -58,8 +58,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask queued;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // Open-coded wait keeps the condition reads inside this function,
+      // where the analysis can see the mutex is held (a predicate lambda
+      // cannot carry a REQUIRES annotation).
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       queued = std::move(tasks_.front());
       tasks_.pop();

@@ -7,11 +7,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace nezha {
@@ -54,10 +54,11 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<QueuedTask> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<QueuedTask> tasks_ GUARDED_BY(mutex_);
+  /// Waits on the annotated Mutex directly (it is BasicLockable).
+  std::condition_variable_any cv_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 
   // Registry instrumentation, shared across all pools in the process
   // (docs/OBSERVABILITY.md). Pointers are registry-owned and stable.

@@ -242,7 +242,7 @@ void DagRiderView::DeliverCausalHistory(const DagVertex* anchor) {
   while (!stack.empty()) {
     const DagVertex* current = stack.back();
     stack.pop_back();
-    if (delivered_.count(current->hash) > 0 ||
+    if (delivered_.contains(current->hash) ||
         !visiting.insert(current->hash).second) {
       continue;
     }

@@ -74,7 +74,7 @@ class DagRiderView {
   /// commit rule. Returns the number of vertices attached.
   Result<std::size_t> OnVertex(const DagVertex& vertex);
 
-  bool Knows(const Hash256& hash) const { return vertices_.count(hash) > 0; }
+  bool Knows(const Hash256& hash) const { return vertices_.contains(hash); }
 
   /// The committed vertex sequence so far (grows append-only; identical
   /// across replicas — the BFT safety property the tests pin).

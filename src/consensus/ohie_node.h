@@ -48,7 +48,7 @@ class OhieNodeView {
   Result<std::size_t> OnBlock(const OhieBlock& block);
 
   bool Knows(const Hash256& hash) const {
-    return blocks_.count(hash) > 0;
+    return blocks_.contains(hash);
   }
 
   /// The confirm bar: every partially-confirmed block with rank strictly

@@ -143,7 +143,7 @@ std::vector<Hash256> TreeGraphView::LooseTips() const {
   const Hash256 pivot_tip = PivotTip()->hash;
   std::vector<Hash256> tips;
   for (const auto& [hash, block] : blocks_) {
-    if (referenced_.count(hash) == 0 && hash != pivot_tip) {
+    if (!referenced_.contains(hash) && hash != pivot_tip) {
       tips.push_back(hash);
     }
   }
@@ -251,7 +251,7 @@ std::vector<const TGBlock*> TreeGraphView::EpochBlocks(
                 current->references.end());
     for (const Hash256& dep : deps) {
       if (current->height == 0) continue;  // genesis has no real parent
-      if (consumed.count(dep) > 0 || in_epoch.count(dep) > 0) continue;
+      if (consumed.contains(dep) || in_epoch.contains(dep)) continue;
       in_epoch.insert(dep);
       stack.push_back(blocks_.at(dep).get());
     }
@@ -269,7 +269,7 @@ std::vector<const TGBlock*> TreeGraphView::EpochBlocks(
     deps.insert(deps.end(), block->references.begin(),
                 block->references.end());
     for (const Hash256& dep : deps) {
-      if (in_epoch.count(dep) > 0) {
+      if (in_epoch.contains(dep)) {
         ++unmet;
         dependants[dep].push_back(member);
       }

@@ -93,7 +93,7 @@ class TreeGraphView {
   /// orphans). Returns the number of blocks attached.
   Result<std::size_t> OnBlock(const TGBlock& block);
 
-  bool Knows(const Hash256& hash) const { return blocks_.count(hash) > 0; }
+  bool Knows(const Hash256& hash) const { return blocks_.contains(hash); }
 
   /// All finalized epochs (pivot buried >= confirm_depth), in pivot-height
   /// order. Epoch 0 (genesis) is skipped — it has no payload.

@@ -50,7 +50,7 @@ Injector& Injector::Global() {
 }
 
 void Injector::Arm(Plan plan) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   plan_ = std::move(plan);
   rng_state_ = plan_.seed();
   fires_.assign(plan_.specs().size(), 0);
@@ -60,7 +60,7 @@ void Injector::Arm(Plan plan) {
 }
 
 void Injector::Disarm() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   armed_.store(false, std::memory_order_release);
 }
 
@@ -72,7 +72,7 @@ Hit Injector::Check(std::string_view site) {
 Hit Injector::CheckSlow(std::string_view site) {
   Hit hit;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!armed_.load(std::memory_order_relaxed)) return {};
     const std::uint64_t hit_number = ++hits_[std::string(site)];
     const auto& specs = plan_.specs();
@@ -105,12 +105,12 @@ Hit Injector::CheckSlow(std::string_view site) {
 }
 
 std::unordered_map<std::string, std::uint64_t> Injector::HitCounts() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t Injector::FireCount() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return total_fires_;
 }
 

@@ -15,13 +15,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace nezha::fault {
 
@@ -138,15 +138,16 @@ class Injector {
 
  private:
   Injector() = default;
-  Hit CheckSlow(std::string_view site);
+  Hit CheckSlow(std::string_view site) EXCLUDES(mutex_);
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
-  Plan plan_{0};
-  std::uint64_t rng_state_ = 0;
-  std::vector<std::uint64_t> fires_;  ///< per-spec fire counts
-  std::unordered_map<std::string, std::uint64_t> hits_;
-  std::uint64_t total_fires_ = 0;
+  mutable Mutex mutex_;
+  Plan plan_ GUARDED_BY(mutex_){0};
+  std::uint64_t rng_state_ GUARDED_BY(mutex_) = 0;
+  /// Per-spec fire counts.
+  std::vector<std::uint64_t> fires_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::uint64_t> hits_ GUARDED_BY(mutex_);
+  std::uint64_t total_fires_ GUARDED_BY(mutex_) = 0;
 };
 
 /// The hot-path query library code uses at a named site.

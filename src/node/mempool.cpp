@@ -4,7 +4,7 @@ namespace nezha {
 
 Status Mempool::Add(Transaction tx) {
   const Hash256 id = tx.Id();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (pending_.size() >= capacity_) {
     return Status::OutOfRange("mempool full");
   }
@@ -24,7 +24,7 @@ std::size_t Mempool::AddAll(std::span<const Transaction> txs) {
 }
 
 std::vector<Transaction> Mempool::TakeBatch(std::size_t n) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Transaction> batch;
   batch.reserve(std::min(n, pending_.size()));
   while (!pending_.empty() && batch.size() < n) {
@@ -35,23 +35,23 @@ std::vector<Transaction> Mempool::TakeBatch(std::size_t n) {
 }
 
 void Mempool::RemoveCommitted(std::span<const Hash256> ids) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::unordered_set<Hash256> dropping(ids.begin(), ids.end());
   for (const Hash256& id : dropping) known_.erase(id);
   std::deque<Transaction> keep;
   for (Transaction& tx : pending_) {
-    if (dropping.count(tx.Id()) == 0) keep.push_back(std::move(tx));
+    if (!dropping.contains(tx.Id())) keep.push_back(std::move(tx));
   }
   pending_ = std::move(keep);
 }
 
 bool Mempool::Contains(const Hash256& id) const {
-  std::lock_guard lock(mutex_);
-  return known_.count(id) > 0;
+  MutexLock lock(mutex_);
+  return known_.contains(id);
 }
 
 std::size_t Mempool::PendingCount() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_.size();
 }
 

@@ -10,12 +10,12 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ledger/transaction.h"
 
 namespace nezha {
@@ -46,10 +46,10 @@ class Mempool {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Transaction> pending_;
+  mutable Mutex mutex_;
+  std::deque<Transaction> pending_ GUARDED_BY(mutex_);
   /// Ids of pending + taken-but-not-committed transactions.
-  std::unordered_set<Hash256> known_;
+  std::unordered_set<Hash256> known_ GUARDED_BY(mutex_);
 };
 
 }  // namespace nezha

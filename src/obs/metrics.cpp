@@ -201,7 +201,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
   std::string key(name);
   key += rendered;
   Stripe& stripe = stripes_[std::hash<std::string>{}(key) % kStripes];
-  std::lock_guard lock(stripe.mutex);
+  MutexLock lock(stripe.mutex);
   for (const auto& entry : stripe.entries) {
     if (entry->name == name && entry->labels == rendered) return entry.get();
   }
@@ -245,7 +245,7 @@ BucketHistogram* MetricsRegistry::GetHistogram(
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snapshot;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard lock(stripe.mutex);
+    MutexLock lock(stripe.mutex);
     for (const auto& entry : stripe.entries) {
       MetricSample sample;
       sample.name = entry->name;
@@ -313,7 +313,7 @@ std::string MetricsRegistry::RenderText() const {
 
 void MetricsRegistry::ResetAll() {
   for (Stripe& stripe : stripes_) {
-    std::lock_guard lock(stripe.mutex);
+    MutexLock lock(stripe.mutex);
     for (const auto& entry : stripe.entries) {
       switch (entry->kind) {
         case MetricKind::kCounter:
@@ -333,7 +333,7 @@ void MetricsRegistry::ResetAll() {
 std::size_t MetricsRegistry::MetricCount() const {
   std::size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard lock(stripe.mutex);
+    MutexLock lock(stripe.mutex);
     total += stripe.entries.size();
   }
   return total;

@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace nezha::obs {
 
@@ -185,9 +186,9 @@ class MetricsRegistry {
   static constexpr std::size_t kStripes = 16;
 
   struct Stripe {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     // Key: name + rendered labels. unique_ptr keeps Entry addresses stable.
-    std::vector<std::unique_ptr<Entry>> entries;
+    std::vector<std::unique_ptr<Entry>> entries GUARDED_BY(mutex);
   };
 
   Entry* FindOrCreate(std::string_view name, const Labels& labels,

@@ -57,7 +57,7 @@ double PhaseTracer::NowUs() {
 }
 
 void PhaseTracer::SetCapacity(std::size_t capacity) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = std::max<std::size_t>(1, capacity);
   if (ring_.size() > capacity_) {
     // Keep the newest events: rotate so the ring is in insertion order,
@@ -71,7 +71,7 @@ void PhaseTracer::SetCapacity(std::size_t capacity) {
 }
 
 void PhaseTracer::Record(TraceEvent event) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -84,7 +84,7 @@ void PhaseTracer::Record(TraceEvent event) {
 std::vector<TraceEvent> PhaseTracer::Events() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     out = ring_;
   }
   std::sort(out.begin(), out.end(),
@@ -95,17 +95,17 @@ std::vector<TraceEvent> PhaseTracer::Events() const {
 }
 
 std::size_t PhaseTracer::EventCount() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return ring_.size();
 }
 
 std::uint64_t PhaseTracer::TotalRecorded() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return recorded_;
 }
 
 void PhaseTracer::Clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;

@@ -10,10 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace nezha::obs {
 
@@ -62,11 +63,13 @@ class PhaseTracer {
 
   std::atomic<bool> enabled_{false};
 
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_ = 65536;
-  std::size_t next_ = 0;        ///< ring write cursor
-  std::uint64_t recorded_ = 0;  ///< lifetime event count
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mutex_);
+  std::size_t capacity_ GUARDED_BY(mutex_) = 65536;
+  /// Ring write cursor.
+  std::size_t next_ GUARDED_BY(mutex_) = 0;
+  /// Lifetime event count.
+  std::uint64_t recorded_ GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span. Construction stamps the start; destruction records the event

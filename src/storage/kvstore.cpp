@@ -36,27 +36,27 @@ KVStore::Map& KVStore::MutableMap() {
 }
 
 Status KVStore::Put(std::string_view key, std::string_view value) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   MutableMap()[std::string(key)] = std::string(value);
   return Status::Ok();
 }
 
 Status KVStore::Delete(std::string_view key) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   MutableMap().erase(std::string(key));
   return Status::Ok();
 }
 
 Result<std::string> KVStore::Get(std::string_view key) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   const auto it = data_->find(std::string(key));
   if (it == data_->end()) return Status::NotFound("key not found");
   return it->second;
 }
 
 bool KVStore::Contains(std::string_view key) const {
-  std::shared_lock lock(mutex_);
-  return data_->count(std::string(key)) > 0;
+  ReaderMutexLock lock(mutex_);
+  return data_->contains(std::string(key));
 }
 
 Status KVStore::Write(const WriteBatch& batch) {
@@ -68,7 +68,7 @@ Status KVStore::Write(const WriteBatch& batch) {
   if (hit.action == fault::Action::kFail) {
     return Status::Unavailable("fault: write batch rejected");
   }
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   Map& map = MutableMap();
   std::size_t applied = 0;
   for (const auto& op : batch.ops()) {
@@ -91,13 +91,13 @@ Status KVStore::Write(const WriteBatch& batch) {
 }
 
 KVSnapshot KVStore::GetSnapshot() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return KVSnapshot(data_);
 }
 
 KVIterator KVStore::NewIterator(std::string_view start,
                                 std::string_view limit) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::string>> items;
   auto it = start.empty() ? data_->begin()
                           : data_->lower_bound(std::string(start));
@@ -108,14 +108,14 @@ KVIterator KVStore::NewIterator(std::string_view start,
 }
 
 std::size_t KVStore::Size() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return data_->size();
 }
 
 std::string KVStore::Checkpoint() const {
   std::string payload;
   {
-    std::shared_lock lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     WriteBatch batch;
     for (const auto& [key, value] : *data_) batch.Put(key, value);
     payload = batch.Serialize();
@@ -170,7 +170,7 @@ Status KVStore::Restore(std::string_view checkpoint) {
           checkpoint.substr(kCheckpointHeader, payload_size), &batch)) {
     return Status::Corruption("checkpoint payload does not parse");
   }
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   data_ = std::make_shared<Map>();
   for (const auto& op : batch.ops()) {
     if (op.type == WriteBatch::OpType::kPut) (*data_)[op.key] = op.value;

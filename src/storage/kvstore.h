@@ -11,14 +11,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/write_batch.h"
 
 namespace nezha {
@@ -93,10 +92,10 @@ class KVStore {
   using Map = std::map<std::string, std::string>;
 
   /// Clones the underlying map if any snapshot still references it.
-  Map& MutableMap();
+  Map& MutableMap() REQUIRES(mutex_);
 
-  mutable std::shared_mutex mutex_;
-  std::shared_ptr<Map> data_;
+  mutable SharedMutex mutex_;
+  std::shared_ptr<Map> data_ GUARDED_BY(mutex_);
 };
 
 }  // namespace nezha

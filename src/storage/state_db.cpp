@@ -27,7 +27,7 @@ obs::Counter* WritesCounter() {
 StateValue StateDB::Get(Address a) const {
   ReadsCounter()->Inc();
   const Shard& shard = shards_[ShardOf(a)];
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.data.find(a.value);
   return it == shard.data.end() ? 0 : it->second;
 }
@@ -35,7 +35,7 @@ StateValue StateDB::Get(Address a) const {
 void StateDB::Set(Address a, StateValue v) {
   WritesCounter()->Inc();
   Shard& shard = shards_[ShardOf(a)];
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.data[a.value] = v;
   shard.dirty.insert(a.value);
 }
@@ -57,9 +57,9 @@ std::string StateDB::EncodeValue(StateValue v) {
 }
 
 Hash256 StateDB::RootHash() {
-  std::lock_guard trie_lock(trie_mutex_);
+  MutexLock trie_lock(trie_mutex_);
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (std::uint64_t addr : shard.dirty) {
       trie_.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
     }
@@ -73,7 +73,7 @@ StateSnapshot StateDB::MakeSnapshot(EpochId epoch) {
   const Hash256 root = RootHash();
   auto merged = std::make_shared<StateSnapshot::Map>();
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     merged->insert(shard.data.begin(), shard.data.end());
   }
   return StateSnapshot(std::move(merged), root, epoch);
@@ -84,7 +84,7 @@ void StateDB::AppendDirtyTo(WriteBatch& batch) {
   // trie and the KV store share the same dirty set.
   RootHash();
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (std::uint64_t addr : shard.dirty) {
       batch.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
     }
@@ -93,7 +93,7 @@ void StateDB::AppendDirtyTo(WriteBatch& batch) {
 
 void StateDB::ClearDirty() {
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.dirty.clear();
   }
 }
@@ -140,7 +140,7 @@ Status StateDB::LoadFromStorage() {
 std::size_t StateDB::Size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.data.size();
   }
   return total;

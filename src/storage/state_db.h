@@ -15,7 +15,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,6 +23,7 @@
 
 #include "common/sha256.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/kvstore.h"
 #include "storage/mpt.h"
@@ -49,7 +49,7 @@ class StateSnapshot {
     return it == data_->end() ? 0 : it->second;
   }
 
-  bool Contains(Address a) const { return data_->count(a.value) > 0; }
+  bool Contains(Address a) const { return data_->contains(a.value); }
   std::size_t Size() const { return data_->size(); }
   const Hash256& root() const { return root_; }
   EpochId epoch() const { return epoch_; }
@@ -121,9 +121,9 @@ class StateDB {
   static constexpr std::size_t kNumShards = 64;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, StateValue> data;
-    std::unordered_set<std::uint64_t> dirty;
+    mutable Mutex mutex;
+    std::unordered_map<std::uint64_t, StateValue> data GUARDED_BY(mutex);
+    std::unordered_set<std::uint64_t> dirty GUARDED_BY(mutex);
   };
 
   static std::size_t ShardOf(Address a) {
@@ -133,8 +133,8 @@ class StateDB {
   std::array<Shard, kNumShards> shards_;
   KVStore* kv_;
 
-  std::mutex trie_mutex_;
-  MerklePatriciaTrie trie_;
+  Mutex trie_mutex_;
+  MerklePatriciaTrie trie_ GUARDED_BY(trie_mutex_);
 };
 
 }  // namespace nezha

@@ -1,0 +1,377 @@
+// Serializability-oracle tests (docs/ANALYSIS.md): the oracle must accept
+// every schedule the real schedulers emit, reject hand-crafted
+// non-serializable schedules with the correct counterexample (including the
+// explicit precedence cycle), reject 100% of a seeded mutation sweep with a
+// violation kind the corruption can legitimately produce, and enforce its
+// verdict through the Scheduler::BuildSchedule verification hook.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_mutator.h"
+#include "analysis/schedule_verifier.h"
+#include "cc/cg/cg_scheduler.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "cc/occ/occ_scheduler.h"
+#include "cc/serial/serial_scheduler.h"
+#include "obs/metrics.h"
+#include "workload/kv_workload.h"
+
+namespace nezha::analysis {
+namespace {
+
+ReadWriteSet RW(std::vector<std::uint64_t> reads,
+                std::vector<std::uint64_t> writes) {
+  ReadWriteSet rw;
+  for (const std::uint64_t a : reads) rw.reads.push_back(Address(a));
+  for (const std::uint64_t a : writes) {
+    rw.writes.push_back(Address(a));
+    rw.write_values.push_back(1);
+  }
+  std::sort(rw.reads.begin(), rw.reads.end());
+  std::sort(rw.writes.begin(), rw.writes.end());
+  return rw;
+}
+
+Schedule MakeSchedule(std::vector<SeqNum> sequence,
+                      std::vector<bool> aborted = {}) {
+  Schedule s;
+  s.sequence = std::move(sequence);
+  s.aborted = aborted.empty() ? std::vector<bool>(s.sequence.size(), false)
+                              : std::move(aborted);
+  s.RebuildGroups();
+  return s;
+}
+
+std::unique_ptr<Scheduler> Make(const std::string& scheme) {
+  if (scheme == "nezha") return std::make_unique<NezhaScheduler>();
+  if (scheme == "nezha-noreorder") {
+    NezhaOptions options;
+    options.enable_reordering = false;
+    return std::make_unique<NezhaScheduler>(options);
+  }
+  if (scheme == "cg") return std::make_unique<CGScheduler>();
+  if (scheme == "occ") return std::make_unique<OCCScheduler>();
+  return nullptr;
+}
+
+// ---------- acceptance ----------
+
+TEST(ScheduleVerifierTest, AcceptsConflictFreeBatchWithWitness) {
+  std::vector<ReadWriteSet> rwsets = {RW({1}, {10}), RW({2}, {20}),
+                                      RW({3}, {30})};
+  const Schedule s = MakeSchedule({1, 1, 1});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_TRUE(report.ok) << report.counterexample.ToString();
+  EXPECT_EQ(report.witness, (std::vector<TxIndex>{0, 1, 2}));
+  EXPECT_EQ(report.graph_vertices, 3u);
+  EXPECT_EQ(report.graph_edges, 0u);
+}
+
+TEST(ScheduleVerifierTest, AcceptsReadersBelowWriterAndDerivesEdges) {
+  // T0, T1 read address 5; T2 writes it. Readers share seq 1, writer at 2.
+  std::vector<ReadWriteSet> rwsets = {RW({5}, {}), RW({5}, {}), RW({}, {5})};
+  const Schedule s = MakeSchedule({1, 1, 2});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_TRUE(report.ok) << report.counterexample.ToString();
+  EXPECT_EQ(report.graph_edges, 2u);  // r->w from each reader
+  EXPECT_EQ(report.witness, (std::vector<TxIndex>{0, 1, 2}));
+}
+
+TEST(ScheduleVerifierTest, AcceptsAbortedTransactionsAbsentFromOrder) {
+  std::vector<ReadWriteSet> rwsets = {RW({5}, {}), RW({5}, {5}),
+                                      RW({5}, {5})};
+  // The two read-modify-writes of one address can't both commit; one aborts.
+  const Schedule s = MakeSchedule({1, 2, kUnassignedSeq},
+                                  {false, false, true});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_TRUE(report.ok) << report.counterexample.ToString();
+  EXPECT_EQ(report.witness, (std::vector<TxIndex>{0, 1}));
+}
+
+// ---------- rejection: explicit precedence cycles ----------
+
+TEST(ScheduleVerifierTest, RejectsInherentTwoCycleWithCycleCounterexample) {
+  // T0 reads a, writes b; T1 reads b, writes a. Snapshot reads force
+  // T0 before T1 (via a) and T1 before T0 (via b): no serial order exists,
+  // whatever sequence numbers are assigned.
+  constexpr std::uint64_t a = 7, b = 8;
+  std::vector<ReadWriteSet> rwsets = {RW({a}, {b}), RW({b}, {a})};
+  const Schedule s = MakeSchedule({1, 2});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  const Counterexample& c = report.counterexample;
+  EXPECT_EQ(c.kind, ViolationKind::kPrecedenceCycle);
+  ASSERT_EQ(c.txs.size(), 2u);
+  EXPECT_NE(std::find(c.txs.begin(), c.txs.end(), TxIndex{0}), c.txs.end());
+  EXPECT_NE(std::find(c.txs.begin(), c.txs.end(), TxIndex{1}), c.txs.end());
+  // One inducing address per cycle edge, and both conflict addresses appear.
+  ASSERT_EQ(c.addresses.size(), 2u);
+  EXPECT_NE(std::find(c.addresses.begin(), c.addresses.end(), Address(a)),
+            c.addresses.end());
+  EXPECT_NE(std::find(c.addresses.begin(), c.addresses.end(), Address(b)),
+            c.addresses.end());
+  EXPECT_NE(c.ToString().find("precedence-cycle"), std::string::npos);
+}
+
+TEST(ScheduleVerifierTest, RejectsThreeCycleAndNamesEveryEdge) {
+  // T0: r{1} w{2}; T1: r{2} w{3}; T2: r{3} w{1} — a 3-cycle through
+  // addresses 1, 2, 3.
+  std::vector<ReadWriteSet> rwsets = {RW({1}, {2}), RW({2}, {3}),
+                                      RW({3}, {1})};
+  const Schedule s = MakeSchedule({1, 2, 3});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kPrecedenceCycle);
+  EXPECT_EQ(report.counterexample.txs.size(), 3u);
+  EXPECT_EQ(report.counterexample.addresses.size(), 3u);
+}
+
+// ---------- rejection: pairwise invariants ----------
+
+TEST(ScheduleVerifierTest, RejectsReadSequencedAfterWrite) {
+  std::vector<ReadWriteSet> rwsets = {RW({5}, {}), RW({}, {5})};
+  const Schedule s = MakeSchedule({3, 2});  // reader above writer
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  const Counterexample& c = report.counterexample;
+  EXPECT_EQ(c.kind, ViolationKind::kReadAfterWrite);
+  EXPECT_EQ(c.txs, (std::vector<TxIndex>{0, 1}));
+  EXPECT_EQ(c.addresses, (std::vector<Address>{Address(5)}));
+}
+
+TEST(ScheduleVerifierTest, RejectsWriterSequenceCollision) {
+  std::vector<ReadWriteSet> rwsets = {RW({}, {5}), RW({}, {5})};
+  const Schedule s = MakeSchedule({4, 4});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kWriterSeqCollision);
+  EXPECT_EQ(report.counterexample.txs, (std::vector<TxIndex>{0, 1}));
+}
+
+TEST(ScheduleVerifierTest, RejectsAbortedTransactionInCommitOrder) {
+  std::vector<ReadWriteSet> rwsets = {RW({}, {5}), RW({}, {6})};
+  Schedule s = MakeSchedule({1, 2});
+  s.aborted[1] = true;  // still carries seq 2 and sits in a group
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kAbortedInOrder);
+  EXPECT_EQ(report.counterexample.txs, (std::vector<TxIndex>{1}));
+}
+
+TEST(ScheduleVerifierTest, RejectsRevertedTransactionMarkedCommitted) {
+  std::vector<ReadWriteSet> rwsets = {RW({}, {5})};
+  rwsets[0].ok = false;
+  const Schedule s = MakeSchedule({1});
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kAbortedInOrder);
+}
+
+TEST(ScheduleVerifierTest, RejectsGroupsInconsistentWithSequence) {
+  std::vector<ReadWriteSet> rwsets = {RW({}, {5}), RW({}, {6})};
+  Schedule s = MakeSchedule({1, 2});
+  s.groups[0].push_back(1);  // T1 now in two groups
+  const VerifyReport report = VerifySchedule(s, rwsets);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kMalformedSchedule);
+}
+
+TEST(ScheduleVerifierTest, RejectsReorderedTxLandingBelowReader) {
+  // T1 claims to be a §IV.D rescue but sits at the reader's number.
+  std::vector<ReadWriteSet> rwsets = {RW({5}, {}), RW({}, {5}),
+                                      RW({9}, {9})};
+  const Schedule s = MakeSchedule({2, 3, 1});
+  const std::vector<TxIndex> reordered = {1};
+  VerifierOptions options;
+  options.reordered = reordered;
+  // Valid as a schedule...
+  ASSERT_TRUE(VerifySchedule(s, rwsets).ok);
+  // ...but T1 at seq 3 with reader T0 at seq 2 satisfies the landing rule,
+  // so corrupt it: drop T1 to the reader's number via a fresh schedule.
+  const Schedule bad = MakeSchedule({2, 2, 1});
+  const VerifyReport report = VerifySchedule(bad, rwsets, options);
+  ASSERT_FALSE(report.ok);
+  // The tie also violates reads-before-writes, which fires first; either
+  // way the reordered transaction is implicated.
+  EXPECT_TRUE(report.counterexample.kind == ViolationKind::kReadAfterWrite ||
+              report.counterexample.kind == ViolationKind::kReorderViolation);
+}
+
+TEST(ScheduleVerifierTest, RejectsReorderedTxThatAborted) {
+  std::vector<ReadWriteSet> rwsets = {RW({}, {5}), RW({}, {6})};
+  const Schedule s = MakeSchedule({1, kUnassignedSeq}, {false, true});
+  const std::vector<TxIndex> reordered = {1};
+  VerifierOptions options;
+  options.reordered = reordered;
+  const VerifyReport report = VerifySchedule(s, rwsets, options);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kReorderViolation);
+}
+
+// ---------- evolving-state (serial) semantics ----------
+
+TEST(ScheduleVerifierTest, EvolvingStateAcceptsAnyTotalOrder) {
+  // Two RMWs of one address are unserializable under snapshot reads but are
+  // a perfectly good serial execution under evolving state.
+  std::vector<ReadWriteSet> rwsets = {RW({5}, {5}), RW({5}, {5})};
+  const Schedule s = MakeSchedule({1, 2});
+  VerifierOptions options;
+  options.snapshot_semantics = false;
+  const VerifyReport report = VerifySchedule(s, rwsets, options);
+  ASSERT_TRUE(report.ok) << report.counterexample.ToString();
+  EXPECT_FALSE(VerifySchedule(s, rwsets).ok);  // snapshot mode: cycle
+}
+
+TEST(ScheduleVerifierTest, EvolvingStateStillRejectsWriterCollision) {
+  std::vector<ReadWriteSet> rwsets = {RW({}, {5}), RW({}, {5})};
+  const Schedule s = MakeSchedule({3, 3});
+  VerifierOptions options;
+  options.snapshot_semantics = false;
+  const VerifyReport report = VerifySchedule(s, rwsets, options);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.counterexample.kind, ViolationKind::kWriterSeqCollision);
+}
+
+// ---------- the BuildSchedule verification hook ----------
+
+/// Emits a deliberately unserializable schedule: every transaction gets
+/// sequence 1, conflicts and all.
+class CorruptScheduler final : public Scheduler {
+ public:
+  std::string_view name() const override { return "corrupt"; }
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  Result<Schedule> BuildScheduleImpl(
+      std::span<const ReadWriteSet> rwsets) override {
+    Schedule s;
+    s.sequence.assign(rwsets.size(), 1);
+    s.aborted.assign(rwsets.size(), false);
+    s.RebuildGroups();
+    return s;
+  }
+
+ private:
+  SchedulerMetrics metrics_;
+};
+
+class VerificationHookTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetScheduleVerification(std::nullopt); }
+  std::vector<ReadWriteSet> conflicting_ = {RW({}, {5}), RW({}, {5})};
+};
+
+TEST_F(VerificationHookTest, RejectsCorruptSchedulerWithInternalStatus) {
+  SetScheduleVerification(true);
+  CorruptScheduler scheduler;
+  auto result = scheduler.BuildSchedule(conflicting_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("serializability"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("writer-seq-collision"),
+            std::string::npos);
+}
+
+TEST_F(VerificationHookTest, DisabledVerificationLetsSchedulesThrough) {
+  SetScheduleVerification(false);
+  CorruptScheduler scheduler;
+  EXPECT_TRUE(scheduler.BuildSchedule(conflicting_).ok());
+}
+
+TEST_F(VerificationHookTest, PublishesVerifyMetrics) {
+  obs::SetMetricsEnabled(true);
+  obs::Registry().ResetAll();
+  SetScheduleVerification(true);
+
+  NezhaScheduler good;
+  ASSERT_TRUE(good.BuildSchedule(conflicting_).ok());
+  CorruptScheduler bad;
+  ASSERT_FALSE(bad.BuildSchedule(conflicting_).ok());
+
+  const auto snapshot = obs::Registry().Snapshot();
+  EXPECT_EQ(snapshot.Value("nezha_verify_schedules_total",
+                           obs::RenderLabels({{"scheduler", "nezha"}})),
+            1.0);
+  EXPECT_EQ(snapshot.Value("nezha_verify_schedules_total",
+                           obs::RenderLabels({{"scheduler", "corrupt"}})),
+            1.0);
+  EXPECT_EQ(snapshot.Value("nezha_verify_failures_total",
+                           obs::RenderLabels({{"scheduler", "corrupt"}})),
+            1.0);
+}
+
+TEST_F(VerificationHookTest, SerialSchedulerPassesUnderEvolvingSemantics) {
+  SetScheduleVerification(true);
+  // Conflicting batch: the serial identity order is NOT snapshot-
+  // serializable, but serial execution uses evolving state, so the hook
+  // must accept it (snapshot_semantics() == false).
+  std::vector<ReadWriteSet> rwsets = {RW({5}, {5}), RW({5}, {5})};
+  SerialScheduler scheduler;
+  EXPECT_TRUE(scheduler.BuildSchedule(rwsets).ok());
+}
+
+// ---------- seeded mutation sweep (the oracle's own adversary) ----------
+
+class MutationSweepTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { SetScheduleVerification(std::nullopt); }
+};
+
+TEST_P(MutationSweepTest, EveryMutationRejectedWithExpectedKind) {
+  // A contended Zipfian KV batch gives the mutator plenty of read/write and
+  // write/write targets under every scheme.
+  KVWorkloadConfig config;
+  config.num_keys = 60;
+  config.skew = 1.0;
+  config.reads_per_tx = 2;
+  config.writes_per_tx = 2;
+  config.blind_write_fraction = 0.5;
+  KVWorkload workload(config, /*seed=*/42);
+  const auto rwsets = workload.MakeBatch(150);
+
+  SetScheduleVerification(true);  // the build itself is oracle-checked
+  auto scheduler = Make(GetParam());
+  auto schedule = scheduler->BuildSchedule(rwsets);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+
+  const std::vector<Mutation> mutations =
+      MutateSchedule(*schedule, rwsets, /*seed=*/0xC0FFEE, /*count=*/120);
+  ASSERT_GE(mutations.size(), 100u) << GetParam();
+
+  std::size_t rejected = 0;
+  for (const Mutation& m : mutations) {
+    const VerifyReport report = VerifySchedule(m.schedule, rwsets);
+    ASSERT_FALSE(report.ok)
+        << GetParam() << ": oracle accepted corrupt schedule (" << m.description
+        << ")";
+    ++rejected;
+    const Counterexample& c = report.counterexample;
+    EXPECT_NE(std::find(m.expected.begin(), m.expected.end(), c.kind),
+              m.expected.end())
+        << GetParam() << ": " << m.description << " reported "
+        << ViolationKindName(c.kind);
+    // Counterexamples must be concrete: a named violation plus evidence.
+    EXPECT_FALSE(c.detail.empty()) << m.description;
+    if (c.kind != ViolationKind::kMalformedSchedule) {
+      EXPECT_FALSE(c.txs.empty()) << m.description;
+    }
+  }
+  EXPECT_EQ(rejected, mutations.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, MutationSweepTest,
+                         ::testing::Values("nezha", "nezha-noreorder", "cg",
+                                           "occ"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace nezha::analysis

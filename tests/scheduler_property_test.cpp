@@ -13,11 +13,14 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/schedule_verifier.h"
 #include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/nezha_scheduler.h"
 #include "cc/occ/occ_scheduler.h"
 #include "runtime/concurrent_executor.h"
 #include "runtime/serializability.h"
+#include "vm/contract.h"
+#include "vm/logged_state.h"
 #include "workload/kv_workload.h"
 #include "workload/smallbank_workload.h"
 
@@ -79,6 +82,65 @@ TEST_P(SchedulerPropertyTest, ReplayEquivalentToSerialExecution) {
   const auto report =
       ValidateByReplay(snapshot_, txs_, *schedule, exec_.rwsets);
   EXPECT_TRUE(report.ok) << GetParam().scheme << ": " << report.violation;
+}
+
+TEST_P(SchedulerPropertyTest, OracleProvesSerializabilityWithWitness) {
+  // The independent precedence-graph oracle (src/analysis) must accept the
+  // schedule and exhibit an equivalent serial order over exactly the
+  // committed transactions.
+  auto scheduler = Make(GetParam().scheme);
+  auto schedule = scheduler->BuildSchedule(exec_.rwsets);
+  ASSERT_TRUE(schedule.ok());
+  analysis::VerifierOptions options;
+  options.reordered = schedule->reordered;
+  const auto report =
+      analysis::VerifySchedule(*schedule, exec_.rwsets, options);
+  ASSERT_TRUE(report.ok)
+      << GetParam().scheme << ": " << report.counterexample.ToString();
+  EXPECT_EQ(report.witness.size(), schedule->NumCommitted());
+  EXPECT_EQ(report.graph_vertices, schedule->NumCommitted());
+}
+
+TEST_P(SchedulerPropertyTest, WitnessReplayMatchesScheduledState) {
+  // State equivalence against serial execution: re-executing the committed
+  // transactions one-by-one, in the oracle's witness order, against an
+  // evolving state must land in exactly the state the schedule's recorded
+  // write sets produce.
+  auto scheduler = Make(GetParam().scheme);
+  auto schedule = scheduler->BuildSchedule(exec_.rwsets);
+  ASSERT_TRUE(schedule.ok());
+  const auto report = analysis::VerifySchedule(*schedule, exec_.rwsets);
+  ASSERT_TRUE(report.ok) << report.counterexample.ToString();
+
+  LoggedStateView::Overlay scheduled;
+  for (const TxIndex t : report.witness) {
+    const ReadWriteSet& rw = exec_.rwsets[t];
+    for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+      scheduled[rw.writes[i].value] = rw.write_values[i];
+    }
+  }
+
+  LoggedStateView::Overlay evolving;
+  for (const TxIndex t : report.witness) {
+    LoggedStateView view(snapshot_, &evolving);
+    ASSERT_TRUE(ExecuteContract(txs_[t].payload, view).ok());
+    ReadWriteSet rw = view.TakeRWSet();
+    ASSERT_TRUE(rw.ok) << GetParam().scheme << ": committed T" << t
+                       << " reverted when replayed in witness order";
+    for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+      evolving[rw.writes[i].value] = rw.write_values[i];
+    }
+  }
+
+  ASSERT_EQ(evolving.size(), scheduled.size()) << GetParam().scheme;
+  for (const auto& [addr, value] : scheduled) {
+    const auto it = evolving.find(addr);
+    ASSERT_NE(it, evolving.end())
+        << GetParam().scheme << ": witness replay missed "
+        << ToString(Address(addr));
+    EXPECT_EQ(it->second, value)
+        << GetParam().scheme << ": divergence at " << ToString(Address(addr));
+  }
 }
 
 TEST_P(SchedulerPropertyTest, Deterministic) {
@@ -269,6 +331,11 @@ TEST_P(KVWorkloadFuzzTest, AllSchedulersStaySoundOnBlindWrites) {
       const auto report = ValidateScheduleInvariants(*schedule, rwsets);
       ASSERT_TRUE(report.ok)
           << scheme << " seed=" << seed << ": " << report.violation;
+      analysis::VerifierOptions options;
+      options.reordered = schedule->reordered;
+      const auto oracle = analysis::VerifySchedule(*schedule, rwsets, options);
+      ASSERT_TRUE(oracle.ok) << scheme << " seed=" << seed << ": "
+                             << oracle.counterexample.ToString();
     }
   }
 }
