@@ -1,0 +1,99 @@
+// The machine-readable benchmark suite behind the `bench_suite` CMake
+// target and the CI perf-regression gate (docs/OBSERVABILITY.md).
+//
+// Runs every scheme over fixed-seed SmallBank workloads at low and high
+// skew through the full node pipeline, with the calibrated execution cost
+// model (machine-independent latencies; cc + commit measured), and writes
+// one BENCH_nezha.json: per-scheme throughput, latency, abort rate, and the
+// abort-attribution rollup read back from the epoch flight recorder.
+// bench/check_bench_regression compares two such files.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "node/simulation.h"
+#include "obs/flight_recorder.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+namespace {
+
+/// Merges the attribution of every record the flight recorder currently
+/// holds (one per processed epoch).
+obs::AttributionRollup DrainRollup() {
+  obs::AttributionRollup rollup;
+  for (const obs::EpochFlightRecord& record :
+       obs::FlightRecorder::Global().Records()) {
+    rollup.Merge(obs::BuildRollup(record.attribution));
+  }
+  return rollup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = JsonPathFromArgs(argc, argv);
+  if (json_path.empty()) json_path = "BENCH_nezha.json";
+
+  const std::size_t block_size = EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
+  const std::size_t concurrency = EnvSize("NEZHA_BENCH_CONCURRENCY", 8);
+  const std::size_t epochs = EnvSize("NEZHA_BENCH_EPOCHS", 3);
+
+  Header("Benchmark suite — machine-readable perf snapshot",
+         "SmallBank, fixed seeds, modelled execution cost; cc+commit "
+         "measured");
+
+  JsonReport report("bench_suite");
+  Row({"skew", "scheme", "tps", "latency(ms)", "aborts", "conflicts"});
+
+  const SchemeKind kSchemes[] = {SchemeKind::kSerial, SchemeKind::kOcc,
+                                 SchemeKind::kCg, SchemeKind::kNezha,
+                                 SchemeKind::kNezhaNoReorder};
+  for (double skew : {0.2, 0.8}) {
+    for (SchemeKind kind : kSchemes) {
+      SimulationConfig config;
+      config.workload.num_accounts = 10'000;
+      config.workload.skew = skew;
+      config.block_size = block_size;
+      config.block_concurrency = concurrency;
+      config.epochs = epochs;
+      config.seed = 90'000 + static_cast<std::uint64_t>(skew * 10);
+      config.node.scheme = kind;
+      config.node.model_execution_cost = true;
+
+      obs::FlightRecorder::Global().Clear();
+      const auto summary = RunSimulation(config);
+      if (!summary.ok()) {
+        std::fprintf(stderr, "bench_suite: %s failed: %s\n", SchemeName(kind),
+                     summary.status().message().c_str());
+        return 1;
+      }
+
+      JsonResult result;
+      result.bench = "suite";
+      result.scheme = SchemeName(kind);
+      result.params.Set("workload", "smallbank");
+      result.params.Set("skew", skew);
+      result.params.Set("block_size", block_size);
+      result.params.Set("block_concurrency", concurrency);
+      result.params.Set("epochs", epochs);
+      result.params.Set("seed", config.seed);
+      result.throughput_tps = summary->EffectiveTps();
+      result.latency_ms = summary->MeanTotalMs();
+      result.abort_rate = summary->AbortRate();
+      result.rollup = DrainRollup();
+      report.Add(result);
+
+      Row({Fmt(skew, 1), SchemeName(kind), Fmt(result.throughput_tps, 1),
+           Fmt(result.latency_ms, 2), FmtPct(result.abort_rate),
+           FmtInt(result.rollup.ConflictAborts())});
+    }
+  }
+
+  if (!report.WriteTo(json_path)) {
+    std::fprintf(stderr, "bench_suite: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

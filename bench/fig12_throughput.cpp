@@ -4,6 +4,7 @@
 // calibrated EVM cost model; concurrency control and commitment are
 // measured (DESIGN.md §4).
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "node/simulation.h"
@@ -11,9 +12,11 @@
 using namespace nezha;
 using namespace nezha::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
   const std::size_t block_size = EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
   const std::size_t epochs = EnvSize("NEZHA_BENCH_EPOCHS", 3);
+  JsonReport report("fig12_throughput");
 
   Header("Fig. 12 — effective throughput vs block concurrency (1 s epochs)",
          "committed tx/s; Serial/execute modelled on the paper's testbed, "
@@ -45,7 +48,28 @@ int main() {
       Row({FmtInt(omega), Fmt(serial->EffectiveTps(), 1),
            Fmt(cg->EffectiveTps(), 1), Fmt(nezha->EffectiveTps(), 1),
            FmtPct(nezha->AbortRate())});
+
+      const SimulationSummary* summaries[] = {&*serial, &*cg, &*nezha};
+      const char* names[] = {"serial", "cg", "nezha"};
+      for (std::size_t s = 0; s < 3; ++s) {
+        JsonResult result;
+        result.bench = "throughput";
+        result.scheme = names[s];
+        result.params.Set("workload", "smallbank");
+        result.params.Set("skew", skew);
+        result.params.Set("block_size", block_size);
+        result.params.Set("block_concurrency", omega);
+        result.params.Set("epochs", epochs);
+        result.throughput_tps = summaries[s]->EffectiveTps();
+        result.latency_ms = summaries[s]->MeanTotalMs();
+        result.abort_rate = summaries[s]->AbortRate();
+        report.Add(result);
+      }
     }
+  }
+  if (!json_path.empty() && !report.WriteTo(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
   }
 
   std::printf(

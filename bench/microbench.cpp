@@ -14,6 +14,7 @@
 #include "common/zipfian.h"
 #include "fault/fault.h"
 #include "graph/johnson.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "runtime/concurrent_executor.h"
 #include "storage/mpt.h"
@@ -106,6 +107,66 @@ BENCHMARK(BM_NezhaFullScheduleMetricsOff)
     ->Args({2400, 2})
     ->Args({400, 8})
     ->Args({2400, 8});
+
+// Full schedule build PLUS one epoch flight record (what FullNode adds per
+// epoch): the delta against BM_NezhaFullSchedule at the same Args is the
+// flight-recorder overhead (acceptance bar: < 2% on the 4096-tx points).
+void BM_NezhaFullScheduleFlightRecorded(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  NezhaScheduler scheduler;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.Clear();
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    auto schedule = scheduler.BuildSchedule(rwsets);
+    obs::EpochFlightRecord record;
+    record.epoch = ++epoch;
+    record.scheme = "nezha";
+    record.txs = static_cast<std::uint32_t>(rwsets.size());
+    record.aborted =
+        static_cast<std::uint32_t>(schedule->attribution.aborts.size());
+    record.committed = record.txs - record.aborted;
+    record.attribution = std::move(schedule->attribution);
+    recorder.Record(std::move(record));
+    benchmark::DoNotOptimize(recorder.TotalRecorded());
+  }
+  recorder.Clear();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NezhaFullScheduleFlightRecorded)
+    ->Args({2400, 8})
+    ->Args({4096, 2})
+    ->Args({4096, 8});
+
+// Isolates the per-epoch cost the recorder adds on top of a 4096-tx
+// BuildSchedule: build one schedule up front, then time only the record
+// construction + Record (copying the attribution, an upper bound — the node
+// moves it). Overhead = this time / BM_NezhaFullSchedule/4096/N time; the
+// ratio resolves well below 1% where subtracting two ~7 ms end-to-end
+// timings cannot on a shared machine.
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(4096, state.range(0) / 10.0);
+  NezhaScheduler scheduler;
+  const auto schedule = scheduler.BuildSchedule(rwsets);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.Clear();
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    obs::EpochFlightRecord record;
+    record.epoch = ++epoch;
+    record.scheme = "nezha";
+    record.txs = static_cast<std::uint32_t>(rwsets.size());
+    record.aborted =
+        static_cast<std::uint32_t>(schedule->attribution.aborts.size());
+    record.committed = record.txs - record.aborted;
+    record.attribution = schedule->attribution;
+    recorder.Record(std::move(record));
+    benchmark::DoNotOptimize(recorder.TotalRecorded());
+  }
+  recorder.Clear();
+}
+BENCHMARK(BM_FlightRecorderRecord)->Arg(2)->Arg(8);
 
 // The serializability oracle alone on one epoch-sized batch (4096 txs is
 // the paper's largest block-size point): the cost the debug/ASan suites pay

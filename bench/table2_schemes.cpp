@@ -17,9 +17,11 @@
 using namespace nezha;
 using namespace nezha::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
   const std::size_t txs_count = EnvSize("NEZHA_BENCH_TXS", 1600);
   const double skew = 0.8;
+  JsonReport report("table2_schemes");
 
   Header("Table II (quantified) — scheme properties under high contention",
          "SmallBank, skew 0.8, 1600 txs (block concurrency 8)");
@@ -51,6 +53,23 @@ int main() {
          FmtInt(stats.max_group),
          stats.max_group > 1 ? "yes" : "no (serial)"},
         13);
+
+    JsonResult result;
+    result.bench = "scheme_properties";
+    result.scheme = std::string(scheduler->name());
+    result.params.Set("workload", "smallbank");
+    result.params.Set("skew", skew);
+    result.params.Set("txs", txs_count);
+    result.latency_ms = cc_ms;
+    result.abort_rate = schedule->AbortRate();
+    result.rollup = obs::BuildRollup(schedule->attribution);
+    result.extra.Set("commit_groups", stats.groups);
+    result.extra.Set("max_commit_group", stats.max_group);
+    report.Add(result);
+  }
+  if (!json_path.empty() && !report.WriteTo(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
   }
 
   std::printf(

@@ -7,9 +7,16 @@
 //     open it in chrome://tracing or ui.perfetto.dev to see the nested
 //     validate / execute / cc / commit spans of every epoch.
 //
+//   * machine-readable JSON (--json PATH): the bench emitter's document —
+//     throughput/latency/abort rate plus the abort-attribution rollup
+//     merged over every epoch's flight record;
+//   * flight-recorder JSONL (--flight-out PATH): one line per epoch with
+//     phase durations, ACG stats, rank tie-break counters and per-abort
+//     records (docs/OBSERVABILITY.md describes the schema).
+//
 // Usage: epoch_stats [--scheme S] [--epochs N] [--block-size B]
 //                    [--concurrency W] [--skew Z] [--trace-out PATH]
-//                    [--verify]
+//                    [--json PATH] [--flight-out PATH] [--verify]
 //   e.g.: ./build/examples/epoch_stats --scheme nezha --epochs 20 --verify
 //
 // --verify forces the serializability oracle (docs/ANALYSIS.md) onto every
@@ -21,12 +28,33 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "cc/scheduler.h"
 #include "node/simulation.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 using namespace nezha;
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: epoch_stats [--scheme S] [--epochs N] [--block-size B]\n"
+    "                   [--concurrency W] [--skew Z] [--trace-out PATH]\n"
+    "                   [--json PATH] [--flight-out PATH] [--verify]\n"
+    "  --scheme S       serial | occ | cg | nezha (default nezha)\n"
+    "  --epochs N       epochs to simulate (default 20)\n"
+    "  --block-size B   transactions per block (default 200)\n"
+    "  --concurrency W  blocks per epoch (default 4)\n"
+    "  --skew Z         Zipfian account skew (default 0.6)\n"
+    "  --trace-out PATH Chrome trace JSON (default epoch_stats_trace.json)\n"
+    "  --json PATH      machine-readable summary (bench emitter document)\n"
+    "  --flight-out PATH  epoch flight records as JSON Lines\n"
+    "  --verify         force the serializability oracle onto every "
+    "schedule\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   SimulationConfig config;
@@ -38,6 +66,8 @@ int main(int argc, char** argv) {
   config.block_size = 200;
   config.seed = 2026;
   std::string trace_path = "epoch_stats_trace.json";
+  std::string json_path;
+  std::string flight_path;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -64,18 +94,20 @@ int main(int argc, char** argv) {
       config.workload.skew = std::strtod(next(), nullptr);
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_path = next();
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next();
+    } else if (std::strcmp(argv[i], "--flight-out") == 0) {
+      flight_path = next();
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       SetScheduleVerification(true);
     } else {
-      std::fprintf(stderr,
-                   "usage: epoch_stats [--scheme S] [--epochs N] "
-                   "[--block-size B] [--concurrency W] [--skew Z] "
-                   "[--trace-out PATH] [--verify]\n");
+      std::fputs(kUsage, stderr);
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
     }
   }
 
   obs::PhaseTracer::Global().SetEnabled(true);
+  obs::FlightRecorder::Global().Clear();
 
   auto summary = RunSimulation(config);
   if (!summary.ok()) {
@@ -100,5 +132,45 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "# wrote %zu trace spans to %s (chrome://tracing)\n",
                obs::PhaseTracer::Global().EventCount(), trace_path.c_str());
+
+  // Export 3: epoch flight records as JSON Lines.
+  if (!flight_path.empty()) {
+    if (!obs::FlightRecorder::Global().WriteJsonl(flight_path)) {
+      std::fprintf(stderr, "failed to write flight records to %s\n",
+                   flight_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# wrote %zu flight records to %s\n",
+                 obs::FlightRecorder::Global().RecordCount(),
+                 flight_path.c_str());
+  }
+
+  // Export 4: machine-readable summary through the bench emitter.
+  if (!json_path.empty()) {
+    obs::AttributionRollup rollup;
+    for (const obs::EpochFlightRecord& record :
+         obs::FlightRecorder::Global().Records()) {
+      rollup.Merge(obs::BuildRollup(record.attribution));
+    }
+    bench::JsonResult result;
+    result.bench = "epoch_stats";
+    result.scheme = SchemeName(config.node.scheme);
+    result.params.Set("workload", "smallbank");
+    result.params.Set("skew", config.workload.skew);
+    result.params.Set("block_size", config.block_size);
+    result.params.Set("block_concurrency", config.block_concurrency);
+    result.params.Set("epochs", config.epochs);
+    result.params.Set("seed", config.seed);
+    result.throughput_tps = summary->EffectiveTps();
+    result.latency_ms = summary->MeanTotalMs();
+    result.abort_rate = summary->AbortRate();
+    result.rollup = rollup;
+    bench::JsonReport report("epoch_stats");
+    report.Add(result);
+    if (!report.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -25,9 +25,11 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   // Step 2: sorting-rank division over the address-dependency graph.
   watch.Restart();
   std::vector<Digraph::Vertex> ranks;
+  obs::RankDecisionStats rank_stats;
   {
     obs::TraceSpan span("rank_division");
-    ranks = ComputeSortingRanks(acg.dependencies(), options_.rank_policy);
+    ranks = ComputeSortingRanks(acg.dependencies(), options_.rank_policy,
+                                &rank_stats);
   }
   metrics_.cycle_us = watch.ElapsedMicros();
 
@@ -47,6 +49,31 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   schedule.sequence = std::move(sorted.sequence);
   schedule.aborted = std::move(sorted.aborted);
   schedule.reordered = std::move(sorted.reordered);
+  schedule.attribution.aborts = std::move(sorted.abort_records);
+  schedule.attribution.rank = rank_stats;
+  schedule.attribution.reorder_attempts = sorted.reorder_attempts;
+  schedule.attribution.reorder_commits = schedule.reordered.size();
+
+  // Hot addresses: every ACG entry's read/write population, abort counts
+  // folded in from the records, trimmed to the top 8.
+  {
+    std::vector<obs::AddressHeat> heat;
+    heat.reserve(acg.NumAddresses());
+    for (const AddressRWSet& entry : acg.entries()) {
+      obs::AddressHeat h;
+      h.address = entry.address.value;
+      h.readers = static_cast<std::uint32_t>(entry.readers.size());
+      h.writers = static_cast<std::uint32_t>(entry.writers.size());
+      heat.push_back(h);
+    }
+    for (const obs::AbortRecord& r : schedule.attribution.aborts) {
+      const int idx = acg.IndexOf(Address{r.address});
+      if (idx >= 0) ++heat[static_cast<std::size_t>(idx)].aborts;
+    }
+    obs::SelectTopK(heat, 8);
+    schedule.attribution.hot_addresses = std::move(heat);
+  }
+
   for (TxIndex t = 0; t < rwsets.size(); ++t) {
     if (!rwsets[t].ok) {
       // Application-level revert: excluded from the ACG, commits nothing.

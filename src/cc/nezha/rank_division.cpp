@@ -108,7 +108,8 @@ std::vector<Digraph::Vertex> ComputeSortingRanksReference(
 }
 
 std::vector<Digraph::Vertex> ComputeSortingRanks(const Digraph& g,
-                                                 RankPolicy policy) {
+                                                 RankPolicy policy,
+                                                 obs::RankDecisionStats* stats) {
   // Optimized implementation with identical output: in-degree-0 vertices
   // flow through a subscript-ordered min-heap (the paper's "first A_j with
   // inDegree == 0" scan order); for cycle-breaks, lazy in-degree buckets
@@ -157,7 +158,10 @@ std::vector<Digraph::Vertex> ComputeSortingRanks(const Digraph& g,
       advanced = true;
       break;
     }
-    if (advanced) continue;
+    if (advanced) {
+      if (stats != nullptr) ++stats->zero_indegree_pops;
+      continue;
+    }
 
     if (policy == RankPolicy::kNaive) {
       for (Vertex v = 0; v < n; ++v) {
@@ -166,6 +170,10 @@ std::vector<Digraph::Vertex> ComputeSortingRanks(const Digraph& g,
           break;
         }
       }
+      if (stats != nullptr) {
+        ++stats->cycle_breaks;
+        ++stats->tiebreak_subscript;  // kNaive is pure subscript order
+      }
       continue;
     }
 
@@ -173,28 +181,44 @@ std::vector<Digraph::Vertex> ComputeSortingRanks(const Digraph& g,
     // entry; pick max out-degree, ties to the smallest subscript.
     Vertex selected = 0;
     bool found = false;
+    std::size_t candidates = 0;      // live entries in the winning bucket
+    std::size_t best_out = 0;
+    std::size_t best_out_count = 0;  // candidates sharing the max out-degree
     for (std::size_t d = 1; d < buckets.size() && !found; ++d) {
       auto& bucket = buckets[d];
-      std::size_t best_out = 0;
       // Compact the bucket while scanning: drop stale entries for good.
       std::vector<Vertex> valid;
       valid.reserve(bucket.size());
       for (Vertex v : bucket) {
         if (live.removed[v] || live.in_degree[v] != d) continue;
         valid.push_back(v);
-        if (!found || live.out_degree[v] > best_out ||
-            (live.out_degree[v] == best_out && v < selected)) {
+        if (!found || live.out_degree[v] > best_out) {
           selected = v;
           best_out = live.out_degree[v];
+          best_out_count = 1;
           found = true;
+        } else if (live.out_degree[v] == best_out) {
+          ++best_out_count;
+          if (v < selected) selected = v;
         }
       }
+      candidates = valid.size();
       bucket = std::move(valid);
     }
     // found is guaranteed: every live vertex has in-degree >= 1 here and
     // sits (possibly as a stale duplicate) in some bucket at or above its
     // current degree — and one entry at exactly its current degree, since
     // every decrement re-files it.
+    if (stats != nullptr) {
+      ++stats->cycle_breaks;
+      if (candidates <= 1) {
+        ++stats->tiebreak_min_indegree;
+      } else if (best_out_count == 1) {
+        ++stats->tiebreak_out_degree;
+      } else {
+        ++stats->tiebreak_subscript;
+      }
+    }
     remove_vertex(selected);
   }
   return order;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "obs/abort_attribution.h"
 
 namespace nezha {
 
@@ -38,8 +39,16 @@ enum class RankPolicy {
 /// i.e. sorted first, at position 0). Deterministic. Implemented with lazy
 /// in-degree buckets so cycle-breaks cost amortized O(V + E) instead of
 /// O(V) each.
+///
+/// When `stats` is non-null it accumulates one entry per emitted vertex:
+/// plain in-degree-0 pops vs. cycle-breaks, and — for each cycle-break —
+/// which Algorithm 1 tie-break rule actually decided the pick (a single
+/// minimum-in-degree candidate, the maximum-out-degree rule, or the final
+/// minimum-subscript fallback). Feeds abort attribution and the epoch
+/// flight recorder (docs/OBSERVABILITY.md).
 std::vector<Digraph::Vertex> ComputeSortingRanks(
-    const Digraph& g, RankPolicy policy = RankPolicy::kNezha);
+    const Digraph& g, RankPolicy policy = RankPolicy::kNezha,
+    obs::RankDecisionStats* stats = nullptr);
 
 /// The paper's pseudocode rendered literally (O(V) scan per cycle-break).
 /// Produces byte-identical output to ComputeSortingRanks; kept as the test

@@ -24,6 +24,8 @@ struct SorterState {
 
   std::size_t reordered = 0;
   std::vector<TxIndex> reordered_txs;
+  std::vector<obs::AbortRecord> abort_records;
+  std::uint64_t reorder_attempts = 0;
 
   explicit SorterState(const AddressConflictGraph& g, std::size_t num_txs,
                        const TxSorterOptions& opts)
@@ -41,6 +43,23 @@ struct SorterState {
   }
 
   bool Alive(TxIndex t) const { return !aborted[t]; }
+
+  /// Aborts t at `entry`, recording the decision for attribution. Call at
+  /// the decision point, before the sequence number is surrendered.
+  void Abort(TxIndex t, const AddressRWSet& entry, obs::ConflictKind kind,
+             bool reorder_attempted) {
+    aborted[t] = true;
+    obs::AbortRecord record;
+    record.tx = t;
+    record.address = entry.address.value;
+    record.kind = kind;
+    record.seq_at_decision = seq[t];
+    record.reorder_attempted = reorder_attempted;
+    record.reorder_failure = reorder_attempted
+                                 ? obs::ReorderFailure::kUpperBoundHit
+                                 : obs::ReorderFailure::kNotAttempted;
+    abort_records.push_back(record);
+  }
 
   /// Attempts to raise tx t's sequence number to at least `min_target`
   /// without violating any already-sorted address:
@@ -152,12 +171,14 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
     for (TxIndex t : entry.writers) {
       if (!st.Alive(t) || st.seq[t] == kNoSeq || !is_reader(t)) continue;
       if (read_writer_kept) {
-        st.aborted[t] = true;
+        st.Abort(t, entry, obs::ConflictKind::kReadWrite,
+                 /*reorder_attempted=*/false);
         continue;
       }
       if (st.seq[t] <= max_read) {
         if (!st.TryRaise(t, max_read + 1, entry_idx)) {
-          st.aborted[t] = true;
+          st.Abort(t, entry, obs::ConflictKind::kReadWrite,
+                   /*reorder_attempted=*/true);
           continue;
         }
       }
@@ -178,12 +199,19 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
       const bool below_reads = st.seq[t] <= max_read;
       const bool collides = used_write_seqs.contains(st.seq[t]);
       if (below_reads || collides) {
+        if (st.options.enable_reordering) ++st.reorder_attempts;
         if (st.options.enable_reordering &&
             st.TryRaise(t, max_read + 1, entry_idx)) {
           ++st.reordered;
           st.reordered_txs.push_back(t);
         } else {
-          st.aborted[t] = true;
+          // A number at or below the reads is the rank-cycle signature; a
+          // pure write-number collision is a write-write conflict §IV.D
+          // failed to (or was not allowed to) re-seat.
+          st.Abort(t, entry,
+                   below_reads ? obs::ConflictKind::kRankCycle
+                               : obs::ConflictKind::kWriteWriteUnreorderable,
+                   /*reorder_attempted=*/st.options.enable_reordering);
           continue;
         }
       }
@@ -219,6 +247,8 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
   for (const TxIndex t : st.reordered_txs) {
     if (!result.aborted[t]) result.reordered.push_back(t);
   }
+  result.abort_records = std::move(st.abort_records);
+  result.reorder_attempts = st.reorder_attempts;
   return result;
 }
 

@@ -28,6 +28,7 @@
 
 #include "cc/nezha/acg.h"
 #include "cc/scheduler.h"
+#include "obs/abort_attribution.h"
 
 namespace nezha {
 
@@ -47,6 +48,13 @@ struct TxSorterResult {
   /// raised transaction can still abort on a later-sorted address, so this
   /// can be shorter than reordered_txs).
   std::vector<TxIndex> reordered;
+  /// One record per abort decision, emitted at the address where it fell
+  /// (docs/OBSERVABILITY.md abort-cause taxonomy). A transaction aborts at
+  /// most once, so records are unique per TxIndex.
+  std::vector<obs::AbortRecord> abort_records;
+  /// §IV.D raises attempted (successful or not); reordered_txs counts the
+  /// successes.
+  std::uint64_t reorder_attempts = 0;
 };
 
 /// Sorts all transactions of a batch given its ACG and the address rank

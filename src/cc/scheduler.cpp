@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "analysis/schedule_verifier.h"
+#include "obs/flight_recorder.h"
 
 namespace nezha {
 namespace {
@@ -73,6 +74,22 @@ Result<Schedule> Scheduler::BuildSchedule(
                  "(%zu txs): %s\n",
                  static_cast<int>(name().size()), name().data(), rwsets.size(),
                  counterexample.c_str());
+    // Leave the rejected schedule in the flight recorder and trigger a
+    // post-mortem dump: the JSONL names the offending epoch and carries the
+    // full abort attribution of the schedule the oracle refused.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    obs::EpochFlightRecord record;
+    record.epoch = recorder.CurrentEpoch();
+    record.scheme = std::string(name());
+    record.txs = static_cast<std::uint32_t>(rwsets.size());
+    record.committed = static_cast<std::uint32_t>(result->NumCommitted());
+    record.aborted = static_cast<std::uint32_t>(result->NumAborted());
+    record.cc_ms = metrics().TotalUs() / 1000.0;
+    record.acg_vertices = metrics().graph_vertices;
+    record.acg_edges = metrics().graph_edges;
+    record.attribution = result->attribution;
+    recorder.Record(std::move(record));
+    recorder.DumpPostMortem("oracle-rejection");
     return Status::Internal("schedule failed serializability verification: " +
                             counterexample);
   }
@@ -91,13 +108,48 @@ void PublishPhase(obs::MetricsRegistry& registry, const std::string& scheduler,
       ->Set(static_cast<std::int64_t>(micros * 1000.0));
 }
 
+/// Maps a scheme's generic conflict reason onto the abort taxonomy for
+/// schedulers that do not emit per-abort records themselves: reasons naming
+/// a cycle (cg's "cycle" / "budget-exhausted", nezha's "unserializable"
+/// fallback) are dependency-cycle casualties; everything else (occ's
+/// "stale-read") is a read-write conflict.
+obs::ConflictKind KindFromReason(std::string_view reason) {
+  if (reason.find("cycle") != std::string_view::npos ||
+      reason.find("budget") != std::string_view::npos ||
+      reason.find("unserializable") != std::string_view::npos) {
+    return obs::ConflictKind::kRankCycle;
+  }
+  return obs::ConflictKind::kReadWrite;
+}
+
+/// Ensures every aborted transaction carries exactly one AbortRecord:
+/// reverts (rwset.ok == false) become kReverted, scheduler aborts without a
+/// sorter-emitted record get KindFromReason(conflict_reason).
+void CompleteAttribution(Schedule& schedule,
+                         std::span<const ReadWriteSet> rwsets,
+                         std::string_view conflict_reason) {
+  std::vector<bool> has_record(schedule.TxCount(), false);
+  for (const obs::AbortRecord& r : schedule.attribution.aborts) {
+    if (r.tx < has_record.size()) has_record[r.tx] = true;
+  }
+  for (TxIndex t = 0; t < schedule.TxCount(); ++t) {
+    if (!schedule.aborted[t] || has_record[t]) continue;
+    obs::AbortRecord record;
+    record.tx = t;
+    const bool reverted = t < rwsets.size() && !rwsets[t].ok;
+    record.kind = reverted ? obs::ConflictKind::kReverted
+                           : KindFromReason(conflict_reason);
+    schedule.attribution.aborts.push_back(record);
+  }
+}
+
 }  // namespace
 
 void PublishSchedulerObs(std::string_view scheduler,
-                         const SchedulerMetrics& metrics,
-                         const Schedule& schedule,
+                         const SchedulerMetrics& metrics, Schedule& schedule,
                          std::span<const ReadWriteSet> rwsets,
                          std::string_view conflict_reason) {
+  CompleteAttribution(schedule, rwsets, conflict_reason);
   if (!obs::MetricsEnabled()) return;
   auto& registry = obs::Registry();
   const std::string name = Str(scheduler);
@@ -154,6 +206,8 @@ void PublishSchedulerObs(std::string_view scheduler,
   for (const auto& group : schedule.groups) {
     group_size->Observe(static_cast<double>(group.size()));
   }
+
+  obs::PublishAttribution(scheduler, obs::BuildRollup(schedule.attribution));
 }
 
 SchedulerMetrics SchedulerMetricsFromSnapshot(

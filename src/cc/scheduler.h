@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/abort_attribution.h"
 #include "obs/metrics.h"
 #include "vm/rwset.h"
 
@@ -37,6 +38,11 @@ struct Schedule {
   /// enhancement (empty for schemes without it). The serializability oracle
   /// checks these against the reorder landing rule.
   std::vector<TxIndex> reordered;
+  /// Why each aborted transaction aborted, plus rank-division decision
+  /// counters and hot addresses. Schedulers fill what they know;
+  /// PublishSchedulerObs completes it (reverts, scheme-generic conflicts) so
+  /// every scheme leaves BuildSchedule with one record per aborted tx.
+  obs::ScheduleAttribution attribution;
 
   std::size_t TxCount() const { return sequence.size(); }
   std::size_t NumAborted() const {
@@ -92,13 +98,20 @@ struct SchedulerMetrics {
 ///   * nezha_scheduler_aborts_total{reason=...} — reason="reverted" for
 ///     application-level reverts, `conflict_reason` for scheduler aborts;
 ///   * nezha_scheduler_{txs,committed,builds,reordered,cycles}_total;
-///   * last-build gauges for graph size, cycles, reorders and exhaustion.
+///   * last-build gauges for graph size, cycles, reorders and exhaustion;
+///   * the abort-attribution series of obs::PublishAttribution.
 /// Every Scheduler implementation calls this at the end of BuildSchedule,
 /// which makes SchedulerMetrics (and EpochReport.cc_metrics) a thin view
 /// over the registry: SchedulerMetricsFromSnapshot reconstructs it.
+///
+/// Also *completes* schedule.attribution in place: every aborted transaction
+/// without a record gets one — kReverted when its rwset.ok is false,
+/// otherwise a record whose kind is derived from `conflict_reason` (reasons
+/// mentioning cycles map to kRankCycle, everything else to kReadWrite) — so
+/// downstream consumers (flight recorder, benches, fig11) see one record per
+/// abort for every scheme, not just Nezha.
 void PublishSchedulerObs(std::string_view scheduler,
-                         const SchedulerMetrics& metrics,
-                         const Schedule& schedule,
+                         const SchedulerMetrics& metrics, Schedule& schedule,
                          std::span<const ReadWriteSet> rwsets,
                          std::string_view conflict_reason);
 

@@ -1,0 +1,394 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nezha::json {
+namespace {
+
+const Value& NullValue() {
+  static const Value* kNull = new Value();  // never freed
+  return *kNull;
+}
+
+void AppendUtf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+/// Recursive-descent parser over a string_view with one position cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    Result<Value> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (++depth_ > kMaxDepth) return Fail("nesting too deep");
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return Value(std::move(*s));
+    }
+    if (ConsumeWord("true")) return Value(true);
+    if (ConsumeWord("false")) return Value(false);
+    if (ConsumeWord("null")) return Value(nullptr);
+    return ParseNumber();
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Object object;
+    SkipWhitespace();
+    if (Consume('}')) return Value(std::move(object));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      Result<Value> value = ParseValue();
+      if (!value.ok()) return value;
+      object.emplace_back(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(object));
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Array array;
+    SkipWhitespace();
+    if (Consume(']')) return Value(std::move(array));
+    while (true) {
+      Result<Value> value = ParseValue();
+      if (!value.ok()) return value;
+      array.push_back(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(array));
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            std::uint32_t cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<std::uint32_t>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+              else return Fail("bad hex digit in \\u escape");
+            }
+            pos_ += 4;
+            // Surrogate pair → one code point.
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 6 <= text_.size() &&
+                text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              std::uint32_t low = 0;
+              bool ok = true;
+              for (int i = 0; i < 4; ++i) {
+                const char h = text_[pos_ + 2 + static_cast<std::size_t>(i)];
+                low <<= 4;
+                if (h >= '0' && h <= '9') low |= static_cast<std::uint32_t>(h - '0');
+                else if (h >= 'a' && h <= 'f') low |= static_cast<std::uint32_t>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F') low |= static_cast<std::uint32_t>(h - 'A' + 10);
+                else { ok = false; break; }
+              }
+              if (ok && low >= 0xDC00 && low <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                pos_ += 6;
+              }
+            }
+            AppendUtf8(out, cp);
+            break;
+          }
+          default:
+            return Fail("unknown escape character");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string literal(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(literal.c_str(), &end);
+    if (end != literal.c_str() + literal.size() || !std::isfinite(value)) {
+      return Fail("malformed number '" + literal + "'");
+    }
+    return Value(value);
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const Value& Value::operator[](std::string_view key) const {
+  if (type_ == Type::kObject) {
+    for (const auto& [k, v] : object_) {
+      if (k == key) return v;
+    }
+  }
+  return NullValue();
+}
+
+bool Value::Contains(std::string_view key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Value& Value::Set(std::string key, Value value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Value& Value::Append(Value value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::DumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          static_cast<std::size_t>(depth + 1),
+                                      ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          static_cast<std::size_t>(depth),
+                                      ' ')
+                 : "";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      // Integers (the common case here) print without an exponent or
+      // fraction; everything else uses the shortest digit string that still
+      // parses back to the same double.
+      char buf[64];
+      if (number_ == static_cast<double>(static_cast<std::int64_t>(number_)) &&
+          std::abs(number_) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else {
+        for (int precision = 1; precision <= 17; ++precision) {
+          std::snprintf(buf, sizeof(buf), "%.*g", precision, number_);
+          if (std::strtod(buf, nullptr) == number_) break;
+        }
+      }
+      out += buf;
+      return;
+    }
+    case Type::kString:
+      out += '"';
+      out += Escape(string_);
+      out += '"';
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += pad;
+        out += '"';
+        out += Escape(object_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+Result<Value> ParseFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("json: cannot open " + path);
+  }
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return Parse(content);
+}
+
+}  // namespace nezha::json

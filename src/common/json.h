@@ -1,0 +1,106 @@
+// Minimal JSON document model: build, serialize, parse. Exists so the bench
+// harness (bench/bench_suite, bench/check_bench_regression) can write and
+// re-read machine-readable results without an external dependency, and so
+// tools can parse the flight recorder's JSONL dumps.
+//
+// Scope: the JSON the repo itself produces — objects, arrays, strings,
+// finite numbers, booleans, null; UTF-8 passed through verbatim, \uXXXX
+// escapes decoded to UTF-8 on parse. Objects keep insertion order on build
+// and file order on parse, so Dump() round-trips byte-stable documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nezha::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Insertion-ordered object: pairs, with a helper for key lookup.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Type : std::uint8_t {
+  kNull = 0,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::kNumber), number_(d) {}  // NOLINT
+  Value(int i) : Value(static_cast<double>(i)) {}  // NOLINT
+  Value(std::int64_t i) : Value(static_cast<double>(i)) {}  // NOLINT
+  Value(std::uint64_t u) : Value(static_cast<double>(u)) {}  // NOLINT
+  Value(unsigned u) : Value(static_cast<double>(u)) {}       // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}       // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}    // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t AsInt(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object member access; returns a shared null Value when absent or when
+  /// this is not an object (so lookups chain safely).
+  const Value& operator[](std::string_view key) const;
+  bool Contains(std::string_view key) const;
+
+  /// Appends/overwrites an object member (makes this an object if null).
+  Value& Set(std::string key, Value value);
+  /// Appends an array element (makes this an array if null).
+  Value& Append(Value value);
+
+  /// Compact serialization (no whitespace). `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (rejecting trailing garbage beyond whitespace).
+Result<Value> Parse(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<Value> ParseFile(const std::string& path);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string Escape(std::string_view s);
+
+}  // namespace nezha::json

@@ -1,6 +1,7 @@
 #include "fault/fault.h"
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace nezha::fault {
@@ -115,6 +116,11 @@ std::uint64_t Injector::FireCount() const {
 }
 
 Status CrashStatus(std::string_view site) {
+  // The "process" dies here: leave the black box behind. The dump is a
+  // no-op unless a dump directory is configured (crash sweeps stay clean);
+  // the nezha_flight_dumps_total{reason} counter ticks either way.
+  obs::FlightRecorder::Global().DumpPostMortem("fault-crash:" +
+                                               std::string(site));
   return Status::Aborted(std::string(kCrashPrefix) + std::string(site));
 }
 

@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "fault/fault.h"
 #include "node/commit_journal.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/committer.h"
@@ -112,11 +113,36 @@ void PublishEpochObs(const NodeConfig& config, const EpochReport& report) {
       ->Set(static_cast<std::int64_t>(report.max_commit_group));
 }
 
+/// Leaves one flight-recorder record behind for a finished epoch
+/// (docs/OBSERVABILITY.md flight-recorder schema).
+void RecordEpochFlight(const NodeConfig& config, const EpochReport& report,
+                       std::size_t blocks,
+                       obs::ScheduleAttribution attribution) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (!recorder.enabled()) return;
+  obs::EpochFlightRecord record;
+  record.epoch = report.epoch;
+  record.scheme = SchemeName(config.scheme);
+  record.blocks = static_cast<std::uint32_t>(blocks);
+  record.txs = static_cast<std::uint32_t>(report.txs);
+  record.committed = static_cast<std::uint32_t>(report.committed);
+  record.aborted = static_cast<std::uint32_t>(report.aborted);
+  record.validate_ms = report.validate_ms;
+  record.execute_ms = report.execute_ms;
+  record.cc_ms = report.cc_ms;
+  record.commit_ms = report.commit_ms;
+  record.acg_vertices = report.cc_metrics.graph_vertices;
+  record.acg_edges = report.cc_metrics.graph_edges;
+  record.attribution = std::move(attribution);
+  recorder.Record(std::move(record));
+}
+
 }  // namespace
 
 Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   if (config_.scheme == SchemeKind::kSerial) return ProcessSerial(batch);
 
+  obs::FlightRecorder::Global().SetCurrentEpoch(batch.epoch);
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
@@ -190,6 +216,8 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   report.max_commit_group = commit.max_group;
 
   PublishEpochObs(config_, report);
+  RecordEpochFlight(config_, report, batch.blocks.size(),
+                    std::move(schedule->attribution));
   return report;
 }
 
@@ -281,6 +309,12 @@ Status FullNode::CommitEpochDurable(const EpochBatch& batch,
 Result<FullNode::RecoveryReport> FullNode::Recover() {
   if (kv_ == nullptr) return Status::InvalidArgument("no KV store attached");
   RecoveryReport recovery;
+  // Corruption discovered during recovery is exactly what the flight
+  // recorder exists for: dump whatever epochs it still holds before failing.
+  const auto corrupt = [](std::string message) {
+    obs::FlightRecorder::Global().DumpPostMortem("recovery-corruption");
+    return Status::Corruption(std::move(message));
+  };
   // Step 1 — a pending journal means the node died with a commit in flight.
   // Re-applying its redo batch is idempotent (pure overwrites), so a torn,
   // partial, or entirely missing commit batch all converge to the fully
@@ -291,18 +325,19 @@ Result<FullNode::RecoveryReport> FullNode::Recover() {
     if (!journal.ok()) {
       // The pending slot is written in one atomic put, so bad contents are
       // bit rot, not a tear — nothing trustworthy to roll forward from.
-      return Status::Corruption("pending commit journal is corrupt: " +
+      return corrupt("pending commit journal is corrupt: " +
                                 journal.status().message());
     }
     WriteBatch redo;
     if (!WriteBatch::Deserialize(journal->redo, &redo)) {
-      return Status::Corruption("pending commit journal redo does not parse");
+      return corrupt("pending commit journal redo does not parse");
     }
     if (Status s = kv_->Write(redo); !s.ok()) return s;
     recovery.rolled_forward = true;
     obs::Registry()
         .GetCounter("nezha_recovery_total", {{"outcome", "rolled_forward"}})
         ->Inc();
+    obs::FlightRecorder::Global().DumpPostMortem("recovery-rolled-forward");
   }
   // Step 2 — rebuild the ledger (with full block re-validation) and the
   // state from storage.
@@ -314,7 +349,7 @@ Result<FullNode::RecoveryReport> FullNode::Recover() {
   const Hash256 expected =
       ledger_.StateRootBefore(std::numeric_limits<EpochId>::max());
   if (!expected.IsZero() && recovery.state_root != expected) {
-    return Status::Corruption(
+    return corrupt(
         "recovered state root does not match the last epoch root");
   }
   // Step 4 — cross-check the commit journal against the recovered ledger:
@@ -324,27 +359,27 @@ Result<FullNode::RecoveryReport> FullNode::Recover() {
   if (auto last = kv_->Get(kLastJournalKey); last.ok()) {
     auto journal = CommitJournal::Deserialize(*last);
     if (!journal.ok()) {
-      return Status::Corruption("commit journal is corrupt: " +
+      return corrupt("commit journal is corrupt: " +
                                 journal.status().message());
     }
     recovery.last_committed = journal->epoch;
     recovery.receipt_root = journal->receipt_root;
     if (!ledger_.HasCommittedRoot() ||
         journal->epoch != ledger_.LastCommittedEpoch()) {
-      return Status::Corruption("commit journal epoch disagrees with ledger");
+      return corrupt("commit journal epoch disagrees with ledger");
     }
     if (journal->state_root != expected) {
-      return Status::Corruption(
+      return corrupt(
           "commit journal state root disagrees with epoch root");
     }
     for (const Hash256& id : journal->block_ids) {
       if (!ledger_.ContainsBlock(id)) {
-        return Status::Corruption("journaled block missing from ledger");
+        return corrupt("journaled block missing from ledger");
       }
     }
     for (const auto& [chain, tip] : journal->chain_tips) {
       if (!tip.IsZero() && !ledger_.ChainContains(chain, tip)) {
-        return Status::Corruption(
+        return corrupt(
             "journaled chain tip missing from recovered chain " +
             std::to_string(chain));
       }
@@ -361,6 +396,7 @@ Result<FullNode::RecoveryReport> FullNode::Recover() {
 Status FullNode::RecoverFromStorage() { return Recover().status(); }
 
 Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
+  obs::FlightRecorder::Global().SetCurrentEpoch(batch.epoch);
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
@@ -421,6 +457,8 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
     report.execute_ms = config_.cost_model.SerialLatencyMs(batch.TxCount());
   }
   PublishEpochObs(config_, report);
+  // Serial builds no schedule, so the record carries empty attribution.
+  RecordEpochFlight(config_, report, batch.blocks.size(), {});
   return report;
 }
 

@@ -1,0 +1,125 @@
+#include "obs/abort_attribution.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace nezha::obs {
+
+const char* ConflictKindName(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::kReadWrite:
+      return "read-write";
+    case ConflictKind::kWriteWriteUnreorderable:
+      return "write-write-unreorderable";
+    case ConflictKind::kRankCycle:
+      return "rank-cycle";
+    case ConflictKind::kReverted:
+      return "reverted";
+  }
+  return "?";
+}
+
+const char* ReorderFailureName(ReorderFailure failure) {
+  switch (failure) {
+    case ReorderFailure::kNotAttempted:
+      return "not-attempted";
+    case ReorderFailure::kUpperBoundHit:
+      return "upper-bound";
+  }
+  return "?";
+}
+
+void SelectTopK(std::vector<AddressHeat>& heat, std::size_t k) {
+  const auto hotter = [](const AddressHeat& a, const AddressHeat& b) {
+    if (a.aborts != b.aborts) return a.aborts > b.aborts;
+    const std::uint64_t pa = std::uint64_t{a.readers} + a.writers;
+    const std::uint64_t pb = std::uint64_t{b.readers} + b.writers;
+    if (pa != pb) return pa > pb;
+    return a.address < b.address;
+  };
+  if (heat.size() > k) {
+    std::partial_sort(heat.begin(), heat.begin() + static_cast<long>(k),
+                      heat.end(), hotter);
+    heat.resize(k);
+  } else {
+    std::sort(heat.begin(), heat.end(), hotter);
+  }
+}
+
+AttributionRollup BuildRollup(const ScheduleAttribution& attribution,
+                              std::size_t k) {
+  AttributionRollup rollup;
+  for (const AbortRecord& r : attribution.aborts) {
+    ++rollup.by_kind[static_cast<std::size_t>(r.kind)];
+  }
+  rollup.total_aborts = attribution.aborts.size();
+  rollup.reorder_attempts = attribution.reorder_attempts;
+  rollup.reorder_commits = attribution.reorder_commits;
+  rollup.hot_addresses = attribution.hot_addresses;
+  SelectTopK(rollup.hot_addresses, k);
+  return rollup;
+}
+
+void AttributionRollup::Merge(const AttributionRollup& other, std::size_t k) {
+  for (std::size_t i = 0; i < kNumConflictKinds; ++i) {
+    by_kind[i] += other.by_kind[i];
+  }
+  total_aborts += other.total_aborts;
+  reorder_attempts += other.reorder_attempts;
+  reorder_commits += other.reorder_commits;
+  // Merge heat by address, then re-trim.
+  std::unordered_map<std::uint64_t, AddressHeat> merged;
+  merged.reserve(hot_addresses.size() + other.hot_addresses.size());
+  const auto fold = [&](const AddressHeat& h) {
+    AddressHeat& slot = merged[h.address];
+    slot.address = h.address;
+    slot.readers = std::max(slot.readers, h.readers);
+    slot.writers = std::max(slot.writers, h.writers);
+    slot.aborts += h.aborts;
+  };
+  for (const AddressHeat& h : hot_addresses) fold(h);
+  for (const AddressHeat& h : other.hot_addresses) fold(h);
+  hot_addresses.clear();
+  hot_addresses.reserve(merged.size());
+  for (const auto& [addr, h] : merged) hot_addresses.push_back(h);
+  SelectTopK(hot_addresses, k);
+}
+
+void PublishAttribution(std::string_view scheduler,
+                        const AttributionRollup& rollup) {
+  if (!MetricsEnabled()) return;
+  auto& registry = Registry();
+  const std::string name(scheduler);
+  for (std::size_t i = 0; i < kNumConflictKinds; ++i) {
+    if (rollup.by_kind[i] == 0) continue;
+    registry
+        .GetCounter("nezha_abort_cause_total",
+                    {{"scheduler", name},
+                     {"cause",
+                      ConflictKindName(static_cast<ConflictKind>(i))}})
+        ->Inc(rollup.by_kind[i]);
+  }
+  const Labels by_scheduler = {{"scheduler", name}};
+  if (rollup.reorder_attempts > 0) {
+    registry.GetCounter("nezha_reorder_attempts_total", by_scheduler)
+        ->Inc(rollup.reorder_attempts);
+  }
+  if (rollup.reorder_commits > 0) {
+    registry.GetCounter("nezha_reorder_commits_total", by_scheduler)
+        ->Inc(rollup.reorder_commits);
+  }
+  for (std::size_t i = 0; i < rollup.hot_addresses.size(); ++i) {
+    const AddressHeat& h = rollup.hot_addresses[i];
+    const Labels labels = {{"scheduler", name},
+                           {"rank", std::to_string(i)}};
+    registry.GetGauge("nezha_hot_address_aborts", labels)
+        ->Set(static_cast<std::int64_t>(h.aborts));
+    registry.GetGauge("nezha_hot_address_id", labels)
+        ->Set(static_cast<std::int64_t>(h.address));
+  }
+}
+
+}  // namespace nezha::obs

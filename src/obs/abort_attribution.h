@@ -1,0 +1,137 @@
+// Abort attribution — the causal vocabulary behind every abort the
+// concurrency-control layer produces (docs/OBSERVABILITY.md).
+//
+// The schedulers can *count* aborts (nezha_scheduler_aborts_total), but a
+// count cannot answer "which address, which conflict kind, which rank
+// decision killed this transaction?". This header defines the per-abort
+// record the sorters emit at the decision point, the per-schedule
+// attribution bundle a Schedule carries out of BuildSchedule, and the
+// rollup (per-cause totals + top-K hot addresses) that feeds both the
+// metrics registry and the flight recorder.
+//
+// Layering: src/obs sits below everything (links only Threads), so the
+// types here use raw integers — `address` is Address::value, `tx` is a
+// TxIndex — rather than the ledger types.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace nezha::obs {
+
+/// Why a transaction aborted — the taxonomy of §IV's conflict analysis.
+enum class ConflictKind : std::uint8_t {
+  /// Read-write conflict: two read-modify-write transactions on one address
+  /// (each would have to both precede and follow the other under snapshot
+  /// reads), or a read-writer that could not be seated above the reads.
+  kReadWrite = 0,
+  /// Write-write conflict (duplicate write sequence number) that the §IV.D
+  /// reordering enhancement could not legally re-seat.
+  kWriteWriteUnreorderable,
+  /// The write unit's previously assigned number landed at or below the
+  /// address's maximum read number — the unserializability signature caused
+  /// by a cycle in the address-dependency graph (Algorithm 1 had to break
+  /// a cycle to keep ranking).
+  kRankCycle,
+  /// Application-level revert: the transaction's own execution failed
+  /// (rwset.ok == false); it never entered the conflict graph.
+  kReverted,
+};
+inline constexpr std::size_t kNumConflictKinds = 4;
+
+const char* ConflictKindName(ConflictKind kind);
+
+/// Why a §IV.D reorder attempt did not rescue the transaction.
+enum class ReorderFailure : std::uint8_t {
+  /// No attempt was made: reordering disabled, or the conflict kind is not
+  /// reorderable (read-write conflicts cannot move above their own reads).
+  kNotAttempted = 0,
+  /// Every candidate number at or above the target collides with a write or
+  /// crosses the read-side upper bound: raising the transaction would order
+  /// a committed write on an already-sorted address before one of its reads.
+  kUpperBoundHit,
+};
+
+const char* ReorderFailureName(ReorderFailure failure);
+
+/// One abort decision, emitted at the point the sorter makes it.
+struct AbortRecord {
+  std::uint32_t tx = 0;            ///< TxIndex of the aborted transaction
+  std::uint64_t address = 0;       ///< Address::value where the decision fell
+                                   ///< (0 when unattributed, e.g. reverts)
+  ConflictKind kind = ConflictKind::kReadWrite;
+  std::uint64_t seq_at_decision = 0;  ///< the tx's sequence number when judged
+  bool reorder_attempted = false;     ///< §IV.D raise was tried
+  ReorderFailure reorder_failure = ReorderFailure::kNotAttempted;
+};
+
+/// Read/write population and abort count of one address (ACG entry).
+struct AddressHeat {
+  std::uint64_t address = 0;
+  std::uint32_t readers = 0;
+  std::uint32_t writers = 0;
+  std::uint32_t aborts = 0;  ///< abort records attributed to this address
+};
+
+/// Rank-division (Algorithm 1) decision counters for one build.
+struct RankDecisionStats {
+  std::uint64_t zero_indegree_pops = 0;  ///< lines 9-12: plain topo progress
+  std::uint64_t cycle_breaks = 0;        ///< lines 14-21 fired at all
+  /// Which tie-break rule decided each cycle-break:
+  std::uint64_t tiebreak_min_indegree = 0;  ///< single min-in-degree candidate
+  std::uint64_t tiebreak_out_degree = 0;    ///< out-degree separated the field
+  std::uint64_t tiebreak_subscript = 0;     ///< fell through to min subscript
+};
+
+/// Everything BuildSchedule learned about one batch's conflicts, carried on
+/// the Schedule so the node, the flight recorder and the benches all read
+/// the same attribution.
+struct ScheduleAttribution {
+  std::vector<AbortRecord> aborts;
+  /// Top-K addresses by (aborts, population) — K chosen by the producer.
+  std::vector<AddressHeat> hot_addresses;
+  RankDecisionStats rank;
+  std::uint64_t reorder_attempts = 0;  ///< §IV.D raises performed
+  std::uint64_t reorder_commits = 0;   ///< raised transactions that committed
+};
+
+/// Aggregated view of one or more attribution bundles.
+struct AttributionRollup {
+  std::array<std::uint64_t, kNumConflictKinds> by_kind{};
+  std::vector<AddressHeat> hot_addresses;  ///< top-K, merged by address
+  std::uint64_t total_aborts = 0;
+  std::uint64_t reorder_attempts = 0;
+  std::uint64_t reorder_commits = 0;
+
+  std::uint64_t Kind(ConflictKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+  /// Scheduler-caused aborts (everything except application reverts).
+  std::uint64_t ConflictAborts() const {
+    return total_aborts - Kind(ConflictKind::kReverted);
+  }
+  /// Folds another rollup in (hot addresses re-merged, re-trimmed to k).
+  void Merge(const AttributionRollup& other, std::size_t k = 8);
+};
+
+/// Builds a rollup from one attribution bundle.
+AttributionRollup BuildRollup(const ScheduleAttribution& attribution,
+                              std::size_t k = 8);
+
+/// Sorts `heat` by (aborts desc, readers+writers desc, address asc) and
+/// trims it to the k hottest entries.
+void SelectTopK(std::vector<AddressHeat>& heat, std::size_t k);
+
+/// Publishes a rollup into the global metrics registry:
+///   * nezha_abort_cause_total{scheduler,cause}   — counter per cause;
+///   * nezha_reorder_attempts_total / nezha_reorder_commits_total
+///     {scheduler} — §IV.D activity;
+///   * nezha_hot_address_aborts / nezha_hot_address_id{scheduler,rank} —
+///     gauges describing the last build's hottest addresses.
+void PublishAttribution(std::string_view scheduler,
+                        const AttributionRollup& rollup);
+
+}  // namespace nezha::obs

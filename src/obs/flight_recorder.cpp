@@ -1,0 +1,249 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace nezha::obs {
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMs(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Metric label values must stay low-cardinality; fold anything exotic in a
+/// reason string ("fault-crash:node/commit/after_journal") to [a-z0-9-_:/.].
+std::string SanitizeReason(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == ':' || c == '/' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EpochFlightRecord::ToJson() const {
+  std::ostringstream out;
+  out << "{\"epoch\":" << epoch << ",\"scheme\":\"" << JsonEscape(scheme)
+      << "\",\"blocks\":" << blocks << ",\"txs\":" << txs
+      << ",\"committed\":" << committed << ",\"aborted\":" << aborted
+      << ",\"phases_ms\":{\"validate\":" << FormatMs(validate_ms)
+      << ",\"execute\":" << FormatMs(execute_ms)
+      << ",\"cc\":" << FormatMs(cc_ms)
+      << ",\"commit\":" << FormatMs(commit_ms) << "}"
+      << ",\"acg\":{\"vertices\":" << acg_vertices
+      << ",\"edges\":" << acg_edges << "}";
+  const RankDecisionStats& rank = attribution.rank;
+  out << ",\"rank\":{\"zero_indegree\":" << rank.zero_indegree_pops
+      << ",\"cycle_breaks\":" << rank.cycle_breaks
+      << ",\"tiebreak_min_indegree\":" << rank.tiebreak_min_indegree
+      << ",\"tiebreak_out_degree\":" << rank.tiebreak_out_degree
+      << ",\"tiebreak_subscript\":" << rank.tiebreak_subscript << "}";
+  out << ",\"reorders\":{\"attempted\":" << attribution.reorder_attempts
+      << ",\"committed\":" << attribution.reorder_commits << "}";
+  out << ",\"hot_addresses\":[";
+  for (std::size_t i = 0; i < attribution.hot_addresses.size(); ++i) {
+    const AddressHeat& h = attribution.hot_addresses[i];
+    if (i > 0) out << ",";
+    out << "{\"address\":" << h.address << ",\"readers\":" << h.readers
+        << ",\"writers\":" << h.writers << ",\"aborts\":" << h.aborts << "}";
+  }
+  out << "],\"aborts\":[";
+  for (std::size_t i = 0; i < attribution.aborts.size(); ++i) {
+    const AbortRecord& a = attribution.aborts[i];
+    if (i > 0) out << ",";
+    out << "{\"tx\":" << a.tx << ",\"address\":" << a.address
+        << ",\"kind\":\"" << ConflictKindName(a.kind)
+        << "\",\"seq\":" << a.seq_at_decision << ",\"reorder_attempted\":"
+        << (a.reorder_attempted ? "true" : "false")
+        << ",\"reorder_failure\":\"" << ReorderFailureName(a.reorder_failure)
+        << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never freed
+  return *recorder;
+}
+
+void FlightRecorder::SetCapacity(std::size_t capacity) {
+  const std::size_t per_stripe = std::max<std::size_t>(1, capacity / kStripes);
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    // Resizing invalidates slot positions; keep it simple and drop the
+    // stripe's history (SetCapacity is a setup-time call).
+    stripe.capacity = per_stripe;
+    stripe.ring.clear();
+    stripe.seqs.clear();
+    stripe.used.clear();
+  }
+}
+
+void FlightRecorder::Record(EpochFlightRecord record) {
+  if (!enabled()) return;
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[seq % kStripes];
+  MutexLock lock(stripe.mutex);
+  if (stripe.ring.size() != stripe.capacity) {
+    stripe.ring.resize(stripe.capacity);
+    stripe.seqs.resize(stripe.capacity, 0);
+    stripe.used.assign(stripe.capacity, false);
+  }
+  const std::size_t slot = (seq / kStripes) % stripe.capacity;
+  stripe.ring[slot] = std::move(record);
+  stripe.seqs[slot] = seq;
+  stripe.used[slot] = true;
+}
+
+std::vector<EpochFlightRecord> FlightRecorder::Records() const {
+  std::vector<std::pair<std::uint64_t, EpochFlightRecord>> tagged;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    for (std::size_t i = 0; i < stripe.ring.size(); ++i) {
+      if (!stripe.used[i]) continue;
+      tagged.emplace_back(stripe.seqs[i], stripe.ring[i]);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<EpochFlightRecord> records;
+  records.reserve(tagged.size());
+  for (auto& [seq, record] : tagged) records.push_back(std::move(record));
+  return records;
+}
+
+std::size_t FlightRecorder::RecordCount() const {
+  std::size_t count = 0;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    for (std::size_t i = 0; i < stripe.ring.size(); ++i) {
+      count += stripe.used[i] ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+std::uint64_t FlightRecorder::TotalRecorded() const {
+  return next_seq_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::Clear() {
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    stripe.ring.clear();
+    stripe.seqs.clear();
+    stripe.used.clear();
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+  current_epoch_.store(0, std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::ExportJsonl() const {
+  std::string out;
+  for (const EpochFlightRecord& record : Records()) {
+    out += record.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+bool FlightRecorder::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string jsonl = ExportJsonl();
+  const std::size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  const bool ok = written == jsonl.size() && std::fclose(f) == 0;
+  if (!ok && written != jsonl.size()) std::fclose(f);
+  return ok;
+}
+
+void FlightRecorder::SetDumpDirectory(std::optional<std::string> dir) {
+  MutexLock lock(dump_mutex_);
+  dump_dir_ = std::move(dir);
+}
+
+std::string FlightRecorder::DumpPostMortem(std::string_view reason) {
+  const std::string sanitized = SanitizeReason(reason);
+  if (MetricsEnabled()) {
+    Registry()
+        .GetCounter("nezha_flight_dumps_total", {{"reason", sanitized}})
+        ->Inc();
+  }
+  std::string dir;
+  {
+    MutexLock lock(dump_mutex_);
+    if (dump_dir_.has_value()) {
+      dir = *dump_dir_;
+    } else if (const char* env = std::getenv("NEZHA_FLIGHT_DUMP_DIR");
+               env != nullptr && env[0] != '\0') {
+      dir = env;
+    } else {
+      return "";  // dumps disabled; the counter above still recorded it
+    }
+  }
+  std::string file_reason = sanitized;
+  std::replace(file_reason.begin(), file_reason.end(), '/', '-');
+  std::replace(file_reason.begin(), file_reason.end(), ':', '-');
+  const std::uint64_t n =
+      dump_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string path =
+      dir + "/nezha_flight_" + file_reason + "_" + std::to_string(n) +
+      ".jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::string payload = ExportJsonl();
+  payload += "{\"postmortem\":\"" + JsonEscape(reason) +
+             "\",\"epoch\":" + std::to_string(CurrentEpoch()) +
+             ",\"records\":" + std::to_string(RecordCount()) + "}\n";
+  const std::size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  if (written != payload.size()) {
+    std::fclose(f);
+    return "";
+  }
+  if (std::fclose(f) != 0) return "";
+  return path;
+}
+
+}  // namespace nezha::obs

@@ -1,0 +1,133 @@
+// Epoch flight recorder — a bounded, lock-striped ring of structured
+// per-epoch records, the post-mortem counterpart to the live metrics
+// registry (docs/OBSERVABILITY.md).
+//
+// Every processed epoch leaves one EpochFlightRecord: identity and sizes,
+// the four phase durations, ACG statistics, the Algorithm 1 rank-division
+// decision counters, §IV.D reorder activity, the hottest addresses by
+// read/write population, and one AbortRecord per aborted transaction with
+// the exact conflict kind and sequence number at the decision point.
+//
+// The ring is striped (records hash to a stripe by their arrival sequence)
+// so concurrent nodes — tests and benches run several at once — never
+// contend on one mutex; each stripe holds capacity/kStripes records and
+// overwrites its own oldest.
+//
+// Export is JSON Lines: one record per line, shaped for `jq`. On a
+// post-mortem trigger (serializability-oracle rejection, an injected crash
+// at a fault site, FullNode::Recover) the whole ring is dumped to
+// <dump-dir>/nezha_flight_<reason>_<n>.jsonl with a trailer line naming the
+// offending epoch. Dumps are written only when a dump directory is
+// configured (SetDumpDirectory or the NEZHA_FLIGHT_DUMP_DIR environment
+// variable), so crash-sweep tests do not spray files; the
+// nezha_flight_dumps_total{reason} counter always ticks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/abort_attribution.h"
+
+namespace nezha::obs {
+
+/// One epoch through the pipeline, as the recorder remembers it.
+struct EpochFlightRecord {
+  std::uint64_t epoch = 0;
+  std::string scheme;
+  std::uint32_t blocks = 0;
+  std::uint32_t txs = 0;
+  std::uint32_t committed = 0;
+  std::uint32_t aborted = 0;
+
+  double validate_ms = 0;
+  double execute_ms = 0;
+  double cc_ms = 0;
+  double commit_ms = 0;
+
+  std::uint64_t acg_vertices = 0;  ///< addresses touched
+  std::uint64_t acg_edges = 0;     ///< address-dependency edges
+
+  ScheduleAttribution attribution;
+
+  /// Serialises this record as one JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Total ring capacity in records (default 512, split across stripes).
+  /// Shrinking drops the oldest records.
+  void SetCapacity(std::size_t capacity);
+
+  void Record(EpochFlightRecord record);
+
+  /// The epoch currently being processed — post-mortem dumps name it even
+  /// when the epoch died before its record landed. 0 = none.
+  void SetCurrentEpoch(std::uint64_t epoch) {
+    current_epoch_.store(epoch, std::memory_order_relaxed);
+  }
+  std::uint64_t CurrentEpoch() const {
+    return current_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies out the buffered records in arrival order (oldest first).
+  std::vector<EpochFlightRecord> Records() const;
+  std::size_t RecordCount() const;
+  /// Lifetime count, including records the ring has overwritten.
+  std::uint64_t TotalRecorded() const;
+  void Clear();
+
+  /// All buffered records as JSON Lines, plus nothing else.
+  std::string ExportJsonl() const;
+  /// Writes ExportJsonl() to `path`; false on I/O failure.
+  bool WriteJsonl(const std::string& path) const;
+
+  /// Where post-mortem dumps land. Resolution: this override if set, else
+  /// $NEZHA_FLIGHT_DUMP_DIR, else dumps are disabled (metric still ticks).
+  void SetDumpDirectory(std::optional<std::string> dir);
+
+  /// Dumps the ring to <dir>/nezha_flight_<reason>_<n>.jsonl with a trailer
+  /// line `{"postmortem":reason,"epoch":CurrentEpoch(),...}`. Returns the
+  /// path written, or an empty string when no dump directory is configured
+  /// or the write failed. Always increments
+  /// nezha_flight_dumps_total{reason}.
+  std::string DumpPostMortem(std::string_view reason);
+
+ private:
+  FlightRecorder() = default;
+
+  static constexpr std::size_t kStripes = 8;
+
+  struct Stripe {
+    mutable Mutex mutex;
+    /// Ring of per-stripe slots; slot = (seq / kStripes) % capacity.
+    std::vector<EpochFlightRecord> ring GUARDED_BY(mutex);
+    std::vector<std::uint64_t> seqs GUARDED_BY(mutex);  ///< seq per slot
+    std::vector<bool> used GUARDED_BY(mutex);
+    std::size_t capacity GUARDED_BY(mutex) = 64;  ///< 512 / kStripes
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> current_epoch_{0};
+  std::atomic<std::uint64_t> dump_counter_{0};
+
+  mutable Mutex dump_mutex_;
+  std::optional<std::string> dump_dir_ GUARDED_BY(dump_mutex_);
+
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace nezha::obs

@@ -307,6 +307,19 @@ std::string MetricsRegistry::RenderText() const {
     out << s.name << "_sum" << s.labels << " " << FormatNumber(s.histogram.sum)
         << "\n";
     out << s.name << "_count" << s.labels << " " << s.histogram.count << "\n";
+    // Derived quantiles (summary-style series) so dashboards get p50/p95/p99
+    // without PromQL bucket arithmetic; interpolated inside the bucket, so
+    // approximate to the bucket resolution.
+    static constexpr struct {
+      double p;
+      const char* label;
+    } kQuantiles[] = {{50.0, "0.5"}, {95.0, "0.95"}, {99.0, "0.99"}};
+    for (const auto& q : kQuantiles) {
+      out << s.name << "{";
+      if (!base_labels.empty()) out << base_labels << ",";
+      out << "quantile=\"" << q.label << "\"} "
+          << FormatNumber(s.histogram.Percentile(q.p)) << "\n";
+    }
   }
   return out.str();
 }

@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/histogram.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/sha256.h"
@@ -492,6 +493,102 @@ TEST(LoggingTest, LogEveryNSamplesTheCallSite) {
   SetLogLevel(before);
   // The message expression only runs on the sampled hits (1 in 10).
   EXPECT_EQ(evaluations, 10);
+}
+
+// ---------- JSON (common/json.h) ----------
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE((*json::Parse("null")).is_null());
+  EXPECT_EQ((*json::Parse("true")).AsBool(), true);
+  EXPECT_EQ((*json::Parse("false")).AsBool(), false);
+  EXPECT_DOUBLE_EQ((*json::Parse("-2.5e3")).AsDouble(), -2500);
+  EXPECT_EQ((*json::Parse("42")).AsInt(), 42);
+  EXPECT_EQ((*json::Parse("\"hi\\n\"")).AsString(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNestedDocumentAndPreservesKeyOrder) {
+  const auto parsed = json::Parse(
+      R"({"b": 1, "a": {"list": [1, "two", null, {"deep": true}]}})");
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& v = *parsed;
+  EXPECT_EQ(v.AsObject()[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(v.AsObject()[1].first, "a");
+  const json::Value& list = v["a"]["list"];
+  ASSERT_EQ(list.AsArray().size(), 4u);
+  EXPECT_EQ(list.AsArray()[1].AsString(), "two");
+  EXPECT_TRUE(list.AsArray()[2].is_null());
+  EXPECT_TRUE(list.AsArray()[3]["deep"].AsBool());
+}
+
+TEST(JsonTest, RoundTripsThroughDump) {
+  const char* docs[] = {
+      R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5}})",
+      R"([1,2,3])",
+      R"("escaped \" backslash \\ newline \n")",
+      R"({"unicode":"é€"})",
+  };
+  for (const char* doc : docs) {
+    const auto first = json::Parse(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    const std::string dumped = first->Dump();
+    const auto second = json::Parse(dumped);
+    ASSERT_TRUE(second.ok()) << dumped;
+    // Dump is canonical: a second round-trip is byte-identical.
+    EXPECT_EQ(second->Dump(), dumped);
+  }
+}
+
+TEST(JsonTest, NumbersPrintShortestRoundTrip) {
+  json::Value v;
+  v.Set("int", 42);
+  v.Set("skew", 0.8);
+  v.Set("third", 1.0 / 3.0);
+  const std::string dumped = v.Dump();
+  EXPECT_NE(dumped.find("\"int\":42"), std::string::npos);
+  // 0.8 prints as 0.8, not 0.80000000000000004.
+  EXPECT_NE(dumped.find("\"skew\":0.8"), std::string::npos);
+  const auto parsed = json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ((*parsed)["third"].AsDouble(), 1.0 / 3.0);
+}
+
+TEST(JsonTest, SurrogatePairsDecodeToUtf8) {
+  const auto parsed = json::Parse(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",       "{",           "[1,",          "{\"a\":}", "tru",
+      "1 2",    "\"unclosed",  "{\"a\" 1}",    "[1,]",     "nan",
+      "{\"a\":1,}",
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(json::Parse(doc).ok()) << "'" << doc << "' parsed";
+  }
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(json::Parse(deep).ok());
+}
+
+TEST(JsonTest, ObjectAccessorsAndMutation) {
+  json::Value v;
+  v.Set("x", 1);
+  v.Set("y", "two");
+  v.Set("x", 3);  // overwrite, not duplicate
+  EXPECT_EQ(v.AsObject().size(), 2u);
+  EXPECT_EQ(v["x"].AsInt(), 3);
+  EXPECT_TRUE(v.Contains("y"));
+  EXPECT_FALSE(v.Contains("z"));
+  EXPECT_TRUE(v["z"].is_null());  // missing key reads as null
+  json::Value arr;
+  arr.Append(1);
+  arr.Append("two");
+  EXPECT_EQ(arr.AsArray().size(), 2u);
 }
 
 }  // namespace

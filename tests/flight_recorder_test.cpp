@@ -1,0 +1,329 @@
+// Flight-recorder semantics: ring/striping bounds, arrival ordering, JSON
+// schema (validated with the common JSON parser), JSONL export, post-mortem
+// dump gating, and the two real dump triggers — a serializability-oracle
+// rejection and an injected fault crash — each naming the offending epoch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cc/scheduler.h"
+#include "common/json.h"
+#include "fault/fault.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace nezha::obs {
+namespace {
+
+EpochFlightRecord MakeRecord(std::uint64_t epoch) {
+  EpochFlightRecord record;
+  record.epoch = epoch;
+  record.scheme = "nezha";
+  record.blocks = 4;
+  record.txs = 800;
+  record.committed = 700;
+  record.aborted = 100;
+  record.validate_ms = 1.5;
+  record.cc_ms = 2.25;
+  record.acg_vertices = 1200;
+  record.acg_edges = 900;
+  return record;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The dump-gating assertions depend on the env fallback being absent.
+    ::unsetenv("NEZHA_FLIGHT_DUMP_DIR");
+    SetMetricsEnabled(true);
+    FlightRecorder& recorder = FlightRecorder::Global();
+    recorder.SetEnabled(true);
+    recorder.SetDumpDirectory(std::nullopt);
+    recorder.SetCapacity(512);
+    recorder.Clear();
+  }
+  void TearDown() override {
+    FlightRecorder& recorder = FlightRecorder::Global();
+    recorder.SetDumpDirectory(std::nullopt);
+    recorder.SetCapacity(512);
+    recorder.Clear();
+    SetScheduleVerification(std::nullopt);
+  }
+};
+
+TEST_F(FlightRecorderTest, RecordsComeBackInArrivalOrder) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  for (std::uint64_t e = 1; e <= 20; ++e) recorder.Record(MakeRecord(e));
+  const auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 20u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].epoch, i + 1);
+  }
+  EXPECT_EQ(recorder.RecordCount(), 20u);
+  EXPECT_EQ(recorder.TotalRecorded(), 20u);
+}
+
+TEST_F(FlightRecorderTest, RingOverwritesOldestAcrossStripes) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetCapacity(16);
+  for (std::uint64_t e = 1; e <= 100; ++e) recorder.Record(MakeRecord(e));
+  EXPECT_EQ(recorder.TotalRecorded(), 100u);
+  const auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 16u);
+  // Striped ring: each of the 8 stripes keeps its own newest 2, which is
+  // globally the newest 16 records.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].epoch, 85 + i);
+  }
+}
+
+TEST_F(FlightRecorderTest, CapacityClampsToOnePerStripe) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetCapacity(1);  // below the stripe count
+  for (std::uint64_t e = 1; e <= 20; ++e) recorder.Record(MakeRecord(e));
+  EXPECT_EQ(recorder.RecordCount(), 8u);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderDropsRecords) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetEnabled(false);
+  recorder.Record(MakeRecord(1));
+  EXPECT_EQ(recorder.RecordCount(), 0u);
+  EXPECT_EQ(recorder.TotalRecorded(), 0u);
+  recorder.SetEnabled(true);
+}
+
+TEST_F(FlightRecorderTest, ToJsonMatchesDocumentedSchema) {
+  EpochFlightRecord record = MakeRecord(7);
+  record.attribution.rank.cycle_breaks = 5;
+  record.attribution.rank.tiebreak_subscript = 3;
+  record.attribution.reorder_attempts = 2;
+  record.attribution.reorder_commits = 1;
+  record.attribution.hot_addresses.push_back(
+      {/*address=*/42, /*readers=*/9, /*writers=*/4, /*aborts=*/6});
+  AbortRecord abort;
+  abort.tx = 13;
+  abort.address = 42;
+  abort.kind = ConflictKind::kRankCycle;
+  abort.seq_at_decision = 3;
+  abort.reorder_attempted = true;
+  abort.reorder_failure = ReorderFailure::kUpperBoundHit;
+  record.attribution.aborts.push_back(abort);
+
+  const auto parsed = json::Parse(record.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& v = *parsed;
+  EXPECT_EQ(v["epoch"].AsInt(), 7);
+  EXPECT_EQ(v["scheme"].AsString(), "nezha");
+  EXPECT_EQ(v["txs"].AsInt(), 800);
+  EXPECT_DOUBLE_EQ(v["phases_ms"]["cc"].AsDouble(), 2.25);
+  EXPECT_EQ(v["acg"]["vertices"].AsInt(), 1200);
+  EXPECT_EQ(v["rank"]["cycle_breaks"].AsInt(), 5);
+  EXPECT_EQ(v["rank"]["tiebreak_subscript"].AsInt(), 3);
+  EXPECT_EQ(v["reorders"]["attempted"].AsInt(), 2);
+  ASSERT_EQ(v["hot_addresses"].AsArray().size(), 1u);
+  EXPECT_EQ(v["hot_addresses"].AsArray()[0]["address"].AsInt(), 42);
+  ASSERT_EQ(v["aborts"].AsArray().size(), 1u);
+  const json::Value& a = v["aborts"].AsArray()[0];
+  EXPECT_EQ(a["tx"].AsInt(), 13);
+  EXPECT_EQ(a["kind"].AsString(), "rank-cycle");
+  EXPECT_EQ(a["seq"].AsInt(), 3);
+  EXPECT_TRUE(a["reorder_attempted"].AsBool());
+  EXPECT_EQ(a["reorder_failure"].AsString(), "upper-bound");
+}
+
+TEST_F(FlightRecorderTest, ExportJsonlHasOneParsableLinePerRecord) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  for (std::uint64_t e = 1; e <= 3; ++e) recorder.Record(MakeRecord(e));
+  const auto lines = Lines(recorder.ExportJsonl());
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto parsed = json::Parse(lines[i]);
+    ASSERT_TRUE(parsed.ok()) << lines[i];
+    EXPECT_EQ((*parsed)["epoch"].AsInt(),
+              static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST_F(FlightRecorderTest, WriteJsonlRoundTrips) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Record(MakeRecord(9));
+  const std::string path = ::testing::TempDir() + "flight_roundtrip.jsonl";
+  ASSERT_TRUE(recorder.WriteJsonl(path));
+  const auto lines = Lines(ReadFile(path));
+  ASSERT_EQ(lines.size(), 1u);
+  const auto parsed = json::Parse(lines[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)["epoch"].AsInt(), 9);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpIsGatedButCounterAlwaysTicks) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Record(MakeRecord(1));
+  const double before = Registry().Snapshot().Value(
+      "nezha_flight_dumps_total", "{reason=\"gated-test\"}");
+  EXPECT_EQ(recorder.DumpPostMortem("gated-test"), "");
+  const double after = Registry().Snapshot().Value(
+      "nezha_flight_dumps_total", "{reason=\"gated-test\"}");
+  EXPECT_DOUBLE_EQ(after, before + 1);
+}
+
+TEST_F(FlightRecorderTest, DumpWritesRingPlusTrailerNamingTheEpoch) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetDumpDirectory(::testing::TempDir());
+  recorder.SetCurrentEpoch(42);
+  recorder.Record(MakeRecord(41));
+  recorder.Record(MakeRecord(42));
+  const std::string path = recorder.DumpPostMortem("unit-test");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("nezha_flight_unit-test_"), std::string::npos);
+  const auto lines = Lines(ReadFile(path));
+  ASSERT_EQ(lines.size(), 3u);  // 2 records + trailer
+  const auto trailer = json::Parse(lines.back());
+  ASSERT_TRUE(trailer.ok());
+  EXPECT_EQ((*trailer)["postmortem"].AsString(), "unit-test");
+  EXPECT_EQ((*trailer)["epoch"].AsInt(), 42);
+  EXPECT_EQ((*trailer)["records"].AsInt(), 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpSanitizesReasonIntoFilename) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetDumpDirectory(::testing::TempDir());
+  const std::string path =
+      recorder.DumpPostMortem("fault-crash:node/commit after?journal");
+  ASSERT_FALSE(path.empty());
+  const std::string base = path.substr(path.rfind('/') + 1);
+  EXPECT_NE(base.find("fault-crash-node-commit"), std::string::npos);
+  EXPECT_EQ(base.find(':'), std::string::npos);
+  EXPECT_EQ(base.find('?'), std::string::npos);
+  std::remove(path.c_str());
+}
+
+/// A scheduler that deliberately commits two conflicting read-modify-write
+/// transactions in the same commit group — the serializability oracle must
+/// reject it, which must leave a post-mortem dump naming the epoch.
+class CorruptScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "corrupt-test"; }
+  const SchedulerMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  Result<Schedule> BuildScheduleImpl(
+      std::span<const ReadWriteSet> rwsets) override {
+    Schedule schedule;
+    schedule.sequence.assign(rwsets.size(), 1);  // everyone concurrent
+    schedule.aborted.assign(rwsets.size(), false);
+    schedule.RebuildGroups();
+    return schedule;
+  }
+
+ private:
+  SchedulerMetrics metrics_;
+};
+
+TEST_F(FlightRecorderTest, OracleRejectionDumpsAndNamesTheEpoch) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetDumpDirectory(::testing::TempDir());
+  recorder.SetCurrentEpoch(77);
+  SetScheduleVerification(true);
+
+  std::vector<ReadWriteSet> rwsets(2);
+  for (ReadWriteSet& rw : rwsets) {
+    rw.reads = {Address{7}};
+    rw.writes = {Address{7}};
+    rw.write_values = {1};
+  }
+  CorruptScheduler scheduler;
+  const auto result = scheduler.BuildSchedule(rwsets);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+
+  // The rejected schedule is in the ring and the dump names epoch 77.
+  const auto records = recorder.Records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().scheme, "corrupt-test");
+  EXPECT_EQ(records.back().epoch, 77u);
+
+  // Find the dump the rejection wrote (counter n is process-wide, so scan).
+  const std::string dir = ::testing::TempDir();
+  std::string found;
+  for (int n = 1; n < 200 && found.empty(); ++n) {
+    const std::string candidate =
+        dir + "nezha_flight_oracle-rejection_" + std::to_string(n) + ".jsonl";
+    if (std::FILE* f = std::fopen(candidate.c_str(), "rb")) {
+      std::fclose(f);
+      found = candidate;
+    }
+  }
+  ASSERT_FALSE(found.empty());
+  const auto lines = Lines(ReadFile(found));
+  const auto trailer = json::Parse(lines.back());
+  ASSERT_TRUE(trailer.ok());
+  EXPECT_EQ((*trailer)["postmortem"].AsString(), "oracle-rejection");
+  EXPECT_EQ((*trailer)["epoch"].AsInt(), 77);
+  std::remove(found.c_str());
+}
+
+TEST_F(FlightRecorderTest, InjectedCrashDumpsWithSiteInReason) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetDumpDirectory(::testing::TempDir());
+  recorder.SetCurrentEpoch(5);
+  recorder.Record(MakeRecord(5));
+  const Status crashed = fault::CrashStatus("node/commit/after_journal");
+  EXPECT_TRUE(fault::IsInjectedCrash(crashed));
+  const std::string dir = ::testing::TempDir();
+  std::string found;
+  for (int n = 1; n < 200 && found.empty(); ++n) {
+    const std::string candidate = dir +
+                                  "nezha_flight_fault-crash-node-commit-"
+                                  "after_journal_" +
+                                  std::to_string(n) + ".jsonl";
+    if (std::FILE* f = std::fopen(candidate.c_str(), "rb")) {
+      std::fclose(f);
+      found = candidate;
+    }
+  }
+  ASSERT_FALSE(found.empty());
+  const auto lines = Lines(ReadFile(found));
+  const auto trailer = json::Parse(lines.back());
+  ASSERT_TRUE(trailer.ok());
+  EXPECT_EQ((*trailer)["postmortem"].AsString(),
+            "fault-crash:node/commit/after_journal");
+  EXPECT_EQ((*trailer)["epoch"].AsInt(), 5);
+  std::remove(found.c_str());
+}
+
+}  // namespace
+}  // namespace nezha::obs

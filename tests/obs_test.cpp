@@ -3,10 +3,14 @@
 // nesting, ring-buffer bounds, and both export formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <map>
 #include <thread>
 #include <vector>
 
+#include "obs/abort_attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -268,6 +272,223 @@ TEST_F(ObsTest, ChromeTraceExportIsWellFormed) {
   // Balanced braces is a cheap well-formedness proxy.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ObsTest, PercentileOnUniformDistributionIsExact) {
+  // Per-value buckets over 1..100 with one observation each: percentiles
+  // interpolate to the exact order statistics.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(i);
+  BucketHistogram* h = Registry().GetHistogram("obs_test_pct_uniform", {},
+                                               bounds);
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+  const HistogramData data = h->Snapshot();
+  EXPECT_DOUBLE_EQ(data.Percentile(50), 50);
+  EXPECT_DOUBLE_EQ(data.Percentile(95), 95);
+  EXPECT_DOUBLE_EQ(data.Percentile(99), 99);
+  EXPECT_DOUBLE_EQ(data.Percentile(100), 100);
+}
+
+TEST_F(ObsTest, PercentileOnSkewedTwoPointDistribution) {
+  // 90 fast samples at 1, 10 slow at 100 (bounds {1, 100}): the median sits
+  // in the fast bucket; the tail percentiles interpolate inside [1, 100].
+  BucketHistogram* h =
+      Registry().GetHistogram("obs_test_pct_skewed", {}, {1, 100});
+  for (int i = 0; i < 90; ++i) h->Observe(1);
+  for (int i = 0; i < 10; ++i) h->Observe(100);
+  const HistogramData data = h->Snapshot();
+  EXPECT_DOUBLE_EQ(data.Percentile(50), 1);
+  EXPECT_DOUBLE_EQ(data.Percentile(90), 1);
+  // target 95: 5 of the 10 slow samples in → halfway through [1, 100].
+  EXPECT_NEAR(data.Percentile(95), 50.5, 1e-9);
+  EXPECT_NEAR(data.Percentile(99), 90.1, 1e-9);
+}
+
+TEST_F(ObsTest, PercentileEdgeCases) {
+  BucketHistogram* h =
+      Registry().GetHistogram("obs_test_pct_edge", {}, {10, 100});
+  EXPECT_DOUBLE_EQ(h->Snapshot().Percentile(50), 0);  // empty → 0
+  h->Observe(7);
+  // A single sample reports the sample for every percentile (clamped to
+  // observed min/max, not bucket edges).
+  EXPECT_DOUBLE_EQ(h->Snapshot().Percentile(1), 7);
+  EXPECT_DOUBLE_EQ(h->Snapshot().Percentile(50), 7);
+  EXPECT_DOUBLE_EQ(h->Snapshot().Percentile(99), 7);
+}
+
+TEST_F(ObsTest, RenderTextEmitsQuantileLines) {
+  BucketHistogram* h = Registry().GetHistogram(
+      "obs_test_quant_us", {{"phase", "cc"}}, {1, 2, 4, 8, 16});
+  for (int i = 0; i < 100; ++i) h->Observe(i % 2 == 0 ? 1 : 8);
+  const std::string text = Registry().RenderText();
+  EXPECT_NE(text.find("obs_test_quant_us{phase=\"cc\",quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_quant_us{phase=\"cc\",quantile=\"0.95\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_quant_us{phase=\"cc\",quantile=\"0.99\"} "),
+            std::string::npos);
+  // Unlabelled histograms get a bare {quantile=...} label set.
+  Registry().GetHistogram("obs_test_quant_plain", {}, {1, 2})->Observe(1);
+  const std::string plain = Registry().RenderText();
+  EXPECT_NE(plain.find("obs_test_quant_plain{quantile=\"0.5\"} "),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentWritersAndExporterSeeNoTornSpans) {
+  // N writer threads emit sequence-numbered spans while a reader loops the
+  // Chrome export: every export must be balanced, and the final buffer must
+  // hold only fully-formed spans whose per-thread sequence numbers and
+  // timestamps are monotonic. Run under TSan in CI.
+  PhaseTracer& tracer = PhaseTracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string json = tracer.ExportChromeTrace();
+      EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+                std::count(json.begin(), json.end(), '}'));
+      EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 300;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan span("w" + std::to_string(t) + "." + std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.TotalRecorded(),
+            static_cast<std::uint64_t>(kThreads) * kSpans);
+  std::map<std::uint32_t, double> last_ts;
+  std::map<std::uint32_t, long> last_seq;
+  for (const TraceEvent& e : tracer.Events()) {
+    // A torn span would have a foreign name, negative duration or zero tid.
+    ASSERT_FALSE(e.name.empty());
+    ASSERT_EQ(e.name[0], 'w');
+    EXPECT_GT(e.tid, 0u);
+    EXPECT_GE(e.dur_us, 0);
+    const auto dot = e.name.find('.');
+    ASSERT_NE(dot, std::string::npos);
+    const long seq = std::strtol(e.name.c_str() + dot + 1, nullptr, 10);
+    // Events() is start-time ordered; within one thread the spans were
+    // created sequentially, so both clock and sequence must advance.
+    auto [ts_it, ts_new] = last_ts.try_emplace(e.tid, e.ts_us);
+    if (!ts_new) {
+      EXPECT_GE(e.ts_us, ts_it->second);
+      ts_it->second = e.ts_us;
+    }
+    auto [seq_it, seq_new] = last_seq.try_emplace(e.tid, seq);
+    if (!seq_new) {
+      EXPECT_GT(seq, seq_it->second);
+      seq_it->second = seq;
+    }
+  }
+  EXPECT_EQ(last_seq.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(ObsTest, RollupCountsAbortsByKind) {
+  // Abort counting goes through BuildRollup — the same path the node, the
+  // flight recorder and the benches read — not ad-hoc flag counting.
+  ScheduleAttribution attribution;
+  const auto add = [&](ConflictKind kind, std::uint64_t address) {
+    AbortRecord r;
+    r.tx = static_cast<std::uint32_t>(attribution.aborts.size());
+    r.address = address;
+    r.kind = kind;
+    attribution.aborts.push_back(r);
+  };
+  add(ConflictKind::kReadWrite, 7);
+  add(ConflictKind::kReadWrite, 7);
+  add(ConflictKind::kWriteWriteUnreorderable, 9);
+  add(ConflictKind::kRankCycle, 7);
+  add(ConflictKind::kReverted, 0);
+  attribution.reorder_attempts = 4;
+  attribution.reorder_commits = 1;
+  const AttributionRollup rollup = BuildRollup(attribution);
+  EXPECT_EQ(rollup.total_aborts, 5u);
+  EXPECT_EQ(rollup.Kind(ConflictKind::kReadWrite), 2u);
+  EXPECT_EQ(rollup.Kind(ConflictKind::kWriteWriteUnreorderable), 1u);
+  EXPECT_EQ(rollup.Kind(ConflictKind::kRankCycle), 1u);
+  EXPECT_EQ(rollup.Kind(ConflictKind::kReverted), 1u);
+  EXPECT_EQ(rollup.ConflictAborts(), 4u);  // reverts excluded
+  EXPECT_EQ(rollup.reorder_attempts, 4u);
+  EXPECT_EQ(rollup.reorder_commits, 1u);
+}
+
+TEST_F(ObsTest, RollupMergeFoldsHotAddressesByAddress) {
+  AttributionRollup a;
+  a.total_aborts = 2;
+  a.by_kind[0] = 2;
+  a.hot_addresses.push_back({/*address=*/7, /*readers=*/3, /*writers=*/1,
+                             /*aborts=*/2});
+  AttributionRollup b;
+  b.total_aborts = 3;
+  b.by_kind[2] = 3;
+  b.hot_addresses.push_back({7, 5, 1, 1});
+  b.hot_addresses.push_back({9, 1, 4, 2});
+  a.Merge(b);
+  EXPECT_EQ(a.total_aborts, 5u);
+  EXPECT_EQ(a.Kind(ConflictKind::kReadWrite), 2u);
+  EXPECT_EQ(a.Kind(ConflictKind::kRankCycle), 3u);
+  ASSERT_EQ(a.hot_addresses.size(), 2u);
+  // Address 7: aborts sum (2+1=3), populations take the max snapshot.
+  EXPECT_EQ(a.hot_addresses[0].address, 7u);
+  EXPECT_EQ(a.hot_addresses[0].aborts, 3u);
+  EXPECT_EQ(a.hot_addresses[0].readers, 5u);
+  EXPECT_EQ(a.hot_addresses[1].address, 9u);
+}
+
+TEST_F(ObsTest, SelectTopKOrdersByAbortsThenPopulation) {
+  std::vector<AddressHeat> heat = {
+      {/*address=*/1, /*readers=*/1, /*writers=*/1, /*aborts=*/0},
+      {2, 9, 9, 2},
+      {3, 1, 1, 5},
+      {4, 5, 5, 2},
+  };
+  SelectTopK(heat, 3);
+  ASSERT_EQ(heat.size(), 3u);
+  EXPECT_EQ(heat[0].address, 3u);  // most aborts
+  EXPECT_EQ(heat[1].address, 2u);  // aborts tie → larger population
+  EXPECT_EQ(heat[2].address, 4u);
+}
+
+TEST_F(ObsTest, PublishAttributionEmitsCauseAndHotAddressSeries) {
+  AttributionRollup rollup;
+  rollup.total_aborts = 3;
+  rollup.by_kind[static_cast<std::size_t>(ConflictKind::kReadWrite)] = 2;
+  rollup.by_kind[static_cast<std::size_t>(ConflictKind::kRankCycle)] = 1;
+  rollup.reorder_attempts = 5;
+  rollup.reorder_commits = 2;
+  rollup.hot_addresses.push_back({/*address=*/42, 3, 2, 3});
+  PublishAttribution("obs_test_sched", rollup);
+  const RegistrySnapshot snapshot = Registry().Snapshot();
+  EXPECT_DOUBLE_EQ(
+      snapshot.Value("nezha_abort_cause_total",
+                     "{cause=\"read-write\",scheduler=\"obs_test_sched\"}"),
+      2);
+  EXPECT_DOUBLE_EQ(
+      snapshot.Value("nezha_abort_cause_total",
+                     "{cause=\"rank-cycle\",scheduler=\"obs_test_sched\"}"),
+      1);
+  EXPECT_DOUBLE_EQ(
+      snapshot.Value("nezha_reorder_attempts_total",
+                     "{scheduler=\"obs_test_sched\"}"),
+      5);
+  EXPECT_DOUBLE_EQ(snapshot.Value("nezha_hot_address_id",
+                                  "{rank=\"0\",scheduler=\"obs_test_sched\"}"),
+                   42);
+  EXPECT_DOUBLE_EQ(
+      snapshot.Value("nezha_hot_address_aborts",
+                     "{rank=\"0\",scheduler=\"obs_test_sched\"}"),
+      3);
 }
 
 TEST_F(ObsTest, SnapshotHelpersFindAndSum) {

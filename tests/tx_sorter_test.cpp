@@ -9,6 +9,7 @@
 #include "cc/nezha/acg.h"
 #include "cc/nezha/rank_division.h"
 #include "cc/nezha/tx_sorter.h"
+#include "obs/abort_attribution.h"
 #include "runtime/serializability.h"
 
 namespace nezha {
@@ -304,6 +305,152 @@ TEST(TxSorterTest, WideTransactionTouchingManyAddresses) {
   }
   const TxSorterResult result = SortAll(rwsets);
   ExpectSound(rwsets, result);
+}
+
+// ---------- abort attribution (docs/OBSERVABILITY.md taxonomy) ----------
+//
+// Each scenario drives one decision point in SortTransactions and pins the
+// AbortRecord it emits: conflict kind, address, sequence number at the
+// decision, and whether/why the §IV.D raise failed. Where the natural
+// ComputeSortingRanks order would dodge the conflict, the test hands
+// SortTransactions an explicit rank order (entries() is ascending by
+// address, vertex i == entries()[i]).
+
+TxSorterResult SortWithRankOrder(const std::vector<ReadWriteSet>& rwsets,
+                                 std::vector<Digraph::Vertex> order,
+                                 bool reorder = true) {
+  const auto acg = AddressConflictGraph::Build(rwsets);
+  TxSorterOptions options;
+  options.enable_reordering = reorder;
+  return SortTransactions(acg, order, rwsets.size(), options);
+}
+
+TEST(TxSorterTest, AttributionDuplicateRmwIsReadWriteNotAttempted) {
+  // Two read-modify-writes on address 5: the second read-writer dies in
+  // Phase B without a raise attempt (RMW conflicts are never reorderable).
+  const std::vector<ReadWriteSet> rwsets = {RW({5}, {5}), RW({5}, {5})};
+  const TxSorterResult result = SortAll(rwsets);
+  ASSERT_EQ(result.abort_records.size(), 1u);
+  const obs::AbortRecord& record = result.abort_records[0];
+  EXPECT_EQ(record.tx, 1u);
+  EXPECT_EQ(record.address, 5u);
+  EXPECT_EQ(record.kind, obs::ConflictKind::kReadWrite);
+  EXPECT_FALSE(record.reorder_attempted);
+  EXPECT_EQ(record.reorder_failure, obs::ReorderFailure::kNotAttempted);
+  EXPECT_EQ(result.reorder_attempts, 0u);
+}
+
+TEST(TxSorterTest, AttributionPinnedRmwIsReadWriteUpperBound) {
+  // Address 1 sorts first: T0 reads it (seq 1), T1 writes it (seq 2).
+  // On address 2, T0 is a read-writer at max_read — Phase B must raise it,
+  // but any number >= 2 would order T1's committed write on address 1
+  // before T0's read there. The raise hits the read-side upper bound.
+  const std::vector<ReadWriteSet> rwsets = {
+      RW({1, 2}, {2}),  // T0: RMW on A2, pinned by its read of A1
+      RW({}, {1}),      // T1: writes A1 above T0's read
+      RW({2}, {}),      // T2: plain reader holding max_read on A2
+  };
+  const TxSorterResult result = SortWithRankOrder(rwsets, {0, 1});
+  ASSERT_EQ(result.abort_records.size(), 1u);
+  const obs::AbortRecord& record = result.abort_records[0];
+  EXPECT_EQ(record.tx, 0u);
+  EXPECT_EQ(record.address, 2u);
+  EXPECT_EQ(record.kind, obs::ConflictKind::kReadWrite);
+  EXPECT_EQ(record.seq_at_decision, 1u);
+  EXPECT_TRUE(record.reorder_attempted);
+  EXPECT_EQ(record.reorder_failure, obs::ReorderFailure::kUpperBoundHit);
+  // Phase B raises are not §IV.D write-side attempts.
+  EXPECT_EQ(result.reorder_attempts, 0u);
+  EXPECT_FALSE(result.aborted[1]);
+  EXPECT_FALSE(result.aborted[2]);
+}
+
+TEST(TxSorterTest, AttributionPlainAlgorithm2AbortIsRankCycle) {
+  // Fig. 8 with reordering disabled: Tu's write on A20 lands below Tv's
+  // read — the unserializability signature, attributed as a rank cycle
+  // with no raise attempted.
+  const std::vector<ReadWriteSet> rwsets = {
+      RW({}, {10, 20}),  // Tu
+      RW({20}, {10}),    // Tv
+  };
+  const TxSorterResult result = SortAll(rwsets, /*reorder=*/false);
+  ASSERT_EQ(result.abort_records.size(), 1u);
+  const obs::AbortRecord& record = result.abort_records[0];
+  EXPECT_EQ(record.tx, 0u);
+  EXPECT_EQ(record.address, 20u);
+  EXPECT_EQ(record.kind, obs::ConflictKind::kRankCycle);
+  EXPECT_EQ(record.seq_at_decision, 1u);
+  EXPECT_FALSE(record.reorder_attempted);
+  EXPECT_EQ(record.reorder_failure, obs::ReorderFailure::kNotAttempted);
+  EXPECT_EQ(result.reorder_attempts, 0u);
+}
+
+TEST(TxSorterTest, AttributionFailedRaiseIsRankCycleUpperBound) {
+  // Sorting A30 first seats T0's read at 1 and T2's write at 2. When T0's
+  // write on A20 then lands below T1's read, the §IV.D raise needs a number
+  // above 2 — past T2's committed write over T0's read of A30. Attempt
+  // counted, upper bound hit, rank-cycle abort.
+  const std::vector<ReadWriteSet> rwsets = {
+      RW({30}, {10, 20}),  // T0
+      RW({20}, {10}),      // T1
+      RW({}, {30}),        // T2
+  };
+  // entries: 10 -> 0, 20 -> 1, 30 -> 2; sort A30 before the conflict.
+  const TxSorterResult result = SortWithRankOrder(rwsets, {2, 0, 1});
+  ASSERT_EQ(result.abort_records.size(), 1u);
+  const obs::AbortRecord& record = result.abort_records[0];
+  EXPECT_EQ(record.tx, 0u);
+  EXPECT_EQ(record.address, 20u);
+  EXPECT_EQ(record.kind, obs::ConflictKind::kRankCycle);
+  EXPECT_EQ(record.seq_at_decision, 1u);
+  EXPECT_TRUE(record.reorder_attempted);
+  EXPECT_EQ(record.reorder_failure, obs::ReorderFailure::kUpperBoundHit);
+  EXPECT_EQ(result.reorder_attempts, 1u);
+  EXPECT_EQ(result.reordered_txs, 0u);
+}
+
+TEST(TxSorterTest, AttributionWriteCollisionIsWriteWriteUnreorderable) {
+  // T0 and T1 pick up the same number (1) on disjoint addresses A1/A2, then
+  // both write A3. T1's duplicate number must move, but its read of A4
+  // (sorted first, with T2's write at 2 above it) caps the raise. The
+  // collision — not a read — kills it: write-write-unreorderable.
+  const std::vector<ReadWriteSet> rwsets = {
+      RW({}, {1, 3}),   // T0
+      RW({4}, {2, 3}),  // T1
+      RW({}, {4}),      // T2
+  };
+  // entries: 1 -> 0, 2 -> 1, 3 -> 2, 4 -> 3; sort A4, A1, A2, then A3.
+  for (const bool reorder : {true, false}) {
+    const TxSorterResult result =
+        SortWithRankOrder(rwsets, {3, 0, 1, 2}, reorder);
+    ASSERT_EQ(result.abort_records.size(), 1u) << "reorder=" << reorder;
+    const obs::AbortRecord& record = result.abort_records[0];
+    EXPECT_EQ(record.tx, 1u);
+    EXPECT_EQ(record.address, 3u);
+    EXPECT_EQ(record.kind, obs::ConflictKind::kWriteWriteUnreorderable);
+    EXPECT_EQ(record.seq_at_decision, 1u);
+    EXPECT_EQ(record.reorder_attempted, reorder);
+    EXPECT_EQ(record.reorder_failure,
+              reorder ? obs::ReorderFailure::kUpperBoundHit
+                      : obs::ReorderFailure::kNotAttempted);
+    EXPECT_EQ(result.reorder_attempts, reorder ? 1u : 0u);
+    EXPECT_FALSE(result.aborted[0]);
+    EXPECT_FALSE(result.aborted[2]);
+  }
+}
+
+TEST(TxSorterTest, AttributionSuccessfulRescueLeavesNoRecord) {
+  // The Fig. 8 rescue: the raise succeeds, so the attempt is counted but
+  // no abort record is emitted and the rescued tx lands in `reordered`.
+  const std::vector<ReadWriteSet> rwsets = {
+      RW({}, {10, 20}),  // Tu
+      RW({20}, {10}),    // Tv
+  };
+  const TxSorterResult result = SortAll(rwsets, /*reorder=*/true);
+  EXPECT_TRUE(result.abort_records.empty());
+  EXPECT_EQ(result.reorder_attempts, 1u);
+  ASSERT_EQ(result.reordered.size(), 1u);
+  EXPECT_EQ(result.reordered[0], 0u);
 }
 
 TEST(TxSorterTest, SequenceNumbersStartAtConfiguredInitial) {
