@@ -8,6 +8,7 @@
 #include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/acg.h"
 #include "cc/nezha/nezha_scheduler.h"
+#include "cc/nezha/parallel_executor.h"
 #include "cc/nezha/rank_division.h"
 #include "cc/nezha/tx_sorter.h"
 #include "common/sha256.h"
@@ -48,6 +49,48 @@ BENCHMARK(BM_AcgConstruction)
     ->Args({2400, 0})
     ->Args({400, 8})
     ->Args({2400, 8});
+
+// Sharded parallel ACG construction (docs/PARALLELISM.md) at 1/2/4/8 pool
+// threads on the epoch-sized 4096-tx batch. On a single-core runner the
+// interesting signal is the dispatch overhead vs BM_AcgConstruction; on
+// real multi-core hardware the 8-thread point shows the shard scaling.
+void BM_ParallelAcgBuild(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  ThreadPool pool(static_cast<std::size_t>(state.range(2)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AddressConflictGraph::BuildSharded(rwsets, pool));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelAcgBuild)
+    ->Args({4096, 8, 1})
+    ->Args({4096, 8, 2})
+    ->Args({4096, 8, 4})
+    ->Args({4096, 8, 8});
+
+// Group-parallel schedule execution (apply-recorded mode): per-iteration
+// cost of draining one 4096-tx Nezha schedule's commit groups into a fresh
+// StateDB through the write buffer.
+void BM_GroupParallelExecute(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(4096, state.range(0) / 10.0);
+  NezhaScheduler scheduler;
+  const auto schedule = scheduler.BuildSchedule(rwsets);
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    StateDB db;
+    const StateSnapshot snap = db.MakeSnapshot(0);
+    benchmark::DoNotOptimize(
+        ExecuteScheduleParallel(pool, db, snap, *schedule, rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(schedule->NumCommitted()));
+}
+BENCHMARK(BM_GroupParallelExecute)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8});
 
 void BM_RankDivision(benchmark::State& state) {
   const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),

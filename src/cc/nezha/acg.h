@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "graph/digraph.h"
 #include "vm/rwset.h"
@@ -38,6 +39,19 @@ class AddressConflictGraph {
   /// Builds the ACG over one batch of read/write sets. Transactions flagged
   /// rwset.ok == false (application-level reverts) contribute no units.
   static AddressConflictGraph Build(std::span<const ReadWriteSet> rwsets);
+
+  /// Sharded parallel construction: addresses are partitioned across
+  /// `num_shards` shards by hash (0 = one per pool worker), transactions are
+  /// chunked across the pool to scatter their units per shard, and each
+  /// shard then merges its own RW-sets and address-dependency edges
+  /// independently (docs/PARALLELISM.md). Produces the exact vertex set,
+  /// subscript assignment, readers/writers lists, and edge multiset of
+  /// Build() — only the Digraph's internal adjacency ordering differs
+  /// (sorted instead of insertion-ordered), which no consumer observes.
+  /// Batches too small to amortize dispatch fall back to Build().
+  static AddressConflictGraph BuildSharded(std::span<const ReadWriteSet> rwsets,
+                                           ThreadPool& pool,
+                                           std::size_t num_shards = 0);
 
   /// Accessed addresses in ascending address order; the position of an entry
   /// is its dense "address subscript" used for deterministic tie-breaking.

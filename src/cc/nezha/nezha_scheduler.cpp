@@ -13,10 +13,15 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   Stopwatch watch;
 
   // Step 1: address-based conflict graph (linear in read/write units).
+  // With a pool configured, construction is sharded across it — same
+  // vertices, subscripts and edges, just built in parallel.
   AddressConflictGraph acg;
   {
     obs::TraceSpan span("acg_build");
-    acg = AddressConflictGraph::Build(rwsets);
+    acg = options_.pool != nullptr
+              ? AddressConflictGraph::BuildSharded(rwsets, *options_.pool,
+                                                   options_.acg_shards)
+              : AddressConflictGraph::Build(rwsets);
   }
   metrics_.construction_us = watch.ElapsedMicros();
   metrics_.graph_vertices = acg.NumAddresses();
@@ -40,7 +45,10 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   TxSorterResult sorted;
   {
     obs::TraceSpan span("tx_sorting");
-    sorted = SortTransactions(acg, ranks, rwsets.size(), sorter_options);
+    sorted = options_.pool != nullptr
+                 ? SortTransactionsParallel(acg, ranks, rwsets.size(),
+                                            *options_.pool, sorter_options)
+                 : SortTransactions(acg, ranks, rwsets.size(), sorter_options);
   }
   metrics_.sorting_us = watch.ElapsedMicros();
   metrics_.reordered_txs = sorted.reordered_txs;

@@ -16,6 +16,14 @@ struct NezhaOptions {
   bool enable_reordering = true;
   /// Algorithm 1 cycle tie-break policy (kNaive is the ablation baseline).
   RankPolicy rank_policy = RankPolicy::kNezha;
+  /// When set, ACG construction runs sharded and transaction sorting runs
+  /// cluster-parallel on this pool (docs/PARALLELISM.md); output is
+  /// byte-identical to the serial pipeline. Not owned; must outlive the
+  /// scheduler. nullptr = fully serial build.
+  ThreadPool* pool = nullptr;
+  /// Shard count for the parallel ACG build (0 = one shard per pool
+  /// worker). Ignored when pool is null.
+  std::size_t acg_shards = 0;
 };
 
 class NezhaScheduler final : public Scheduler {

@@ -1,0 +1,66 @@
+// Deterministic group-parallel execution of a Nezha schedule — the paper's
+// promise that transactions sharing a sequence number run concurrently,
+// realized without giving up bit-for-bit reproducibility.
+//
+// Commit groups are processed in ascending sequence order. Within a group,
+// transactions execute (or have their recorded effects gathered) in
+// parallel against the immutable epoch snapshot plus an overlay of every
+// earlier group's writes; nothing mutates shared state mid-group. At the
+// group barrier the group's write sets merge into a write buffer in
+// ascending TxIndex order — a fixed, schedule-derived order — so the buffer
+// after the last group is exactly the state serial replay of the schedule
+// would produce, regardless of thread count or interleaving
+// (docs/PARALLELISM.md gives the full determinism argument).
+//
+// Two modes:
+//   * kApplyRecorded — trust the speculative read/write sets (Nezha's
+//     normal commitment path): group writes land in the buffer directly,
+//     and only the final buffer is applied to the StateDB, in parallel.
+//   * kReExecute — run each transaction's code again through a TxExecFn
+//     against snapshot+overlay (the oracle-style witness replay, now
+//     parallel per group). Used by tests and by deployments that want
+//     execute-after-order semantics.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "cc/scheduler.h"
+#include "common/thread_pool.h"
+#include "storage/state_db.h"
+#include "vm/logged_state.h"
+#include "vm/rwset.h"
+
+namespace nezha {
+
+enum class ParallelExecMode {
+  kApplyRecorded,  ///< apply the schedule's recorded write sets
+  kReExecute,      ///< re-run transaction code group-by-group
+};
+
+/// Runs one transaction against the given view (group-parallel re-execution
+/// callback; the tx index identifies the payload in the caller's batch).
+using TxExecFn = std::function<Status(TxIndex tx, LoggedStateView& view)>;
+
+struct ParallelExecStats {
+  std::size_t committed_txs = 0;   ///< group members processed
+  std::size_t groups = 0;
+  std::size_t writes_applied = 0;  ///< write units merged into the buffer
+  std::size_t buffered_addresses = 0;  ///< distinct addresses in the buffer
+  std::size_t max_group = 0;       ///< peak in-group concurrency
+  std::size_t reexecuted_txs = 0;  ///< kReExecute only
+};
+
+/// Executes `schedule` against `snapshot` on the pool and applies the merged
+/// write buffer to `state`. The final StateDB contents (values, dirty set,
+/// root hash) are byte-identical to committing the schedule serially in
+/// (sequence, TxIndex) order. Does not flush; callers decide when to
+/// persist and hash. `exec` is required in kReExecute mode and ignored in
+/// kApplyRecorded mode.
+ParallelExecStats ExecuteScheduleParallel(
+    ThreadPool& pool, StateDB& state, const StateSnapshot& snapshot,
+    const Schedule& schedule, std::span<const ReadWriteSet> rwsets,
+    ParallelExecMode mode = ParallelExecMode::kApplyRecorded,
+    const TxExecFn& exec = {});
+
+}  // namespace nezha

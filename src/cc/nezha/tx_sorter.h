@@ -66,4 +66,19 @@ TxSorterResult SortTransactions(const AddressConflictGraph& acg,
                                 std::size_t num_txs,
                                 const TxSorterOptions& options = {});
 
+/// Parallel Algorithm 2: partitions the ACG into conflict clusters (entries
+/// connected through a shared transaction) with a union-find, then sorts
+/// each cluster on the pool. Clusters share no transactions and no
+/// addresses, so every per-address decision — fills, re-seats, aborts,
+/// used-write-number skips — is confined to its cluster and the merged
+/// result is byte-identical to SortTransactions (docs/PARALLELISM.md walks
+/// the argument; abort records are merged back into address-rank order).
+/// The §IV.D reorder pass stays deterministic because rank_order already
+/// carries the fixed address-id tie-break and each cluster preserves its
+/// subsequence of that order. Small batches fall back to the serial sorter.
+TxSorterResult SortTransactionsParallel(
+    const AddressConflictGraph& acg,
+    std::span<const Digraph::Vertex> rank_order, std::size_t num_txs,
+    ThreadPool& pool, const TxSorterOptions& options = {});
+
 }  // namespace nezha

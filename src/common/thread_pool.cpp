@@ -7,12 +7,20 @@
 #include "obs/trace.h"
 
 namespace nezha {
+namespace {
+
+/// The pool whose WorkerLoop the current thread is running, if any.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   auto& registry = obs::Registry();
   queue_depth_ = registry.GetGauge("nezha_threadpool_queue_depth");
   tasks_total_ = registry.GetCounter("nezha_threadpool_tasks_total");
   busy_us_total_ = registry.GetCounter("nezha_threadpool_busy_us_total");
+  inline_fallbacks_total_ =
+      registry.GetCounter("nezha_threadpool_inline_fallbacks_total");
   task_wait_us_ = registry.GetHistogram("nezha_threadpool_task_wait_us");
   task_run_us_ = registry.GetHistogram("nezha_threadpool_task_run_us");
 
@@ -54,7 +62,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return fut;
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     QueuedTask queued;
     {
@@ -89,6 +100,13 @@ void ThreadPool::ParallelForChunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
+  if (OnWorkerThread()) {
+    // Nested submission from a worker would block this worker on futures
+    // only the (possibly fully blocked) pool can complete; run inline.
+    inline_fallbacks_total_->Inc();
+    fn(begin, end, 0);
+    return;
+  }
   const std::size_t total = end - begin;
   const std::size_t num_chunks = std::min(total, workers_.size());
   if (num_chunks <= 1) {
@@ -115,6 +133,24 @@ void ThreadPool::ParallelForChunked(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::ParallelForGroups(
+    std::span<const std::size_t> group_sizes,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const bool inline_only = OnWorkerThread();
+  if (inline_only) inline_fallbacks_total_->Inc();
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    const std::size_t n = group_sizes[g];
+    if (n == 0) continue;
+    if (inline_only || n == 1 || workers_.size() <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(g, i);
+      continue;
+    }
+    // ParallelFor is the barrier: every item of group g completes (or its
+    // first exception is rethrown, abandoning later groups) before g+1.
+    ParallelFor(0, n, [&fn, g](std::size_t i) { fn(g, i); });
+  }
 }
 
 }  // namespace nezha

@@ -1,6 +1,14 @@
 // Fixed-size worker pool used by the concurrent execution and commitment
 // phases. Tasks are submitted as std::function<void()>; ParallelFor provides
 // a blocking data-parallel loop with static chunking (deterministic split).
+//
+// Nested submission: a task running ON a pool worker must not block on
+// futures of sub-tasks queued to the same pool — with every worker blocked
+// in such a wait, nothing drains the queue and the pool deadlocks. All the
+// blocking loops below (ParallelFor, ParallelForChunked, ParallelForGroups)
+// therefore detect that the calling thread is one of this pool's workers
+// and execute the whole range inline instead of submitting
+// (nezha_threadpool_inline_fallbacks_total counts these).
 #pragma once
 
 #include <condition_variable>
@@ -8,6 +16,7 @@
 #include <functional>
 #include <future>
 #include <queue>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -45,6 +54,24 @@ class ThreadPool {
       const std::function<void(std::size_t chunk_begin, std::size_t chunk_end,
                                std::size_t worker_slot)>& fn);
 
+  /// Runs fn(group, item) for every item of every group, with a barrier
+  /// between consecutive groups: group g starts only after every item of
+  /// group g-1 returned (the shape of Nezha's sequence-number commit
+  /// groups). Items within one group run in parallel; groups of one item
+  /// run inline with no dispatch overhead. When called from one of this
+  /// pool's own worker threads everything executes inline on the caller
+  /// (see the nested-submission note above), so executors may safely drive
+  /// ParallelForGroups from tasks already running on the pool.
+  /// Exceptions from fn abort the remaining groups and are rethrown.
+  void ParallelForGroups(
+      std::span<const std::size_t> group_sizes,
+      const std::function<void(std::size_t group, std::size_t item)>& fn);
+
+  /// True when the calling thread is one of this pool's workers (the
+  /// condition under which the blocking loops fall back to inline
+  /// execution).
+  bool OnWorkerThread() const;
+
  private:
   struct QueuedTask {
     std::packaged_task<void()> task;
@@ -65,6 +92,7 @@ class ThreadPool {
   obs::Gauge* queue_depth_;
   obs::Counter* tasks_total_;
   obs::Counter* busy_us_total_;
+  obs::Counter* inline_fallbacks_total_;
   obs::BucketHistogram* task_wait_us_;
   obs::BucketHistogram* task_run_us_;
 };

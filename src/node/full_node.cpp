@@ -4,6 +4,7 @@
 
 #include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/nezha_scheduler.h"
+#include "cc/nezha/parallel_executor.h"
 #include "cc/occ/occ_scheduler.h"
 #include "cc/serial/serial_scheduler.h"
 #include "common/stopwatch.h"
@@ -12,7 +13,6 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "runtime/committer.h"
 #include "runtime/concurrent_executor.h"
 #include "vm/contract.h"
 #include "vm/logged_state.h"
@@ -20,7 +20,7 @@
 
 namespace nezha {
 
-std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind) {
+std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind, ThreadPool* pool) {
   switch (kind) {
     case SchemeKind::kSerial:
       return std::make_unique<SerialScheduler>();
@@ -28,11 +28,15 @@ std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind) {
       return std::make_unique<OCCScheduler>();
     case SchemeKind::kCg:
       return std::make_unique<CGScheduler>();
-    case SchemeKind::kNezha:
-      return std::make_unique<NezhaScheduler>();
+    case SchemeKind::kNezha: {
+      NezhaOptions options;
+      options.pool = pool;
+      return std::make_unique<NezhaScheduler>(options);
+    }
     case SchemeKind::kNezhaNoReorder: {
       NezhaOptions options;
       options.enable_reordering = false;
+      options.pool = pool;
       return std::make_unique<NezhaScheduler>(options);
     }
   }
@@ -70,7 +74,7 @@ FullNode::FullNode(const NodeConfig& config, KVStore* kv)
       ledger_(config.max_chains, kv),
       state_(kv),
       pool_(std::make_unique<ThreadPool>(config.worker_threads)),
-      scheduler_(MakeScheduler(config.scheme)),
+      scheduler_(MakeScheduler(config.scheme, pool_.get())),
       receipts_(kv) {}
 
 namespace {
@@ -117,10 +121,28 @@ void PublishEpochObs(const NodeConfig& config, const EpochReport& report) {
 /// (docs/OBSERVABILITY.md flight-recorder schema).
 void RecordEpochFlight(const NodeConfig& config, const EpochReport& report,
                        std::size_t blocks,
-                       obs::ScheduleAttribution attribution) {
+                       obs::ScheduleAttribution attribution,
+                       const ParallelExecStats* exec_stats = nullptr) {
   obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
   if (!recorder.enabled()) return;
   obs::EpochFlightRecord record;
+  if (exec_stats != nullptr) {
+    record.parallel_exec_groups =
+        static_cast<std::uint32_t>(exec_stats->groups);
+    record.parallel_max_group =
+        static_cast<std::uint32_t>(exec_stats->max_group);
+    const bool nezha_scheme = config.scheme == SchemeKind::kNezha ||
+                              config.scheme == SchemeKind::kNezhaNoReorder;
+    if (nezha_scheme && obs::MetricsEnabled()) {
+      // The scheduler just finished this epoch's build, so the last-build
+      // gauges describe exactly this record.
+      auto& registry = obs::Registry();
+      record.parallel_acg_shards = static_cast<std::uint32_t>(
+          registry.GetGauge("nezha_parallel_acg_shards")->Value());
+      record.parallel_sort_clusters = static_cast<std::uint32_t>(
+          registry.GetGauge("nezha_parallel_sort_clusters")->Value());
+    }
+  }
   record.epoch = report.epoch;
   record.scheme = SchemeName(config.scheme);
   record.blocks = static_cast<std::uint32_t>(blocks);
@@ -170,9 +192,9 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   // ---- Phase 2: concurrent speculative execution ----
   watch.Restart();
   BatchExecutionResult exec;
+  const StateSnapshot snapshot = state_.MakeSnapshot(batch.epoch);
   {
     obs::TraceSpan span("execute");
-    const StateSnapshot snapshot = state_.MakeSnapshot(batch.epoch);
     exec =
         ExecuteBatchConcurrent(*pool_, snapshot, batch.txs, config_.exec_mode);
   }
@@ -194,11 +216,15 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   report.cc_metrics = scheduler_->metrics();
 
   // ---- Phase 4: commitment ----
+  // Group-parallel executor: merges the schedule's effects into a write
+  // buffer in sequence order and applies it across the pool — byte-identical
+  // to serial replay of the commit groups (docs/PARALLELISM.md).
   watch.Restart();
-  CommitStats commit;
+  ParallelExecStats commit;
   {
     obs::TraceSpan span("commit");
-    commit = CommitSchedule(*pool_, state_, schedule.value(), exec.rwsets);
+    commit = ExecuteScheduleParallel(*pool_, state_, snapshot,
+                                     schedule.value(), exec.rwsets);
     report.state_root = state_.RootHash();
     // Receipts: the per-transaction outcome record, committed to by a root
     // and flushed inside the same atomic batch as the state.
@@ -217,7 +243,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
 
   PublishEpochObs(config_, report);
   RecordEpochFlight(config_, report, batch.blocks.size(),
-                    std::move(schedule->attribution));
+                    std::move(schedule->attribution), &commit);
   return report;
 }
 

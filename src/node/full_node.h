@@ -31,8 +31,12 @@ namespace nezha {
 
 enum class SchemeKind { kSerial, kOcc, kCg, kNezha, kNezhaNoReorder };
 
-/// Factory for the scheme's Scheduler implementation.
-std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind);
+/// Factory for the scheme's Scheduler implementation. When `pool` is given,
+/// the Nezha schemes build their ACG sharded and sort cluster-parallel on
+/// it (byte-identical output; docs/PARALLELISM.md); other schemes ignore
+/// it. The pool must outlive the scheduler.
+std::unique_ptr<Scheduler> MakeScheduler(SchemeKind kind,
+                                         ThreadPool* pool = nullptr);
 
 /// Parse/print helpers for CLI tools ("serial", "occ", "cg", "nezha",
 /// "nezha-noreorder").

@@ -72,7 +72,11 @@ std::string EpochFlightRecord::ToJson() const {
       << ",\"cc\":" << FormatMs(cc_ms)
       << ",\"commit\":" << FormatMs(commit_ms) << "}"
       << ",\"acg\":{\"vertices\":" << acg_vertices
-      << ",\"edges\":" << acg_edges << "}";
+      << ",\"edges\":" << acg_edges << "}"
+      << ",\"parallel\":{\"acg_shards\":" << parallel_acg_shards
+      << ",\"sort_clusters\":" << parallel_sort_clusters
+      << ",\"exec_groups\":" << parallel_exec_groups
+      << ",\"max_group\":" << parallel_max_group << "}";
   const RankDecisionStats& rank = attribution.rank;
   out << ",\"rank\":{\"zero_indegree\":" << rank.zero_indegree_pops
       << ",\"cycle_breaks\":" << rank.cycle_breaks

@@ -52,6 +52,14 @@ struct EpochFlightRecord {
   std::uint64_t acg_vertices = 0;  ///< addresses touched
   std::uint64_t acg_edges = 0;     ///< address-dependency edges
 
+  // Parallel-pipeline activity (docs/PARALLELISM.md): how the sharded ACG
+  // build, cluster-parallel sorter, and group-parallel executor split this
+  // epoch's work. All zero when the epoch ran a fully serial scheme.
+  std::uint32_t parallel_acg_shards = 0;     ///< 1 = serial fallback
+  std::uint32_t parallel_sort_clusters = 0;  ///< 1 = serial fallback
+  std::uint32_t parallel_exec_groups = 0;
+  std::uint32_t parallel_max_group = 0;  ///< peak in-group concurrency
+
   ScheduleAttribution attribution;
 
   /// Serialises this record as one JSON object (no trailing newline).

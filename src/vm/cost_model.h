@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <span>
 
 namespace nezha {
 
@@ -54,6 +55,23 @@ struct CostModel {
         static_cast<double>(n) / static_cast<double>(std::max<std::size_t>(
                                      1, workers));
     return per_worker * execute_ms_per_tx;
+  }
+
+  /// Latency of group-parallel re-execution of a schedule's commit groups
+  /// with `threads` workers (docs/PARALLELISM.md). Consecutive groups are
+  /// barriers; transactions inside a group are conflict-free and perfectly
+  /// parallel, so a group of g transactions costs ceil(g / threads) serial
+  /// transaction slots. This is the modelled-threads methodology the bench
+  /// suite uses on single-core CI runners, where wall-clock speedup is
+  /// unmeasurable but the schedule's group structure is exact.
+  double GroupExecuteLatencyMs(std::span<const std::size_t> group_sizes,
+                               std::size_t threads) const {
+    const std::size_t t = std::max<std::size_t>(1, threads);
+    double slots = 0;
+    for (const std::size_t g : group_sizes) {
+      slots += static_cast<double>((g + t - 1) / t);
+    }
+    return slots * execute_ms_per_tx;
   }
 };
 

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -452,6 +455,82 @@ TEST(ThreadPoolTest, ChunkedGivesDistinctSlots) {
                           });
   EXPECT_GE(slots.size(), 1u);
   EXPECT_LE(slots.size(), 4u);
+}
+
+TEST(ThreadPoolTest, ParallelForGroupsCoversEveryItemOnce) {
+  ThreadPool pool(4);
+  const std::size_t sizes[] = {3, 0, 1, 17, 5};
+  std::mutex mu;
+  std::map<std::pair<std::size_t, std::size_t>, int> hits;
+  pool.ParallelForGroups(sizes, [&](std::size_t g, std::size_t i) {
+    std::lock_guard lock(mu);
+    ++hits[{g, i}];
+  });
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < std::size(sizes); ++g) total += sizes[g];
+  ASSERT_EQ(hits.size(), total);
+  for (const auto& [key, count] : hits) {
+    EXPECT_EQ(count, 1) << "group " << key.first << " item " << key.second;
+    EXPECT_LT(key.second, sizes[key.first]);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForGroupsBarriersBetweenGroups) {
+  // Every item of group g must observe all of group g-1's effects: each item
+  // checks the running count of completed earlier-group items.
+  ThreadPool pool(4);
+  const std::size_t sizes[] = {8, 8, 8, 8};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> barrier_violated{false};
+  pool.ParallelForGroups(sizes, [&](std::size_t g, std::size_t) {
+    if (done.load() < g * 8) barrier_violated = true;
+    done.fetch_add(1);
+  });
+  EXPECT_FALSE(barrier_violated.load());
+  EXPECT_EQ(done.load(), 32u);
+}
+
+TEST(ThreadPoolTest, ParallelForGroupsInlineFallbackFromWorkerThread) {
+  // A task already running on the pool must not deadlock when it drives
+  // ParallelForGroups over the same pool: everything runs inline.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  bool was_on_worker = false;
+  auto fut = pool.Submit([&] {
+    was_on_worker = pool.OnWorkerThread();
+    const std::size_t sizes[] = {4, 4};
+    pool.ParallelForGroups(sizes,
+                           [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  });
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  fut.get();
+  EXPECT_TRUE(was_on_worker);
+  EXPECT_FALSE(pool.OnWorkerThread());  // the test thread is not a worker
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForGroupsPropagatesExceptionAndStops) {
+  ThreadPool pool(2);
+  std::atomic<bool> later_group_ran{false};
+  const std::size_t sizes[] = {1, 4, 1};
+  EXPECT_THROW(
+      pool.ParallelForGroups(sizes,
+                             [&](std::size_t g, std::size_t) {
+                               if (g == 1) throw std::runtime_error("boom");
+                               if (g == 2) later_group_ran = true;
+                             }),
+      std::runtime_error);
+  EXPECT_FALSE(later_group_ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForGroupsEmpty) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelForGroups({}, [&](std::size_t, std::size_t) { ran = true; });
+  const std::size_t all_empty[] = {0, 0, 0};
+  pool.ParallelForGroups(all_empty,
+                         [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
 }
 
 // ---------- stopwatch ----------

@@ -1,0 +1,230 @@
+// Differential lockdown of the parallel schedule pipeline
+// (docs/PARALLELISM.md): for 200 seeded workloads spanning uniform and
+// zipfian (0.6 / 0.9 / 0.99) contention and 1–8 worker threads, the
+// parallel pipeline — sharded ACG build, cluster-parallel transaction
+// sorting, group-parallel execution — must produce output byte-identical to
+// the single-threaded path: same schedule (sequence numbers, aborts,
+// groups, reorders), same abort attribution, and the same committed state
+// root. The serializability oracle is forced ON for every build, so each of
+// the 400 schedules is also independently re-verified.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cc/nezha/acg.h"
+#include "cc/nezha/nezha_scheduler.h"
+#include "cc/nezha/parallel_executor.h"
+#include "cc/nezha/tx_sorter.h"
+#include "common/thread_pool.h"
+#include "storage/state_db.h"
+#include "vm/logged_state.h"
+#include "workload/kv_workload.h"
+
+namespace nezha {
+namespace {
+
+// One pool per thread count 1..8, shared across all cases (pool creation is
+// not what is under test).
+ThreadPool& PoolWithThreads(std::size_t threads) {
+  static std::array<std::unique_ptr<ThreadPool>, 9> pools;
+  if (!pools[threads]) pools[threads] = std::make_unique<ThreadPool>(threads);
+  return *pools[threads];
+}
+
+void ExpectSameAttribution(const obs::ScheduleAttribution& serial,
+                           const obs::ScheduleAttribution& parallel,
+                           const std::string& label) {
+  EXPECT_EQ(serial.reorder_attempts, parallel.reorder_attempts) << label;
+  EXPECT_EQ(serial.reorder_commits, parallel.reorder_commits) << label;
+  ASSERT_EQ(serial.aborts.size(), parallel.aborts.size()) << label;
+  for (std::size_t i = 0; i < serial.aborts.size(); ++i) {
+    const obs::AbortRecord& a = serial.aborts[i];
+    const obs::AbortRecord& b = parallel.aborts[i];
+    EXPECT_EQ(a.tx, b.tx) << label << " abort " << i;
+    EXPECT_EQ(a.address, b.address) << label << " abort " << i;
+    EXPECT_EQ(a.kind, b.kind) << label << " abort " << i;
+    EXPECT_EQ(a.seq_at_decision, b.seq_at_decision) << label << " abort " << i;
+    EXPECT_EQ(a.reorder_attempted, b.reorder_attempted)
+        << label << " abort " << i;
+    EXPECT_EQ(a.reorder_failure, b.reorder_failure) << label << " abort " << i;
+  }
+  ASSERT_EQ(serial.hot_addresses.size(), parallel.hot_addresses.size())
+      << label;
+  for (std::size_t i = 0; i < serial.hot_addresses.size(); ++i) {
+    EXPECT_EQ(serial.hot_addresses[i].address,
+              parallel.hot_addresses[i].address)
+        << label << " hot " << i;
+    EXPECT_EQ(serial.hot_addresses[i].aborts, parallel.hot_addresses[i].aborts)
+        << label << " hot " << i;
+  }
+}
+
+/// Serial reference commit: replay the schedule's groups one transaction at
+/// a time, in (sequence, TxIndex) order, against a fresh StateDB.
+Hash256 SerialReplayRoot(const Schedule& schedule,
+                         std::span<const ReadWriteSet> rwsets) {
+  StateDB db;
+  for (const auto& group : schedule.groups) {
+    for (const TxIndex t : group) {
+      const ReadWriteSet& rw = rwsets[t];
+      for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+        db.Set(rw.writes[i], rw.write_values[i]);
+      }
+    }
+  }
+  return db.RootHash();
+}
+
+class ParallelPipelineTest : public ::testing::Test {
+ protected:
+  // Acceptance criterion: every differential build runs with the
+  // serializability oracle forced on.
+  void SetUp() override { SetScheduleVerification(true); }
+  void TearDown() override { SetScheduleVerification(std::nullopt); }
+};
+
+TEST_F(ParallelPipelineTest, TwoHundredSeededWorkloadsAreByteIdentical) {
+  const double kSkews[] = {0.0, 0.6, 0.9, 0.99};
+  constexpr std::uint64_t kSeedsPerSkew = 50;
+  std::size_t cases = 0;
+  for (const double skew : kSkews) {
+    for (std::uint64_t seed = 1; seed <= kSeedsPerSkew; ++seed, ++cases) {
+      const std::size_t threads = cases % 8 + 1;
+      const std::string label = "skew=" + std::to_string(skew) +
+                                " seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+      KVWorkloadConfig config;
+      config.num_keys = 400;
+      config.skew = skew;
+      config.reads_per_tx = 2;
+      config.writes_per_tx = 2;
+      // Cycle the blind-write fraction so both the RMW abort paths and the
+      // §IV.D blind-write rescue paths stay under differential coverage.
+      config.blind_write_fraction = 0.25 * static_cast<double>(seed % 5);
+      KVWorkload workload(config, 7'000 + seed);
+      const std::vector<ReadWriteSet> rwsets = workload.MakeBatch(160);
+
+      NezhaScheduler serial_scheduler;
+      NezhaOptions parallel_options;
+      parallel_options.pool = &PoolWithThreads(threads);
+      NezhaScheduler parallel_scheduler(parallel_options);
+
+      auto serial = serial_scheduler.BuildSchedule(rwsets);
+      auto parallel = parallel_scheduler.BuildSchedule(rwsets);
+      ASSERT_TRUE(serial.ok()) << label << ": " << serial.status().ToString();
+      ASSERT_TRUE(parallel.ok())
+          << label << ": " << parallel.status().ToString();
+
+      // Schedule: byte-identical.
+      EXPECT_EQ(serial->sequence, parallel->sequence) << label;
+      EXPECT_EQ(serial->aborted, parallel->aborted) << label;
+      EXPECT_EQ(serial->groups, parallel->groups) << label;
+      EXPECT_EQ(serial->reordered, parallel->reordered) << label;
+      ExpectSameAttribution(serial->attribution, parallel->attribution, label);
+
+      // Committed state root: group-parallel execution against the epoch
+      // snapshot must land exactly where serial replay lands.
+      const Hash256 expected_root = SerialReplayRoot(*serial, rwsets);
+      StateDB parallel_db;
+      const StateSnapshot snapshot = parallel_db.MakeSnapshot(0);
+      ExecuteScheduleParallel(PoolWithThreads(threads), parallel_db, snapshot,
+                              *parallel, rwsets);
+      EXPECT_EQ(parallel_db.RootHash(), expected_root) << label;
+    }
+  }
+  EXPECT_EQ(cases, 200u);
+}
+
+TEST_F(ParallelPipelineTest, ReExecutionModeMatchesSerialReplayRoot) {
+  // kReExecute runs each group concurrently against snapshot + overlay; a
+  // replay TxExecFn (reads the recorded reads, writes the recorded writes)
+  // must land on the serial-replay root for every thread count.
+  KVWorkloadConfig config;
+  config.num_keys = 120;
+  config.skew = 0.9;
+  config.blind_write_fraction = 0.5;
+  KVWorkload workload(config, 42);
+  const std::vector<ReadWriteSet> rwsets = workload.MakeBatch(200);
+
+  NezhaScheduler scheduler;
+  auto schedule = scheduler.BuildSchedule(rwsets);
+  ASSERT_TRUE(schedule.ok());
+  const Hash256 expected_root = SerialReplayRoot(*schedule, rwsets);
+
+  for (std::size_t threads = 1; threads <= 8; ++threads) {
+    StateDB db;
+    const StateSnapshot snapshot = db.MakeSnapshot(0);
+    const TxExecFn replay = [&rwsets](TxIndex t, LoggedStateView& view) {
+      const ReadWriteSet& rw = rwsets[t];
+      for (const Address a : rw.reads) view.Read(a);
+      for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+        view.Write(rw.writes[i], rw.write_values[i]);
+      }
+      return Status::Ok();
+    };
+    const ParallelExecStats stats = ExecuteScheduleParallel(
+        PoolWithThreads(threads), db, snapshot, *schedule, rwsets,
+        ParallelExecMode::kReExecute, replay);
+    EXPECT_EQ(db.RootHash(), expected_root) << "threads=" << threads;
+    EXPECT_EQ(stats.reexecuted_txs, schedule->NumCommitted())
+        << "threads=" << threads;
+    EXPECT_EQ(stats.groups, schedule->groups.size());
+  }
+}
+
+TEST_F(ParallelPipelineTest, ShardedAcgAndParallelSorterStandAlone) {
+  // The pipeline pieces individually: BuildSharded and
+  // SortTransactionsParallel must match their serial counterparts on a
+  // contended batch large enough to dodge every small-batch fallback.
+  KVWorkloadConfig config;
+  config.num_keys = 300;
+  config.skew = 0.99;
+  config.blind_write_fraction = 0.75;
+  KVWorkload workload(config, 99);
+  const std::vector<ReadWriteSet> rwsets = workload.MakeBatch(512);
+
+  const AddressConflictGraph serial_acg = AddressConflictGraph::Build(rwsets);
+  for (std::size_t threads : {2, 5, 8}) {
+    ThreadPool& pool = PoolWithThreads(threads);
+    const AddressConflictGraph parallel_acg =
+        AddressConflictGraph::BuildSharded(rwsets, pool);
+    ASSERT_EQ(parallel_acg.NumAddresses(), serial_acg.NumAddresses());
+    ASSERT_EQ(parallel_acg.NumEdges(), serial_acg.NumEdges());
+    for (std::size_t e = 0; e < serial_acg.NumAddresses(); ++e) {
+      EXPECT_EQ(parallel_acg.entries()[e].address,
+                serial_acg.entries()[e].address);
+      EXPECT_EQ(parallel_acg.entries()[e].readers,
+                serial_acg.entries()[e].readers);
+      EXPECT_EQ(parallel_acg.entries()[e].writers,
+                serial_acg.entries()[e].writers);
+    }
+
+    const auto ranks = ComputeSortingRanks(serial_acg.dependencies(),
+                                           RankPolicy::kNezha, nullptr);
+    const TxSorterResult serial_sort =
+        SortTransactions(serial_acg, ranks, rwsets.size());
+    const TxSorterResult parallel_sort =
+        SortTransactionsParallel(parallel_acg, ranks, rwsets.size(), pool);
+    EXPECT_EQ(parallel_sort.sequence, serial_sort.sequence);
+    EXPECT_EQ(parallel_sort.aborted, serial_sort.aborted);
+    EXPECT_EQ(parallel_sort.reordered, serial_sort.reordered);
+    EXPECT_EQ(parallel_sort.reordered_txs, serial_sort.reordered_txs);
+    EXPECT_EQ(parallel_sort.reorder_attempts, serial_sort.reorder_attempts);
+    ASSERT_EQ(parallel_sort.abort_records.size(),
+              serial_sort.abort_records.size());
+    for (std::size_t i = 0; i < serial_sort.abort_records.size(); ++i) {
+      EXPECT_EQ(parallel_sort.abort_records[i].tx,
+                serial_sort.abort_records[i].tx);
+      EXPECT_EQ(parallel_sort.abort_records[i].address,
+                serial_sort.abort_records[i].address);
+      EXPECT_EQ(parallel_sort.abort_records[i].kind,
+                serial_sort.abort_records[i].kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nezha

@@ -12,11 +12,16 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <random>
 
 #include "analysis/schedule_verifier.h"
 #include "cc/cg/cg_scheduler.h"
+#include "cc/nezha/acg.h"
 #include "cc/nezha/nezha_scheduler.h"
+#include "cc/nezha/parallel_executor.h"
 #include "cc/occ/occ_scheduler.h"
+#include "common/thread_pool.h"
 #include "runtime/concurrent_executor.h"
 #include "runtime/serializability.h"
 #include "vm/contract.h"
@@ -35,17 +40,30 @@ struct Scenario {
   std::uint64_t seed;
 };
 
-std::unique_ptr<Scheduler> Make(const std::string& scheme) {
-  if (scheme == "nezha") return std::make_unique<NezhaScheduler>();
+std::unique_ptr<Scheduler> Make(const std::string& scheme,
+                                ThreadPool* pool = nullptr) {
+  if (scheme == "nezha") {
+    NezhaOptions options;
+    options.pool = pool;
+    return std::make_unique<NezhaScheduler>(options);
+  }
   if (scheme == "nezha-noreorder") {
     NezhaOptions options;
     options.enable_reordering = false;
+    options.pool = pool;
     return std::make_unique<NezhaScheduler>(options);
   }
   if (scheme == "cg") return std::make_unique<CGScheduler>();
   if (scheme == "occ") return std::make_unique<OCCScheduler>();
   return nullptr;
 }
+
+/// Forces the serializability oracle on for the enclosing scope, restoring
+/// the environment-driven default even when an assertion bails out early.
+struct ForcedVerification {
+  ForcedVerification() { SetScheduleVerification(true); }
+  ~ForcedVerification() { SetScheduleVerification(std::nullopt); }
+};
 
 class SchedulerPropertyTest : public ::testing::TestWithParam<Scenario> {
  protected:
@@ -177,6 +195,52 @@ TEST_P(SchedulerPropertyTest, AbortedPlusCommittedIsEverything) {
   ASSERT_TRUE(schedule.ok());
   EXPECT_EQ(schedule->NumAborted() + schedule->NumCommitted(),
             exec_.rwsets.size());
+}
+
+TEST_P(SchedulerPropertyTest, ParallelExecutorMatchesSerialReplayUnderOracle) {
+  // Every scheme's schedule, built with the oracle forced on (so the
+  // precedence-graph verifier re-proves serializability inside
+  // BuildSchedule), must commit to the same state root under the
+  // group-parallel executor as under one-at-a-time serial replay — in both
+  // apply-recorded and re-execute modes. Nezha schemes additionally build
+  // through the full parallel pipeline (sharded ACG + cluster sorter).
+  const ForcedVerification forced;
+  const Scenario& s = GetParam();
+  ThreadPool pool(4);
+  const bool is_nezha = std::string(s.scheme).rfind("nezha", 0) == 0;
+  auto scheduler = Make(s.scheme, is_nezha ? &pool : nullptr);
+  auto schedule = scheduler->BuildSchedule(exec_.rwsets);
+  ASSERT_TRUE(schedule.ok()) << s.scheme << ": " << schedule.status().ToString();
+
+  StateDB serial_db;
+  SmallBankWorkload::InitAccounts(serial_db, s.num_accounts, 5000, 5000);
+  for (const auto& group : schedule->groups) {
+    for (const TxIndex t : group) {
+      const ReadWriteSet& rw = exec_.rwsets[t];
+      for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+        serial_db.Set(rw.writes[i], rw.write_values[i]);
+      }
+    }
+  }
+  const Hash256 expected_root = serial_db.RootHash();
+
+  StateDB recorded_db;
+  SmallBankWorkload::InitAccounts(recorded_db, s.num_accounts, 5000, 5000);
+  const StateSnapshot recorded_snap = recorded_db.MakeSnapshot(1);
+  const ParallelExecStats recorded = ExecuteScheduleParallel(
+      pool, recorded_db, recorded_snap, *schedule, exec_.rwsets);
+  EXPECT_EQ(recorded_db.RootHash(), expected_root) << s.scheme;
+  EXPECT_EQ(recorded.committed_txs, schedule->NumCommitted()) << s.scheme;
+
+  StateDB rerun_db;
+  SmallBankWorkload::InitAccounts(rerun_db, s.num_accounts, 5000, 5000);
+  const StateSnapshot rerun_snap = rerun_db.MakeSnapshot(1);
+  const TxExecFn exec_tx = [this](TxIndex t, LoggedStateView& view) {
+    return ExecuteContract(txs_[t].payload, view);
+  };
+  ExecuteScheduleParallel(pool, rerun_db, rerun_snap, *schedule, exec_.rwsets,
+                          ParallelExecMode::kReExecute, exec_tx);
+  EXPECT_EQ(rerun_db.RootHash(), expected_root) << s.scheme;
 }
 
 constexpr Scenario kScenarios[] = {
@@ -380,6 +444,107 @@ TEST(NezhaPropertyTest, IdenticalResultsAcrossThreadCounts) {
   auto a = s1.BuildSchedule(serial.rwsets);
   auto b = s2.BuildSchedule(parallel.rwsets);
   EXPECT_EQ(a->sequence, b->sequence);
+}
+
+// ---------- sharded ACG construction property ----------
+
+/// Asserts BuildSharded produced the exact vertex set, subscript
+/// assignment, readers/writers lists, and edge multiset of the serial
+/// builder. Adjacency is compared as sorted neighbor lists: the serial
+/// builder deduplicates edges, so sorted adjacency IS the edge multiset.
+void ExpectSameAcg(const AddressConflictGraph& serial,
+                   const AddressConflictGraph& sharded,
+                   const std::string& label) {
+  ASSERT_EQ(sharded.NumAddresses(), serial.NumAddresses()) << label;
+  ASSERT_EQ(sharded.NumEdges(), serial.NumEdges()) << label;
+  for (std::size_t v = 0; v < serial.NumAddresses(); ++v) {
+    const AddressRWSet& a = serial.entries()[v];
+    const AddressRWSet& b = sharded.entries()[v];
+    EXPECT_EQ(b.address, a.address) << label << " vertex " << v;
+    EXPECT_EQ(b.readers, a.readers) << label << " vertex " << v;
+    EXPECT_EQ(b.writers, a.writers) << label << " vertex " << v;
+    EXPECT_EQ(sharded.IndexOf(a.address), static_cast<int>(v)) << label;
+
+    const auto sn = serial.dependencies().OutNeighbors(v);
+    const auto pn = sharded.dependencies().OutNeighbors(v);
+    std::vector<Digraph::Vertex> sorted_serial(sn.begin(), sn.end());
+    std::vector<Digraph::Vertex> sorted_sharded(pn.begin(), pn.end());
+    std::sort(sorted_serial.begin(), sorted_serial.end());
+    std::sort(sorted_sharded.begin(), sorted_sharded.end());
+    EXPECT_EQ(sorted_sharded, sorted_serial) << label << " vertex " << v;
+  }
+}
+
+TEST(ShardedAcgPropertyTest, MatchesSerialBuilderOnRandomizedRWSets) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(20260805);
+  for (int iter = 0; iter < 25; ++iter) {
+    // Random batches over a deliberately small key space so shards collide,
+    // with empty reads/writes, overlapping units, and reverted txs mixed in.
+    const std::size_t num_txs = 40 + rng() % 300;
+    const std::uint64_t key_space = 4 + rng() % 120;
+    std::vector<ReadWriteSet> rwsets(num_txs);
+    for (ReadWriteSet& rw : rwsets) {
+      const std::size_t reads = rng() % 4;
+      const std::size_t writes = rng() % 4;
+      for (std::size_t i = 0; i < reads; ++i) {
+        rw.reads.push_back(Address(rng() % key_space));
+      }
+      for (std::size_t i = 0; i < writes; ++i) {
+        rw.writes.push_back(Address(rng() % key_space));
+        rw.write_values.push_back(static_cast<StateValue>(rng() % 1000));
+      }
+      std::sort(rw.reads.begin(), rw.reads.end());
+      rw.reads.erase(std::unique(rw.reads.begin(), rw.reads.end()),
+                     rw.reads.end());
+      std::sort(rw.writes.begin(), rw.writes.end());
+      rw.writes.erase(std::unique(rw.writes.begin(), rw.writes.end()),
+                      rw.writes.end());
+      rw.write_values.resize(rw.writes.size());
+      rw.ok = rng() % 10 != 0;  // ~10% reverted: must contribute no units
+    }
+    const AddressConflictGraph serial = AddressConflictGraph::Build(rwsets);
+    for (const std::size_t shards : {0, 2, 3, 7, 16}) {
+      ExpectSameAcg(serial,
+                    AddressConflictGraph::BuildSharded(rwsets, pool, shards),
+                    "iter=" + std::to_string(iter) +
+                        " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedAcgPropertyTest, DegenerateShapes) {
+  ThreadPool pool(3);
+  // All-read batch: vertices with readers only, zero edges.
+  std::vector<ReadWriteSet> all_read(64);
+  for (std::size_t t = 0; t < all_read.size(); ++t) {
+    all_read[t].reads = {Address(t % 7), Address(100 + t % 3)};
+    std::sort(all_read[t].reads.begin(), all_read[t].reads.end());
+  }
+  ExpectSameAcg(AddressConflictGraph::Build(all_read),
+                AddressConflictGraph::BuildSharded(all_read, pool),
+                "all-read");
+
+  // All-write batch: vertices with writers only; no read units means no
+  // Definition 3 edges either.
+  std::vector<ReadWriteSet> all_write(64);
+  for (std::size_t t = 0; t < all_write.size(); ++t) {
+    all_write[t].writes = {Address(t % 5)};
+    all_write[t].write_values = {static_cast<StateValue>(t)};
+  }
+  ExpectSameAcg(AddressConflictGraph::Build(all_write),
+                AddressConflictGraph::BuildSharded(all_write, pool),
+                "all-write");
+
+  // Empty epoch and all-empty rwsets: zero vertices, zero edges.
+  const std::vector<ReadWriteSet> empty_epoch;
+  ExpectSameAcg(AddressConflictGraph::Build(empty_epoch),
+                AddressConflictGraph::BuildSharded(empty_epoch, pool),
+                "empty-epoch");
+  const std::vector<ReadWriteSet> empty_units(50);
+  ExpectSameAcg(AddressConflictGraph::Build(empty_units),
+                AddressConflictGraph::BuildSharded(empty_units, pool),
+                "empty-units");
 }
 
 }  // namespace
