@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sustained_load.h"
 #include "cc/nezha/nezha_scheduler.h"
 #include "cc/nezha/parallel_executor.h"
 #include "common/thread_pool.h"
@@ -150,6 +151,62 @@ double RunParallelPipelineBench(bench::JsonReport& report) {
   return latency_at_8 > 0 ? latency_at_1 / latency_at_8 : 0;
 }
 
+/// The sustained-load dimension: every scheme under steady arrival through
+/// mempool -> mining -> confirmed queue -> pipeline, with exact
+/// per-transaction end-to-end commit-latency percentiles
+/// (bench/sustained_load.h). The serial row is the ratio-mode denominator
+/// for check_bench_regression's latency gate.
+bool RunSustainedSection(bench::JsonReport& report) {
+  SustainedLoadConfig base;
+  base.block_size = bench::EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
+  base.block_concurrency =
+      bench::EnvSize("NEZHA_BENCH_SUSTAINED_CONCURRENCY", 4);
+  base.epochs = bench::EnvSize("NEZHA_BENCH_SUSTAINED_EPOCHS", 6);
+  base.skew = 0.6;
+  base.seed = 92'000;
+
+  bench::Row({"scheme", "tps", "p50(ms)", "p95(ms)", "p99(ms)", "aborts"});
+  const SchemeKind kSchemes[] = {SchemeKind::kSerial, SchemeKind::kOcc,
+                                 SchemeKind::kCg, SchemeKind::kNezha,
+                                 SchemeKind::kNezhaNoReorder};
+  for (const SchemeKind kind : kSchemes) {
+    SustainedLoadConfig config = base;
+    config.scheme = kind;
+    const auto run = RunSustainedLoad(config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "bench_suite: sustained %s failed: %s\n",
+                   SchemeName(kind), run.status().message().c_str());
+      return false;
+    }
+    JsonResult result;
+    result.bench = "sustained_load";
+    result.scheme = SchemeName(kind);
+    result.params.Set("workload", "smallbank");
+    result.params.Set("skew", config.skew);
+    result.params.Set("block_size", config.block_size);
+    result.params.Set("block_concurrency", config.block_concurrency);
+    result.params.Set("epochs", config.epochs);
+    result.params.Set("seed", config.seed);
+    result.throughput_tps = run->throughput_tps;
+    result.latency_ms = run->e2e_mean_ms;
+    result.abort_rate = run->AbortRate();
+    result.extra.Set("e2e_p50_ms", run->e2e_p50_ms);
+    result.extra.Set("e2e_p95_ms", run->e2e_p95_ms);
+    result.extra.Set("e2e_p99_ms", run->e2e_p99_ms);
+    result.extra.Set("e2e_max_ms", run->e2e_max_ms);
+    result.extra.Set("e2e_samples", run->sampled);
+    result.extra.Set("wall_ms", run->wall_ms);
+    report.Add(result);
+
+    bench::Row({SchemeName(kind), bench::Fmt(run->throughput_tps, 1),
+                bench::Fmt(run->e2e_p50_ms, 2),
+                bench::Fmt(run->e2e_p95_ms, 2),
+                bench::Fmt(run->e2e_p99_ms, 2),
+                bench::FmtPct(run->AbortRate())});
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +282,11 @@ int main(int argc, char** argv) {
                  speedup);
     return 1;
   }
+
+  Header("Sustained load — client-observed commit latency",
+         "steady arrival, open pipeline; exact per-tx e2e percentiles "
+         "(submitted -> durably committed)");
+  if (!RunSustainedSection(report)) return 1;
 
   if (!report.WriteTo(json_path)) {
     std::fprintf(stderr, "bench_suite: cannot write %s\n", json_path.c_str());

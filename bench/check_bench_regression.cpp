@@ -31,6 +31,9 @@ struct Options {
   std::string baseline;
   std::string current;
   double tolerance = 0.15;
+  /// Latency gate headroom. Latency is wall-clock (not modelled), so the
+  /// gate is looser than the throughput one; p99 is reported but ungated.
+  double latency_tolerance = 0.5;
   double abort_epsilon = 0.001;
   bool ratio_mode = true;
 };
@@ -39,7 +42,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --baseline <file> --current <file> [--tolerance 0.15]\n"
-      "          [--abort-epsilon 0.001] [--mode ratio|absolute]\n",
+      "          [--latency-tolerance 0.5] [--abort-epsilon 0.001]\n"
+      "          [--mode ratio|absolute]\n",
       argv0);
   return 2;
 }
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) options.current = v;
     } else if (arg == "--tolerance") {
       if (const char* v = next()) options.tolerance = std::atof(v);
+    } else if (arg == "--latency-tolerance") {
+      if (const char* v = next()) options.latency_tolerance = std::atof(v);
     } else if (arg == "--abort-epsilon") {
       if (const char* v = next()) options.abort_epsilon = std::atof(v);
     } else if (arg == "--mode") {
@@ -158,6 +164,42 @@ int main(int argc, char** argv) {
                   key.c_str(), cur_aborts, base_aborts,
                   options.abort_epsilon);
       ++failures;
+    }
+
+    // Latency gate: results carrying e2e percentiles (the sustained-load
+    // bench) are compared the same way throughput is — normalized by the
+    // serial sibling in the same file so machine speed cancels — but with
+    // "lower is better" and the looser --latency-tolerance. p50 and p95
+    // gate; p99 is printed only (one slow outlier on a noisy CI runner
+    // should not fail the build).
+    const auto latency_norm = [&](const Value& result,
+                                  const std::unordered_map<
+                                      std::string, const Value*>& file,
+                                  const char* field) {
+      const double ms = result[field].AsDouble();
+      if (!options.ratio_mode) return ms;
+      const auto serial = file.find(SerialKey(result));
+      if (serial == file.end()) return ms;
+      const double serial_ms = (*serial->second)[field].AsDouble();
+      return serial_ms > 0 ? ms / serial_ms : ms;
+    };
+    for (const char* field : {"e2e_p50_ms", "e2e_p95_ms", "e2e_p99_ms"}) {
+      if (!base.Contains(field) || !cur.Contains(field)) continue;
+      const double base_lat = latency_norm(base, base_index, field);
+      const double cur_lat = latency_norm(cur, cur_index, field);
+      const double ceiling = base_lat * (1.0 + options.latency_tolerance);
+      const char* lat_unit = options.ratio_mode ? "x serial" : "ms";
+      const bool gated = std::strcmp(field, "e2e_p99_ms") != 0;
+      if (gated && base_lat > 0 && cur_lat > ceiling) {
+        std::printf("FAIL %-40s %s %.3f %s > ceiling %.3f (base %.3f)\n",
+                    key.c_str(), field, cur_lat, lat_unit, ceiling,
+                    base_lat);
+        ++failures;
+      } else {
+        std::printf("ok   %-40s %s %.3f %s (base %.3f%s)\n", key.c_str(),
+                    field, cur_lat, lat_unit, base_lat,
+                    gated ? "" : ", ungated");
+      }
     }
   }
 

@@ -17,6 +17,7 @@
 #include "graph/johnson.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/tx_lifecycle.h"
 #include "runtime/concurrent_executor.h"
 #include "storage/mpt.h"
 #include "workload/smallbank_workload.h"
@@ -210,6 +211,67 @@ void BM_FlightRecorderRecord(benchmark::State& state) {
   recorder.Clear();
 }
 BENCHMARK(BM_FlightRecorderRecord)->Arg(2)->Arg(8);
+
+// Isolates the per-epoch lifecycle-tracer cost on one 4096-tx epoch: every
+// stamp FullNode's pipeline issues — BeginEpoch (keying + ingress claim),
+// the kConfirmed / kScheduled / kExecuted / kCommitted batch stamps, and
+// one MarkAborted per scheduler abort. Overhead = this time /
+// BM_NezhaFullSchedule/4096/N time (acceptance bar: < 2%); like
+// BM_FlightRecorderRecord, the isolated ratio resolves where subtracting
+// two end-to-end timings cannot.
+void BM_TxLifecycleStamp(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const auto rwsets = MakeRWSets(n, state.range(0) / 10.0);
+  NezhaScheduler scheduler;
+  const auto schedule = scheduler.BuildSchedule(rwsets);
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t t = 0; t < n; ++t) keys[t] = t * 0x9E3779B9u + 1;
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> aborts;
+  for (const obs::AbortRecord& r : schedule->attribution.aborts) {
+    aborts.emplace_back(r.tx, static_cast<std::uint8_t>(r.kind));
+  }
+  obs::TxLifecycleTracer& tracer = obs::Lifecycle();
+  tracer.Clear();
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    tracer.BeginEpoch(++epoch, "nezha", keys);
+    tracer.StampAll(obs::TxStage::kConfirmed);
+    tracer.StampAll(obs::TxStage::kScheduled);
+    tracer.MarkAbortedBatch(aborts);
+    tracer.StampAll(obs::TxStage::kExecuted);
+    tracer.StampAll(obs::TxStage::kCommitted);
+    benchmark::DoNotOptimize(tracer.CurrentEpochSize());
+  }
+  tracer.Clear();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TxLifecycleStamp)->Arg(2)->Arg(8);
+
+// FinishEpoch alone (sorted-vector percentiles + histogram publishing +
+// top-K selection) on the same 4096-tx epoch — the once-per-epoch rollup
+// cost, reported separately from the stamp path above because it runs off
+// the phase-critical path (after the report is assembled).
+void BM_TxLifecycleFinish(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t t = 0; t < n; ++t) keys[t] = t * 0x9E3779B9u + 1;
+  obs::TxLifecycleTracer& tracer = obs::Lifecycle();
+  tracer.Clear();
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tracer.BeginEpoch(++epoch, "nezha", keys);
+    tracer.StampAll(obs::TxStage::kConfirmed);
+    tracer.StampAll(obs::TxStage::kScheduled);
+    tracer.StampAll(obs::TxStage::kExecuted);
+    tracer.StampAll(obs::TxStage::kCommitted);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tracer.FinishEpoch());
+  }
+  tracer.Clear();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TxLifecycleFinish);
 
 // The serializability oracle alone on one epoch-sized batch (4096 txs is
 // the paper's largest block-size point): the cost the debug/ASan suites pay

@@ -1,0 +1,83 @@
+// Sustained-load latency bench: every scheme under steady transaction
+// arrival through mempool -> mining -> confirmed queue -> pipeline, with
+// exact per-transaction end-to-end commit-latency percentiles from the
+// lifecycle tracer (bench/sustained_load.h; docs/OBSERVABILITY.md).
+//
+// Knobs: NEZHA_BENCH_BLOCK_SIZE (200), NEZHA_BENCH_SUSTAINED_CONCURRENCY
+// (4), NEZHA_BENCH_SUSTAINED_EPOCHS (6), NEZHA_BENCH_SUSTAINED_SKEW x100
+// (60). `--json <path>` appends machine-readable results.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/sustained_load.h"
+
+using namespace nezha;
+using namespace nezha::bench;
+
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+
+  SustainedLoadConfig base;
+  base.block_size = EnvSize("NEZHA_BENCH_BLOCK_SIZE", 200);
+  base.block_concurrency = EnvSize("NEZHA_BENCH_SUSTAINED_CONCURRENCY", 4);
+  base.epochs = EnvSize("NEZHA_BENCH_SUSTAINED_EPOCHS", 6);
+  base.skew =
+      static_cast<double>(EnvSize("NEZHA_BENCH_SUSTAINED_SKEW", 60)) / 100.0;
+
+  Header("Sustained load — client-observed commit latency",
+         "steady arrival, open pipeline; exact per-tx e2e percentiles");
+  std::printf("block %zu x %zu blocks/epoch, %zu epochs, skew %.2f\n\n",
+              base.block_size, base.block_concurrency, base.epochs,
+              base.skew);
+
+  JsonReport report("sustained_load");
+  Row({"scheme", "tps", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)",
+       "aborts"});
+
+  const SchemeKind kSchemes[] = {SchemeKind::kSerial, SchemeKind::kOcc,
+                                 SchemeKind::kCg, SchemeKind::kNezha,
+                                 SchemeKind::kNezhaNoReorder};
+  for (const SchemeKind kind : kSchemes) {
+    SustainedLoadConfig config = base;
+    config.scheme = kind;
+    const auto run = RunSustainedLoad(config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "sustained_load: %s failed: %s\n",
+                   SchemeName(kind), run.status().message().c_str());
+      return 1;
+    }
+
+    JsonResult result;
+    result.bench = "sustained_load";
+    result.scheme = SchemeName(kind);
+    result.params.Set("workload", "smallbank");
+    result.params.Set("skew", config.skew);
+    result.params.Set("block_size", config.block_size);
+    result.params.Set("block_concurrency", config.block_concurrency);
+    result.params.Set("epochs", config.epochs);
+    result.params.Set("seed", config.seed);
+    result.throughput_tps = run->throughput_tps;
+    result.latency_ms = run->e2e_mean_ms;
+    result.abort_rate = run->AbortRate();
+    result.extra.Set("e2e_p50_ms", run->e2e_p50_ms);
+    result.extra.Set("e2e_p95_ms", run->e2e_p95_ms);
+    result.extra.Set("e2e_p99_ms", run->e2e_p99_ms);
+    result.extra.Set("e2e_max_ms", run->e2e_max_ms);
+    result.extra.Set("e2e_samples", run->sampled);
+    result.extra.Set("wall_ms", run->wall_ms);
+    report.Add(result);
+
+    Row({SchemeName(kind), Fmt(run->throughput_tps, 1),
+         Fmt(run->e2e_p50_ms, 2), Fmt(run->e2e_p95_ms, 2),
+         Fmt(run->e2e_p99_ms, 2), Fmt(run->e2e_max_ms, 2),
+         FmtPct(run->AbortRate())});
+  }
+
+  if (!json_path.empty() && !report.WriteTo(json_path)) {
+    std::fprintf(stderr, "sustained_load: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

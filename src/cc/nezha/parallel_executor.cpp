@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/tx_lifecycle.h"
 
 namespace nezha {
 namespace {
@@ -59,6 +60,16 @@ ParallelExecStats ExecuteScheduleParallel(ThreadPool& pool, StateDB& state,
   stats.groups = schedule.groups.size();
   WriteBuffer buffer;
 
+  // Lifecycle: stamp kExecuted only when this run belongs to the active
+  // epoch (microbenches execute schedules outside any epoch). In
+  // kApplyRecorded mode the whole merge is one pass, so one batch stamp
+  // after the sweep keeps the tracer out of the hot loop; re-execution
+  // stamps per group as each barrier completes.
+  obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
+  const bool stamp_lifecycle = lifecycle.enabled() &&
+                               lifecycle.EpochActive() &&
+                               lifecycle.CurrentEpochSize() == rwsets.size();
+
   if (mode == ParallelExecMode::kApplyRecorded) {
     // The group's effects are already known (the speculative rwsets), so
     // "execution" reduces to the deterministic merge: sweep groups in
@@ -77,6 +88,7 @@ ParallelExecStats ExecuteScheduleParallel(ThreadPool& pool, StateDB& state,
         stats.writes_applied += rw.writes.size();
       }
     }
+    if (stamp_lifecycle) lifecycle.StampAll(obs::TxStage::kExecuted);
   } else {
     // Re-execution: each group's transactions run concurrently against the
     // snapshot plus the overlay of all earlier groups. LoggedStateView only
@@ -110,6 +122,9 @@ ParallelExecStats ExecuteScheduleParallel(ThreadPool& pool, StateDB& state,
           buffer[rw.writes[i].value] = rw.write_values[i];
         }
         stats.writes_applied += rw.writes.size();
+      }
+      if (stamp_lifecycle) {
+        lifecycle.StampTxs(group, obs::TxStage::kExecuted);
       }
     }
   }

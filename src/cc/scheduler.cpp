@@ -7,6 +7,7 @@
 
 #include "analysis/schedule_verifier.h"
 #include "obs/flight_recorder.h"
+#include "obs/tx_lifecycle.h"
 
 namespace nezha {
 namespace {
@@ -150,6 +151,25 @@ void PublishSchedulerObs(std::string_view scheduler,
                          std::span<const ReadWriteSet> rwsets,
                          std::string_view conflict_reason) {
   CompleteAttribution(schedule, rwsets, conflict_reason);
+
+  // Lifecycle: this schedule IS the epoch's concurrency-control decision —
+  // stamp kScheduled for everything and join each abort with its
+  // attribution record. Guarded on the epoch size so schedule builds outside
+  // an epoch (microbenches, unit tests) never stamp a stale epoch.
+  if (obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
+      lifecycle.enabled() && lifecycle.EpochActive() &&
+      lifecycle.CurrentEpochSize() == schedule.TxCount()) {
+    lifecycle.StampAll(obs::TxStage::kScheduled);
+    if (!schedule.attribution.aborts.empty()) {
+      std::vector<std::pair<std::uint32_t, std::uint8_t>> aborts;
+      aborts.reserve(schedule.attribution.aborts.size());
+      for (const obs::AbortRecord& r : schedule.attribution.aborts) {
+        aborts.emplace_back(r.tx, static_cast<std::uint8_t>(r.kind));
+      }
+      lifecycle.MarkAbortedBatch(aborts);
+    }
+  }
+
   if (!obs::MetricsEnabled()) return;
   auto& registry = obs::Registry();
   const std::string name = Str(scheduler);

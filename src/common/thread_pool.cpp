@@ -31,7 +31,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
       ->Add(static_cast<std::int64_t>(num_threads));
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::SetThreadName("pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 

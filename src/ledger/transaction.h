@@ -42,4 +42,22 @@ struct Transaction {
   }
 };
 
+/// Cheap (non-cryptographic) 64-bit key over the transaction content, for
+/// keyed observability tables (obs::TxLifecycleTracer). Unlike Id() this
+/// costs a handful of multiplies, not a SHA-256 over the serialization.
+/// Always nonzero; collisions merely merge two lifecycle records.
+inline std::uint64_t LifecycleKey(const Transaction& tx) {
+  std::uint64_t h = (tx.nonce + 1) * 0x9E3779B97F4A7C15ULL;
+  h ^= ((static_cast<std::uint64_t>(tx.payload.contract) << 32) |
+        tx.payload.op) +
+       0xBF58476D1CE4E5B9ULL;
+  h *= 0x94D049BB133111EBULL;
+  for (const std::uint64_t arg : tx.payload.args) {
+    h ^= arg + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+  }
+  h ^= h >> 29;
+  return h | 1;  // never zero
+}
+
 }  // namespace nezha

@@ -2,6 +2,7 @@
 
 #include "common/stopwatch.h"
 #include "node/receipts.h"
+#include "obs/tx_lifecycle.h"
 #include "runtime/committer.h"
 #include "runtime/concurrent_executor.h"
 
@@ -29,6 +30,18 @@ Result<EpochReport> DeferredExecutionPipeline::ProcessBatch(
     return report;
   }
 
+  // Lifecycle: a batch handed to the deferred pipeline is by definition
+  // consensus-confirmed (the bridge ordered it), so open the epoch at
+  // kConfirmed; any ingress stamps from a mempool are claimed by key.
+  obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
+  if (lifecycle.enabled()) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(fresh.size());
+    for (const Transaction& tx : fresh) keys.push_back(LifecycleKey(tx));
+    lifecycle.BeginEpoch(report.epoch, SchemeName(config_.scheme), keys);
+    lifecycle.StampAll(obs::TxStage::kConfirmed);
+  }
+
   Stopwatch watch;
   const StateSnapshot snapshot = state_.MakeSnapshot(report.epoch);
   BatchExecutionResult exec =
@@ -44,7 +57,11 @@ Result<EpochReport> DeferredExecutionPipeline::ProcessBatch(
   watch.Restart();
   const CommitStats commit =
       CommitSchedule(pool_, state_, *schedule, exec.rwsets);
+  // CommitSchedule both executes the groups and applies them, so the two
+  // trailing stages collapse to one stamp each.
+  lifecycle.StampAll(obs::TxStage::kExecuted);
   report.state_root = state_.RootHash();
+  lifecycle.StampAll(obs::TxStage::kCommitted);
   report.commit_ms = watch.ElapsedMillis();
 
   report.committed = commit.committed_txs;
@@ -52,6 +69,7 @@ Result<EpochReport> DeferredExecutionPipeline::ProcessBatch(
   report.max_commit_group = commit.max_group;
   report.receipt_root = ComputeReceiptRoot(
       BuildReceipts(report.epoch, fresh, exec.rwsets, *schedule));
+  report.latency = lifecycle.FinishEpoch();
   return report;
 }
 

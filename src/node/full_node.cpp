@@ -10,9 +10,11 @@
 #include "common/stopwatch.h"
 #include "fault/fault.h"
 #include "node/commit_journal.h"
+#include "obs/abort_attribution.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/tx_lifecycle.h"
 #include "runtime/concurrent_executor.h"
 #include "vm/contract.h"
 #include "vm/logged_state.h"
@@ -78,6 +80,20 @@ FullNode::FullNode(const NodeConfig& config, KVStore* kv)
       receipts_(kv) {}
 
 namespace {
+
+/// Opens lifecycle tracking for one epoch batch: keys every transaction,
+/// claims its mempool ingress stamps, and stamps kConfirmed (the batch
+/// reaching the pipeline IS the epoch's DAG confirmation — SealEpoch
+/// happened just before ProcessEpoch).
+void BeginLifecycleEpoch(const NodeConfig& config, const EpochBatch& batch) {
+  obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
+  if (!lifecycle.enabled()) return;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(batch.txs.size());
+  for (const Transaction& tx : batch.txs) keys.push_back(LifecycleKey(tx));
+  lifecycle.BeginEpoch(batch.epoch, SchemeName(config.scheme), keys);
+  lifecycle.StampAll(obs::TxStage::kConfirmed);
+}
 
 /// Mirrors one finished EpochReport into the global metrics registry so
 /// dashboards see what the report structs see (docs/OBSERVABILITY.md).
@@ -156,6 +172,7 @@ void RecordEpochFlight(const NodeConfig& config, const EpochReport& report,
   record.acg_vertices = report.cc_metrics.graph_vertices;
   record.acg_edges = report.cc_metrics.graph_edges;
   record.attribution = std::move(attribution);
+  record.latency = report.latency;
   recorder.Record(std::move(record));
 }
 
@@ -165,6 +182,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   if (config_.scheme == SchemeKind::kSerial) return ProcessSerial(batch);
 
   obs::FlightRecorder::Global().SetCurrentEpoch(batch.epoch);
+  BeginLifecycleEpoch(config_, batch);
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
@@ -234,12 +252,14 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
     if (Status s = CommitEpochDurable(batch, report, receipts); !s.ok()) {
       return s;
     }
+    obs::Lifecycle().StampAll(obs::TxStage::kCommitted);
   }
   report.commit_ms = watch.ElapsedMillis();
 
   report.committed = commit.committed_txs;
   report.aborted = schedule->NumAborted();
   report.max_commit_group = commit.max_group;
+  report.latency = obs::Lifecycle().FinishEpoch();
 
   PublishEpochObs(config_, report);
   RecordEpochFlight(config_, report, batch.blocks.size(),
@@ -423,6 +443,7 @@ Status FullNode::RecoverFromStorage() { return Recover().status(); }
 
 Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   obs::FlightRecorder::Global().SetCurrentEpoch(batch.epoch);
+  BeginLifecycleEpoch(config_, batch);
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
@@ -452,7 +473,9 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   obs::TraceSpan commit_span("commit");
   const StateSnapshot base = state_.MakeSnapshot(batch.epoch);
   LoggedStateView::Overlay overlay;
-  for (const Transaction& tx : batch.txs) {
+  obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
+  for (std::size_t t = 0; t < batch.txs.size(); ++t) {
+    const Transaction& tx = batch.txs[t];
     LoggedStateView view(base, &overlay);
     Status executed;
     if (config_.exec_mode == ExecMode::kNative) {
@@ -464,6 +487,9 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
     }
     if (!executed.ok()) {
       ++report.aborted;  // malformed transaction: skipped
+      lifecycle.MarkAborted(
+          static_cast<std::uint32_t>(t),
+          static_cast<std::uint8_t>(obs::ConflictKind::kReverted));
       continue;
     }
     ReadWriteSet rw = view.TakeRWSet();
@@ -472,16 +498,19 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
       state_.Set(rw.writes[i], rw.write_values[i]);
     }
     ++report.committed;
+    lifecycle.StampTx(static_cast<std::uint32_t>(t), obs::TxStage::kExecuted);
   }
   report.state_root = state_.RootHash();
   // Same durable-commit tail as the concurrent pipeline (no receipts: the
   // serial baseline has no abort outcomes to attest).
   if (Status s = CommitEpochDurable(batch, report, {}); !s.ok()) return s;
+  lifecycle.StampAll(obs::TxStage::kCommitted);
   report.commit_ms = watch.ElapsedMillis();
   if (config_.model_execution_cost) {
     report.commit_ms = 0;
     report.execute_ms = config_.cost_model.SerialLatencyMs(batch.TxCount());
   }
+  report.latency = lifecycle.FinishEpoch();
   PublishEpochObs(config_, report);
   // Serial builds no schedule, so the record carries empty attribution.
   RecordEpochFlight(config_, report, batch.blocks.size(), {});

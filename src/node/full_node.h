@@ -23,6 +23,7 @@
 #include "ledger/epoch.h"
 #include "ledger/ledger.h"
 #include "node/receipts.h"
+#include "obs/tx_lifecycle.h"
 #include "storage/state_db.h"
 #include "vm/cost_model.h"
 #include "vm/executor.h"
@@ -71,6 +72,10 @@ struct EpochReport {
   }
 
   SchedulerMetrics cc_metrics;
+  /// Per-transaction latency decomposition for the epoch (end-to-end and
+  /// stage-wait percentiles, top-K slowest transactions); empty when the
+  /// lifecycle tracer is disabled.
+  obs::EpochLatencySummary latency;
   std::size_t max_commit_group = 0;
   Hash256 state_root{};
   /// Merkle root over this epoch's transaction receipts (zero for the

@@ -1,9 +1,30 @@
 #include "node/mempool.h"
 
+#include "obs/metrics.h"
+#include "obs/tx_lifecycle.h"
+
 namespace nezha {
+
+Mempool::Mempool(std::size_t capacity)
+    : capacity_(capacity),
+      depth_gauge_(obs::Registry().GetGauge("nezha_mempool_depth")),
+      oldest_age_gauge_(
+          obs::Registry().GetGauge("nezha_mempool_oldest_age_ms")) {}
+
+void Mempool::UpdateGauges() {
+  depth_gauge_->Set(static_cast<std::int64_t>(pending_.size()));
+  if (pending_.empty()) {
+    oldest_age_gauge_->Set(0);
+    return;
+  }
+  const double age_ms =
+      (obs::TxLifecycleTracer::NowUs() - pending_.front().admit_us) / 1000.0;
+  oldest_age_gauge_->Set(static_cast<std::int64_t>(age_ms));
+}
 
 Status Mempool::Add(Transaction tx) {
   const Hash256 id = tx.Id();
+  const std::uint64_t key = LifecycleKey(tx);
   MutexLock lock(mutex_);
   if (pending_.size() >= capacity_) {
     return Status::OutOfRange("mempool full");
@@ -11,7 +32,10 @@ Status Mempool::Add(Transaction tx) {
   if (!known_.insert(id).second) {
     return Status::AlreadyExists("duplicate transaction");
   }
-  pending_.push_back(std::move(tx));
+  const double now_us = obs::TxLifecycleTracer::NowUs();
+  pending_.push_back(Pending{std::move(tx), now_us});
+  obs::Lifecycle().StampIngress(key, obs::TxStage::kSubmitted);
+  UpdateGauges();
   return Status::Ok();
 }
 
@@ -26,11 +50,17 @@ std::size_t Mempool::AddAll(std::span<const Transaction> txs) {
 std::vector<Transaction> Mempool::TakeBatch(std::size_t n) {
   MutexLock lock(mutex_);
   std::vector<Transaction> batch;
-  batch.reserve(std::min(n, pending_.size()));
+  std::vector<std::uint64_t> keys;
+  const std::size_t take = std::min(n, pending_.size());
+  batch.reserve(take);
+  keys.reserve(take);
   while (!pending_.empty() && batch.size() < n) {
-    batch.push_back(std::move(pending_.front()));
+    batch.push_back(std::move(pending_.front().tx));
+    keys.push_back(LifecycleKey(batch.back()));
     pending_.pop_front();
   }
+  obs::Lifecycle().StampIngressBatch(keys, obs::TxStage::kIncluded);
+  UpdateGauges();
   return batch;
 }
 
@@ -38,11 +68,17 @@ void Mempool::RemoveCommitted(std::span<const Hash256> ids) {
   MutexLock lock(mutex_);
   std::unordered_set<Hash256> dropping(ids.begin(), ids.end());
   for (const Hash256& id : dropping) known_.erase(id);
-  std::deque<Transaction> keep;
-  for (Transaction& tx : pending_) {
-    if (!dropping.contains(tx.Id())) keep.push_back(std::move(tx));
+  std::deque<Pending> keep;
+  for (Pending& entry : pending_) {
+    if (dropping.contains(entry.tx.Id())) {
+      // Dropped without ever reaching an epoch: forget the ingress stamps.
+      obs::Lifecycle().DropIngress(LifecycleKey(entry.tx));
+    } else {
+      keep.push_back(std::move(entry));
+    }
   }
   pending_ = std::move(keep);
+  UpdateGauges();
 }
 
 bool Mempool::Contains(const Hash256& id) const {

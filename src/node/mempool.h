@@ -7,6 +7,12 @@
 // transactions it carried so they are not proposed twice (the epoch
 // flattening would deduplicate them anyway, but re-proposing wastes block
 // space).
+//
+// Observability: every admission stamps the transaction's lifecycle
+// (TxStage::kSubmitted) and every drain stamps kIncluded, so end-to-end
+// latency counts mempool queueing. The pool also keeps two gauges current —
+// nezha_mempool_depth and nezha_mempool_oldest_age_ms (age of the
+// longest-waiting pending transaction) — updated on add/drain/evict.
 #pragma once
 
 #include <deque>
@@ -18,11 +24,15 @@
 #include "common/thread_annotations.h"
 #include "ledger/transaction.h"
 
+namespace nezha::obs {
+class Gauge;
+}  // namespace nezha::obs
+
 namespace nezha {
 
 class Mempool {
  public:
-  explicit Mempool(std::size_t capacity = 100'000) : capacity_(capacity) {}
+  explicit Mempool(std::size_t capacity = 100'000);
 
   /// Admits a transaction. AlreadyExists for duplicates (by id, including
   /// transactions that already left in a batch but were not yet forgotten);
@@ -45,9 +55,21 @@ class Mempool {
   bool Empty() const { return PendingCount() == 0; }
 
  private:
+  struct Pending {
+    Transaction tx;
+    double admit_us = 0;  ///< lifecycle-clock admission time
+  };
+
+  /// Refreshes the depth / oldest-age gauges from the current queue.
+  void UpdateGauges() REQUIRES(mutex_);
+
   const std::size_t capacity_;
+  // Stable registry pointers fetched once (see obs/metrics.h) so per-add
+  // cost is two relaxed stores, not a registry lookup.
+  obs::Gauge* const depth_gauge_;
+  obs::Gauge* const oldest_age_gauge_;
   mutable Mutex mutex_;
-  std::deque<Transaction> pending_ GUARDED_BY(mutex_);
+  std::deque<Pending> pending_ GUARDED_BY(mutex_);
   /// Ids of pending + taken-but-not-committed transactions.
   std::unordered_set<Hash256> known_ GUARDED_BY(mutex_);
 };

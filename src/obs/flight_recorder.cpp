@@ -103,7 +103,11 @@ std::string EpochFlightRecord::ToJson() const {
         << ",\"reorder_failure\":\"" << ReorderFailureName(a.reorder_failure)
         << "\"}";
   }
-  out << "]}";
+  out << "]";
+  if (latency.tracked > 0) {
+    out << ",\"latency\":" << latency.ToJson();
+  }
+  out << "}";
   return out.str();
 }
 

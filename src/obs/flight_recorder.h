@@ -32,6 +32,7 @@
 
 #include "common/thread_annotations.h"
 #include "obs/abort_attribution.h"
+#include "obs/tx_lifecycle.h"
 
 namespace nezha::obs {
 
@@ -61,6 +62,10 @@ struct EpochFlightRecord {
   std::uint32_t parallel_max_group = 0;  ///< peak in-group concurrency
 
   ScheduleAttribution attribution;
+
+  /// Per-transaction latency decomposition (tx_lifecycle.h). Serialised as
+  /// the "latency" member when latency.tracked > 0.
+  EpochLatencySummary latency;
 
   /// Serialises this record as one JSON object (no trailing newline).
   std::string ToJson() const;

@@ -97,7 +97,9 @@ const std::vector<double>& DefaultSizeBounds() {
 }
 
 double HistogramData::Percentile(double p) const {
-  if (count == 0) return 0;
+  if (count == 0 || counts.empty()) return 0;
+  if (p <= 0) return min;
+  if (p >= 100) return max;
   const double target = p / 100.0 * static_cast<double>(count);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -105,8 +107,9 @@ double HistogramData::Percentile(double p) const {
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= target) {
       // Interpolate linearly inside [lo, hi); clamp to observed min/max so
-      // single-sample histograms report the sample, not a bucket edge.
-      const double lo = i == 0 ? min : bounds[i - 1];
+      // single-sample (and single-bucket) histograms report the sample, not
+      // a bucket edge.
+      const double lo = i == 0 || i > bounds.size() ? min : bounds[i - 1];
       const double hi = i < bounds.size() ? bounds[i] : max;
       const double frac =
           (target - static_cast<double>(cumulative)) /
@@ -134,6 +137,30 @@ void BucketHistogram::Observe(double value) {
   AtomicAdd(sum_, value);
   AtomicMin(min_, value);
   AtomicMax(max_, value);
+}
+
+void BucketHistogram::ObserveMany(std::span<const double> values) {
+  if (!MetricsEnabled() || values.empty()) return;
+  std::vector<std::uint64_t> local(buckets_.size(), 0);
+  double sum = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double value : values) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++local[static_cast<std::size_t>(it - bounds_.begin())];
+    sum += value;
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+  }
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    if (local[i] != 0) {
+      buckets_[i].fetch_add(local[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(values.size(), std::memory_order_relaxed);
+  AtomicAdd(sum_, sum);
+  AtomicMin(min_, lo);
+  AtomicMax(max_, hi);
 }
 
 HistogramData BucketHistogram::Snapshot() const {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -109,6 +110,10 @@ class BucketHistogram {
   explicit BucketHistogram(std::vector<double> bounds);
 
   void Observe(double value);
+  /// Bulk observe: buckets values locally and publishes one fetch_add per
+  /// touched bucket plus one sum/min/max update, so epoch-sized batches
+  /// (thousands of latencies) cost dozens of atomics instead of thousands.
+  void ObserveMany(std::span<const double> values);
   HistogramData Snapshot() const;
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   void Reset();

@@ -45,6 +45,13 @@ std::uint32_t CurrentThreadId() {
   return t_thread_id;
 }
 
+void SetThreadName(std::string_view name) {
+  const std::uint32_t tid = CurrentThreadId();
+  PhaseTracer& tracer = PhaseTracer::Global();
+  MutexLock lock(tracer.mutex_);
+  tracer.thread_names_[tid] = std::string(name);
+}
+
 PhaseTracer& PhaseTracer::Global() {
   static PhaseTracer* tracer = new PhaseTracer();  // never freed
   return *tracer;
@@ -111,17 +118,45 @@ void PhaseTracer::Clear() {
   recorded_ = 0;
 }
 
+std::vector<std::pair<std::uint32_t, std::string>> PhaseTracer::ThreadNames()
+    const {
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  {
+    MutexLock lock(mutex_);
+    names.assign(thread_names_.begin(), thread_names_.end());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 std::string PhaseTracer::ExportChromeTrace() const {
   const std::vector<TraceEvent> events = Events();
+  std::vector<std::string> entries;
+  entries.reserve(events.size() + 8);
+  // Metadata first: name the process and every registered thread so the
+  // viewer shows labeled rows instead of bare tids.
+  entries.push_back(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"
+      ",\"args\":{\"name\":\"nezha\"}}");
+  for (const auto& [tid, name] : ThreadNames()) {
+    std::ostringstream meta;
+    meta << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+    entries.push_back(meta.str());
+  }
+  for (const TraceEvent& e : events) {
+    std::ostringstream line;
+    line << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\""
+         << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+         << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":" << e.depth
+         << "}}";
+    entries.push_back(line.str());
+  }
   std::ostringstream out;
   out << "{\"traceEvents\":[\n";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\""
-        << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
-        << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":" << e.depth
-        << "}}";
-    if (i + 1 < events.size()) out << ",";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << entries[i];
+    if (i + 1 < entries.size()) out << ",";
     out << "\n";
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";

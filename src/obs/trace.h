@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -28,6 +30,13 @@ struct TraceEvent {
 
 /// Dense id of the calling thread (1, 2, 3, ... in first-use order).
 std::uint32_t CurrentThreadId();
+
+/// Names the calling thread for trace exports: chrome://tracing shows the
+/// name instead of a bare tid (emitted as "ph":"M" thread_name metadata).
+/// Recorded even while tracing is disabled — the map is bounded by the
+/// process's thread count, and pool workers name themselves at startup,
+/// typically before anyone enables the tracer.
+void SetThreadName(std::string_view name);
 
 class PhaseTracer {
  public:
@@ -50,7 +59,13 @@ class PhaseTracer {
   std::uint64_t TotalRecorded() const;
   void Clear();
 
-  /// Chrome trace_event JSON (the "traceEvents" array form).
+  /// Thread names registered via SetThreadName, as (tid, name) pairs sorted
+  /// by tid.
+  std::vector<std::pair<std::uint32_t, std::string>> ThreadNames() const;
+
+  /// Chrome trace_event JSON (the "traceEvents" array form), led by
+  /// process_name / thread_name metadata ("ph":"M") events so pipeline
+  /// stages render under labeled rows.
   std::string ExportChromeTrace() const;
   /// Writes ExportChromeTrace() to `path`; false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
@@ -70,6 +85,11 @@ class PhaseTracer {
   std::size_t next_ GUARDED_BY(mutex_) = 0;
   /// Lifetime event count.
   std::uint64_t recorded_ GUARDED_BY(mutex_) = 0;
+  /// tid -> display name (SetThreadName).
+  std::unordered_map<std::uint32_t, std::string> thread_names_
+      GUARDED_BY(mutex_);
+
+  friend void SetThreadName(std::string_view name);
 };
 
 /// RAII span. Construction stamps the start; destruction records the event

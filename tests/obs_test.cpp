@@ -316,6 +316,63 @@ TEST_F(ObsTest, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(h->Snapshot().Percentile(99), 7);
 }
 
+TEST_F(ObsTest, PercentileClampsOutOfRangeRequests) {
+  BucketHistogram* h =
+      Registry().GetHistogram("obs_test_pct_clamp", {}, {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  const HistogramData data = h->Snapshot();
+  // p <= 0 pins to the observed min, p >= 100 to the observed max — never
+  // off the end of the bucket array.
+  EXPECT_DOUBLE_EQ(data.Percentile(0), 5);
+  EXPECT_DOUBLE_EQ(data.Percentile(-10), 5);
+  EXPECT_DOUBLE_EQ(data.Percentile(100), 50);
+  EXPECT_DOUBLE_EQ(data.Percentile(250), 50);
+}
+
+TEST_F(ObsTest, PercentileOnSingleBucketHistogram) {
+  // One bound means two buckets (under + overflow); all mass in one bucket
+  // must not divide by a zero width or read past the bounds vector.
+  BucketHistogram* h =
+      Registry().GetHistogram("obs_test_pct_single", {}, {10});
+  for (int i = 0; i < 4; ++i) h->Observe(3);
+  const HistogramData data = h->Snapshot();
+  const double p50 = data.Percentile(50);
+  EXPECT_GE(p50, 3);
+  EXPECT_LE(p50, 10);
+  // Degenerate histogram data (no counts at all) must also return 0.
+  HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0);
+}
+
+TEST_F(ObsTest, ObserveManyMatchesRepeatedObserve) {
+  const std::vector<double> samples = {5, 15, 15, 250, 3000};
+  BucketHistogram* one =
+      Registry().GetHistogram("obs_test_many_one", {}, {10, 100, 1000});
+  for (const double v : samples) one->Observe(v);
+  BucketHistogram* bulk =
+      Registry().GetHistogram("obs_test_many_bulk", {}, {10, 100, 1000});
+  bulk->ObserveMany(samples);
+
+  const HistogramData a = one->Snapshot();
+  const HistogramData b = bulk->Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << "bucket " << i;
+  }
+}
+
+TEST_F(ObsTest, ObserveManyEmptySpanIsANoOp) {
+  BucketHistogram* h =
+      Registry().GetHistogram("obs_test_many_empty", {}, {10});
+  h->ObserveMany({});
+  EXPECT_EQ(h->Snapshot().count, 0u);
+}
+
 TEST_F(ObsTest, RenderTextEmitsQuantileLines) {
   BucketHistogram* h = Registry().GetHistogram(
       "obs_test_quant_us", {{"phase", "cc"}}, {1, 2, 4, 8, 16});

@@ -1,0 +1,342 @@
+// Per-transaction lifecycle tracer (src/obs/tx_lifecycle.h): ingress
+// claiming, sentinel semantics, epoch rollups, JSON schema — plus the
+// pipeline-level monotonicity property: under every scheme and both sim
+// drivers, committed transactions carry non-decreasing stage stamps ending
+// at durably-committed, and aborted transactions carry an attribution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+#include "ledger/transaction.h"
+#include "node/deferred_executor.h"
+#include "node/simulation.h"
+#include "obs/abort_attribution.h"
+#include "obs/metrics.h"
+#include "obs/tx_lifecycle.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha::obs {
+namespace {
+
+class TxLifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    Registry().ResetAll();
+    Lifecycle().SetEnabled(true);
+    Lifecycle().Clear();
+  }
+  void TearDown() override { Lifecycle().Clear(); }
+};
+
+TEST_F(TxLifecycleTest, UnstampedLifetimeReportsSentinels) {
+  TxLifetime life;
+  EXPECT_FALSE(life.HasStage(TxStage::kSubmitted));
+  EXPECT_LT(life.EndToEndMs(), 0);
+  for (std::size_t w = 0; w < kNumStageWaits; ++w) {
+    EXPECT_LT(life.WaitMs(w), 0) << StageWaitName(w);
+  }
+}
+
+TEST_F(TxLifecycleTest, WaitMsRequiresBothEndpoints) {
+  TxLifetime life;
+  life.stamp_us[static_cast<std::size_t>(TxStage::kConfirmed)] = 1000;
+  // schedule wait = confirmed -> scheduled; scheduled missing.
+  EXPECT_LT(life.WaitMs(2), 0);
+  life.stamp_us[static_cast<std::size_t>(TxStage::kScheduled)] = 3500;
+  EXPECT_DOUBLE_EQ(life.WaitMs(2), 2.5);
+  // End-to-end spans first stamp -> committed.
+  life.stamp_us[static_cast<std::size_t>(TxStage::kCommitted)] = 11'000;
+  EXPECT_DOUBLE_EQ(life.EndToEndMs(), 10.0);
+}
+
+TEST_F(TxLifecycleTest, AbortedLifetimeEndsAtAbortStamp) {
+  TxLifetime life;
+  life.stamp_us[static_cast<std::size_t>(TxStage::kSubmitted)] = 500;
+  life.aborted = true;
+  life.stamp_us[static_cast<std::size_t>(TxStage::kAborted)] = 4500;
+  EXPECT_DOUBLE_EQ(life.EndToEndMs(), 4.0);
+}
+
+TEST_F(TxLifecycleTest, IngressStampsAreClaimedIntoTheEpoch) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  const std::uint64_t keys[] = {101, 202, 303};
+  for (const std::uint64_t key : keys) {
+    tracer.StampIngress(key, TxStage::kSubmitted);
+  }
+  tracer.StampIngressBatch(keys, TxStage::kIncluded);
+  EXPECT_EQ(tracer.IngressCount(), 3u);
+
+  tracer.BeginEpoch(7, "nezha", keys);
+  // Claiming moves the entries: the ingress tier is empty afterwards.
+  EXPECT_EQ(tracer.IngressCount(), 0u);
+  EXPECT_TRUE(tracer.EpochActive());
+  EXPECT_EQ(tracer.CurrentEpochSize(), 3u);
+
+  tracer.StampAll(TxStage::kConfirmed);
+  tracer.StampAll(TxStage::kScheduled);
+  tracer.StampAll(TxStage::kExecuted);
+  tracer.StampAll(TxStage::kCommitted);
+  const EpochLatencySummary summary = tracer.FinishEpoch();
+
+  EXPECT_EQ(summary.epoch, 7u);
+  EXPECT_EQ(summary.scheme, "nezha");
+  EXPECT_EQ(summary.tracked, 3u);
+  EXPECT_EQ(summary.committed, 3u);
+  EXPECT_EQ(summary.aborted, 0u);
+  EXPECT_FALSE(tracer.EpochActive());
+
+  for (const TxLifetime& life : tracer.LastEpochLifetimes()) {
+    EXPECT_TRUE(life.HasStage(TxStage::kSubmitted));
+    EXPECT_TRUE(life.HasStage(TxStage::kIncluded));
+    EXPECT_TRUE(life.HasStage(TxStage::kCommitted));
+    EXPECT_GE(life.EndToEndMs(), 0);
+    double prev = life.StampUs(TxStage::kSubmitted);
+    for (std::size_t s = 1; s <= 5; ++s) {
+      const double cur = life.stamp_us[s];
+      EXPECT_GE(cur, prev) << "stage " << s;
+      prev = cur;
+    }
+  }
+}
+
+TEST_F(TxLifecycleTest, DroppedIngressEntriesAreForgotten) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  tracer.StampIngress(42, TxStage::kSubmitted);
+  EXPECT_EQ(tracer.IngressCount(), 1u);
+  tracer.DropIngress(42);
+  EXPECT_EQ(tracer.IngressCount(), 0u);
+}
+
+TEST_F(TxLifecycleTest, MarkAbortedIsTerminalAndCarriesKind) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  const std::uint64_t keys[] = {1, 2, 3, 4};
+  tracer.BeginEpoch(1, "occ", keys);
+  tracer.StampAll(TxStage::kConfirmed);
+  tracer.MarkAborted(2, static_cast<std::uint8_t>(ConflictKind::kReadWrite));
+  // Later batch stamps must skip the aborted transaction.
+  tracer.StampAll(TxStage::kExecuted);
+  tracer.StampAll(TxStage::kCommitted);
+  const EpochLatencySummary summary = tracer.FinishEpoch();
+  EXPECT_EQ(summary.committed, 3u);
+  EXPECT_EQ(summary.aborted, 1u);
+
+  const std::vector<TxLifetime> lifetimes = tracer.LastEpochLifetimes();
+  ASSERT_EQ(lifetimes.size(), 4u);
+  const TxLifetime& aborted = lifetimes[2];
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.abort_kind,
+            static_cast<std::uint8_t>(ConflictKind::kReadWrite));
+  EXPECT_TRUE(aborted.HasStage(TxStage::kAborted));
+  EXPECT_FALSE(aborted.HasStage(TxStage::kExecuted));
+  EXPECT_FALSE(aborted.HasStage(TxStage::kCommitted));
+}
+
+TEST_F(TxLifecycleTest, BeginEpochDiscardsAnUnfinishedEpoch) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  const std::uint64_t first[] = {1, 2, 3};
+  tracer.BeginEpoch(1, "nezha", first);
+  const std::uint64_t second[] = {9, 10};
+  tracer.BeginEpoch(2, "nezha", second);
+  EXPECT_EQ(tracer.CurrentEpochSize(), 2u);
+  const EpochLatencySummary summary = tracer.FinishEpoch();
+  EXPECT_EQ(summary.epoch, 2u);
+  EXPECT_EQ(summary.tracked, 2u);
+}
+
+TEST_F(TxLifecycleTest, FinishWithoutActiveEpochIsEmpty) {
+  const EpochLatencySummary summary = Lifecycle().FinishEpoch();
+  EXPECT_EQ(summary.tracked, 0u);
+  EXPECT_EQ(summary.slowest.size(), 0u);
+}
+
+TEST_F(TxLifecycleTest, DisabledTracerIgnoresEverything) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  tracer.SetEnabled(false);
+  tracer.StampIngress(5, TxStage::kSubmitted);
+  EXPECT_EQ(tracer.IngressCount(), 0u);
+  const std::uint64_t keys[] = {5};
+  tracer.BeginEpoch(1, "nezha", keys);
+  EXPECT_FALSE(tracer.EpochActive());
+  tracer.SetEnabled(true);
+}
+
+TEST_F(TxLifecycleTest, FinishEpochKeepsTopKSlowestSorted) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  std::vector<std::uint64_t> keys(16);
+  for (std::size_t t = 0; t < keys.size(); ++t) keys[t] = t + 1;
+  tracer.BeginEpoch(3, "cg", keys);
+  tracer.StampAll(TxStage::kConfirmed);
+  tracer.StampAll(TxStage::kCommitted);
+  const EpochLatencySummary summary = tracer.FinishEpoch(/*top_k=*/4);
+  ASSERT_EQ(summary.slowest.size(), 4u);
+  for (std::size_t i = 1; i < summary.slowest.size(); ++i) {
+    EXPECT_GE(summary.slowest[i - 1].e2e_ms, summary.slowest[i].e2e_ms);
+  }
+  // p50 <= p95 <= p99 <= max over the committed population.
+  EXPECT_LE(summary.e2e.p50_ms, summary.e2e.p95_ms);
+  EXPECT_LE(summary.e2e.p95_ms, summary.e2e.p99_ms);
+  EXPECT_LE(summary.e2e.p99_ms, summary.e2e.max_ms);
+  EXPECT_EQ(summary.e2e.count, 16u);
+}
+
+TEST_F(TxLifecycleTest, SummaryJsonParsesAndCarriesTheSchema) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  const std::uint64_t keys[] = {11, 22};
+  tracer.BeginEpoch(5, "nezha", keys);
+  tracer.StampAll(TxStage::kConfirmed);
+  tracer.StampAll(TxStage::kScheduled);
+  tracer.StampAll(TxStage::kExecuted);
+  tracer.StampAll(TxStage::kCommitted);
+  const EpochLatencySummary summary = tracer.FinishEpoch(/*top_k=*/1);
+
+  const auto doc = json::Parse(summary.ToJson());
+  ASSERT_TRUE(doc.ok()) << summary.ToJson();
+  EXPECT_EQ((*doc)["epoch"].AsDouble(), 5);
+  EXPECT_EQ((*doc)["scheme"].AsString(), "nezha");
+  EXPECT_EQ((*doc)["tracked"].AsDouble(), 2);
+  EXPECT_EQ((*doc)["committed"].AsDouble(), 2);
+  EXPECT_TRUE((*doc).Contains("e2e_ms"));
+  const auto& stage_waits = (*doc)["stage_wait_ms"];
+  for (std::size_t w = 0; w < kNumStageWaits; ++w) {
+    EXPECT_TRUE(stage_waits.Contains(StageWaitName(w)));
+  }
+  EXPECT_EQ((*doc)["slowest"].AsArray().size(), 1u);
+}
+
+TEST_F(TxLifecycleTest, FinishEpochPublishesPerSchemeSeries) {
+  TxLifecycleTracer& tracer = Lifecycle();
+  const std::uint64_t keys[] = {7};
+  tracer.BeginEpoch(9, "nezha", keys);
+  tracer.StampAll(TxStage::kConfirmed);
+  tracer.StampAll(TxStage::kCommitted);
+  tracer.FinishEpoch();
+  EXPECT_EQ(Registry()
+                .GetCounter("nezha_tx_lifecycle_committed_total",
+                            {{"scheme", "nezha"}})
+                ->Value(),
+            1u);
+  EXPECT_EQ(Registry()
+                .GetCounter("nezha_tx_lifecycle_epochs_total",
+                            {{"scheme", "nezha"}})
+                ->Value(),
+            1u);
+  const auto hist = Registry()
+                        .GetHistogram("nezha_tx_e2e_ms", {{"scheme", "nezha"}},
+                                      DefaultLatencyBoundsMs())
+                        ->Snapshot();
+  EXPECT_EQ(hist.count, 1u);
+}
+
+// LifecycleKey: deterministic, never zero, and distinct across the batch
+// (the ingress tier keys on it; a collision merges two transactions).
+TEST_F(TxLifecycleTest, LifecycleKeysAreDistinctAcrossABatch) {
+  WorkloadConfig config;
+  config.num_accounts = 1000;
+  config.skew = 0.9;
+  SmallBankWorkload workload(config, 7);
+  const auto txs = workload.MakeBatch(2000);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(txs.size());
+  for (const Transaction& tx : txs) {
+    const std::uint64_t key = LifecycleKey(tx);
+    EXPECT_NE(key, 0u);
+    EXPECT_EQ(key, LifecycleKey(tx));  // deterministic
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+// ---- Pipeline property: monotone stamps under every scheme ----
+
+void ExpectMonotoneLifetimes(const std::vector<TxLifetime>& lifetimes,
+                             const char* scheme) {
+  ASSERT_FALSE(lifetimes.empty()) << scheme;
+  for (const TxLifetime& life : lifetimes) {
+    if (life.aborted) {
+      EXPECT_TRUE(life.HasStage(TxStage::kAborted)) << scheme;
+      EXPECT_FALSE(life.HasStage(TxStage::kCommitted)) << scheme;
+      continue;
+    }
+    EXPECT_TRUE(life.HasStage(TxStage::kCommitted)) << scheme;
+    EXPECT_GE(life.EndToEndMs(), 0) << scheme;
+    // Stamps that exist must be non-decreasing in stage order.
+    double prev = -1;
+    for (std::size_t s = 0; s <= 5; ++s) {
+      if (life.stamp_us[s] < 0) continue;
+      EXPECT_GE(life.stamp_us[s], prev)
+          << scheme << " stage " << TxStageName(static_cast<TxStage>(s));
+      prev = life.stamp_us[s];
+    }
+  }
+}
+
+TEST_F(TxLifecycleTest, FullNodePipelineStampsAreMonotone) {
+  const SchemeKind kSchemes[] = {SchemeKind::kSerial, SchemeKind::kOcc,
+                                 SchemeKind::kCg, SchemeKind::kNezha,
+                                 SchemeKind::kNezhaNoReorder};
+  for (const SchemeKind scheme : kSchemes) {
+    Lifecycle().Clear();
+    SimulationConfig config;
+    config.node.scheme = scheme;
+    config.block_size = 40;
+    config.block_concurrency = 2;
+    config.epochs = 2;
+    config.workload.num_accounts = 200;
+    config.workload.skew = 0.8;
+    const auto summary = RunSimulation(config);
+    ASSERT_TRUE(summary.ok()) << SchemeName(scheme);
+
+    // Every epoch report carries a latency decomposition covering the batch.
+    for (const EpochReport& report : summary->reports) {
+      EXPECT_EQ(report.latency.tracked, report.txs) << SchemeName(scheme);
+      EXPECT_EQ(report.latency.committed, report.committed)
+          << SchemeName(scheme);
+      EXPECT_EQ(report.latency.aborted, report.aborted) << SchemeName(scheme);
+      EXPECT_EQ(report.latency.scheme, SchemeName(scheme));
+    }
+
+    // The last epoch's lifetimes are retained: check stamp monotonicity.
+    const auto lifetimes = Lifecycle().LastEpochLifetimes();
+    ExpectMonotoneLifetimes(lifetimes, SchemeName(scheme));
+    // The mempool path stamps submitted + included before confirmation.
+    for (const TxLifetime& life : lifetimes) {
+      EXPECT_TRUE(life.HasStage(TxStage::kSubmitted)) << SchemeName(scheme);
+      EXPECT_TRUE(life.HasStage(TxStage::kIncluded)) << SchemeName(scheme);
+      EXPECT_TRUE(life.HasStage(TxStage::kConfirmed)) << SchemeName(scheme);
+    }
+  }
+}
+
+TEST_F(TxLifecycleTest, DeferredPipelineStampsAreMonotone) {
+  const SchemeKind kSchemes[] = {SchemeKind::kOcc, SchemeKind::kCg,
+                                 SchemeKind::kNezha};
+  for (const SchemeKind scheme : kSchemes) {
+    Lifecycle().Clear();
+    DeferredExecConfig config;
+    config.scheme = scheme;
+    DeferredExecutionPipeline pipeline(config);
+    SmallBankWorkload::InitAccounts(pipeline.state(), 200, 5000, 5000);
+
+    WorkloadConfig wconfig;
+    wconfig.num_accounts = 200;
+    wconfig.skew = 0.8;
+    SmallBankWorkload workload(wconfig, 11);
+    const auto report = pipeline.ProcessBatch(workload.MakeBatch(80));
+    ASSERT_TRUE(report.ok()) << SchemeName(scheme);
+    EXPECT_EQ(report->latency.tracked, report->txs) << SchemeName(scheme);
+    EXPECT_EQ(report->latency.committed + report->latency.aborted,
+              report->txs)
+        << SchemeName(scheme);
+    ExpectMonotoneLifetimes(Lifecycle().LastEpochLifetimes(),
+                            SchemeName(scheme));
+  }
+}
+
+}  // namespace
+}  // namespace nezha::obs
