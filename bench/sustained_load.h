@@ -9,14 +9,18 @@
 //
 //   arrivals -> Mempool -> mined blocks -> confirmed-epoch queue -> FullNode
 //
-// Each tick admits `arrival_per_tick` transactions, mines every epoch the
-// mempool can fill (ω blocks x block_size), enqueues the sealed batch on
-// the confirmed queue, and processes ONE queued epoch — so when arrival
-// outpaces processing, queues grow and the per-transaction lifecycle tracer
-// sees real queueing delay in the submitted->included and
-// included->confirmed waits. End-to-end latency percentiles are exact
-// (computed over every committed transaction's lifetime, not histogram
-// buckets).
+// Each tick admits `arrival_per_tick` transactions, "mines" every epoch the
+// mempool can fill (ω blocks x block_size — consensus confirming payloads
+// ahead of execution, the paper's deferred-execution model), enqueues the
+// confirmed payload on the bounded confirmed queue, and processes ONE
+// queued epoch — building, appending and sealing its ledger blocks against
+// the then-current state root, then executing. So when arrival outpaces
+// processing, queues grow and the per-transaction lifecycle tracer sees
+// real queueing delay in the submitted->included and included->confirmed
+// waits; when the queue bound is hit, the oldest confirmed epoch is shed
+// (load-shedding backpressure, nezha_confirmed_queue_dropped_total).
+// End-to-end latency percentiles are exact (computed over every committed
+// transaction's lifetime, not histogram buckets).
 //
 // Wall time is real: schemes are compared by what the machine actually did,
 // so the ratio-mode latency gate (current/serial vs baseline/serial) is the
@@ -44,6 +48,12 @@ struct SustainedLoadConfig {
   /// Transactions admitted to the mempool per tick; 0 = exactly one
   /// epoch's worth (block_size x block_concurrency), the steady state.
   std::size_t arrival_per_tick = 0;
+  /// Bound on the confirmed-epoch queue. When a freshly sealed epoch would
+  /// exceed it, the OLDEST queued epoch is dropped (its transactions never
+  /// execute — backpressure by load-shedding, counted in
+  /// nezha_confirmed_queue_dropped_total and the result below). 0 disables
+  /// the bound (the pre-existing unbounded behaviour).
+  std::size_t max_queue_depth = 64;
   double skew = 0.6;
   std::uint64_t num_accounts = 10'000;
   std::uint64_t seed = 92'000;
@@ -52,6 +62,8 @@ struct SustainedLoadConfig {
 
 struct SustainedLoadResult {
   std::size_t epochs_processed = 0;
+  std::size_t epochs_dropped = 0;  ///< shed by the confirmed-queue bound
+  std::size_t txs_dropped = 0;     ///< transactions inside shed epochs
   std::size_t total_txs = 0;
   std::size_t total_committed = 0;
   std::size_t total_aborted = 0;
@@ -112,17 +124,28 @@ inline Result<SustainedLoadResult> RunSustainedLoad(
   Mempool mempool(std::max<std::size_t>(
       100'000, arrival * config.epochs + epoch_txs));
 
-  // The confirmed-epoch queue: sealed batches waiting for the pipeline,
-  // with their seal time so the oldest-age gauge is meaningful.
+  // The confirmed-epoch queue: consensus-confirmed per-chain payloads
+  // waiting for deferred execution (their ledger blocks are built and
+  // sealed at process time, against the state root execution has actually
+  // reached), with their confirmation time so the oldest-age gauge is
+  // meaningful.
   struct ConfirmedEpoch {
-    EpochBatch batch;
+    std::vector<std::vector<Transaction>> chains;
     double sealed_us = 0;
+
+    std::size_t TxCount() const {
+      std::size_t n = 0;
+      for (const auto& chain : chains) n += chain.size();
+      return n;
+    }
   };
   std::deque<ConfirmedEpoch> confirmed;
   obs::Gauge* queue_depth =
       obs::Registry().GetGauge("nezha_confirmed_queue_depth");
   obs::Gauge* queue_oldest_age =
       obs::Registry().GetGauge("nezha_confirmed_queue_oldest_age_ms");
+  obs::Counter* queue_dropped =
+      obs::Registry().GetCounter("nezha_confirmed_queue_dropped_total");
   const auto update_queue_gauges = [&] {
     queue_depth->Set(static_cast<std::int64_t>(confirmed.size()));
     queue_oldest_age->Set(
@@ -138,7 +161,8 @@ inline Result<SustainedLoadResult> RunSustainedLoad(
   e2e_ms.reserve(config.epochs * epoch_txs);
 
   obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
-  EpochId next_mined = 1;
+  std::size_t epochs_confirmed = 0;  ///< consensus-side epoch count
+  EpochId next_executed = 1;         ///< execution-side (ledger) epoch id
   const double start_us = obs::TxLifecycleTracer::NowUs();
 
   const auto process_one = [&]() -> Status {
@@ -146,7 +170,20 @@ inline Result<SustainedLoadResult> RunSustainedLoad(
     ConfirmedEpoch front = std::move(confirmed.front());
     confirmed.pop_front();
     update_queue_gauges();
-    auto report = node.ProcessEpoch(front.batch);
+    // Deferred execution reaches this epoch now: build and seal its ledger
+    // blocks against the state root the pipeline has actually committed.
+    const EpochId epoch = next_executed++;
+    for (ChainId chain = 0;
+         chain < static_cast<ChainId>(front.chains.size()); ++chain) {
+      Block block = node.ledger().BuildBlock(
+          chain, epoch, std::move(front.chains[chain]));
+      if (Status s = node.ledger().AppendBlock(std::move(block)); !s.ok()) {
+        return s;
+      }
+    }
+    auto batch = node.ledger().SealEpoch(epoch);
+    if (!batch.ok()) return batch.status();
+    auto report = node.ProcessEpoch(*batch);
     if (!report.ok()) return report.status();
     ++result.epochs_processed;
     result.total_txs += report->txs;
@@ -163,23 +200,36 @@ inline Result<SustainedLoadResult> RunSustainedLoad(
   for (std::size_t tick = 0; tick < config.epochs; ++tick) {
     // 1. Steady arrival into the mempool.
     mempool.AddAll(workload.MakeBatch(arrival));
-    // 2. Mine every epoch the mempool can fill.
+    // 2. Consensus confirms every epoch the mempool can fill: the payload
+    //    is fixed (kIncluded stamps) and queued for deferred execution.
     while (mempool.PendingCount() >= epoch_txs &&
-           next_mined <= config.epochs) {
-      const EpochId epoch = next_mined++;
-      for (ChainId chain = 0;
-           chain < static_cast<ChainId>(config.block_concurrency); ++chain) {
-        Block block = node.ledger().BuildBlock(
-            chain, epoch, mempool.TakeBatch(config.block_size));
-        if (Status s = node.ledger().AppendBlock(std::move(block));
-            !s.ok()) {
-          return s;
+           epochs_confirmed < config.epochs) {
+      ++epochs_confirmed;
+      ConfirmedEpoch entry;
+      entry.chains.reserve(config.block_concurrency);
+      for (std::size_t chain = 0; chain < config.block_concurrency;
+           ++chain) {
+        entry.chains.push_back(mempool.TakeBatch(config.block_size));
+      }
+      entry.sealed_us = obs::TxLifecycleTracer::NowUs();
+      if (config.max_queue_depth > 0 &&
+          confirmed.size() >= config.max_queue_depth) {
+        // Queue full: shed the OLDEST epoch so fresh work keeps its
+        // (shorter) queueing delay. Its transactions never execute —
+        // forget their ingress stamps so the tracer table cannot grow
+        // without bound under overload.
+        ConfirmedEpoch shed = std::move(confirmed.front());
+        confirmed.pop_front();
+        ++result.epochs_dropped;
+        result.txs_dropped += shed.TxCount();
+        queue_dropped->Inc();
+        for (const auto& chain : shed.chains) {
+          for (const Transaction& tx : chain) {
+            lifecycle.DropIngress(LifecycleKey(tx));
+          }
         }
       }
-      auto batch = node.ledger().SealEpoch(epoch);
-      if (!batch.ok()) return batch.status();
-      confirmed.push_back(ConfirmedEpoch{std::move(batch.value()),
-                                         obs::TxLifecycleTracer::NowUs()});
+      confirmed.push_back(std::move(entry));
       update_queue_gauges();
     }
     // 3. The pipeline drains one epoch per tick.

@@ -1,0 +1,318 @@
+// chaos_consensus: N-node consensus under a seeded network fault plan and
+// an optional Byzantine cast, with a convergence verdict.
+//
+// Picks one consensus scheme (dagrider / ohie / treegraph), arms the
+// chaos plane (drop / delay / duplicate / partition-heal) and a Byzantine
+// behaviour (equivocate / withhold / invalid), runs the discrete-event
+// simulation, then checks that every replica holds the same committed
+// order and — through the deferred-execution bridge, serializability
+// oracle forced ON — the same final state root. Same seed, same chaos,
+// same verdict: every run replays.
+//
+// Usage: chaos_consensus [--scheme dagrider|ohie|treegraph] [--nodes N]
+//                        [--duration-ms MS] [--seed S] [--chaos-seed S]
+//                        [--drop P] [--delay-ms MS] [--dup P]
+//                        [--partition-start MS] [--partition-heal MS]
+//                        [--byz none|equivocate|withhold|invalid]
+//                        [--byz-node ID] [--release-ms MS] [--gossip-ms MS]
+//   e.g.: ./build/examples/chaos_consensus --scheme ohie --drop 0.2
+//             --byz invalid --byz-node 2
+//
+// Note (docs/ROBUSTNESS.md): DAG-Rider equivocation must only be paired
+// with order-preserving chaos (deterministic delay, partitions) — the tool
+// warns if you combine it with --drop.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cc/scheduler.h"
+#include "consensus/dagrider_sim.h"
+#include "consensus/ohie_sim.h"
+#include "consensus/treegraph_sim.h"
+#include "fault/net_plan.h"
+#include "node/dagrider_bridge.h"
+#include "node/ohie_bridge.h"
+#include "node/treegraph_bridge.h"
+#include "obs/metrics.h"
+#include "workload/smallbank_workload.h"
+
+using namespace nezha;
+
+namespace {
+
+struct Options {
+  std::string scheme = "dagrider";
+  std::uint32_t nodes = 4;
+  double duration_ms = 15'000;
+  std::uint64_t seed = 1;
+  std::uint64_t chaos_seed = 42;
+  double drop = 0;
+  double delay_ms = 0;
+  double dup = 0;
+  double partition_start = 0;
+  double partition_heal = 0;
+  std::string byz = "none";
+  std::uint32_t byz_node = 0;
+  double release_ms = 0;
+  double gossip_ms = 500;
+};
+
+void PrintNetStats(const fault::NetStats& net) {
+  std::printf(
+      "  network: sent=%llu delivered=%llu dropped=%llu delayed=%llu "
+      "duplicated=%llu held=%llu\n",
+      static_cast<unsigned long long>(net.sent),
+      static_cast<unsigned long long>(net.delivered),
+      static_cast<unsigned long long>(net.dropped),
+      static_cast<unsigned long long>(net.delayed),
+      static_cast<unsigned long long>(net.duplicated),
+      static_cast<unsigned long long>(net.held));
+}
+
+void PrintRejections(const char* component) {
+  const auto snapshot = obs::Registry().Snapshot();
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name != "nezha_invalid_block_total") continue;
+    if (sample.labels.find(std::string("component=\"") + component + "\"") ==
+        std::string::npos) {
+      continue;
+    }
+    std::printf("  rejected %s %.0f\n", sample.labels.c_str(), sample.value);
+  }
+}
+
+int Verdict(bool orders_agree, bool roots_agree) {
+  std::printf("  committed orders agree:  %s\n", orders_agree ? "yes" : "NO");
+  std::printf("  state roots agree:       %s\n", roots_agree ? "yes" : "NO");
+  std::printf("verdict: %s\n",
+              orders_agree && roots_agree ? "CONVERGED" : "DIVERGED");
+  return orders_agree && roots_agree ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scheme") == 0) {
+      opt.scheme = next();
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      opt.nodes = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      opt.duration_ms = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      opt.chaos_seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drop") == 0) {
+      opt.drop = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--delay-ms") == 0) {
+      opt.delay_ms = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--dup") == 0) {
+      opt.dup = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--partition-start") == 0) {
+      opt.partition_start = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--partition-heal") == 0) {
+      opt.partition_heal = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--byz") == 0) {
+      opt.byz = next();
+    } else if (std::strcmp(argv[i], "--byz-node") == 0) {
+      opt.byz_node =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--release-ms") == 0) {
+      opt.release_ms = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--gossip-ms") == 0) {
+      opt.gossip_ms = std::strtod(next(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  fault::NetPlan plan(opt.chaos_seed);
+  if (opt.drop > 0) plan.Drop(opt.drop);
+  if (opt.delay_ms > 0) plan.Delay(1.0, opt.delay_ms);
+  if (opt.dup > 0) plan.Duplicate(opt.dup, 25);
+  if (opt.partition_heal > opt.partition_start) {
+    // First half of the cluster vs the rest.
+    std::vector<std::uint32_t> island;
+    for (std::uint32_t n = 0; n < opt.nodes / 2; ++n) island.push_back(n);
+    plan.Partition(island, opt.partition_start, opt.partition_heal);
+  }
+
+  fault::ByzantineConfig byzantine;
+  if (opt.byz == "equivocate") {
+    byzantine.behavior = fault::ByzBehavior::kEquivocate;
+  } else if (opt.byz == "withhold") {
+    byzantine.behavior = fault::ByzBehavior::kWithhold;
+  } else if (opt.byz == "invalid") {
+    byzantine.behavior = fault::ByzBehavior::kInvalidBlock;
+  } else if (opt.byz != "none") {
+    std::fprintf(stderr, "unknown --byz %s\n", opt.byz.c_str());
+    return 1;
+  }
+  if (byzantine.behavior != fault::ByzBehavior::kNone) {
+    byzantine.nodes = {opt.byz_node};
+    byzantine.release_ms = opt.release_ms;
+  }
+  if (opt.scheme == "dagrider" &&
+      byzantine.behavior == fault::ByzBehavior::kEquivocate &&
+      opt.drop > 0) {
+    std::fprintf(stderr,
+                 "warning: dagrider equivocation + probabilistic drop is not "
+                 "order-preserving; replicas may legitimately diverge\n");
+  }
+
+  WorkloadConfig wl;
+  wl.num_accounts = 500;
+  wl.skew = 0.6;
+  SmallBankWorkload workload(wl, 77);
+  const auto tx_source = [&workload](NodeId) {
+    return workload.MakeBatch(5);
+  };
+
+  std::printf("chaos_consensus: scheme=%s nodes=%u duration=%.0fms seed=%llu "
+              "byz=%s\n",
+              opt.scheme.c_str(), opt.nodes, opt.duration_ms,
+              static_cast<unsigned long long>(opt.seed), opt.byz.c_str());
+
+  // The serializability oracle stays on for every bridge execution below.
+  SetScheduleVerification(true);
+
+  bool orders_agree = true;
+  bool roots_agree = true;
+  if (opt.scheme == "dagrider") {
+    DagRiderSimConfig config;
+    config.num_nodes = opt.nodes;
+    config.duration_ms = opt.duration_ms;
+    config.seed = opt.seed;
+    config.net_plan = plan;
+    config.byzantine = byzantine;
+    config.gossip_interval_ms = opt.gossip_ms;
+    DagRiderSimulation sim(config, tx_source);
+    sim.Run();
+    std::printf("  emitted=%zu committed=%zu batches=%zu byz(eq=%zu wh=%zu "
+                "inv=%zu)\n",
+                sim.stats().vertices_emitted, sim.stats().committed_vertices,
+                sim.stats().committed_batches, sim.stats().byz_equivocations,
+                sim.stats().byz_withheld, sim.stats().byz_invalid);
+    PrintNetStats(sim.net().stats());
+    PrintRejections("dagrider");
+    const auto& ref = sim.node(0).CommittedSequence();
+    for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+      const auto& seq = sim.node(i).CommittedSequence();
+      if (seq.size() != ref.size()) orders_agree = false;
+    }
+    Hash256 ref_root{};
+    for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+      DagRiderDeferredExecutor executor(DeferredExecConfig{});
+      auto reports = executor.CatchUp(sim.node(i));
+      if (!reports.ok()) {
+        std::fprintf(stderr, "node %zu: %s\n", i,
+                     reports.status().ToString().c_str());
+        roots_agree = false;
+        continue;
+      }
+      const Hash256 root = executor.state().RootHash();
+      if (i == 0) {
+        ref_root = root;
+      } else if (root != ref_root) {
+        roots_agree = false;
+      }
+    }
+  } else if (opt.scheme == "ohie") {
+    OhieSimConfig config;
+    config.num_nodes = opt.nodes;
+    config.duration_ms = opt.duration_ms;
+    config.seed = opt.seed;
+    config.net_plan = plan;
+    config.byzantine = byzantine;
+    config.gossip_interval_ms = opt.gossip_ms;
+    OhieSimulation sim(config, tx_source);
+    sim.Run();
+    std::printf("  mined=%zu confirmed=%zu forked=%zu byz(eq=%zu wh=%zu "
+                "inv=%zu)\n",
+                sim.stats().blocks_mined, sim.stats().confirmed_blocks,
+                sim.stats().forked_blocks, sim.stats().byz_equivocations,
+                sim.stats().byz_withheld, sim.stats().byz_invalid);
+    PrintNetStats(sim.net().stats());
+    PrintRejections("ohie");
+    const auto ref = sim.node(0).ConfirmedOrder();
+    for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+      if (sim.node(i).ConfirmedOrder().size() != ref.size()) {
+        orders_agree = false;
+      }
+    }
+    Hash256 ref_root{};
+    for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+      OhieDeferredExecutor executor(OhieBridgeConfig{});
+      auto reports = executor.CatchUp(sim.node(i));
+      if (!reports.ok()) {
+        std::fprintf(stderr, "node %zu: %s\n", i,
+                     reports.status().ToString().c_str());
+        roots_agree = false;
+        continue;
+      }
+      const Hash256 root = executor.state().RootHash();
+      if (i == 0) {
+        ref_root = root;
+      } else if (root != ref_root) {
+        roots_agree = false;
+      }
+    }
+  } else if (opt.scheme == "treegraph") {
+    TreeGraphSimConfig config;
+    config.num_nodes = opt.nodes;
+    config.duration_ms = opt.duration_ms;
+    config.seed = opt.seed;
+    config.net_plan = plan;
+    config.byzantine = byzantine;
+    config.gossip_interval_ms = opt.gossip_ms;
+    TreeGraphSimulation sim(config, tx_source);
+    sim.Run();
+    std::printf("  mined=%zu epochs=%zu confirmed=%zu byz(eq=%zu wh=%zu "
+                "inv=%zu)\n",
+                sim.stats().blocks_mined, sim.stats().confirmed_epochs,
+                sim.stats().confirmed_blocks, sim.stats().byz_equivocations,
+                sim.stats().byz_withheld, sim.stats().byz_invalid);
+    PrintNetStats(sim.net().stats());
+    PrintRejections("treegraph");
+    const auto ref = sim.node(0).ConfirmedEpochs();
+    for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+      if (sim.node(i).ConfirmedEpochs().size() != ref.size()) {
+        orders_agree = false;
+      }
+    }
+    Hash256 ref_root{};
+    for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+      TreeGraphDeferredExecutor executor(DeferredExecConfig{});
+      auto reports = executor.CatchUp(sim.node(i));
+      if (!reports.ok()) {
+        std::fprintf(stderr, "node %zu: %s\n", i,
+                     reports.status().ToString().c_str());
+        roots_agree = false;
+        continue;
+      }
+      const Hash256 root = executor.state().RootHash();
+      if (i == 0) {
+        ref_root = root;
+      } else if (root != ref_root) {
+        roots_agree = false;
+      }
+    }
+  } else {
+    std::fprintf(stderr, "unknown --scheme %s\n", opt.scheme.c_str());
+    return 1;
+  }
+
+  return Verdict(orders_agree, roots_agree);
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "ledger/validation.h"
 
 namespace nezha {
 
@@ -113,40 +114,68 @@ Result<std::size_t> DagRiderView::OnVertex(const DagVertex& vertex) {
 }
 
 Status DagRiderView::Attach(const DagVertex& vertex) {
+  using ledger::RejectBlock;
+  using ledger::RejectReason;
+  constexpr std::string_view kComponent = "dagrider";
   DagVertex verified = vertex;
   verified.Seal();
   if (verified.hash != vertex.hash) {
-    return Status::InvalidArgument("vertex hash mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadHash,
+                       "vertex hash does not match its content");
   }
   if (ComputeTxMerkleRoot(verified.txs) != verified.tx_root) {
-    return Status::InvalidArgument("tx root mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadTxRoot,
+                       "tx root does not cover the vertex body");
   }
-  if (verified.round == 0 || verified.source >= num_nodes_) {
-    return Status::InvalidArgument("bad round/source");
+  if (ledger::HasDuplicateTxIds(verified.txs)) {
+    return RejectBlock(kComponent, RejectReason::kDuplicateTx,
+                       "transaction id appears twice in one vertex");
+  }
+  if (verified.round == 0) {
+    return RejectBlock(kComponent, RejectReason::kBadRound,
+                       "rounds start at 1");
+  }
+  if (verified.source >= num_nodes_) {
+    return RejectBlock(kComponent, RejectReason::kBadSource,
+                       "source " + std::to_string(verified.source) +
+                           " >= " + std::to_string(num_nodes_));
   }
   if (verified.round == 1) {
     if (!verified.parents.empty()) {
-      return Status::InvalidArgument("round-1 vertex must have no parents");
+      return RejectBlock(kComponent, RejectReason::kBadParentCount,
+                         "round-1 vertex must have no parents");
     }
   } else {
     if (verified.parents.size() < quorum()) {
-      return Status::InvalidArgument("fewer than 2f+1 strong edges");
+      return RejectBlock(kComponent, RejectReason::kBadParentCount,
+                         std::to_string(verified.parents.size()) +
+                             " strong edges, need 2f+1 = " +
+                             std::to_string(quorum()));
     }
     std::unordered_set<NodeId> sources;
     for (const Hash256& parent : verified.parents) {
       const DagVertex& p = *vertices_.at(parent);
       if (p.round != verified.round - 1) {
-        return Status::InvalidArgument("parent from wrong round");
+        return RejectBlock(kComponent, RejectReason::kBadParentRound,
+                           "parent of round " + std::to_string(p.round) +
+                               " under a round-" +
+                               std::to_string(verified.round) + " vertex");
       }
       if (!sources.insert(p.source).second) {
-        return Status::InvalidArgument("duplicate parent source");
+        return RejectBlock(kComponent, RejectReason::kDuplicateParentSource,
+                           "two parents by source " +
+                               std::to_string(p.source));
       }
     }
   }
   if (VertexOf(verified.round, verified.source) != nullptr) {
-    // One vertex per (round, source); a second one is equivocation. The
-    // honest simulation never produces it; reject defensively.
-    return Status::InvalidArgument("equivocating vertex");
+    // One vertex per (round, source); a second one is equivocation — the
+    // Byzantine behaviour the chaos harness stages. First writer wins on
+    // every honest replica (deterministic broadcast order), so views agree.
+    return RejectBlock(kComponent, RejectReason::kEquivocation,
+                       "second vertex by source " +
+                           std::to_string(verified.source) + " at round " +
+                           std::to_string(verified.round));
   }
 
   const std::uint64_t round = verified.round;
@@ -261,6 +290,18 @@ void DagRiderView::DeliverCausalHistory(const DagVertex* anchor) {
     committed_.push_back(vertex);
   }
   batch_offsets_.push_back(committed_.size());
+}
+
+std::vector<const DagVertex*> DagRiderView::AllVertices() const {
+  std::vector<const DagVertex*> out;
+  out.reserve(vertices_.size());
+  for (const auto& [hash, vertex] : vertices_) out.push_back(vertex.get());
+  std::sort(out.begin(), out.end(),
+            [](const DagVertex* a, const DagVertex* b) {
+              if (a->round != b->round) return a->round < b->round;
+              return a->source < b->source;
+            });
+  return out;
 }
 
 std::size_t DagRiderView::NumOrphans() const {

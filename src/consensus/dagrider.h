@@ -99,6 +99,11 @@ class DagRiderView {
   std::size_t NumVertices() const { return vertices_.size(); }
   std::size_t NumOrphans() const;
 
+  /// Every attached vertex, ordered by (round, source) — parents before
+  /// children, deterministic. Anti-entropy gossip replays these to a peer
+  /// that missed broadcasts.
+  std::vector<const DagVertex*> AllVertices() const;
+
  private:
   Status Attach(const DagVertex& vertex);
   std::optional<Hash256> MissingParent(const DagVertex& vertex) const;

@@ -2,6 +2,23 @@
 // round-based BFT DAG — nodes emit a vertex per round as soon as their
 // quorum clock allows, broadcasts arrive after jittered latency, and the
 // wave rule commits as the DAG grows.
+//
+// Chaos plane (docs/ROBUSTNESS.md §5): every broadcast is routed through a
+// fault::NetEmulator driven by config.net_plan — drops, delays, duplicates,
+// reorders and partitions, all seeded. Dropped/partition-lost vertices are
+// recovered by optional anti-entropy gossip plus a lossless settlement
+// sweep after traffic stops. An empty plan leaves the event trace
+// byte-identical to the pre-chaos simulation.
+//
+// Byzantine nodes (config.byzantine) misbehave in DAG-Rider's own terms:
+//  * equivocate — emit a second, conflicting vertex for the same
+//    (round, source) slot, broadcast strictly after the honest one so every
+//    replica resolves the slot identically (first wins at admission);
+//  * withhold — build vertices but keep them private until release_ms (or
+//    the end-of-run settlement);
+//  * invalid — keep a correct private state but broadcast structurally
+//    invalid variants (tampered tx root, duplicate txs, forged hash,
+//    duplicate parent source) that every honest replica must reject.
 #pragma once
 
 #include <functional>
@@ -11,6 +28,7 @@
 #include "common/rng.h"
 #include "consensus/dagrider.h"
 #include "consensus/event_queue.h"
+#include "fault/net_plan.h"
 
 namespace nezha {
 
@@ -22,6 +40,15 @@ struct DagRiderSimConfig {
   double jitter_ms = 50;
   double duration_ms = 60'000;
   std::uint64_t seed = 1;
+
+  /// Seeded network chaos; empty = the byte-identical honest network.
+  fault::NetPlan net_plan;
+  /// Byzantine cast; disabled by default.
+  fault::ByzantineConfig byzantine;
+  /// Anti-entropy pull interval (0 = disabled). Required when the plan
+  /// drops vertex traffic mid-run; the settlement sweep still runs at the
+  /// end whenever the plan or the Byzantine cast is non-empty.
+  double gossip_interval_ms = 0;
 };
 
 struct DagRiderSimStats {
@@ -29,6 +56,10 @@ struct DagRiderSimStats {
   std::uint64_t max_round = 0;        ///< node 0's final clock
   std::size_t committed_vertices = 0; ///< node 0
   std::size_t committed_batches = 0;  ///< node 0 (wave anchors)
+  std::size_t gossip_transfers = 0;   ///< vertices recovered by anti-entropy
+  std::size_t byz_equivocations = 0;  ///< conflicting twin vertices sent
+  std::size_t byz_withheld = 0;       ///< vertices held past their round
+  std::size_t byz_invalid = 0;        ///< invalid vertices broadcast
 };
 
 class DagRiderSimulation {
@@ -43,17 +74,36 @@ class DagRiderSimulation {
   const DagRiderView& node(std::size_t i) const { return *nodes_[i]; }
   std::size_t num_nodes() const { return nodes_.size(); }
   const DagRiderSimStats& stats() const { return stats_; }
+  const fault::NetEmulator& net() const { return net_; }
 
  private:
   void ArmEmit(NodeId node);
   void Emit(NodeId node);
+  /// Routes one sealed vertex to every peer through the chaos plane.
+  void Broadcast(const DagVertex& vertex, NodeId from);
+  /// Equivocation: per peer the twin is scheduled at the same delivery time
+  /// as the original, so the EventQueue's FIFO tie-break lands it second.
+  void BroadcastEquivocating(const DagVertex& original, const DagVertex& twin,
+                             NodeId from);
+  /// Structurally invalid variant of `vertex` (flavour rotates).
+  DagVertex MakeInvalidVariant(const DagVertex& vertex);
+  /// Synchronous anti-entropy: `to` adopts every vertex `from` holds that
+  /// it lacks (skipped while a partition separates the pair).
+  void GossipPull(NodeId to, NodeId from);
+  void ScheduleNextGossipEvent();
+  void ReleaseWithheld();
 
   DagRiderSimConfig config_;
   TxSource tx_source_;
   Rng rng_;
   EventQueue queue_;
+  fault::NetEmulator net_;
   std::vector<std::unique_ptr<DagRiderView>> nodes_;
   std::vector<bool> emit_armed_;
+  std::vector<DagVertex> withheld_;
+  bool release_scheduled_ = false;
+  std::uint64_t gossip_tick_ = 0;
+  std::uint64_t byz_counter_ = 0;  ///< rotates invalid flavours / markers
   DagRiderSimStats stats_;
 };
 

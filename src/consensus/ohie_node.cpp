@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "ledger/validation.h"
+
 namespace nezha {
 
 OhieNodeView::OhieNodeView(NodeId id, ChainId num_chains,
@@ -76,17 +78,29 @@ Result<std::size_t> OhieNodeView::OnBlock(const OhieBlock& block) {
 }
 
 Status OhieNodeView::Attach(const OhieBlock& block) {
+  using ledger::RejectBlock;
+  using ledger::RejectReason;
+  constexpr std::string_view kComponent = "ohie";
   // Recompute and verify every derived field.
   OhieBlock verified = block;
   verified.Seal(num_chains_);
   if (verified.hash != block.hash) {
-    return Status::InvalidArgument("block hash mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadHash,
+                       "block hash does not match its content");
   }
   if (verified.parent_tips.size() != num_chains_) {
-    return Status::InvalidArgument("wrong parent reference count");
+    return RejectBlock(kComponent, RejectReason::kBadParentCount,
+                       std::to_string(verified.parent_tips.size()) +
+                           " parent tips, expected k = " +
+                           std::to_string(num_chains_));
   }
   if (ComputeTxMerkleRoot(verified.txs) != verified.tx_root) {
-    return Status::InvalidArgument("tx root mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadTxRoot,
+                       "tx root does not cover the block body");
+  }
+  if (ledger::HasDuplicateTxIds(verified.txs)) {
+    return RejectBlock(kComponent, RejectReason::kDuplicateTx,
+                       "transaction id appears twice in one block");
   }
   const auto parent_it = blocks_.find(verified.parent_tips[verified.chain]);
   if (parent_it == blocks_.end()) {
@@ -94,7 +108,10 @@ Status OhieNodeView::Attach(const OhieBlock& block) {
   }
   const OhieBlock& parent = *parent_it->second;
   if (parent.chain != verified.chain) {
-    return Status::InvalidArgument("effective parent on wrong chain");
+    return RejectBlock(kComponent, RejectReason::kBadParentChain,
+                       "effective parent lives on chain " +
+                           std::to_string(parent.chain) + ", block on " +
+                           std::to_string(verified.chain));
   }
   verified.height = parent.height + 1;
   verified.rank = parent.next_rank;

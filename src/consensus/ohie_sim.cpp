@@ -7,8 +7,25 @@
 
 namespace nezha {
 
+namespace {
+
+/// Marker transaction a Byzantine miner stuffs into conflicting/invalid
+/// bodies so they differ from (and hash differently than) the honest one.
+Transaction ByzMarkerTx(std::uint64_t counter) {
+  Transaction tx;
+  tx.nonce = 0xB12A'0000'0000'0000ull + counter;
+  tx.payload.contract = 0xB12A;
+  tx.payload.op = 0;
+  return tx;
+}
+
+}  // namespace
+
 OhieSimulation::OhieSimulation(const OhieSimConfig& config, TxSource tx_source)
-    : config_(config), tx_source_(std::move(tx_source)), rng_(config.seed) {
+    : config_(config),
+      tx_source_(std::move(tx_source)),
+      rng_(config.seed),
+      net_(config.net_plan, "ohie") {
   nodes_.reserve(config.num_nodes);
   for (NodeId id = 0; id < config.num_nodes; ++id) {
     nodes_.push_back(std::make_unique<OhieNodeView>(id, config.num_chains,
@@ -44,9 +61,90 @@ void OhieSimulation::MineBlock() {
       .GetCounter("nezha_consensus_blocks_total", {{"sim", "ohie"}})
       ->Inc();
 
-  // The miner adopts its own block immediately, then broadcasts.
+  // The miner adopts its own (honest) block immediately; what it
+  // BROADCASTS depends on its role.
   (void)nodes_[miner]->OnBlock(block);
+
+  const fault::ByzantineConfig& byz = config_.byzantine;
+  if (byz.Enabled() && byz.IsByzantine(miner)) {
+    switch (byz.behavior) {
+      case fault::ByzBehavior::kWithhold:
+        if (byz.release_ms <= 0 || queue_.Now() < byz.release_ms) {
+          ++stats_.byz_withheld;
+          withheld_.push_back(std::move(block));
+          if (byz.release_ms > 0 && !release_scheduled_) {
+            release_scheduled_ = true;
+            queue_.ScheduleAt(byz.release_ms, [this] { ReleaseWithheld(); });
+          }
+          return;
+        }
+        break;  // past the release point: behave
+      case fault::ByzBehavior::kEquivocate: {
+        // Two valid blocks for one mining success (a deliberate fork);
+        // longest-chain + hash tie-break resolves them identically on
+        // every replica.
+        OhieBlock twin = nodes_[miner]->PrepareBlock(
+            block.mine_counter, {ByzMarkerTx(byz_counter_++)});
+        twin.Seal(config_.num_chains);
+        ++stats_.blocks_mined;
+        ++stats_.blocks_per_chain[twin.chain];
+        ++stats_.byz_equivocations;
+        (void)nodes_[miner]->OnBlock(twin);
+        Broadcast(block, miner);
+        Broadcast(twin, miner);
+        return;
+      }
+      case fault::ByzBehavior::kInvalidBlock: {
+        OhieBlock invalid = MakeInvalidVariant(block);
+        ++byz_counter_;
+        ++stats_.byz_invalid;
+        Broadcast(invalid, miner);
+        return;  // the honest block stays private (gossip shares it)
+      }
+      case fault::ByzBehavior::kNone:
+        break;
+    }
+  }
+
   Broadcast(block, miner);
+}
+
+OhieBlock OhieSimulation::MakeInvalidVariant(const OhieBlock& block) {
+  OhieBlock invalid = block;
+  const std::uint64_t flavour = byz_counter_ % 4;
+  switch (flavour) {
+    case 0:
+      // Tampered tx root: hash covers the lie, the body does not.
+      invalid.tx_root.bytes[0] ^= 0xFF;
+      invalid.Seal(config_.num_chains);
+      break;
+    case 1:
+      // Duplicate transaction, root honestly recomputed over the bad body.
+      invalid.txs.push_back(ByzMarkerTx(byz_counter_));
+      invalid.txs.push_back(invalid.txs.back());
+      invalid.tx_root = ComputeTxMerkleRoot(invalid.txs);
+      invalid.Seal(config_.num_chains);
+      break;
+    case 2:
+      // Forged hash: content untouched, hash corrupted after sealing.
+      invalid.Seal(config_.num_chains);
+      invalid.hash.bytes[0] ^= 0xFF;
+      break;
+    default:
+      // Wrong parent reference count (k-1 tips instead of k).
+      invalid.parent_tips.pop_back();
+      invalid.Seal(config_.num_chains);
+      break;
+  }
+  return invalid;
+}
+
+void OhieSimulation::ReleaseWithheld() {
+  std::vector<OhieBlock> pending = std::move(withheld_);
+  withheld_.clear();
+  for (const OhieBlock& block : pending) {
+    Broadcast(block, block.miner);
+  }
 }
 
 void OhieSimulation::Broadcast(const OhieBlock& block, NodeId from) {
@@ -59,9 +157,12 @@ void OhieSimulation::Broadcast(const OhieBlock& block, NodeId from) {
     }
     const double delay =
         config_.base_latency_ms + rng_.NextDouble() * config_.jitter_ms;
-    queue_.ScheduleAfter(delay, [this, block, peer] {
-      (void)nodes_[peer]->OnBlock(block);
-    });
+    for (const double at : net_.Deliveries(from, peer, fault::MsgKind::kBlock,
+                                           queue_.Now(), delay)) {
+      queue_.ScheduleAt(at, [this, block, peer] {
+        (void)nodes_[peer]->OnBlock(block);
+      });
+    }
   }
 }
 
@@ -70,15 +171,19 @@ void OhieSimulation::GossipPull(NodeId to, NodeId from) {
   // `from` has that it lacks, delivered parents-first after one RTT-ish
   // latency. (A real node exchanges header inventories; the effect — and
   // the block traffic — is the same.)
+  if (net_.Active() && net_.Partitioned(from, to, queue_.Now())) return;
   for (const OhieBlock* block : nodes_[from]->AllBlocks()) {
     if (block->height == 0 || nodes_[to]->Knows(block->hash)) continue;
     ++stats_.gossip_transfers;
     const OhieBlock copy = *block;
     const double delay =
         config_.base_latency_ms + rng_.NextDouble() * config_.jitter_ms;
-    queue_.ScheduleAfter(delay, [this, copy, to] {
-      (void)nodes_[to]->OnBlock(copy);
-    });
+    for (const double at : net_.Deliveries(from, to, fault::MsgKind::kGossip,
+                                           queue_.Now(), delay)) {
+      queue_.ScheduleAt(at, [this, copy, to] {
+        (void)nodes_[to]->OnBlock(copy);
+      });
+    }
   }
 }
 
@@ -101,10 +206,18 @@ void OhieSimulation::Run() {
   queue_.RunUntil(config_.duration_ms);
   // Stop mining but deliver everything still in flight so views converge.
   queue_.RunToCompletion();
-  // Settlement: lossless anti-entropy rounds until every view agrees —
-  // the steady-state a real gossip network reaches shortly after traffic
-  // stops. Bounded by the number of nodes (each round fixes someone).
-  if (config_.drop_probability > 0) {
+  // Settlement: the network "heals" — the chaos plane passes everything
+  // through, withheld blocks come out, then lossless anti-entropy rounds
+  // run until every view agrees (the steady-state a real gossip network
+  // reaches shortly after traffic stops; bounded by the number of nodes,
+  // each round fixes someone).
+  if (!config_.net_plan.Empty() || config_.byzantine.Enabled()) {
+    net_.Quiesce();
+    ReleaseWithheld();
+    queue_.RunToCompletion();
+  }
+  if (config_.drop_probability > 0 || !config_.net_plan.Empty() ||
+      config_.byzantine.Enabled()) {
     for (std::uint32_t round = 0; round < config_.num_nodes + 1; ++round) {
       for (NodeId node = 0; node < config_.num_nodes; ++node) {
         GossipPull(node, (node + 1) % config_.num_nodes);

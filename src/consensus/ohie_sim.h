@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "consensus/event_queue.h"
 #include "consensus/ohie_node.h"
+#include "fault/net_plan.h"
 
 namespace nezha {
 
@@ -38,6 +39,17 @@ struct OhieSimConfig {
   std::size_t confirm_depth = 6;
   double duration_ms = 60'000;
   std::uint64_t seed = 1;
+
+  /// Seeded network chaos plane (docs/ROBUSTNESS.md §5); empty = the
+  /// byte-identical honest network. Composes with drop_probability above
+  /// (the legacy uniform-loss knob).
+  fault::NetPlan net_plan;
+  /// Byzantine cast; disabled by default. Equivocating miners fork (two
+  /// valid blocks per mining success — fork choice resolves them);
+  /// withholding miners mine privately until release_ms / settlement;
+  /// invalid-block miners broadcast structurally invalid blocks that every
+  /// honest node must reject.
+  fault::ByzantineConfig byzantine;
 };
 
 struct OhieSimStats {
@@ -48,6 +60,9 @@ struct OhieSimStats {
   std::size_t confirmed_blocks = 0;  ///< per node 0's final view
   std::size_t dropped_deliveries = 0;
   std::size_t gossip_transfers = 0;  ///< blocks recovered by anti-entropy
+  std::size_t byz_equivocations = 0; ///< conflicting twin blocks mined
+  std::size_t byz_withheld = 0;      ///< blocks mined privately
+  std::size_t byz_invalid = 0;       ///< invalid blocks broadcast
   double duration_ms = 0;
 };
 
@@ -66,6 +81,7 @@ class OhieSimulation {
   const OhieNodeView& node(std::size_t i) const { return *nodes_[i]; }
   std::size_t num_nodes() const { return nodes_.size(); }
   const OhieSimStats& stats() const { return stats_; }
+  const fault::NetEmulator& net() const { return net_; }
   double Now() const { return queue_.Now(); }
 
  private:
@@ -73,15 +89,23 @@ class OhieSimulation {
   void ScheduleNextGossipEvent();
   void MineBlock();
   void Broadcast(const OhieBlock& block, NodeId from);
-  /// Anti-entropy: `to` pulls every block it lacks from `from`.
+  /// Anti-entropy: `to` pulls every block it lacks from `from` (skipped
+  /// while a partition separates the pair).
   void GossipPull(NodeId to, NodeId from);
+  /// Structurally invalid variant of `block` (flavour rotates).
+  OhieBlock MakeInvalidVariant(const OhieBlock& block);
+  void ReleaseWithheld();
 
   OhieSimConfig config_;
   TxSource tx_source_;
   Rng rng_;
   EventQueue queue_;
+  fault::NetEmulator net_;
   std::vector<std::unique_ptr<OhieNodeView>> nodes_;
   std::uint64_t mine_counter_ = 0;
+  std::vector<OhieBlock> withheld_;
+  bool release_scheduled_ = false;
+  std::uint64_t byz_counter_ = 0;  ///< rotates invalid flavours / markers
   OhieSimStats stats_;
 };
 

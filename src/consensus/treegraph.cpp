@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "ledger/validation.h"
 
 namespace nezha {
 
@@ -206,13 +207,22 @@ Result<std::size_t> TreeGraphView::OnBlock(const TGBlock& block) {
 }
 
 Status TreeGraphView::Attach(const TGBlock& block) {
+  using ledger::RejectBlock;
+  using ledger::RejectReason;
+  constexpr std::string_view kComponent = "treegraph";
   TGBlock verified = block;
   verified.Seal();
   if (verified.hash != block.hash) {
-    return Status::InvalidArgument("block hash mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadHash,
+                       "block hash does not match its content");
   }
   if (ComputeTxMerkleRoot(verified.txs) != verified.tx_root) {
-    return Status::InvalidArgument("tx root mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadTxRoot,
+                       "tx root does not cover the block body");
+  }
+  if (ledger::HasDuplicateTxIds(verified.txs)) {
+    return RejectBlock(kComponent, RejectReason::kDuplicateTx,
+                       "transaction id appears twice in one block");
   }
   const TGBlock& parent = *blocks_.at(verified.parent);
   verified.height = parent.height + 1;
@@ -314,6 +324,17 @@ std::vector<TGEpoch> TreeGraphView::ConfirmedEpochs() const {
     epochs.push_back(std::move(epoch));
   }
   return epochs;
+}
+
+std::vector<const TGBlock*> TreeGraphView::AllBlocks() const {
+  std::vector<const TGBlock*> out;
+  out.reserve(blocks_.size());
+  for (const auto& [hash, block] : blocks_) out.push_back(block.get());
+  std::sort(out.begin(), out.end(), [](const TGBlock* a, const TGBlock* b) {
+    if (a->height != b->height) return a->height < b->height;
+    return a->hash < b->hash;
+  });
+  return out;
 }
 
 std::size_t TreeGraphView::NumOrphans() const {

@@ -102,6 +102,11 @@ class TreeGraphView {
   std::size_t NumBlocks() const { return blocks_.size(); }
   std::size_t NumOrphans() const;
 
+  /// Every attached block (including genesis), ordered by (height, hash) —
+  /// parents before children, deterministic. Anti-entropy gossip replays
+  /// these to a peer that missed broadcasts.
+  std::vector<const TGBlock*> AllBlocks() const;
+
  private:
   Status Attach(const TGBlock& block);
   std::optional<Hash256> MissingDependency(const TGBlock& block) const;

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "consensus/event_queue.h"
 #include "consensus/treegraph.h"
+#include "fault/net_plan.h"
 
 namespace nezha {
 
@@ -23,6 +24,19 @@ struct TreeGraphSimConfig {
   std::size_t confirm_depth = 6;
   double duration_ms = 60'000;
   std::uint64_t seed = 1;
+
+  /// Seeded network chaos plane (docs/ROBUSTNESS.md §5); empty = the
+  /// byte-identical honest network.
+  fault::NetPlan net_plan;
+  /// Byzantine cast; disabled by default. Equivocating miners fork (GHOST
+  /// resolves them); withholding miners mine privately until release_ms /
+  /// settlement; invalid-block miners broadcast structurally invalid
+  /// blocks that every honest node must reject.
+  fault::ByzantineConfig byzantine;
+  /// Anti-entropy pull interval (0 = disabled). Required when the plan
+  /// drops block traffic mid-run; the settlement sweep still runs at the
+  /// end whenever the plan or the Byzantine cast is non-empty.
+  double gossip_interval_ms = 0;
 };
 
 struct TreeGraphSimStats {
@@ -31,6 +45,10 @@ struct TreeGraphSimStats {
   std::size_t confirmed_blocks = 0;
   double max_epoch_size = 0;          ///< peak block concurrency observed
   double mean_epoch_size = 0;         ///< the DAG's average block concurrency
+  std::size_t gossip_transfers = 0;   ///< blocks recovered by anti-entropy
+  std::size_t byz_equivocations = 0;  ///< conflicting twin blocks mined
+  std::size_t byz_withheld = 0;       ///< blocks mined privately
+  std::size_t byz_invalid = 0;        ///< invalid blocks broadcast
 };
 
 class TreeGraphSimulation {
@@ -45,17 +63,32 @@ class TreeGraphSimulation {
   const TreeGraphView& node(std::size_t i) const { return *nodes_[i]; }
   std::size_t num_nodes() const { return nodes_.size(); }
   const TreeGraphSimStats& stats() const { return stats_; }
+  const fault::NetEmulator& net() const { return net_; }
 
  private:
   void ScheduleNextMiningEvent();
   void MineBlock();
+  /// Routes one sealed block to every peer through the chaos plane.
+  void Broadcast(const TGBlock& block, NodeId from);
+  /// Synchronous anti-entropy: `to` adopts every block `from` holds that
+  /// it lacks (skipped while a partition separates the pair).
+  void GossipPull(NodeId to, NodeId from);
+  void ScheduleNextGossipEvent();
+  /// Structurally invalid variant of `block` (flavour rotates).
+  TGBlock MakeInvalidVariant(const TGBlock& block);
+  void ReleaseWithheld();
 
   TreeGraphSimConfig config_;
   TxSource tx_source_;
   Rng rng_;
   EventQueue queue_;
+  fault::NetEmulator net_;
   std::vector<std::unique_ptr<TreeGraphView>> nodes_;
   std::uint64_t mine_counter_ = 0;
+  std::vector<TGBlock> withheld_;
+  bool release_scheduled_ = false;
+  std::uint64_t gossip_tick_ = 0;
+  std::uint64_t byz_counter_ = 0;  ///< rotates invalid flavours / markers
   /// Simulated mining time per mine_counter — feeds the per-epoch
   /// assembly-lag histogram at the end of Run().
   std::unordered_map<std::uint64_t, double> mined_at_ms_;

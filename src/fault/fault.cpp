@@ -32,6 +32,10 @@ const char* ActionName(Action action) {
       return "corrupt";
     case Action::kTruncate:
       return "truncate";
+    case Action::kDuplicate:
+      return "duplicate";
+    case Action::kReorder:
+      return "reorder";
   }
   return "?";
 }

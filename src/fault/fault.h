@@ -35,6 +35,8 @@ enum class Action : std::uint8_t {
   kDelay,     ///< deliver late by `param` simulated milliseconds
   kCorrupt,   ///< deliver with flipped bytes (mode selected by `param`)
   kTruncate,  ///< deliver with the tail cut off
+  kDuplicate, ///< deliver twice (network duplication; net_plan.h)
+  kReorder,   ///< deliver with seeded jitter that breaks FIFO (net_plan.h)
 };
 
 const char* ActionName(Action action);

@@ -1,0 +1,151 @@
+#include "fault/net_plan.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace nezha::fault {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kAny:
+      return "any";
+    case MsgKind::kVertex:
+      return "vertex";
+    case MsgKind::kBlock:
+      return "block";
+    case MsgKind::kGossip:
+      return "gossip";
+  }
+  return "?";
+}
+
+const char* ByzBehaviorName(ByzBehavior behavior) {
+  switch (behavior) {
+    case ByzBehavior::kNone:
+      return "none";
+    case ByzBehavior::kEquivocate:
+      return "equivocate";
+    case ByzBehavior::kWithhold:
+      return "withhold";
+    case ByzBehavior::kInvalidBlock:
+      return "invalid-block";
+  }
+  return "?";
+}
+
+NetEmulator::NetEmulator(NetPlan plan, std::string component)
+    : plan_(std::move(plan)),
+      component_(std::move(component)),
+      rng_(plan_.seed()),
+      active_(!plan_.Empty()) {}
+
+void NetEmulator::Count(std::string_view action, std::uint64_t n) {
+  obs::Registry()
+      .GetCounter("nezha_net_chaos_total",
+                  {{"sim", component_}, {"action", std::string(action)}})
+      ->Inc(n);
+}
+
+bool NetEmulator::Partitioned(std::uint32_t src, std::uint32_t dst,
+                              double now) const {
+  for (const PartitionSpec& partition : plan_.partitions()) {
+    if (now < partition.start_ms || now >= partition.heal_ms) continue;
+    const auto in_island = [&partition](std::uint32_t node) {
+      return std::find(partition.island.begin(), partition.island.end(),
+                       node) != partition.island.end();
+    };
+    if (in_island(src) != in_island(dst)) return true;
+  }
+  return false;
+}
+
+std::vector<double> NetEmulator::Deliveries(std::uint32_t src,
+                                            std::uint32_t dst, MsgKind kind,
+                                            double now,
+                                            double base_delay_ms) {
+  if (!Active()) return {now + base_delay_ms};
+  ++stats_.sent;
+
+  // Partitions first: a crossing message is held until every active
+  // partition between the endpoints heals, then delivered with its
+  // original propagation delay (per-sender order preserved: equal heal
+  // times resolve by EventQueue insertion sequence).
+  double heal = 0;
+  bool crossing = false;
+  for (const PartitionSpec& partition : plan_.partitions()) {
+    if (now < partition.start_ms || now >= partition.heal_ms) continue;
+    const auto in_island = [&partition](std::uint32_t node) {
+      return std::find(partition.island.begin(), partition.island.end(),
+                       node) != partition.island.end();
+    };
+    if (in_island(src) != in_island(dst)) {
+      crossing = true;
+      heal = std::max(heal, partition.heal_ms);
+    }
+  }
+  if (crossing) {
+    ++stats_.held;
+    ++stats_.delivered;
+    Count("held");
+    return {heal + base_delay_ms};
+  }
+
+  double delay = base_delay_ms;
+  std::uint32_t copies = 1;
+  double dup_offset_ms = 0;
+  bool dropped = false;
+  for (const NetSpec& spec : plan_.specs()) {
+    if (spec.src != kAnyNode && spec.src != static_cast<std::int32_t>(src)) {
+      continue;
+    }
+    if (spec.dst != kAnyNode && spec.dst != static_cast<std::int32_t>(dst)) {
+      continue;
+    }
+    if (spec.kind != MsgKind::kAny && spec.kind != kind) continue;
+    if (now < spec.from_ms || now >= spec.until_ms) continue;
+    if (spec.probability < 1.0 && !rng_.Chance(spec.probability)) continue;
+    switch (spec.action) {
+      case Action::kDrop:
+        dropped = true;
+        break;
+      case Action::kDelay:
+        delay += spec.param_ms;
+        ++stats_.delayed;
+        Count("delay");
+        break;
+      case Action::kReorder:
+        // Seeded jitter on top of the normal delay: two messages of one
+        // sender can now swap arrival order.
+        delay += rng_.NextDouble() * spec.param_ms;
+        ++stats_.reordered;
+        Count("reorder");
+        break;
+      case Action::kDuplicate:
+        ++copies;
+        dup_offset_ms = spec.param_ms;
+        ++stats_.duplicated;
+        Count("duplicate");
+        break;
+      default:
+        break;  // storage-only actions have no message semantics
+    }
+    if (dropped) break;
+  }
+  if (dropped) {
+    ++stats_.dropped;
+    Count("drop");
+    return {};
+  }
+
+  std::vector<double> deliveries;
+  deliveries.reserve(copies);
+  for (std::uint32_t copy = 0; copy < copies; ++copy) {
+    deliveries.push_back(now + delay + static_cast<double>(copy) *
+                                           std::max(dup_offset_ms, 0.0));
+  }
+  stats_.delivered += deliveries.size();
+  return deliveries;
+}
+
+}  // namespace nezha::fault

@@ -1,0 +1,215 @@
+// Deterministic network fault plane — the message-level sibling of the
+// storage fault injector in fault.h (docs/ROBUSTNESS.md §5).
+//
+// The consensus simulations deliver every broadcast through a per-sim
+// NetEmulator. A seeded NetPlan describes what the network does to each
+// message, keyed by (src, dst, msg-kind) and simulated time:
+//
+//   * drop       — the delivery never happens (anti-entropy gossip or a
+//                  partition heal must recover the block);
+//   * delay      — the delivery lands `param_ms` later;
+//   * reorder    — the delivery lands a seeded-uniform [0, param_ms) later,
+//                  breaking FIFO order between messages of one sender;
+//   * duplicate  — the delivery happens twice (second copy `param_ms`
+//                  later); receivers must be idempotent;
+//   * partition  — messages crossing an island boundary during
+//                  [start_ms, heal_ms) are HELD and delivered after the
+//                  heal, so a healed network always converges.
+//
+// Everything is driven by the plan's own seed (an Rng separate from the
+// simulation's), so an EMPTY plan consumes no randomness and leaves every
+// existing simulation trace byte-identical — the property the tier-1 suite
+// pins. Byzantine NODE behaviour (equivocation, withholding, invalid
+// blocks) is configured here too (ByzantineConfig) but interpreted by each
+// simulation in its own protocol's terms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault.h"
+
+namespace nezha::fault {
+
+/// Message classes the consensus simulations route through the plane.
+enum class MsgKind : std::uint8_t {
+  kAny = 0,   ///< rule wildcard
+  kVertex,    ///< DAG-Rider vertex broadcast
+  kBlock,     ///< OHIE / tree-graph mined-block broadcast
+  kGossip,    ///< anti-entropy pull transfer
+};
+
+const char* MsgKindName(MsgKind kind);
+
+/// Rule wildcard for src/dst node ids.
+inline constexpr std::int32_t kAnyNode = -1;
+
+/// One message-level injection rule. A rule matches a message when src, dst
+/// and kind agree (kAnyNode / MsgKind::kAny are wildcards) and the send
+/// time falls in [from_ms, until_ms); a matching rule then fires with
+/// `probability`, decided by the emulator's seeded RNG. Matching rules
+/// compose in plan order (a delay and a duplicate rule can both apply);
+/// a drop wins over everything else.
+struct NetSpec {
+  std::int32_t src = kAnyNode;
+  std::int32_t dst = kAnyNode;
+  MsgKind kind = MsgKind::kAny;
+  Action action = Action::kDrop;  ///< kDrop / kDelay / kReorder / kDuplicate
+  double probability = 1.0;
+  double param_ms = 0;  ///< delay amount / reorder jitter bound / dup offset
+  double from_ms = 0;   ///< active window [from_ms, until_ms)
+  double until_ms = std::numeric_limits<double>::infinity();
+};
+
+/// One network partition: nodes in `island` cannot exchange messages with
+/// nodes outside it during [start_ms, heal_ms). Crossing messages are held
+/// and delivered at heal_ms + their original propagation delay, preserving
+/// per-sender send order (the EventQueue's FIFO tie-break).
+struct PartitionSpec {
+  std::vector<std::uint32_t> island;
+  double start_ms = 0;
+  double heal_ms = 0;
+};
+
+/// A reproducible network chaos schedule, driven by one seed.
+class NetPlan {
+ public:
+  explicit NetPlan(std::uint64_t seed = 0x4e'e7'fa'175eedull) : seed_(seed) {}
+
+  NetPlan& Add(NetSpec spec) {
+    specs_.push_back(spec);
+    return *this;
+  }
+
+  /// Shorthands for the common rule shapes (all-window, any src/dst).
+  NetPlan& Drop(double probability, MsgKind kind = MsgKind::kAny) {
+    return Add({kAnyNode, kAnyNode, kind, Action::kDrop, probability, 0});
+  }
+  NetPlan& Delay(double probability, double ms, MsgKind kind = MsgKind::kAny) {
+    return Add({kAnyNode, kAnyNode, kind, Action::kDelay, probability, ms});
+  }
+  NetPlan& Reorder(double probability, double jitter_ms,
+                   MsgKind kind = MsgKind::kAny) {
+    return Add(
+        {kAnyNode, kAnyNode, kind, Action::kReorder, probability, jitter_ms});
+  }
+  NetPlan& Duplicate(double probability, double offset_ms = 1,
+                     MsgKind kind = MsgKind::kAny) {
+    return Add(
+        {kAnyNode, kAnyNode, kind, Action::kDuplicate, probability, offset_ms});
+  }
+  NetPlan& Partition(std::vector<std::uint32_t> island, double start_ms,
+                     double heal_ms) {
+    partitions_.push_back({std::move(island), start_ms, heal_ms});
+    return *this;
+  }
+
+  bool Empty() const { return specs_.empty() && partitions_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<NetSpec>& specs() const { return specs_; }
+  const std::vector<PartitionSpec>& partitions() const { return partitions_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<NetSpec> specs_;
+  std::vector<PartitionSpec> partitions_;
+};
+
+/// What the emulator did to the traffic it saw (per-sim; the same counts
+/// are exported as nezha_net_chaos_total{sim,action}).
+struct NetStats {
+  std::uint64_t sent = 0;        ///< messages offered to the emulator
+  std::uint64_t delivered = 0;   ///< scheduled deliveries (incl. duplicates)
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t held = 0;        ///< partition-crossing, delivered at heal
+};
+
+/// The per-simulation delivery hook. The simulation computes its normal
+/// propagation delay (its own RNG; unchanged draws), then asks the emulator
+/// when — and whether, and how often — the message actually arrives.
+/// Single-threaded, like the discrete-event simulations that own it.
+class NetEmulator {
+ public:
+  /// Pass-through emulator (empty plan).
+  NetEmulator() : NetEmulator(NetPlan{}, "net") {}
+  NetEmulator(NetPlan plan, std::string component);
+
+  /// True while the plan has rules/partitions and Quiesce() has not run.
+  bool Active() const { return active_ && !quiesced_; }
+
+  /// Settlement switch: after Quiesce() every message passes through
+  /// untouched. The simulations flip it when traffic generation stops —
+  /// the "network heals eventually" assumption every convergence claim
+  /// needs (a plan whose drop rules never end would otherwise starve the
+  /// final anti-entropy rounds forever).
+  void Quiesce() { quiesced_ = true; }
+
+  /// Absolute delivery times for one message sent at `now` whose normal
+  /// propagation delay is `base_delay_ms`. Empty = dropped; more than one
+  /// entry = duplicated. All times are >= now.
+  std::vector<double> Deliveries(std::uint32_t src, std::uint32_t dst,
+                                 MsgKind kind, double now,
+                                 double base_delay_ms);
+
+  /// True when (src, dst) straddles an active partition boundary at `now`.
+  bool Partitioned(std::uint32_t src, std::uint32_t dst, double now) const;
+
+  const NetStats& stats() const { return stats_; }
+  const NetPlan& plan() const { return plan_; }
+
+ private:
+  void Count(std::string_view action, std::uint64_t n = 1);
+
+  NetPlan plan_;
+  std::string component_;
+  Rng rng_;
+  NetStats stats_;
+  bool active_ = false;
+  bool quiesced_ = false;
+};
+
+/// Byzantine node behaviours the simulations can stage. Each simulation
+/// maps these onto its own protocol:
+///  * equivocate — emit two conflicting blocks/vertices for one slot
+///    (DAG-Rider admission rejects the second; fork-choice protocols
+///    resolve the fork deterministically);
+///  * withhold — build blocks but broadcast them only at release_ms (or at
+///    settlement when release_ms = 0), the block-withholding attack;
+///  * invalid — broadcast structurally invalid blocks (tampered tx root,
+///    duplicate transactions, forged hash, wrong-round ancestry); honest
+///    admission must reject every one with the exact taxonomy reason.
+enum class ByzBehavior : std::uint8_t {
+  kNone = 0,
+  kEquivocate,
+  kWithhold,
+  kInvalidBlock,
+};
+
+const char* ByzBehaviorName(ByzBehavior behavior);
+
+struct ByzantineConfig {
+  ByzBehavior behavior = ByzBehavior::kNone;
+  std::vector<std::uint32_t> nodes;  ///< which node ids misbehave
+  /// kWithhold: when the withheld blocks are finally broadcast
+  /// (0 = only at end-of-run settlement).
+  double release_ms = 0;
+
+  bool Enabled() const {
+    return behavior != ByzBehavior::kNone && !nodes.empty();
+  }
+  bool IsByzantine(std::uint32_t node) const {
+    for (const std::uint32_t id : nodes) {
+      if (id == node) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace nezha::fault

@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "fault/fault.h"
+#include "ledger/validation.h"
 
 namespace nezha {
 
@@ -105,29 +106,53 @@ bool ParallelChainLedger::ContainsBlock(const Hash256& hash) const {
 }
 
 Status ParallelChainLedger::ValidateBlock(const Block& block) const {
+  using ledger::RejectBlock;
+  using ledger::RejectReason;
+  constexpr std::string_view kComponent = "ledger";
   const BlockHeader& h = block.header;
   if (h.chain >= num_chains_) {
-    return Status::InvalidArgument("chain id out of range");
+    return RejectBlock(kComponent, RejectReason::kChainOutOfRange,
+                       "chain " + std::to_string(h.chain) + " >= " +
+                           std::to_string(num_chains_));
   }
   const auto& chain = chains_[h.chain];
   if (h.height != chain.size()) {
-    return Status::InvalidArgument("unexpected block height");
+    return RejectBlock(kComponent, RejectReason::kBadHeight,
+                       "height " + std::to_string(h.height) + ", expected " +
+                           std::to_string(chain.size()));
   }
   const Hash256 expected_parent =
       chain.empty() ? Hash256{} : chain.back().Hash();
   if (h.parent_hash != expected_parent) {
-    return Status::InvalidArgument("parent hash mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadParent,
+                       "parent hash does not match the chain tip");
   }
   if (!chain.empty() && h.epoch <= chain.back().header.epoch) {
-    return Status::InvalidArgument("epoch must advance along a chain");
+    return RejectBlock(kComponent, RejectReason::kEpochRegression,
+                       "epoch " + std::to_string(h.epoch) +
+                           " does not advance past " +
+                           std::to_string(chain.back().header.epoch));
   }
   // The paper's validation phase: the state root in the block must match
   // the local state of the previous epoch; otherwise the block is discarded.
   if (h.prev_state_root != StateRootBefore(h.epoch)) {
-    return Status::InvalidArgument("previous state root mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadStateRoot,
+                       "previous state root mismatch at epoch " +
+                           std::to_string(h.epoch));
+  }
+  if (block.transactions.size() > max_block_txs_) {
+    return RejectBlock(kComponent, RejectReason::kOversize,
+                       std::to_string(block.transactions.size()) +
+                           " txs exceed the cap of " +
+                           std::to_string(max_block_txs_));
   }
   if (h.tx_root != ComputeTxMerkleRoot(block.transactions)) {
-    return Status::InvalidArgument("transaction merkle root mismatch");
+    return RejectBlock(kComponent, RejectReason::kBadTxRoot,
+                       "transaction merkle root does not cover the body");
+  }
+  if (ledger::HasDuplicateTxIds(block.transactions)) {
+    return RejectBlock(kComponent, RejectReason::kDuplicateTx,
+                       "transaction id appears twice in one block");
   }
   return Status::Ok();
 }

@@ -78,8 +78,17 @@ class ParallelChainLedger {
 
   /// Full structural + semantic validation of a proposed block:
   /// chain id in range, height/parent linkage, epoch monotonicity,
-  /// prev_state_root matches the recorded root, tx_root matches the body.
+  /// prev_state_root matches the recorded root, tx_root matches the body,
+  /// no duplicate transaction ids, body within the admission cap.
+  /// Rejections use the shared taxonomy (ledger/validation.h): the Status
+  /// message is "reject/<reason>: ...", the nezha_invalid_block_total
+  /// counter ticks, and a flight event is recorded.
   Status ValidateBlock(const Block& block) const;
+
+  /// Admission cap on transactions per block (satellite of the Byzantine
+  /// hardening: an adversary must not be able to stuff an unbounded body).
+  void SetMaxBlockTxs(std::size_t max_txs) { max_block_txs_ = max_txs; }
+  std::size_t max_block_txs() const { return max_block_txs_; }
 
   /// Validates and appends. Persists to the KVStore when one is attached.
   Status AppendBlock(Block block);
@@ -103,6 +112,7 @@ class ParallelChainLedger {
 
   ChainId num_chains_;
   KVStore* kv_;
+  std::size_t max_block_txs_ = 65'536;
   std::vector<std::vector<Block>> chains_;
   std::vector<std::pair<EpochId, Hash256>> epoch_roots_;  // append-only
 };

@@ -1,0 +1,114 @@
+#include "ledger/validation.h"
+
+#include <unordered_set>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace nezha::ledger {
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kBadHash:
+      return "bad-hash";
+    case RejectReason::kBadTxRoot:
+      return "bad-tx-root";
+    case RejectReason::kDuplicateTx:
+      return "duplicate-tx";
+    case RejectReason::kOversize:
+      return "oversize";
+    case RejectReason::kChainOutOfRange:
+      return "chain-out-of-range";
+    case RejectReason::kBadHeight:
+      return "bad-height";
+    case RejectReason::kBadParent:
+      return "bad-parent";
+    case RejectReason::kEpochRegression:
+      return "epoch-regression";
+    case RejectReason::kBadStateRoot:
+      return "bad-state-root";
+    case RejectReason::kBadRound:
+      return "bad-round";
+    case RejectReason::kBadSource:
+      return "bad-source";
+    case RejectReason::kBadParentCount:
+      return "bad-parent-count";
+    case RejectReason::kBadParentRound:
+      return "bad-parent-round";
+    case RejectReason::kDuplicateParentSource:
+      return "duplicate-parent-source";
+    case RejectReason::kEquivocation:
+      return "equivocation";
+    case RejectReason::kBadParentChain:
+      return "bad-parent-chain";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All reasons, for the message->enum reverse map. Kept in enum order so a
+/// new reason added to the enum fails loudly here (exhaustive switch above).
+constexpr RejectReason kAllReasons[] = {
+    RejectReason::kBadHash,         RejectReason::kBadTxRoot,
+    RejectReason::kDuplicateTx,     RejectReason::kOversize,
+    RejectReason::kChainOutOfRange, RejectReason::kBadHeight,
+    RejectReason::kBadParent,       RejectReason::kEpochRegression,
+    RejectReason::kBadStateRoot,    RejectReason::kBadRound,
+    RejectReason::kBadSource,       RejectReason::kBadParentCount,
+    RejectReason::kBadParentRound,  RejectReason::kDuplicateParentSource,
+    RejectReason::kEquivocation,    RejectReason::kBadParentChain,
+};
+
+constexpr std::string_view kPrefix = "reject/";
+
+}  // namespace
+
+Status RejectBlock(std::string_view component, RejectReason reason,
+                   std::string_view detail) {
+  const char* name = RejectReasonName(reason);
+  obs::Registry()
+      .GetCounter("nezha_invalid_block_total",
+                  {{"component", std::string(component)},
+                   {"reason", name}})
+      ->Inc();
+  obs::FlightRecorder::Global().RecordEvent(
+      std::string(component), std::string(kPrefix) + name,
+      std::string(detail));
+  std::string message = std::string(kPrefix) + name;
+  if (!detail.empty()) {
+    message += ": ";
+    message += detail;
+  }
+  return Status::InvalidArgument(message);
+}
+
+RejectReason RejectReasonOf(const Status& status) {
+  if (status.ok()) return RejectReason::kNone;
+  const std::string& message = status.message();
+  if (message.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return RejectReason::kNone;
+  }
+  std::string_view rest = std::string_view(message).substr(kPrefix.size());
+  if (const std::size_t colon = rest.find(':');
+      colon != std::string_view::npos) {
+    rest = rest.substr(0, colon);
+  }
+  for (const RejectReason reason : kAllReasons) {
+    if (rest == RejectReasonName(reason)) return reason;
+  }
+  return RejectReason::kNone;
+}
+
+bool HasDuplicateTxIds(const std::vector<Transaction>& txs) {
+  std::unordered_set<Hash256> seen;
+  seen.reserve(txs.size());
+  for (const Transaction& tx : txs) {
+    if (!seen.insert(tx.Id()).second) return true;
+  }
+  return false;
+}
+
+}  // namespace nezha::ledger

@@ -1,0 +1,69 @@
+// Block-rejection taxonomy — the shared vocabulary every admission path
+// (ParallelChainLedger::ValidateBlock, the three consensus Attach paths,
+// and the node bridges) uses to refuse an invalid block
+// (docs/ROBUSTNESS.md §6).
+//
+// A rejection is three things at once:
+//  * a Status whose message starts "reject/<reason>: ..." so callers and
+//    tests can assert the EXACT cause (RejectReasonOf parses it back);
+//  * one tick of nezha_invalid_block_total{component,reason} so a running
+//    node under Byzantine traffic shows WHAT it is refusing and WHERE;
+//  * one flight-recorder event, so a post-mortem dump of a diverged
+//    replica carries the refusal history alongside the epoch records.
+//
+// The honest paths never produce these; every reason corresponds to a
+// malformed or malicious block a correct replica must refuse at admission.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ledger/transaction.h"
+
+namespace nezha::ledger {
+
+/// Why a block (or DAG vertex) was refused at admission. Names are stable:
+/// they appear verbatim as the metric's `reason` label and inside Status
+/// messages the rejection-matrix tests pin.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kBadHash,               ///< sealed hash does not match the recomputed one
+  kBadTxRoot,             ///< tx merkle root does not cover the body
+  kDuplicateTx,           ///< one transaction id appears twice in the body
+  kOversize,              ///< body exceeds the admission cap
+  kChainOutOfRange,       ///< chain id >= k
+  kBadHeight,             ///< height is not the chain's next slot
+  kBadParent,             ///< parent hash does not match the tip
+  kEpochRegression,       ///< epoch fails to advance along the chain
+  kBadStateRoot,          ///< prev_state_root differs from the local root
+  kBadRound,              ///< DAG round outside the protocol's range
+  kBadSource,             ///< proposer/source id out of range
+  kBadParentCount,        ///< wrong number of parent references
+  kBadParentRound,        ///< DAG parent from the wrong round
+  kDuplicateParentSource, ///< two parents by one source
+  kEquivocation,          ///< second block/vertex for an occupied slot
+  kBadParentChain,        ///< effective parent lives on another chain
+};
+
+/// The stable kebab-case name ("bad-tx-root", "equivocation", ...).
+const char* RejectReasonName(RejectReason reason);
+
+/// Builds the canonical rejection Status ("reject/<reason>: <detail>"),
+/// bumps nezha_invalid_block_total{component,reason}, and records a flight
+/// event — call it instead of Status::InvalidArgument on admission paths.
+/// `component` names the validator ("ledger", "dagrider", "ohie",
+/// "treegraph").
+Status RejectBlock(std::string_view component, RejectReason reason,
+                   std::string_view detail);
+
+/// Parses the reason back out of a rejection Status. kNone when `status`
+/// is OK or did not come from RejectBlock.
+RejectReason RejectReasonOf(const Status& status);
+
+/// True when two transactions in `txs` share an id — the kDuplicateTx
+/// admission check every block body goes through.
+bool HasDuplicateTxIds(const std::vector<Transaction>& txs);
+
+}  // namespace nezha::ledger

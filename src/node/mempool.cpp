@@ -9,7 +9,9 @@ Mempool::Mempool(std::size_t capacity)
     : capacity_(capacity),
       depth_gauge_(obs::Registry().GetGauge("nezha_mempool_depth")),
       oldest_age_gauge_(
-          obs::Registry().GetGauge("nezha_mempool_oldest_age_ms")) {}
+          obs::Registry().GetGauge("nezha_mempool_oldest_age_ms")),
+      duplicate_counter_(
+          obs::Registry().GetCounter("nezha_mempool_duplicate_total")) {}
 
 void Mempool::UpdateGauges() {
   depth_gauge_->Set(static_cast<std::int64_t>(pending_.size()));
@@ -30,6 +32,7 @@ Status Mempool::Add(Transaction tx) {
     return Status::OutOfRange("mempool full");
   }
   if (!known_.insert(id).second) {
+    duplicate_counter_->Inc();
     return Status::AlreadyExists("duplicate transaction");
   }
   const double now_us = obs::TxLifecycleTracer::NowUs();

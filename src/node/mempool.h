@@ -25,6 +25,7 @@
 #include "ledger/transaction.h"
 
 namespace nezha::obs {
+class Counter;
 class Gauge;
 }  // namespace nezha::obs
 
@@ -35,7 +36,9 @@ class Mempool {
   explicit Mempool(std::size_t capacity = 100'000);
 
   /// Admits a transaction. AlreadyExists for duplicates (by id, including
-  /// transactions that already left in a batch but were not yet forgotten);
+  /// transactions that already left in a batch but were not yet forgotten) —
+  /// an idempotent reject: the pool is unchanged, no lifecycle stamp is
+  /// recorded, and nezha_mempool_duplicate_total counts the re-submission.
   /// ResourceExhausted-like OutOfRange when the pool is full.
   Status Add(Transaction tx);
 
@@ -68,6 +71,7 @@ class Mempool {
   // cost is two relaxed stores, not a registry lookup.
   obs::Gauge* const depth_gauge_;
   obs::Gauge* const oldest_age_gauge_;
+  obs::Counter* const duplicate_counter_;
   mutable Mutex mutex_;
   std::deque<Pending> pending_ GUARDED_BY(mutex_);
   /// Ids of pending + taken-but-not-committed transactions.

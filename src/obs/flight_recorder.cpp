@@ -111,6 +111,12 @@ std::string EpochFlightRecord::ToJson() const {
   return out.str();
 }
 
+std::string FlightEvent::ToJson() const {
+  return "{\"event\":{\"seq\":" + std::to_string(seq) + ",\"component\":\"" +
+         JsonEscape(component) + "\",\"kind\":\"" + JsonEscape(kind) +
+         "\",\"detail\":\"" + JsonEscape(detail) + "\"}}";
+}
+
 FlightRecorder& FlightRecorder::Global() {
   static FlightRecorder* recorder = new FlightRecorder();  // never freed
   return *recorder;
@@ -143,6 +149,35 @@ void FlightRecorder::Record(EpochFlightRecord record) {
   stripe.ring[slot] = std::move(record);
   stripe.seqs[slot] = seq;
   stripe.used[slot] = true;
+}
+
+void FlightRecorder::RecordEvent(std::string component, std::string kind,
+                                 std::string detail) {
+  if (!enabled()) return;
+  MutexLock lock(event_mutex_);
+  const std::uint64_t seq = next_event_seq_++;
+  FlightEvent event{seq, std::move(component), std::move(kind),
+                    std::move(detail)};
+  if (events_.size() < kEventCapacity) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[seq % kEventCapacity] = std::move(event);
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  MutexLock lock(event_mutex_);
+  std::vector<FlightEvent> out = events_;
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t FlightRecorder::TotalEvents() const {
+  MutexLock lock(event_mutex_);
+  return next_event_seq_;
 }
 
 std::vector<EpochFlightRecord> FlightRecorder::Records() const {
@@ -183,6 +218,11 @@ void FlightRecorder::Clear() {
     stripe.ring.clear();
     stripe.seqs.clear();
     stripe.used.clear();
+  }
+  {
+    MutexLock lock(event_mutex_);
+    events_.clear();
+    next_event_seq_ = 0;
   }
   next_seq_.store(0, std::memory_order_relaxed);
   current_epoch_.store(0, std::memory_order_relaxed);
@@ -242,6 +282,12 @@ std::string FlightRecorder::DumpPostMortem(std::string_view reason) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return "";
   std::string payload = ExportJsonl();
+  // Incident events ride along after the epoch records; a clean run (no
+  // events recorded) dumps exactly records + trailer, as before.
+  for (const FlightEvent& event : Events()) {
+    payload += event.ToJson();
+    payload += "\n";
+  }
   payload += "{\"postmortem\":\"" + JsonEscape(reason) +
              "\",\"epoch\":" + std::to_string(CurrentEpoch()) +
              ",\"records\":" + std::to_string(RecordCount()) + "}\n";

@@ -71,6 +71,18 @@ struct EpochFlightRecord {
   std::string ToJson() const;
 };
 
+/// One discrete incident worth remembering next to the epoch records — a
+/// rejected block, an equivocation, a partition heal. Bounded ring, oldest
+/// dropped; serialised into post-mortem dumps as `{"event":{...}}` lines.
+struct FlightEvent {
+  std::uint64_t seq = 0;  ///< arrival order (monotonic per process)
+  std::string component;  ///< who observed it ("ledger", "dagrider", ...)
+  std::string kind;       ///< what happened ("reject/bad-tx-root", ...)
+  std::string detail;     ///< free-form context
+
+  std::string ToJson() const;
+};
+
 class FlightRecorder {
  public:
   static FlightRecorder& Global();
@@ -107,6 +119,15 @@ class FlightRecorder {
   /// Writes ExportJsonl() to `path`; false on I/O failure.
   bool WriteJsonl(const std::string& path) const;
 
+  /// Appends one incident to the bounded event ring (capacity
+  /// kEventCapacity; oldest dropped). No-op while disabled.
+  void RecordEvent(std::string component, std::string kind,
+                   std::string detail);
+  /// Copies out the buffered events, oldest first.
+  std::vector<FlightEvent> Events() const;
+  /// Lifetime count, including events the ring has dropped.
+  std::uint64_t TotalEvents() const;
+
   /// Where post-mortem dumps land. Resolution: this override if set, else
   /// $NEZHA_FLIGHT_DUMP_DIR, else dumps are disabled (metric still ticks).
   void SetDumpDirectory(std::optional<std::string> dir);
@@ -122,6 +143,7 @@ class FlightRecorder {
   FlightRecorder() = default;
 
   static constexpr std::size_t kStripes = 8;
+  static constexpr std::size_t kEventCapacity = 256;
 
   struct Stripe {
     mutable Mutex mutex;
@@ -139,6 +161,11 @@ class FlightRecorder {
 
   mutable Mutex dump_mutex_;
   std::optional<std::string> dump_dir_ GUARDED_BY(dump_mutex_);
+
+  mutable Mutex event_mutex_;
+  /// Ring, oldest first once full; slot = event.seq % kEventCapacity.
+  std::vector<FlightEvent> events_ GUARDED_BY(event_mutex_);
+  std::uint64_t next_event_seq_ GUARDED_BY(event_mutex_) = 0;
 
   Stripe stripes_[kStripes];
 };

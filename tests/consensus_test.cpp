@@ -58,6 +58,61 @@ TEST(EventQueueTest, RunUntilStopsAtHorizon) {
   EXPECT_EQ(queue.Pending(), 1u);
 }
 
+TEST(EventQueueTest, PropertyRandomInterleavingsKeepTimeAndFifoOrder) {
+  // Property pinned by every chaos scenario: whatever order events are
+  // scheduled in — including events scheduled from inside running events —
+  // execution visits them in non-decreasing time, and events that share a
+  // timestamp fire in insertion (FIFO) order.
+  struct Fired {
+    double time;
+    std::uint64_t insertion;  ///< global scheduling order
+  };
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    EventQueue queue;
+    std::vector<Fired> fired;
+    std::uint64_t insertion = 0;
+
+    // A coarse time grid forces plenty of exact ties.
+    const auto random_time = [&](double from) {
+      return from + static_cast<double>(rng.Below(8)) * 5.0;
+    };
+    const std::function<void(double, int)> schedule = [&](double at,
+                                                          int depth) {
+      const std::uint64_t id = insertion++;
+      queue.ScheduleAt(at, [&, at, id, depth] {
+        fired.push_back(Fired{at, id});
+        // Some events schedule follow-ups relative to their own time —
+        // the self-clocking pattern every simulation uses.
+        if (depth > 0 && rng.Below(2) == 0) {
+          schedule(random_time(queue.Now()), depth - 1);
+        }
+      });
+    };
+
+    // Random interleaving of schedules and partial drains.
+    for (int round = 0; round < 40; ++round) {
+      schedule(random_time(queue.Now()), /*depth=*/2);
+      if (rng.Below(3) == 0) {
+        const std::size_t steps = rng.Below(3);
+        for (std::size_t s = 0; s < steps; ++s) queue.Step();
+      }
+    }
+    queue.RunToCompletion();
+
+    ASSERT_GE(fired.size(), 40u);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+      // Time never decreases...
+      ASSERT_LE(fired[i - 1].time, fired[i].time) << "seed " << seed;
+      // ...and at equal times, insertion order (FIFO tie-break) holds.
+      if (fired[i - 1].time == fired[i].time) {
+        ASSERT_LT(fired[i - 1].insertion, fired[i].insertion)
+            << "seed " << seed << " at t=" << fired[i].time;
+      }
+    }
+  }
+}
+
 // ---------- block sealing / genesis ----------
 
 TEST(OhieBlockTest, SealAssignsChainFromHash) {

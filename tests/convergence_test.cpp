@@ -1,0 +1,513 @@
+// N-node convergence under chaos: every consensus scheme, driven through a
+// seeded network fault plan (drop / delay / reorder / duplicate /
+// partition-heal) and a Byzantine cast (equivocate / withhold / invalid),
+// must still leave every honest replica with the same committed order —
+// and, through the deferred-execution bridges, byte-identical per-epoch
+// state roots, receipt roots and final state. The serializability oracle is
+// forced ON for every bridge run, so a schedule that merely "looks" right
+// fails loudly.
+//
+// Equivocation caveat (docs/ROBUSTNESS.md): DAG-Rider resolves an
+// equivocating pair by admission order (first wins), so it is only paired
+// with ORDER-PRESERVING chaos — deterministic delays and partitions, never
+// probabilistic drop/reorder on vertex traffic. The fork-choice schemes
+// (OHIE, tree-graph) resolve equivocation by hash tie-break and tolerate
+// any plan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cc/scheduler.h"
+#include "consensus/dagrider_sim.h"
+#include "consensus/ohie_sim.h"
+#include "consensus/treegraph_sim.h"
+#include "fault/net_plan.h"
+#include "ledger/validation.h"
+#include "node/dagrider_bridge.h"
+#include "node/ohie_bridge.h"
+#include "node/treegraph_bridge.h"
+#include "obs/metrics.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+/// Forces the serializability oracle on for the scope of one test.
+struct ForcedOracle {
+  ForcedOracle() { SetScheduleVerification(true); }
+  ~ForcedOracle() { SetScheduleVerification(std::nullopt); }
+};
+
+/// One global client stream all miners draw from (stand-in for a gossiping
+/// mempool) — keeps block payloads deterministic per (seed, call order).
+class SharedTxSource {
+ public:
+  explicit SharedTxSource(std::uint64_t seed)
+      : workload_(MakeConfig(), seed) {}
+
+  std::vector<Transaction> Take(std::size_t n) {
+    return workload_.MakeBatch(n);
+  }
+
+ private:
+  static WorkloadConfig MakeConfig() {
+    WorkloadConfig config;
+    config.num_accounts = 300;
+    config.skew = 0.6;
+    return config;
+  }
+  SmallBankWorkload workload_;
+};
+
+/// One entry of the chaos matrix. `order_preserving` marks plans that keep
+/// per-sender FIFO delivery order — the only ones DAG-Rider equivocation
+/// may be paired with (see the header comment).
+struct ChaosCase {
+  const char* name;
+  fault::NetPlan plan;
+  bool order_preserving;
+  bool needs_gossip;  ///< plan loses messages; anti-entropy must recover
+};
+
+std::vector<ChaosCase> ChaosMatrix(double duration_ms) {
+  std::vector<ChaosCase> cases;
+  {
+    fault::NetPlan plan(101);
+    plan.Delay(1.0, 120);
+    cases.push_back({"delay", plan, true, false});
+  }
+  {
+    fault::NetPlan plan(102);
+    plan.Partition({0, 1}, duration_ms * 0.2, duration_ms * 0.6);
+    cases.push_back({"partition-heal", plan, true, false});
+  }
+  {
+    fault::NetPlan plan(103);
+    plan.Duplicate(0.4, 35);
+    cases.push_back({"duplicate", plan, true, false});
+  }
+  {
+    fault::NetPlan plan(104);
+    plan.Drop(0.2);
+    cases.push_back({"drop", plan, false, true});
+  }
+  {
+    fault::NetPlan plan(105);
+    plan.Reorder(0.5, 250);
+    cases.push_back({"reorder", plan, false, false});
+  }
+  return cases;
+}
+
+std::uint64_t InvalidCount(const char* component, const char* reason) {
+  return obs::Registry()
+      .GetCounter("nezha_invalid_block_total",
+                  {{"component", component}, {"reason", reason}})
+      ->Value();
+}
+
+// ---------------------------------------------------------------------------
+// DAG-Rider
+// ---------------------------------------------------------------------------
+
+/// Runs one DAG-Rider configuration and asserts that every replica —
+/// Byzantine ones keep a coherent honest-side state too — holds the same
+/// committed sequence, and that independently executing each replica's
+/// batches yields identical per-epoch state/receipt roots and final state.
+void CheckDagRiderConvergence(const DagRiderSimConfig& config,
+                              const char* label) {
+  SCOPED_TRACE(label);
+  SharedTxSource source(1234);
+  DagRiderSimulation sim(config,
+                         [&source](NodeId) { return source.Take(4); });
+  sim.Run();
+  ASSERT_GT(sim.node(0).NumBatches(), 3u);
+
+  const auto& reference = sim.node(0).CommittedSequence();
+  ASSERT_FALSE(reference.empty());
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    const auto& committed = sim.node(i).CommittedSequence();
+    ASSERT_EQ(committed.size(), reference.size()) << "node " << i;
+    for (std::size_t v = 0; v < committed.size(); ++v) {
+      ASSERT_EQ(committed[v]->hash, reference[v]->hash)
+          << "node " << i << " vertex " << v;
+    }
+    ASSERT_EQ(sim.node(i).NumBatches(), sim.node(0).NumBatches());
+  }
+
+  ForcedOracle oracle;
+  std::vector<Hash256> ref_state_roots;
+  std::vector<Hash256> ref_receipt_roots;
+  Hash256 ref_final{};
+  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+    DeferredExecConfig exec_config;
+    exec_config.worker_threads = 2;
+    DagRiderDeferredExecutor executor(exec_config);
+    auto reports = executor.CatchUp(sim.node(i));
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    ASSERT_FALSE(reports->empty());
+    const Hash256 final_root = executor.state().RootHash();
+    if (i == 0) {
+      for (const EpochReport& r : *reports) {
+        ref_state_roots.push_back(r.state_root);
+        ref_receipt_roots.push_back(r.receipt_root);
+      }
+      ref_final = final_root;
+      EXPECT_FALSE(ref_final.IsZero());
+    } else {
+      ASSERT_EQ(reports->size(), ref_state_roots.size()) << "node " << i;
+      for (std::size_t e = 0; e < reports->size(); ++e) {
+        EXPECT_EQ((*reports)[e].state_root, ref_state_roots[e])
+            << "node " << i << " epoch " << e;
+        EXPECT_EQ((*reports)[e].receipt_root, ref_receipt_roots[e])
+            << "node " << i << " epoch " << e;
+      }
+      EXPECT_EQ(final_root, ref_final) << "node " << i;
+    }
+  }
+}
+
+TEST(ConvergenceTest, DagRiderChaosMatrix) {
+  constexpr double kDurationMs = 12'000;
+  for (const ChaosCase& chaos : ChaosMatrix(kDurationMs)) {
+    DagRiderSimConfig config;
+    config.num_nodes = 4;
+    config.duration_ms = kDurationMs;
+    config.seed = 11;
+    config.net_plan = chaos.plan;
+    if (chaos.needs_gossip) config.gossip_interval_ms = 500;
+    CheckDagRiderConvergence(config, chaos.name);
+  }
+}
+
+TEST(ConvergenceTest, DagRiderEquivocatorThroughPartition) {
+  // The headline "after heal" scenario: an equivocating node while {0,1}
+  // are partitioned from {2,3}. Order-preserving chaos only (see header).
+  const std::uint64_t before =
+      InvalidCount("dagrider", "equivocation");
+  DagRiderSimConfig config;
+  config.num_nodes = 4;
+  config.duration_ms = 15'000;
+  config.seed = 12;
+  config.net_plan = fault::NetPlan(201).Partition({0, 1}, 3'000, 9'000);
+  config.byzantine.behavior = fault::ByzBehavior::kEquivocate;
+  config.byzantine.nodes = {3};
+  SharedTxSource source(55);
+  DagRiderSimulation sim(config,
+                         [&source](NodeId) { return source.Take(4); });
+  sim.Run();
+  EXPECT_GT(sim.stats().byz_equivocations, 0u);
+  // Every honest replica rejected the conflicting twins at admission.
+  EXPECT_GT(InvalidCount("dagrider", "equivocation"), before);
+  CheckDagRiderConvergence(config, "partition+equivocate");
+}
+
+TEST(ConvergenceTest, DagRiderWithholderUnderDrop) {
+  DagRiderSimConfig config;
+  config.num_nodes = 4;
+  config.duration_ms = 15'000;
+  config.seed = 13;
+  config.net_plan = fault::NetPlan(202).Drop(0.15);
+  config.gossip_interval_ms = 500;
+  config.byzantine.behavior = fault::ByzBehavior::kWithhold;
+  config.byzantine.nodes = {2};
+  config.byzantine.release_ms = 8'000;
+  SharedTxSource source(56);
+  DagRiderSimulation sim(config,
+                         [&source](NodeId) { return source.Take(4); });
+  sim.Run();
+  EXPECT_GT(sim.stats().byz_withheld, 0u);
+  CheckDagRiderConvergence(config, "drop+withhold");
+}
+
+TEST(ConvergenceTest, DagRiderInvalidVerticesRejectedWithExactReasons) {
+  const std::uint64_t bad_tx_root = InvalidCount("dagrider", "bad-tx-root");
+  const std::uint64_t duplicate_tx = InvalidCount("dagrider", "duplicate-tx");
+  const std::uint64_t bad_hash = InvalidCount("dagrider", "bad-hash");
+  const std::uint64_t dup_parent =
+      InvalidCount("dagrider", "duplicate-parent-source");
+
+  DagRiderSimConfig config;
+  config.num_nodes = 4;
+  config.duration_ms = 15'000;
+  config.seed = 14;
+  config.net_plan = fault::NetPlan(203).Delay(1.0, 80);
+  config.byzantine.behavior = fault::ByzBehavior::kInvalidBlock;
+  config.byzantine.nodes = {1};
+  SharedTxSource source(57);
+  DagRiderSimulation sim(config,
+                         [&source](NodeId) { return source.Take(4); });
+  sim.Run();
+  ASSERT_GT(sim.stats().byz_invalid, 8u);  // all four flavours rotated
+
+  // Every flavour of invalid vertex was rejected with its taxonomy reason.
+  EXPECT_GT(InvalidCount("dagrider", "bad-tx-root"), bad_tx_root);
+  EXPECT_GT(InvalidCount("dagrider", "duplicate-tx"), duplicate_tx);
+  EXPECT_GT(InvalidCount("dagrider", "bad-hash"), bad_hash);
+  EXPECT_GT(InvalidCount("dagrider", "duplicate-parent-source"), dup_parent);
+  CheckDagRiderConvergence(config, "delay+invalid");
+}
+
+// ---------------------------------------------------------------------------
+// OHIE
+// ---------------------------------------------------------------------------
+
+OhieSimConfig BaseOhieConfig(std::uint64_t seed) {
+  OhieSimConfig config;
+  config.num_chains = 3;
+  config.num_nodes = 5;
+  config.mean_block_interval_ms = 100;
+  config.confirm_depth = 4;
+  config.duration_ms = 15'000;
+  config.seed = seed;
+  return config;
+}
+
+void CheckOhieConvergence(const OhieSimConfig& config, const char* label) {
+  SCOPED_TRACE(label);
+  SharedTxSource source(2345);
+  OhieSimulation sim(config, [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+
+  const auto reference = sim.node(0).ConfirmedOrder();
+  ASSERT_GT(reference.size(), 10u);
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    const auto confirmed = sim.node(i).ConfirmedOrder();
+    ASSERT_EQ(confirmed.size(), reference.size()) << "node " << i;
+    for (std::size_t b = 0; b < confirmed.size(); ++b) {
+      ASSERT_EQ(confirmed[b]->hash, reference[b]->hash)
+          << "node " << i << " block " << b;
+    }
+  }
+
+  ForcedOracle oracle;
+  std::vector<Hash256> ref_state_roots;
+  std::vector<Hash256> ref_receipt_roots;
+  Hash256 ref_final{};
+  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+    OhieBridgeConfig bridge_config;
+    bridge_config.worker_threads = 2;
+    OhieDeferredExecutor executor(bridge_config);
+    auto reports = executor.CatchUp(sim.node(i));
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    ASSERT_FALSE(reports->empty());
+    const Hash256 final_root = executor.state().RootHash();
+    if (i == 0) {
+      for (const EpochReport& r : *reports) {
+        ref_state_roots.push_back(r.state_root);
+        ref_receipt_roots.push_back(r.receipt_root);
+      }
+      ref_final = final_root;
+      EXPECT_FALSE(ref_final.IsZero());
+    } else {
+      ASSERT_EQ(reports->size(), ref_state_roots.size()) << "node " << i;
+      for (std::size_t e = 0; e < reports->size(); ++e) {
+        EXPECT_EQ((*reports)[e].state_root, ref_state_roots[e])
+            << "node " << i << " epoch " << e;
+        EXPECT_EQ((*reports)[e].receipt_root, ref_receipt_roots[e])
+            << "node " << i << " epoch " << e;
+      }
+      EXPECT_EQ(final_root, ref_final) << "node " << i;
+    }
+  }
+}
+
+TEST(ConvergenceTest, OhieChaosMatrix) {
+  constexpr double kDurationMs = 12'000;
+  for (const ChaosCase& chaos : ChaosMatrix(kDurationMs)) {
+    OhieSimConfig config = BaseOhieConfig(21);
+    config.duration_ms = kDurationMs;
+    config.net_plan = chaos.plan;
+    config.gossip_interval_ms = 500;  // anti-entropy covers lossy plans
+    CheckOhieConvergence(config, chaos.name);
+  }
+}
+
+TEST(ConvergenceTest, OhieEquivocatorThroughPartition) {
+  // Fork-choice consensus: the equivocating pair is two VALID blocks; the
+  // longest-chain rule plus hash tie-break resolves them identically on
+  // every replica, even across a partition heal.
+  OhieSimConfig config = BaseOhieConfig(22);
+  config.net_plan = fault::NetPlan(211).Partition({0, 1}, 3'000, 9'000);
+  config.gossip_interval_ms = 500;
+  config.byzantine.behavior = fault::ByzBehavior::kEquivocate;
+  config.byzantine.nodes = {4};
+  SharedTxSource source(58);
+  OhieSimulation sim(config, [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+  EXPECT_GT(sim.stats().byz_equivocations, 0u);
+  EXPECT_GT(sim.stats().forked_blocks, 0u);
+  CheckOhieConvergence(config, "partition+equivocate");
+}
+
+TEST(ConvergenceTest, OhieWithholderConverges) {
+  OhieSimConfig config = BaseOhieConfig(23);
+  config.net_plan = fault::NetPlan(212).Drop(0.15);
+  config.gossip_interval_ms = 500;
+  config.byzantine.behavior = fault::ByzBehavior::kWithhold;
+  config.byzantine.nodes = {0};
+  config.byzantine.release_ms = 8'000;
+  SharedTxSource source(59);
+  OhieSimulation sim(config, [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+  EXPECT_GT(sim.stats().byz_withheld, 0u);
+  CheckOhieConvergence(config, "drop+withhold");
+}
+
+TEST(ConvergenceTest, OhieInvalidBlocksRejectedWithExactReasons) {
+  const std::uint64_t bad_tx_root = InvalidCount("ohie", "bad-tx-root");
+  const std::uint64_t duplicate_tx = InvalidCount("ohie", "duplicate-tx");
+  const std::uint64_t bad_hash = InvalidCount("ohie", "bad-hash");
+  const std::uint64_t bad_parents = InvalidCount("ohie", "bad-parent-count");
+
+  OhieSimConfig config = BaseOhieConfig(24);
+  config.net_plan = fault::NetPlan(213).Reorder(0.5, 200);
+  config.gossip_interval_ms = 500;
+  config.byzantine.behavior = fault::ByzBehavior::kInvalidBlock;
+  config.byzantine.nodes = {2};
+  SharedTxSource source(60);
+  OhieSimulation sim(config, [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+  ASSERT_GT(sim.stats().byz_invalid, 8u);  // all four flavours rotated
+
+  EXPECT_GT(InvalidCount("ohie", "bad-tx-root"), bad_tx_root);
+  EXPECT_GT(InvalidCount("ohie", "duplicate-tx"), duplicate_tx);
+  EXPECT_GT(InvalidCount("ohie", "bad-hash"), bad_hash);
+  EXPECT_GT(InvalidCount("ohie", "bad-parent-count"), bad_parents);
+  CheckOhieConvergence(config, "reorder+invalid");
+}
+
+// ---------------------------------------------------------------------------
+// Tree-graph
+// ---------------------------------------------------------------------------
+
+TreeGraphSimConfig BaseTreeGraphConfig(std::uint64_t seed) {
+  TreeGraphSimConfig config;
+  config.num_nodes = 5;
+  config.mean_block_interval_ms = 120;
+  config.confirm_depth = 5;
+  config.duration_ms = 15'000;
+  config.seed = seed;
+  return config;
+}
+
+void CheckTreeGraphConvergence(const TreeGraphSimConfig& config,
+                               const char* label) {
+  SCOPED_TRACE(label);
+  SharedTxSource source(3456);
+  TreeGraphSimulation sim(config,
+                          [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+
+  // Confirmed epochs — pivot heights and per-epoch block order — agree.
+  const auto reference = sim.node(0).ConfirmedEpochs();
+  ASSERT_GT(reference.size(), 5u);
+  for (std::size_t i = 1; i < sim.num_nodes(); ++i) {
+    const auto epochs = sim.node(i).ConfirmedEpochs();
+    ASSERT_EQ(epochs.size(), reference.size()) << "node " << i;
+    for (std::size_t e = 0; e < epochs.size(); ++e) {
+      ASSERT_EQ(epochs[e].pivot_height, reference[e].pivot_height);
+      ASSERT_EQ(epochs[e].blocks.size(), reference[e].blocks.size())
+          << "node " << i << " epoch " << e;
+      for (std::size_t b = 0; b < epochs[e].blocks.size(); ++b) {
+        ASSERT_EQ(epochs[e].blocks[b]->hash, reference[e].blocks[b]->hash)
+            << "node " << i << " epoch " << e << " block " << b;
+      }
+    }
+  }
+
+  ForcedOracle oracle;
+  std::vector<Hash256> ref_state_roots;
+  std::vector<Hash256> ref_receipt_roots;
+  Hash256 ref_final{};
+  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+    DeferredExecConfig exec_config;
+    exec_config.worker_threads = 2;
+    TreeGraphDeferredExecutor executor(exec_config);
+    auto reports = executor.CatchUp(sim.node(i));
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    ASSERT_FALSE(reports->empty());
+    const Hash256 final_root = executor.state().RootHash();
+    if (i == 0) {
+      for (const EpochReport& r : *reports) {
+        ref_state_roots.push_back(r.state_root);
+        ref_receipt_roots.push_back(r.receipt_root);
+      }
+      ref_final = final_root;
+      EXPECT_FALSE(ref_final.IsZero());
+    } else {
+      ASSERT_EQ(reports->size(), ref_state_roots.size()) << "node " << i;
+      for (std::size_t e = 0; e < reports->size(); ++e) {
+        EXPECT_EQ((*reports)[e].state_root, ref_state_roots[e])
+            << "node " << i << " epoch " << e;
+        EXPECT_EQ((*reports)[e].receipt_root, ref_receipt_roots[e])
+            << "node " << i << " epoch " << e;
+      }
+      EXPECT_EQ(final_root, ref_final) << "node " << i;
+    }
+  }
+}
+
+TEST(ConvergenceTest, TreeGraphChaosMatrix) {
+  constexpr double kDurationMs = 12'000;
+  for (const ChaosCase& chaos : ChaosMatrix(kDurationMs)) {
+    TreeGraphSimConfig config = BaseTreeGraphConfig(31);
+    config.duration_ms = kDurationMs;
+    config.net_plan = chaos.plan;
+    if (chaos.needs_gossip) config.gossip_interval_ms = 500;
+    CheckTreeGraphConvergence(config, chaos.name);
+  }
+}
+
+TEST(ConvergenceTest, TreeGraphEquivocatorThroughPartition) {
+  TreeGraphSimConfig config = BaseTreeGraphConfig(32);
+  config.net_plan = fault::NetPlan(221).Partition({0, 1}, 3'000, 9'000);
+  config.byzantine.behavior = fault::ByzBehavior::kEquivocate;
+  config.byzantine.nodes = {4};
+  SharedTxSource source(61);
+  TreeGraphSimulation sim(config,
+                          [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+  EXPECT_GT(sim.stats().byz_equivocations, 0u);
+  CheckTreeGraphConvergence(config, "partition+equivocate");
+}
+
+TEST(ConvergenceTest, TreeGraphWithholderConverges) {
+  TreeGraphSimConfig config = BaseTreeGraphConfig(33);
+  config.net_plan = fault::NetPlan(222).Drop(0.15);
+  config.gossip_interval_ms = 500;
+  config.byzantine.behavior = fault::ByzBehavior::kWithhold;
+  config.byzantine.nodes = {1};
+  config.byzantine.release_ms = 8'000;
+  SharedTxSource source(62);
+  TreeGraphSimulation sim(config,
+                          [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+  EXPECT_GT(sim.stats().byz_withheld, 0u);
+  CheckTreeGraphConvergence(config, "drop+withhold");
+}
+
+TEST(ConvergenceTest, TreeGraphInvalidBlocksRejectedWithExactReasons) {
+  const std::uint64_t bad_tx_root = InvalidCount("treegraph", "bad-tx-root");
+  const std::uint64_t duplicate_tx =
+      InvalidCount("treegraph", "duplicate-tx");
+  const std::uint64_t bad_hash = InvalidCount("treegraph", "bad-hash");
+
+  TreeGraphSimConfig config = BaseTreeGraphConfig(34);
+  config.net_plan = fault::NetPlan(223).Delay(1.0, 100);
+  config.byzantine.behavior = fault::ByzBehavior::kInvalidBlock;
+  config.byzantine.nodes = {3};
+  SharedTxSource source(63);
+  TreeGraphSimulation sim(config,
+                          [&source](NodeId) { return source.Take(6); });
+  sim.Run();
+  ASSERT_GT(sim.stats().byz_invalid, 6u);  // all three flavours rotated
+
+  EXPECT_GT(InvalidCount("treegraph", "bad-tx-root"), bad_tx_root);
+  EXPECT_GT(InvalidCount("treegraph", "duplicate-tx"), duplicate_tx);
+  EXPECT_GT(InvalidCount("treegraph", "bad-hash"), bad_hash);
+  CheckTreeGraphConvergence(config, "delay+invalid");
+}
+
+}  // namespace
+}  // namespace nezha

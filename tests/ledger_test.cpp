@@ -6,6 +6,8 @@
 #include "ledger/epoch.h"
 #include "ledger/ledger.h"
 #include "ledger/transaction.h"
+#include "ledger/validation.h"
+#include "obs/metrics.h"
 #include "vm/smallbank.h"
 
 namespace nezha {
@@ -198,6 +200,82 @@ TEST_F(LedgerTest, RejectsNonAdvancingEpoch) {
   ASSERT_TRUE(ledger_.AppendBlock(MakeValidBlock(0, 2, {})).ok());
   Block block = MakeValidBlock(0, 2, {});
   EXPECT_FALSE(ledger_.ValidateBlock(block).ok());
+}
+
+TEST_F(LedgerTest, RejectionMatrixReportsExactReasons) {
+  // Every header/body field a Byzantine producer could tamper with maps to
+  // its own taxonomy reason (docs/ROBUSTNESS.md): mutate one field at a
+  // time and pin the exact reason parsed back from the Status message.
+  using ledger::RejectReason;
+  using ledger::RejectReasonOf;
+
+  // Anchor some history so parent/height/epoch mutations have a real tip
+  // to disagree with.
+  ASSERT_TRUE(ledger_.AppendBlock(MakeValidBlock(0, 1, {MakeTx(1)})).ok());
+  Hash256 root;
+  root.bytes[0] = 0xaa;
+  ledger_.CommitEpochRoot(1, root);
+
+  const auto reason_of = [&](const Block& block) {
+    const Status status = ledger_.ValidateBlock(block);
+    EXPECT_FALSE(status.ok());
+    return RejectReasonOf(status);
+  };
+
+  {
+    Block b = MakeValidBlock(0, 2, {MakeTx(2)});
+    b.header.chain = 9;
+    EXPECT_EQ(reason_of(b), RejectReason::kChainOutOfRange);
+  }
+  {
+    Block b = MakeValidBlock(0, 2, {MakeTx(2)});
+    b.header.height += 2;
+    EXPECT_EQ(reason_of(b), RejectReason::kBadHeight);
+  }
+  {
+    Block b = MakeValidBlock(0, 2, {MakeTx(2)});
+    b.header.parent_hash.bytes[3] ^= 0xFF;
+    EXPECT_EQ(reason_of(b), RejectReason::kBadParent);
+  }
+  {
+    Block b = MakeValidBlock(0, 2, {MakeTx(2)});
+    b.header.epoch = 1;  // does not advance past the chain tip's epoch
+    EXPECT_EQ(reason_of(b), RejectReason::kEpochRegression);
+  }
+  {
+    Block b = MakeValidBlock(0, 2, {MakeTx(2)});
+    b.header.prev_state_root.bytes[0] ^= 0xFF;
+    EXPECT_EQ(reason_of(b), RejectReason::kBadStateRoot);
+  }
+  {
+    const std::size_t cap = ledger_.max_block_txs();
+    ledger_.SetMaxBlockTxs(2);
+    Block b = MakeValidBlock(0, 2, {MakeTx(2), MakeTx(3), MakeTx(4)});
+    EXPECT_EQ(reason_of(b), RejectReason::kOversize);
+    ledger_.SetMaxBlockTxs(cap);
+  }
+  {
+    Block b = MakeValidBlock(0, 2, {MakeTx(2)});
+    b.header.tx_root.bytes[7] ^= 0xFF;  // root no longer covers the body
+    EXPECT_EQ(reason_of(b), RejectReason::kBadTxRoot);
+  }
+  {
+    // Body carries the same transaction twice; the root honestly covers
+    // the duplicated body, so only the dedup check can catch it.
+    Block b = MakeValidBlock(0, 2, {MakeTx(2), MakeTx(2)});
+    EXPECT_EQ(reason_of(b), RejectReason::kDuplicateTx);
+  }
+
+  // Each rejection above also bumped the taxonomy metric for the ledger.
+  EXPECT_GE(obs::Registry()
+                .GetCounter("nezha_invalid_block_total",
+                            {{"component", "ledger"},
+                             {"reason", "duplicate-tx"}})
+                ->Value(),
+            1u);
+
+  // The untampered block still validates and appends.
+  EXPECT_TRUE(ledger_.AppendBlock(MakeValidBlock(0, 2, {MakeTx(2)})).ok());
 }
 
 TEST_F(LedgerTest, SealEpochCollectsAcrossChains) {

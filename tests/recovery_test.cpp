@@ -10,6 +10,7 @@
 #include "node/commit_journal.h"
 #include "node/full_node.h"
 #include "node/mempool.h"
+#include "obs/metrics.h"
 #include "vm/smallbank.h"
 #include "workload/smallbank_workload.h"
 
@@ -363,6 +364,31 @@ TEST(MempoolTest, RejectsDuplicates) {
   // Still deduplicated after the tx leaves in a batch (until committed).
   pool.TakeBatch(1);
   EXPECT_EQ(pool.Add(TxWithNonce(1)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MempoolTest, DuplicateRejectIsIdempotentAndCounted) {
+  obs::Counter* duplicates =
+      obs::Registry().GetCounter("nezha_mempool_duplicate_total");
+  const std::uint64_t before = duplicates->Value();
+
+  Mempool pool;
+  ASSERT_TRUE(pool.Add(TxWithNonce(7)).ok());
+  ASSERT_TRUE(pool.Add(TxWithNonce(8)).ok());
+  const std::size_t depth = pool.PendingCount();
+
+  // Re-submitting the same transaction N times rejects every attempt,
+  // bumps the counter per attempt, and leaves the pool untouched.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_EQ(pool.Add(TxWithNonce(7)).code(), StatusCode::kAlreadyExists);
+  }
+  EXPECT_EQ(duplicates->Value(), before + 3);
+  EXPECT_EQ(pool.PendingCount(), depth);
+
+  // FIFO order is preserved — the duplicate did not re-queue or reorder.
+  const auto batch = pool.TakeBatch(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].nonce, 7u);
+  EXPECT_EQ(batch[1].nonce, 8u);
 }
 
 TEST(MempoolTest, CapacityBound) {

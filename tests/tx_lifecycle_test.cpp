@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench/sustained_load.h"
 #include "common/json.h"
 #include "ledger/transaction.h"
 #include "node/deferred_executor.h"
@@ -336,6 +337,67 @@ TEST_F(TxLifecycleTest, DeferredPipelineStampsAreMonotone) {
     ExpectMonotoneLifetimes(Lifecycle().LastEpochLifetimes(),
                             SchemeName(scheme));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sustained-load confirmed-epoch queue bound (bench/sustained_load.h)
+// ---------------------------------------------------------------------------
+
+TEST_F(TxLifecycleTest, SustainedLoadQueueBoundShedsOldestEpochs) {
+  Counter* dropped =
+      Registry().GetCounter("nezha_confirmed_queue_dropped_total");
+  const std::uint64_t before = dropped->Value();
+
+  // Arrival outruns processing 4:1 and the queue holds at most 2 epochs,
+  // so the driver must shed — always the oldest — instead of queueing
+  // without bound.
+  bench::SustainedLoadConfig config;
+  config.block_size = 20;
+  config.block_concurrency = 2;
+  config.epochs = 6;
+  config.arrival_per_tick = 4 * config.block_size * config.block_concurrency;
+  config.max_queue_depth = 2;
+  config.num_accounts = 1'000;
+  const auto result = bench::RunSustainedLoad(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_GT(result->epochs_dropped, 0u);
+  EXPECT_EQ(result->epochs_dropped * config.block_size *
+                config.block_concurrency,
+            result->txs_dropped);
+  // Every mined epoch either executed or was shed; none vanished.
+  EXPECT_EQ(result->epochs_processed + result->epochs_dropped,
+            config.epochs);
+  EXPECT_EQ(dropped->Value(), before + result->epochs_dropped);
+  // Shed transactions never reached an epoch, so their ingress stamps were
+  // forgotten — only the never-mined mempool backlog remains tracked, the
+  // same residue the unbounded run leaves (no leak from shedding).
+  const std::size_t mined_txs =
+      config.epochs * config.block_size * config.block_concurrency;
+  EXPECT_EQ(Lifecycle().IngressCount(),
+            config.epochs * config.arrival_per_tick - mined_txs);
+  EXPECT_GT(result->total_committed, 0u);
+}
+
+TEST_F(TxLifecycleTest, SustainedLoadUnboundedQueueDropsNothing) {
+  Counter* dropped =
+      Registry().GetCounter("nezha_confirmed_queue_dropped_total");
+  const std::uint64_t before = dropped->Value();
+
+  bench::SustainedLoadConfig config;
+  config.block_size = 20;
+  config.block_concurrency = 2;
+  config.epochs = 4;
+  config.arrival_per_tick = 4 * config.block_size * config.block_concurrency;
+  config.max_queue_depth = 0;  // pre-existing unbounded behaviour
+  config.num_accounts = 1'000;
+  const auto result = bench::RunSustainedLoad(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->epochs_dropped, 0u);
+  EXPECT_EQ(result->txs_dropped, 0u);
+  EXPECT_EQ(result->epochs_processed, config.epochs);
+  EXPECT_EQ(dropped->Value(), before);
 }
 
 }  // namespace
