@@ -4,6 +4,7 @@
 // sampler.
 #include <benchmark/benchmark.h>
 
+#include "analysis/det_checkpoint.h"
 #include "analysis/schedule_verifier.h"
 #include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/acg.h"
@@ -151,6 +152,56 @@ BENCHMARK(BM_NezhaFullScheduleMetricsOff)
     ->Args({2400, 2})
     ->Args({400, 8})
     ->Args({2400, 8});
+
+// Full schedule build with determinism checkpointing on (kAcg/kRank/kSort
+// recorded per build): the delta against BM_NezhaFullSchedule at the same
+// Args is the auditor's end-to-end overhead (acceptance bar: < 2% on the
+// 4096-tx points; docs/ANALYSIS.md "Determinism auditor").
+void BM_DetCheckpoint(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(static_cast<std::size_t>(state.range(0)),
+                                 state.range(1) / 10.0);
+  NezhaScheduler scheduler;
+  analysis::DetCheckpointRecorder& det =
+      analysis::DetCheckpointRecorder::Global();
+  det.SetEnabled(true);
+  det.Clear();
+  EpochId epoch = 0;
+  for (auto _ : state) {
+    det.BeginEpoch(++epoch, "bench");
+    benchmark::DoNotOptimize(scheduler.BuildSchedule(rwsets));
+  }
+  det.SetEnabled(std::nullopt);
+  det.Clear();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DetCheckpoint)
+    ->Args({2400, 8})
+    ->Args({4096, 2})
+    ->Args({4096, 8});
+
+// Isolates one Record() call — SHA-256 over the canonical encoding of a
+// 4096-tx schedule plus the ring update — the unit the pipeline pays at
+// each stage boundary. Like BM_FlightRecorderRecord, the isolated cost
+// resolves overhead ratios that subtracting two end-to-end timings cannot.
+void BM_DetCheckpointRecord(benchmark::State& state) {
+  const auto rwsets = MakeRWSets(4096, state.range(0) / 10.0);
+  NezhaScheduler scheduler;
+  const auto schedule = scheduler.BuildSchedule(rwsets);
+  const std::string canonical = CanonicalScheduleEncoding(*schedule);
+  analysis::DetCheckpointRecorder& det =
+      analysis::DetCheckpointRecorder::Global();
+  det.SetEnabled(true);
+  det.Clear();
+  det.BeginEpoch(1, "bench");
+  for (auto _ : state) {
+    det.Record(analysis::DetStage::kSort, canonical);
+  }
+  det.SetEnabled(std::nullopt);
+  det.Clear();
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(canonical.size()));
+}
+BENCHMARK(BM_DetCheckpointRecord)->Arg(2)->Arg(8);
 
 // Full schedule build PLUS one epoch flight record (what FullNode adds per
 // epoch): the delta against BM_NezhaFullSchedule at the same Args is the

@@ -47,7 +47,15 @@ Targets CollectTargets(const Schedule& schedule,
     for (const Address a : rwsets[t].reads) readers[a].push_back(t);
     for (const Address a : rwsets[t].writes) writers[a].push_back(t);
   }
-  for (const auto& [addr, ws] : writers) {
+  // Visit written addresses in ascending order: the unordered_map's layout
+  // must not decide how targets.rw/ww are numbered, or the seeded RNG below
+  // picks different mutations on different platforms/library versions.
+  std::vector<Address> written;
+  written.reserve(writers.size());
+  for (const auto& [addr, ws] : writers) written.push_back(addr);
+  std::sort(written.begin(), written.end());
+  for (const Address addr : written) {
+    const std::vector<TxIndex>& ws = writers[addr];
     const auto it = readers.find(addr);
     if (it != readers.end()) {
       for (const TxIndex w : ws) {

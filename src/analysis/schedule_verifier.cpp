@@ -205,13 +205,23 @@ VerifyReport VerifySchedule(const Schedule& schedule,
     for (const Address a : rwsets[t].reads) accesses[a].readers.push_back(t);
     for (const Address a : rwsets[t].writes) accesses[a].writers.push_back(t);
   }
+  // Iterate the map in ascending address order everywhere below. The map
+  // itself is unordered, and which address we visit first decides (a) edge
+  // insertion order in the precedence graph — and with it which explicit
+  // cycle ExtractCycle walks — and (b) which pairwise violation becomes THE
+  // counterexample. Verifier output must not depend on hash-table layout.
+  std::vector<Address> sorted_addresses;
+  sorted_addresses.reserve(accesses.size());
+  for (const auto& [addr, access] : accesses) sorted_addresses.push_back(addr);
+  std::sort(sorted_addresses.begin(), sorted_addresses.end());
 
   if (!options.snapshot_semantics) {
     // Evolving-state execution: each transaction sees all earlier effects,
     // so any total order IS a serial execution. Distinct sequence numbers
     // for conflicting transactions are still required (equal numbers commit
     // concurrently).
-    for (auto& [addr, access] : accesses) {
+    for (const Address addr : sorted_addresses) {
+      AddressAccess& access = accesses[addr];
       auto& writers = access.writers;
       std::sort(writers.begin(), writers.end(),
                 [&](TxIndex x, TxIndex y) {
@@ -251,7 +261,8 @@ VerifyReport VerifySchedule(const Schedule& schedule,
     to_tx.push_back(t);
   }
   Digraph graph(to_tx.size());
-  for (auto& [addr, access] : accesses) {
+  for (const Address addr : sorted_addresses) {
+    AddressAccess& access = accesses[addr];
     std::sort(access.writers.begin(), access.writers.end(),
               [&](TxIndex x, TxIndex y) {
                 return schedule.sequence[x] != schedule.sequence[y]
@@ -298,7 +309,8 @@ VerifyReport VerifySchedule(const Schedule& schedule,
   }
 
   // ---- Pairwise sequence-number invariants, per address. ----
-  for (const auto& [addr, access] : accesses) {
+  for (const Address addr : sorted_addresses) {
+    const AddressAccess& access = accesses[addr];
     // Reads-before-writes: every committed reader strictly precedes every
     // committed writer (a read sequenced later would have observed the
     // write, but it read the pre-epoch snapshot). A read-modify-write

@@ -1,8 +1,11 @@
 #include "cc/nezha/acg.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
 
+#include "common/canonical_text.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -262,6 +265,52 @@ AddressConflictGraph AddressConflictGraph::BuildSharded(
         ->Set(static_cast<std::int64_t>(merge.max_shard_addresses));
   }
   return acg;
+}
+
+std::string AddressConflictGraph::CanonicalEncoding() const {
+  std::string out;
+  out.reserve(48 * entries_.size() + 16 * NumEdges() + 32);
+  out += "acg v=";
+  AppendU64(out, entries_.size());
+  out += " e=";
+  AppendU64(out, NumEdges());
+  out += "\n";
+  const auto append_list = [&out](const std::vector<TxIndex>& txs) {
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      if (i != 0) out += ',';
+      AppendU64(out, txs[i]);
+    }
+  };
+  for (std::size_t v = 0; v < entries_.size(); ++v) {
+    const AddressRWSet& entry = entries_[v];
+    out += "v ";
+    AppendU64(out, v);
+    out += " a=";
+    AppendU64(out, entry.address.value);
+    out += " r=";
+    append_list(entry.readers);
+    out += " w=";
+    append_list(entry.writers);
+    out += "\n";
+  }
+  // Edges with neighbors sorted per source: Build (insertion-ordered
+  // adjacency) and BuildSharded (sorted adjacency) carry the same edge set
+  // in different internal orders; the canonical form must not see that.
+  std::vector<Digraph::Vertex> neighbors;
+  for (std::size_t u = 0; u < entries_.size(); ++u) {
+    const auto out_edges =
+        dependencies_->OutNeighbors(static_cast<Digraph::Vertex>(u));
+    neighbors.assign(out_edges.begin(), out_edges.end());
+    std::sort(neighbors.begin(), neighbors.end());
+    for (const Digraph::Vertex v : neighbors) {
+      out += "e ";
+      AppendU64(out, u);
+      out += '>';
+      AppendU64(out, v);
+      out += "\n";
+    }
+  }
+  return out;
 }
 
 }  // namespace nezha

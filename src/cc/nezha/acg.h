@@ -69,6 +69,13 @@ class AddressConflictGraph {
   std::size_t NumAddresses() const { return entries_.size(); }
   std::size_t NumEdges() const { return dependencies_->NumEdges(); }
 
+  /// Canonical text encoding of the graph — vertex set with subscripts,
+  /// per-address readers/writers, and the edge multiset with neighbors
+  /// sorted (so Build and BuildSharded, which differ only in internal
+  /// adjacency ordering, encode identically). Feeds the kAcg determinism
+  /// checkpoint (src/analysis/det_checkpoint.h).
+  std::string CanonicalEncoding() const;
+
  private:
   std::vector<AddressRWSet> entries_;
   std::unordered_map<std::uint64_t, std::size_t> index_;

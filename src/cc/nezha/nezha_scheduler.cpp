@@ -1,5 +1,6 @@
 #include "cc/nezha/nezha_scheduler.h"
 
+#include "analysis/det_checkpoint.h"
 #include "cc/nezha/acg.h"
 #include "cc/nezha/rank_division.h"
 #include "common/stopwatch.h"
@@ -27,6 +28,12 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   metrics_.graph_vertices = acg.NumAddresses();
   metrics_.graph_edges = acg.NumEdges();
 
+  analysis::DetCheckpointRecorder& det =
+      analysis::DetCheckpointRecorder::Global();
+  if (det.enabled()) {
+    det.Record(analysis::DetStage::kAcg, acg.CanonicalEncoding());
+  }
+
   // Step 2: sorting-rank division over the address-dependency graph.
   watch.Restart();
   std::vector<Digraph::Vertex> ranks;
@@ -37,6 +44,11 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
                                 &rank_stats);
   }
   metrics_.cycle_us = watch.ElapsedMicros();
+
+  if (det.enabled()) {
+    det.Record(analysis::DetStage::kRank,
+               CanonicalRankEncoding(ranks, &rank_stats));
+  }
 
   // Step 3: per-address transaction sorting.
   watch.Restart();

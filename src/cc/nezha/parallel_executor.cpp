@@ -1,10 +1,15 @@
 #include "cc/nezha/parallel_executor.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "analysis/det_checkpoint.h"
+#include "common/canonical_text.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/tx_lifecycle.h"
@@ -13,6 +18,39 @@ namespace nezha {
 namespace {
 
 using WriteBuffer = std::unordered_map<std::uint64_t, StateValue>;
+
+/// Canonical text encoding of the post-execution write buffer: header with
+/// the group/write counters, then one line per address in ascending address
+/// order. The buffer is an unordered_map, so sorting here is what makes the
+/// kExecute checkpoint independent of hash-table iteration order.
+std::string CanonicalWriteBufferEncoding(const ParallelExecStats& stats,
+                                         const WriteBuffer& buffer) {
+  std::vector<std::pair<std::uint64_t, StateValue>> items(buffer.begin(),
+                                                          buffer.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  out.reserve(64 + items.size() * 24);
+  out += "exec txs=";
+  AppendU64(out, stats.committed_txs);
+  out += " groups=";
+  AppendU64(out, stats.groups);
+  out += " max_group=";
+  AppendU64(out, stats.max_group);
+  out += " writes=";
+  AppendU64(out, stats.writes_applied);
+  out += " addrs=";
+  AppendU64(out, items.size());
+  out += '\n';
+  for (const auto& [addr, value] : items) {
+    out += "w ";
+    AppendU64(out, addr);
+    out += '=';
+    AppendI64(out, static_cast<std::int64_t>(value));
+    out += '\n';
+  }
+  return out;
+}
 
 /// Applies the merged buffer to the StateDB in parallel. Every address has
 /// exactly one final value, so the apply is order-independent; sorting
@@ -130,6 +168,14 @@ ParallelExecStats ExecuteScheduleParallel(ThreadPool& pool, StateDB& state,
   }
 
   stats.buffered_addresses = buffer.size();
+
+  analysis::DetCheckpointRecorder& det =
+      analysis::DetCheckpointRecorder::Global();
+  if (det.enabled()) {
+    det.Record(analysis::DetStage::kExecute,
+               CanonicalWriteBufferEncoding(stats, buffer));
+  }
+
   ApplyBuffer(pool, state, buffer);
   PublishExecObs(stats);
   return stats;

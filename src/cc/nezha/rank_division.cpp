@@ -1,7 +1,10 @@
 #include "cc/nezha/rank_division.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <queue>
+
+#include "common/canonical_text.h"
 
 namespace nezha {
 namespace {
@@ -222,6 +225,28 @@ std::vector<Digraph::Vertex> ComputeSortingRanks(const Digraph& g,
     remove_vertex(selected);
   }
   return order;
+}
+
+std::string CanonicalRankEncoding(std::span<const Digraph::Vertex> rank_order,
+                                  const obs::RankDecisionStats* stats) {
+  std::string out = "rank n=" + std::to_string(rank_order.size());
+  if (stats != nullptr) {
+    out += " pops=" + std::to_string(stats->zero_indegree_pops) +
+           " breaks=" + std::to_string(stats->cycle_breaks) +
+           " tb_in=" + std::to_string(stats->tiebreak_min_indegree) +
+           " tb_out=" + std::to_string(stats->tiebreak_out_degree) +
+           " tb_sub=" + std::to_string(stats->tiebreak_subscript);
+  }
+  out += "\n";
+  out.reserve(out.size() + 16 * rank_order.size());
+  for (std::size_t i = 0; i < rank_order.size(); ++i) {
+    out += "r ";
+    AppendU64(out, i);
+    out += " v=";
+    AppendU64(out, rank_order[i]);
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace nezha

@@ -19,6 +19,8 @@
 // which is Nezha's replacement for Johnson-style cycle enumeration.
 #pragma once
 
+#include <span>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -55,5 +57,11 @@ std::vector<Digraph::Vertex> ComputeSortingRanks(
 /// oracle and for complexity comparisons.
 std::vector<Digraph::Vertex> ComputeSortingRanksReference(
     const Digraph& g, RankPolicy policy = RankPolicy::kNezha);
+
+/// Canonical text encoding of a rank order (one `r <pos> v=<vertex>` line
+/// per emitted address vertex, plus the cycle-break decision counters).
+/// Feeds the kRank determinism checkpoint (src/analysis/det_checkpoint.h).
+std::string CanonicalRankEncoding(std::span<const Digraph::Vertex> rank_order,
+                                  const obs::RankDecisionStats* stats = nullptr);
 
 }  // namespace nezha

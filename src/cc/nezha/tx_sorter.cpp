@@ -1,6 +1,7 @@
 #include "cc/nezha/tx_sorter.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <unordered_set>
@@ -416,6 +417,22 @@ TxSorterResult SortTransactionsParallel(
   }
   return AssembleResult(std::move(st), reordered, std::move(reordered_txs),
                         std::move(abort_records), reorder_attempts);
+}
+
+std::string CanonicalAbortRecordsEncoding(
+    std::span<const obs::AbortRecord> records) {
+  std::string out = "aborts n=" + std::to_string(records.size()) + "\n";
+  char buf[96];
+  for (const obs::AbortRecord& r : records) {
+    std::snprintf(buf, sizeof(buf), "x %u a=%llu k=%s s=%llu ra=%d rf=%s\n",
+                  r.tx, static_cast<unsigned long long>(r.address),
+                  obs::ConflictKindName(r.kind),
+                  static_cast<unsigned long long>(r.seq_at_decision),
+                  r.reorder_attempted ? 1 : 0,
+                  obs::ReorderFailureName(r.reorder_failure));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace nezha

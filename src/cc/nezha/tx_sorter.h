@@ -81,4 +81,12 @@ TxSorterResult SortTransactionsParallel(
     std::span<const Digraph::Vertex> rank_order, std::size_t num_txs,
     ThreadPool& pool, const TxSorterOptions& options = {});
 
+/// Canonical text encoding of the sorter's abort decisions (one line per
+/// AbortRecord in emission order: tx, conflict kind, address, seq at
+/// decision, reorder outcome). Folded into the kSort determinism checkpoint
+/// (src/analysis/det_checkpoint.h) so a divergent abort *decision* — not
+/// just a divergent final sequence — is localized to the sort stage.
+std::string CanonicalAbortRecordsEncoding(
+    std::span<const obs::AbortRecord> records);
+
 }  // namespace nezha

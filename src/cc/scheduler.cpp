@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "analysis/det_checkpoint.h"
 #include "analysis/schedule_verifier.h"
+#include "common/canonical_text.h"
+#include "cc/nezha/tx_sorter.h"
 #include "obs/flight_recorder.h"
 #include "obs/tx_lifecycle.h"
 
@@ -45,6 +48,18 @@ void SetScheduleVerification(std::optional<bool> enabled) {
 Result<Schedule> Scheduler::BuildSchedule(
     std::span<const ReadWriteSet> rwsets) {
   Result<Schedule> result = BuildScheduleImpl(rwsets);
+  if (result.ok()) {
+    // kSort determinism checkpoint: the scheduling pipeline's final output,
+    // recorded for every scheme at the same boundary. No-op unless the
+    // recorder is enabled AND a pipeline epoch is open (unit tests and
+    // microbenches build schedules outside any epoch).
+    analysis::DetCheckpointRecorder& det =
+        analysis::DetCheckpointRecorder::Global();
+    if (det.enabled()) {
+      det.Record(analysis::DetStage::kSort,
+                 CanonicalScheduleEncoding(*result));
+    }
+  }
   if (!result.ok() || !ScheduleVerificationEnabled()) return result;
 
   const auto start = std::chrono::steady_clock::now();
@@ -228,6 +243,44 @@ void PublishSchedulerObs(std::string_view scheduler,
   }
 
   obs::PublishAttribution(scheduler, obs::BuildRollup(schedule.attribution));
+}
+
+std::string CanonicalScheduleEncoding(const Schedule& schedule) {
+  std::string out = "schedule txs=" + std::to_string(schedule.TxCount()) +
+                    " committed=" + std::to_string(schedule.NumCommitted()) +
+                    " aborted=" + std::to_string(schedule.NumAborted()) +
+                    " groups=" + std::to_string(schedule.groups.size()) + "\n";
+  out.reserve(out.size() + 26 * schedule.TxCount() +
+              8 * schedule.NumCommitted() + 8 * schedule.reordered.size());
+  for (TxIndex t = 0; t < schedule.TxCount(); ++t) {
+    out += "t ";
+    AppendU64(out, t);
+    if (schedule.aborted[t]) {
+      out += " aborted\n";
+    } else {
+      out += " s=";
+      AppendU64(out, schedule.sequence[t]);
+      out += "\n";
+    }
+  }
+  for (std::size_t g = 0; g < schedule.groups.size(); ++g) {
+    out += "g ";
+    AppendU64(out, g);
+    out += ':';
+    for (std::size_t i = 0; i < schedule.groups[g].size(); ++i) {
+      if (i != 0) out += ',';
+      AppendU64(out, schedule.groups[g][i]);
+    }
+    out += "\n";
+  }
+  out += "ro";
+  for (const TxIndex t : schedule.reordered) {
+    out += ' ';
+    AppendU64(out, t);
+  }
+  out += "\n";
+  out += CanonicalAbortRecordsEncoding(schedule.attribution.aborts);
+  return out;
 }
 
 SchedulerMetrics SchedulerMetricsFromSnapshot(

@@ -121,6 +121,13 @@ void PublishSchedulerObs(std::string_view scheduler,
 SchedulerMetrics SchedulerMetricsFromSnapshot(
     const obs::RegistrySnapshot& snapshot, std::string_view scheduler);
 
+/// Canonical text encoding of a schedule — per-tx sequence/abort, commit
+/// groups, §IV.D reorders, and the abort-decision records. Every scheme's
+/// BuildSchedule digests this into the kSort determinism checkpoint
+/// (src/analysis/det_checkpoint.h), so "same inputs, same schedule" is
+/// checkable per stage, per scheme, across thread and shard configurations.
+std::string CanonicalScheduleEncoding(const Schedule& schedule);
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;

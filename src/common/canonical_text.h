@@ -1,0 +1,26 @@
+// Append helpers for the canonical text encodings digested by the
+// determinism checkpoints (src/analysis/det_checkpoint.h). The encoders run
+// per epoch on every stage boundary when auditing is on, so they are built
+// with std::to_chars appends instead of snprintf — the formatter parse per
+// line is what dominated the first implementation (~70 ns/field vs ~5 ns).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+namespace nezha {
+
+inline void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+inline void AppendI64(std::string& out, std::int64_t v) {
+  char buf[21];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+}  // namespace nezha

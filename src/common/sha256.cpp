@@ -1,9 +1,235 @@
 #include "common/sha256.h"
 
+#include <atomic>
 #include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define NEZHA_SHA256_X86 1
+#include <immintrin.h>
+#endif
 
 namespace nezha {
 namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+#ifdef NEZHA_SHA256_X86
+
+bool CpuHasShaNi() {
+  static const bool kHasShaNi = __builtin_cpu_supports("sha") &&
+                                __builtin_cpu_supports("sse4.1") &&
+                                __builtin_cpu_supports("ssse3");
+  return kHasShaNi;
+}
+
+/// SHA-256 compression over `blocks` consecutive 64-byte blocks using the
+/// x86 SHA extensions (FIPS 180-4, byte-identical to the portable path).
+/// The round-constant pairs below pack kRoundConstants[i..i+3] into one
+/// 128-bit lane per 4-round step.
+__attribute__((target("sha,sse4.1,ssse3"))) void ProcessBlocksShaNi(
+    std::uint32_t* state, const std::uint8_t* data, std::size_t blocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+
+  // state[] is {a,b,c,d,e,f,g,h}; the sha256rnds2 instruction wants the
+  // (ABEF, CDGH) arrangement.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3.
+    msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    msg0 = _mm_shuffle_epi8(msg, kShuffle);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xe9b5dba5b5c0fbcfll, 0x71374491428a2f98ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    msg1 = _mm_shuffle_epi8(msg1, kShuffle);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xab1c5ed5923f82a4ll, 0x59f111f13956c25bll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    msg2 = _mm_shuffle_epi8(msg2, kShuffle);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550c7dc3243185bell, 0x12835b01d807aa98ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    msg3 = _mm_shuffle_epi8(msg3, kShuffle);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xc19bf1749bdc06a7ll, 0x80deb1fe72be5d74ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240ca1cc0fc19dc6ll, 0xefbe4786e49b69c1ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76f988da5cb0a9dcll, 0x4a7484aa2de92c6fll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xbf597fc7b00327c8ll, 0xa831c66d983e5152ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706ca6351ll, 0xd5a79147c6e00bf3ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380d134d2c6dfcll, 0x2e1b213827b70a85ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722c8581c2c92ell, 0x766a0abb650a7354ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xc76c51a3c24b8b70ll, 0xa81a664ba2bfe8a1ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106aa070f40e3585ll, 0xd6990624d192e819ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34b0bcb52748774cll, 0x1e376c0819a4c116ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682e6ff35b9cca4fll, 0x4ed8aa4a391c0cb3ll));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8cc7020884c87814ll, 0x78a5636f748f82eell));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xc67178f2bef9a3f7ll, 0xa4506ceb90befffall));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  // (ABEF, CDGH) back to {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+#endif  // NEZHA_SHA256_X86
 
 constexpr std::array<std::uint32_t, 64> kRoundConstants = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
@@ -55,13 +281,14 @@ Sha256& Sha256::Update(std::span<const std::uint8_t> data) {
     buffer_len_ += take;
     offset += take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_.data());
+      ProcessBlocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    ProcessBlock(data.data() + offset);
-    offset += 64;
+  const std::size_t full_blocks = (data.size() - offset) / 64;
+  if (full_blocks > 0) {
+    ProcessBlocks(data.data() + offset, full_blocks);
+    offset += full_blocks * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -92,7 +319,7 @@ Hash256 Sha256::Finish() {
   // Bypass Update's length accounting for the final length field.
   total_bytes_ -= buffer_len_;  // irrelevant now, kept consistent
   std::memcpy(buffer_.data() + buffer_len_, len_bytes.data(), 8);
-  ProcessBlock(buffer_.data());
+  ProcessBlocks(buffer_.data(), 1);
   buffer_len_ = 0;
 
   Hash256 out;
@@ -108,6 +335,28 @@ Hash256 Sha256::Finish() {
         static_cast<std::uint8_t>(w);
   }
   return out;
+}
+
+bool Sha256::HardwareAccelerated() {
+#ifdef NEZHA_SHA256_X86
+  return CpuHasShaNi() && !g_force_scalar.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void Sha256::ForceScalarForTest(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+void Sha256::ProcessBlocks(const std::uint8_t* data, std::size_t blocks) {
+#ifdef NEZHA_SHA256_X86
+  if (HardwareAccelerated()) {
+    ProcessBlocksShaNi(state_.data(), data, blocks);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < blocks; ++i) ProcessBlock(data + i * 64);
 }
 
 void Sha256::ProcessBlock(const std::uint8_t* block) {

@@ -1,5 +1,9 @@
 #include "consensus/dagrider_sim.h"
 
+#include <cstdio>
+#include <string>
+
+#include "analysis/det_checkpoint.h"
 #include "obs/metrics.h"
 
 namespace nezha {
@@ -230,6 +234,30 @@ void DagRiderSimulation::Run() {
   stats_.max_round = nodes_[0]->NextEmitRound();
   stats_.committed_vertices = nodes_[0]->CommittedSequence().size();
   stats_.committed_batches = nodes_[0]->NumBatches();
+
+  // kConsensus determinism checkpoint: node 0's committed vertex sequence —
+  // the total order the execution pipeline consumes. Same seed + config must
+  // digest identically run to run.
+  if (analysis::DetCheckpointRecorder& det =
+          analysis::DetCheckpointRecorder::Global();
+      det.enabled()) {
+    det.BeginEpoch(0, "dagrider-sim");
+    std::string canonical;
+    const auto& sequence = nodes_[0]->CommittedSequence();
+    canonical.reserve(48 + sequence.size() * 68);
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "consensus sim=dagrider vertices=%zu batches=%zu\n",
+                  sequence.size(), stats_.committed_batches);
+    canonical += line;
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      std::snprintf(line, sizeof(line), "c %zu ", i);
+      canonical += line;
+      canonical += sequence[i]->hash.ToHex();
+      canonical += '\n';
+    }
+    det.Record(analysis::DetStage::kConsensus, canonical);
+  }
 
   auto& registry = obs::Registry();
   const obs::Labels sim_label = {{"sim", "dagrider"}};

@@ -1,8 +1,11 @@
 #include "consensus/ohie_sim.h"
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <unordered_set>
 
+#include "analysis/det_checkpoint.h"
 #include "obs/metrics.h"
 
 namespace nezha {
@@ -238,6 +241,28 @@ void OhieSimulation::Run() {
   stats_.forked_blocks =
       stats_.blocks_mined - (on_main.size() - config_.num_chains);
   stats_.confirmed_blocks = nodes_[0]->ConfirmedOrder().size();
+
+  // kConsensus determinism checkpoint: node 0's confirmed block order — the
+  // (rank, chain) total order the execution pipeline consumes.
+  if (analysis::DetCheckpointRecorder& det =
+          analysis::DetCheckpointRecorder::Global();
+      det.enabled()) {
+    det.BeginEpoch(0, "ohie-sim");
+    const std::vector<const OhieBlock*> order = nodes_[0]->ConfirmedOrder();
+    std::string canonical;
+    canonical.reserve(32 + order.size() * 68);
+    char line[96];
+    std::snprintf(line, sizeof(line), "consensus sim=ohie blocks=%zu\n",
+                  order.size());
+    canonical += line;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      std::snprintf(line, sizeof(line), "c %zu ", i);
+      canonical += line;
+      canonical += order[i]->hash.ToHex();
+      canonical += '\n';
+    }
+    det.Record(analysis::DetStage::kConsensus, canonical);
+  }
 
   auto& registry = obs::Registry();
   const obs::Labels sim_label = {{"sim", "ohie"}};

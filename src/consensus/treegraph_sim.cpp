@@ -1,8 +1,12 @@
 #include "consensus/treegraph_sim.h"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
+#include "analysis/det_checkpoint.h"
 #include "obs/metrics.h"
 
 namespace nezha {
@@ -203,6 +207,33 @@ void TreeGraphSimulation::Run() {
 
   const auto epochs = nodes_[0]->ConfirmedEpochs();
   stats_.confirmed_epochs = epochs.size();
+
+  // kConsensus determinism checkpoint: node 0's confirmed epochs — pivot
+  // heights and per-epoch block order the execution pipeline consumes.
+  if (analysis::DetCheckpointRecorder& det =
+          analysis::DetCheckpointRecorder::Global();
+      det.enabled()) {
+    det.BeginEpoch(0, "treegraph-sim");
+    std::string canonical;
+    canonical.reserve(40 + epochs.size() * 96);
+    char line[96];
+    std::snprintf(line, sizeof(line), "consensus sim=treegraph epochs=%zu\n",
+                  epochs.size());
+    canonical += line;
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+      std::snprintf(line, sizeof(line), "E %zu pivot_h=%" PRIu64 " blocks=%zu\n",
+                    i, static_cast<std::uint64_t>(epochs[i].pivot_height),
+                    epochs[i].blocks.size());
+      canonical += line;
+      for (const TGBlock* block : epochs[i].blocks) {
+        canonical += "c ";
+        canonical += block->hash.ToHex();
+        canonical += '\n';
+      }
+    }
+    det.Record(analysis::DetStage::kConsensus, canonical);
+  }
+
   std::size_t total_blocks = 0;
   auto& registry = obs::Registry();
   const obs::Labels sim_label = {{"sim", "treegraph"}};

@@ -109,9 +109,9 @@ Hit Injector::CheckSlow(std::string_view site) {
   return hit;
 }
 
-std::unordered_map<std::string, std::uint64_t> Injector::HitCounts() const {
+std::map<std::string, std::uint64_t> Injector::HitCounts() const {
   MutexLock lock(mutex_);
-  return hits_;
+  return {hits_.begin(), hits_.end()};
 }
 
 std::uint64_t Injector::FireCount() const {

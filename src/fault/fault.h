@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -133,8 +134,10 @@ class Injector {
   Hit Check(std::string_view site);
 
   /// Hits observed per site since Arm() (tests discover which sites a code
-  /// path crosses by arming an empty plan and reading these).
-  std::unordered_map<std::string, std::uint64_t> HitCounts() const;
+  /// path crosses by arming an empty plan and reading these). Ordered map:
+  /// callers iterate it into logs and assertions, and that output should not
+  /// depend on hash-table layout.
+  std::map<std::string, std::uint64_t> HitCounts() const;
   /// Total number of specs that fired since Arm().
   std::uint64_t FireCount() const;
 

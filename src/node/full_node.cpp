@@ -1,12 +1,19 @@
 #include "node/full_node.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "analysis/det_checkpoint.h"
 #include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/nezha_scheduler.h"
 #include "cc/nezha/parallel_executor.h"
 #include "cc/occ/occ_scheduler.h"
 #include "cc/serial/serial_scheduler.h"
+#include "common/canonical_text.h"
 #include "common/stopwatch.h"
 #include "fault/fault.h"
 #include "node/commit_journal.h"
@@ -176,12 +183,49 @@ void RecordEpochFlight(const NodeConfig& config, const EpochReport& report,
   recorder.Record(std::move(record));
 }
 
+/// Records the kCommit determinism checkpoint: epoch id, the two roots the
+/// epoch commits to, and a digest of the serialized commit batch (the exact
+/// bytes handed to the KVStore). The batch digest is what catches byte-level
+/// nondeterminism in the durable write path — e.g. dirty-set iteration order
+/// leaking into record order. `commit_batch` is null when no KV store is
+/// attached (in-memory commit: only the roots are checkable).
+void RecordCommitCheckpoint(EpochId epoch, const EpochReport& report,
+                            const WriteBatch* commit_batch) {
+  analysis::DetCheckpointRecorder& det =
+      analysis::DetCheckpointRecorder::Global();
+  if (!det.enabled()) return;
+  std::string canonical;
+  canonical.reserve(256);
+  canonical += "commit epoch=";
+  AppendU64(canonical, static_cast<std::uint64_t>(epoch));
+  canonical += '\n';
+  canonical += "state_root=" + report.state_root.ToHex() + "\n";
+  canonical += "receipt_root=" + report.receipt_root.ToHex() + "\n";
+  if (commit_batch != nullptr) {
+    canonical += "batch records=";
+    AppendU64(canonical, commit_batch->Count());
+    canonical += " bytes=";
+    AppendU64(canonical, commit_batch->ByteSize());
+    canonical += '\n';
+    canonical +=
+        "batch_digest=" + Sha256::Digest(commit_batch->Serialize()).ToHex() +
+        "\n";
+  } else {
+    canonical += "batch=none\n";
+  }
+  det.Record(analysis::DetStage::kCommit, canonical);
+}
+
 }  // namespace
 
 Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   if (config_.scheme == SchemeKind::kSerial) return ProcessSerial(batch);
 
   obs::FlightRecorder::Global().SetCurrentEpoch(batch.epoch);
+  if (analysis::DetCheckpointRecorder::Global().enabled()) {
+    analysis::DetCheckpointRecorder::Global().BeginEpoch(
+        batch.epoch, SchemeName(config_.scheme));
+  }
   BeginLifecycleEpoch(config_, batch);
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
@@ -282,6 +326,7 @@ Status FullNode::CommitEpochDurable(const EpochBatch& batch,
     // clears the dirty markers; nothing can tear.
     if (Status s = state_.Flush(); !s.ok()) return s;
     ledger_.CommitEpochRootLocal(batch.epoch, report.state_root);
+    RecordCommitCheckpoint(batch.epoch, report, nullptr);
     return Status::Ok();
   }
 
@@ -337,6 +382,7 @@ Status FullNode::CommitEpochDurable(const EpochBatch& batch,
   if (Status s = kv_->Write(commit_batch); !s.ok()) return s;
   state_.ClearDirty();
   ledger_.CommitEpochRootLocal(batch.epoch, report.state_root);
+  RecordCommitCheckpoint(batch.epoch, report, &commit_batch);
   if (obs::MetricsEnabled()) {
     auto& registry = obs::Registry();
     registry.GetCounter("nezha_commit_journal_writes_total")->Inc();
@@ -443,6 +489,10 @@ Status FullNode::RecoverFromStorage() { return Recover().status(); }
 
 Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   obs::FlightRecorder::Global().SetCurrentEpoch(batch.epoch);
+  if (analysis::DetCheckpointRecorder::Global().enabled()) {
+    analysis::DetCheckpointRecorder::Global().BeginEpoch(
+        batch.epoch, SchemeName(config_.scheme));
+  }
   BeginLifecycleEpoch(config_, batch);
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
@@ -499,6 +549,34 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
     }
     ++report.committed;
     lifecycle.StampTx(static_cast<std::uint32_t>(t), obs::TxStage::kExecuted);
+  }
+  // Serial has no scheduler stages; its kExecute checkpoint is the overlay
+  // of all committed writes, in ascending address order (the overlay is an
+  // unordered_map — sorting is what makes the encoding canonical).
+  if (analysis::DetCheckpointRecorder& det =
+          analysis::DetCheckpointRecorder::Global();
+      det.enabled()) {
+    std::vector<std::pair<std::uint64_t, StateValue>> items(overlay.begin(),
+                                                            overlay.end());
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::string canonical;
+    canonical.reserve(64 + items.size() * 24);
+    canonical += "exec serial txs=";
+    AppendU64(canonical, batch.txs.size());
+    canonical += " committed=";
+    AppendU64(canonical, report.committed);
+    canonical += " addrs=";
+    AppendU64(canonical, items.size());
+    canonical += '\n';
+    for (const auto& [addr, value] : items) {
+      canonical += "w ";
+      AppendU64(canonical, addr);
+      canonical += '=';
+      AppendI64(canonical, static_cast<std::int64_t>(value));
+      canonical += '\n';
+    }
+    det.Record(analysis::DetStage::kExecute, canonical);
   }
   report.state_root = state_.RootHash();
   // Same durable-commit tail as the concurrent pipeline (no receipts: the

@@ -70,7 +70,14 @@ ValidationReport ValidateScheduleInvariants(
     for (Address a : rwsets[t].reads) uses[a.value].readers.push_back(t);
     for (Address a : rwsets[t].writes) uses[a.value].writers.push_back(t);
   }
-  for (const auto& [addr, use] : uses) {
+  // Ascending address order: which violation is reported first must not
+  // depend on hash-table layout.
+  std::vector<std::uint64_t> sorted_addrs;
+  sorted_addrs.reserve(uses.size());
+  for (const auto& [addr, use] : uses) sorted_addrs.push_back(addr);
+  std::sort(sorted_addrs.begin(), sorted_addrs.end());
+  for (const std::uint64_t addr : sorted_addrs) {
+    const AddressUse& use = uses[addr];
     for (TxIndex w : use.writers) {
       for (TxIndex r : use.readers) {
         if (r == w) continue;  // a tx's own read-modify-write is internal

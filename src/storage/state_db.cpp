@@ -1,5 +1,7 @@
 #include "storage/state_db.h"
 
+#include <algorithm>
+
 #include "common/bytes.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -83,11 +85,21 @@ void StateDB::AppendDirtyTo(WriteBatch& batch) {
   // Sync the commitment trie before the dirty markers are consumed — the
   // trie and the KV store share the same dirty set.
   RootHash();
+  // The dirty sets are unordered and were populated by however many threads
+  // executed the epoch, so their iteration order varies run to run. Sort
+  // before appending: the commit batch (and the journal redo payload built
+  // from it) must be byte-identical for identical state transitions, or the
+  // kCommit determinism checkpoint and cross-node journal comparisons break.
+  std::vector<std::uint64_t> dirty;
   for (Shard& shard : shards_) {
     MutexLock lock(shard.mutex);
-    for (std::uint64_t addr : shard.dirty) {
-      batch.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
-    }
+    dirty.insert(dirty.end(), shard.dirty.begin(), shard.dirty.end());
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (std::uint64_t addr : dirty) {
+    Shard& shard = shards_[ShardOf(Address(addr))];
+    MutexLock lock(shard.mutex);
+    batch.Put(StateKey(Address(addr)), EncodeValue(shard.data[addr]));
   }
 }
 

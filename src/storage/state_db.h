@@ -127,7 +127,14 @@ class StateDB {
   };
 
   static std::size_t ShardOf(Address a) {
-    return std::hash<Address>{}(a) % kNumShards;
+    // Fixed SplitMix64 finalizer, NOT std::hash: shard choice only
+    // partitions locks, but pinning it keeps lock-contention profiles (and
+    // any shard-labeled diagnostics) identical across standard-library
+    // versions. std::hash's value is implementation-defined.
+    std::uint64_t x = a.value + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31)) % kNumShards;
   }
 
   std::array<Shard, kNumShards> shards_;

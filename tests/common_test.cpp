@@ -73,6 +73,31 @@ TEST(Sha256Test, ExactBlockBoundary) {
   }
 }
 
+// The SHA-NI fast path must be byte-identical to the portable compression
+// function on every length around the block/padding boundaries and on
+// multi-block bulk updates. On machines without the SHA extensions both
+// sides run the portable code and the test is a tautology.
+TEST(Sha256Test, HardwarePathMatchesPortablePath) {
+  std::string data;
+  data.reserve(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    data.push_back(static_cast<char>((i * 131 + 7) & 0xff));
+  }
+  for (std::size_t len = 0; len <= 300; ++len) {
+    const std::string_view msg(data.data(), len);
+    const Hash256 fast = Sha256::Digest(msg);
+    Sha256::ForceScalarForTest(true);
+    const Hash256 portable = Sha256::Digest(msg);
+    Sha256::ForceScalarForTest(false);
+    ASSERT_EQ(fast, portable) << "len=" << len;
+  }
+  const Hash256 fast = Sha256::Digest(data);
+  Sha256::ForceScalarForTest(true);
+  const Hash256 portable = Sha256::Digest(data);
+  Sha256::ForceScalarForTest(false);
+  EXPECT_EQ(fast, portable);
+}
+
 TEST(Hash256Test, ZeroDetection) {
   Hash256 h;
   EXPECT_TRUE(h.IsZero());

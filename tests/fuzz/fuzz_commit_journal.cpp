@@ -1,0 +1,42 @@
+// Fuzz harness for the NZJL commit-journal frame parser
+// (node/commit_journal.h). Deserialize must reject arbitrary bytes with a
+// Corruption status — never crash, never accept a frame whose re-serialized
+// round-trip disagrees with itself.
+//
+// Two build modes share this file:
+//   * NEZHA_FUZZER_BUILD (clang, -fsanitize=fuzzer): a libFuzzer target —
+//     see tests/fuzz/CMakeLists.txt and the fuzz-smoke CI job.
+//   * plain (any compiler): just the FuzzCommitJournalOneInput entry point,
+//     driven over the checked-in corpus by tests/fuzz_corpus_test.cpp so
+//     tier-1 ctest replays every corpus input even without clang.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "node/commit_journal.h"
+
+namespace nezha {
+
+int FuzzCommitJournalOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const Result<CommitJournal> parsed = CommitJournal::Deserialize(input);
+  if (!parsed.ok()) return 0;  // rejected cleanly — the common case
+  // Accepted frames must round-trip: Serialize() of the parsed journal must
+  // re-parse to a byte-identical serialization (the checksummed encoding is
+  // canonical, so equality of bytes is equality of journals).
+  const std::string bytes = parsed->Serialize();
+  const Result<CommitJournal> again = CommitJournal::Deserialize(bytes);
+  if (!again.ok()) std::abort();
+  if (again->Serialize() != bytes) std::abort();
+  return 0;
+}
+
+}  // namespace nezha
+
+#ifdef NEZHA_FUZZER_BUILD
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nezha::FuzzCommitJournalOneInput(data, size);
+}
+#endif

@@ -1,0 +1,36 @@
+// Fuzz harness for the JSON parser (common/json.h). Parse must handle
+// arbitrary text without crashing, and accepted documents must round-trip
+// through Dump() → Parse() → Dump() to a fixed point.
+//
+// Build modes: see fuzz_commit_journal.cpp.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace nezha {
+
+int FuzzJsonOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const Result<json::Value> parsed = json::Parse(input);
+  if (!parsed.ok()) return 0;
+  // Dump() of a parsed document must itself parse, and re-dumping the
+  // re-parse must be byte-stable (insertion-ordered objects make Dump
+  // canonical for a given document).
+  const std::string dumped = parsed->Dump();
+  const Result<json::Value> again = json::Parse(dumped);
+  if (!again.ok()) std::abort();
+  if (again->Dump() != dumped) std::abort();
+  return 0;
+}
+
+}  // namespace nezha
+
+#ifdef NEZHA_FUZZER_BUILD
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nezha::FuzzJsonOneInput(data, size);
+}
+#endif

@@ -1,0 +1,141 @@
+// Corpus-regression driver for the fuzz harnesses (tests/fuzz/). The
+// libFuzzer targets themselves need clang; this GTest runs on any compiler
+// and keeps the harness contracts enforced in tier-1 ctest:
+//
+//   * every checked-in corpus input replays through its harness (a past
+//     crasher that regresses fails the build, libFuzzer or not);
+//   * a deterministic mutation sweep (seeded Rng: byte flips, truncations,
+//     extensions, splices of valid frames) probes each parser's rejection
+//     paths the same way every run;
+//   * freshly built valid frames round-trip through each harness, so the
+//     "accepted input must round-trip" aborts inside the harnesses are
+//     exercised on the accepting path too.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "node/commit_journal.h"
+#include "storage/kvstore.h"
+
+namespace nezha {
+
+// Harness entry points (tests/fuzz/fuzz_*.cpp, linked into this binary
+// without NEZHA_FUZZER_BUILD). Each aborts on a contract violation.
+int FuzzCommitJournalOneInput(const std::uint8_t* data, std::size_t size);
+int FuzzKvCheckpointOneInput(const std::uint8_t* data, std::size_t size);
+int FuzzJsonOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using HarnessFn = int (*)(const std::uint8_t*, std::size_t);
+
+void RunHarness(HarnessFn harness, const std::string& input) {
+  harness(reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+}
+
+std::vector<std::string> LoadCorpus(const std::string& name) {
+  const fs::path dir = fs::path(NEZHA_FUZZ_CORPUS_DIR) / name;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<std::string> inputs;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    inputs.push_back(std::move(bytes));
+  }
+  return inputs;
+}
+
+/// Replays the corpus, then sweeps deterministic mutations of every input:
+/// single byte flips, truncations, head/tail extensions, and two-input
+/// splices. ~200 mutants per input, same ones every run (fixed seed).
+void ReplayAndMutate(HarnessFn harness, const std::vector<std::string>& corpus,
+                     std::uint64_t seed) {
+  for (const std::string& input : corpus) RunHarness(harness, input);
+  Rng rng(seed);
+  for (const std::string& input : corpus) {
+    for (int round = 0; round < 200; ++round) {
+      std::string mutant = input;
+      switch (rng.Below(5)) {
+        case 0:  // flip one byte
+          if (!mutant.empty()) {
+            mutant[rng.Below(mutant.size())] ^=
+                static_cast<char>(1 + rng.Below(255));
+          }
+          break;
+        case 1:  // truncate
+          mutant.resize(mutant.empty() ? 0 : rng.Below(mutant.size()));
+          break;
+        case 2:  // append garbage
+          mutant.push_back(static_cast<char>(rng.Below(256)));
+          break;
+        case 3:  // drop the head
+          if (!mutant.empty()) mutant.erase(0, 1 + rng.Below(mutant.size()));
+          break;
+        case 4: {  // splice with another corpus input
+          const std::string& other = corpus[rng.Below(corpus.size())];
+          const std::size_t cut =
+              mutant.empty() ? 0 : rng.Below(mutant.size());
+          mutant = mutant.substr(0, cut) + other;
+          break;
+        }
+      }
+      RunHarness(harness, mutant);
+    }
+  }
+}
+
+TEST(FuzzCorpusTest, CommitJournalCorpusReplays) {
+  const auto corpus = LoadCorpus("commit_journal");
+  ASSERT_FALSE(corpus.empty()) << "corpus/commit_journal has no seeds";
+  ReplayAndMutate(FuzzCommitJournalOneInput, corpus, 0x11);
+}
+
+TEST(FuzzCorpusTest, KvCheckpointCorpusReplays) {
+  const auto corpus = LoadCorpus("kv_checkpoint");
+  ASSERT_FALSE(corpus.empty()) << "corpus/kv_checkpoint has no seeds";
+  ReplayAndMutate(FuzzKvCheckpointOneInput, corpus, 0x22);
+}
+
+TEST(FuzzCorpusTest, JsonCorpusReplays) {
+  const auto corpus = LoadCorpus("json");
+  ASSERT_FALSE(corpus.empty()) << "corpus/json has no seeds";
+  ReplayAndMutate(FuzzJsonOneInput, corpus, 0x33);
+}
+
+// Freshly built valid frames: the accepting path of each harness (round-trip
+// checks included) runs even if the checked-in corpus somehow rots.
+TEST(FuzzCorpusTest, FreshValidFramesAccepted) {
+  CommitJournal journal;
+  journal.epoch = 42;
+  journal.state_root = Sha256::Digest("state");
+  journal.receipt_root = Sha256::Digest("receipts");
+  journal.block_ids = {Sha256::Digest("block0"), Sha256::Digest("block1")};
+  journal.chain_tips = {{0, Sha256::Digest("tip0")}};
+  journal.redo = "redo-bytes";
+  RunHarness(FuzzCommitJournalOneInput, journal.Serialize());
+
+  KVStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  RunHarness(FuzzKvCheckpointOneInput, store.Checkpoint());
+
+  json::Value doc;
+  doc.Set("name", "nezha").Set("epochs", 42).Set("ok", true);
+  RunHarness(FuzzJsonOneInput, doc.Dump());
+}
+
+}  // namespace
+}  // namespace nezha

@@ -1,0 +1,390 @@
+// detlint — the determinism lint pass (docs/ANALYSIS.md "Determinism
+// auditor").
+//
+// Scans a source tree for textual patterns that historically produce
+// nondeterministic behavior in this codebase: hash-table iteration feeding
+// ordered output, wall-clock reads outside the observability layer,
+// unseeded RNGs, pointer-value ordering/hashing, thread-id-dependent
+// branching, and std::hash in consensus-visible paths. Findings not covered
+// by the committed allowlist (tools/detlint/allowlist.txt, one justified
+// entry per benign site) fail the run — the tool is wired into ctest and CI
+// with warnings-as-errors semantics.
+//
+// This is a line-oriented heuristic pass, not a compiler plugin: it trades
+// precision for zero build-time dependencies and a reviewable allowlist.
+// Every rule errs toward flagging; the allowlist is where human judgment
+// about benign sites lives, one justification per entry.
+//
+// Usage: detlint <src-root> <allowlist-file>
+// Exit codes: 0 clean, 1 unallowlisted findings (or stale allowlist
+// entries), 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string rule;
+  std::string file;   // path relative to the scanned root
+  std::size_t line = 0;
+  std::string text;   // the offending line, trimmed
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string file;   // relative path, must match the finding's exactly
+  std::string token;  // substring that must appear on the flagged line
+  std::string justification;
+  std::size_t source_line = 0;
+  bool used = false;
+};
+
+std::string Trim(std::string_view s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(begin, end - begin + 1));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Strips // and /* */ comments plus string/char literal *contents* so
+/// patterns never match documentation or log text. Block-comment state
+/// carries across lines via `in_block_comment`.
+std::string StripCommentsAndStrings(const std::string& line,
+                                    bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// One scanned file: raw lines plus comment/string-stripped lines.
+struct FileText {
+  std::string rel_path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;  // stripped
+};
+
+// ---------------------------------------------------------------------------
+// Rules. Each returns findings for one file.
+// ---------------------------------------------------------------------------
+
+/// unordered-iter: range-for (or explicit iterator loop) over a variable
+/// declared as std::unordered_map/set/multimap/multiset in the same file.
+/// Iterating a hash table is fine on its own — feeding the iteration into
+/// ordered output, hashing, or serialization is not, and this pass cannot
+/// tell the two apart, so every such loop is flagged and benign ones are
+/// allowlisted with a justification.
+std::vector<Finding> RuleUnorderedIteration(const FileText& file) {
+  std::vector<Finding> findings;
+  // Pass 1: names declared with an unordered container type.
+  static const std::regex decl_re(
+      R"((?:std::)?unordered_(?:flat_)?(?:map|set|multimap|multiset)\s*<[^;()]*>\s+([A-Za-z_]\w*)\s*[;={(])");
+  static const std::regex alias_re(
+      R"(using\s+([A-Za-z_]\w*)\s*=\s*(?:std::)?unordered_(?:map|set|multimap|multiset)\b)");
+  std::set<std::string> unordered_names;
+  std::set<std::string> unordered_types;
+  for (const std::string& code : file.code) {
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), decl_re);
+         it != std::sregex_iterator(); ++it) {
+      unordered_names.insert((*it)[1].str());
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), alias_re);
+         it != std::sregex_iterator(); ++it) {
+      unordered_types.insert((*it)[1].str());
+    }
+  }
+  // Pass 1b: names declared via an in-file alias of an unordered container.
+  if (!unordered_types.empty()) {
+    for (const std::string& code : file.code) {
+      for (const std::string& type : unordered_types) {
+        const std::regex aliased_decl(type + R"(\s+([A-Za-z_]\w*)\s*[;={(])");
+        for (auto it =
+                 std::sregex_iterator(code.begin(), code.end(), aliased_decl);
+             it != std::sregex_iterator(); ++it) {
+          unordered_names.insert((*it)[1].str());
+        }
+      }
+    }
+  }
+  if (unordered_names.empty()) return findings;
+  // Pass 2: iteration over one of those names.
+  static const std::regex range_for_re(
+      R"(for\s*\(.*:\s*\*?([A-Za-z_]\w*(?:\.\w+|->\w+)*)\s*\))");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(file.code[i], m, range_for_re)) continue;
+    // Match either the name itself or a member access ending in it
+    // (shard.dirty); take the last path component.
+    std::string target = m[1].str();
+    const auto dot = target.find_last_of(".>");
+    if (dot != std::string::npos) target = target.substr(dot + 1);
+    if (unordered_names.count(target) == 0) continue;
+    findings.push_back(
+        {"unordered-iter", file.rel_path, i + 1, Trim(file.raw[i]),
+         "range-for over unordered container '" + target +
+             "' — iteration order is hash-table layout, not data; sort "
+             "before feeding ordered output/hash/serialization"});
+  }
+  return findings;
+}
+
+/// wall-clock: time reads outside src/obs (the observability layer owns
+/// time). Consensus, scheduling and storage must be simulated-time or
+/// input-driven — a wall-clock read there makes replays diverge.
+std::vector<Finding> RuleWallClock(const FileText& file) {
+  std::vector<Finding> findings;
+  if (StartsWith(file.rel_path, "obs/")) return findings;
+  static const std::regex clock_re(
+      R"((?:std::chrono::(?:system_clock|steady_clock|high_resolution_clock)::now\s*\()|(?:\bgettimeofday\s*\()|(?:\bclock_gettime\s*\()|(?:\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)))");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], clock_re)) continue;
+    findings.push_back({"wall-clock", file.rel_path, i + 1, Trim(file.raw[i]),
+                        "wall-clock read outside src/obs — consensus and "
+                        "pipeline code must be simulated-time or input-"
+                        "driven, or replays diverge"});
+  }
+  return findings;
+}
+
+/// unseeded-rng: sources of randomness that cannot be replayed from a seed.
+std::vector<Finding> RuleUnseededRng(const FileText& file) {
+  std::vector<Finding> findings;
+  static const std::regex rng_re(
+      R"((?:std::random_device)|(?:\bsrand\s*\()|(?:\brand\s*\(\s*\))|(?:std::default_random_engine\s+\w+\s*;)|(?:std::mt19937(?:_64)?\s+\w+\s*;))");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], rng_re)) continue;
+    findings.push_back(
+        {"unseeded-rng", file.rel_path, i + 1, Trim(file.raw[i]),
+         "non-replayable randomness — use common/rng.h (seeded) so every "
+         "run reproduces from its seed"});
+  }
+  return findings;
+}
+
+/// pointer-order: ordering or hashing by pointer value. Addresses change
+/// run to run (ASLR, allocator), so any pointer-keyed order leaks
+/// nondeterminism into whatever consumes it.
+std::vector<Finding> RulePointerOrder(const FileText& file) {
+  std::vector<Finding> findings;
+  static const std::regex ptr_re(
+      R"((?:std::hash\s*<\s*[A-Za-z_][\w:]*\s*\*\s*>)|(?:std::less\s*<\s*(?:void|[A-Za-z_][\w:]*)\s*\*\s*>)|(?:reinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>)|(?:\bset\s*<\s*[A-Za-z_][\w:]*\s*\*\s*>)|(?:\bmap\s*<\s*[A-Za-z_][\w:]*\s*\*\s*,)|(?:sort\s*\([^;]*\]\s*\(\s*(?:const\s+)?\w+\s*\*\s*\w+,\s*(?:const\s+)?\w+\s*\*\s*\w+\s*\)))");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], ptr_re)) continue;
+    findings.push_back(
+        {"pointer-order", file.rel_path, i + 1, Trim(file.raw[i]),
+         "ordering/hashing by pointer value — addresses vary per run "
+         "(ASLR, allocator); key on stable identity instead"});
+  }
+  return findings;
+}
+
+/// thread-id: branching on which thread runs the code. Worker identity is
+/// scheduling-dependent; using it for anything but diagnostics diverges.
+std::vector<Finding> RuleThreadId(const FileText& file) {
+  std::vector<Finding> findings;
+  static const std::regex tid_re(
+      R"((?:std::this_thread::get_id\s*\()|(?:std::thread::id\b)|(?:pthread_self\s*\())");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], tid_re)) continue;
+    findings.push_back(
+        {"thread-id", file.rel_path, i + 1, Trim(file.raw[i]),
+         "thread-identity read — which worker runs a task is scheduling-"
+         "dependent; acceptable for diagnostics only"});
+  }
+  return findings;
+}
+
+/// std-hash: std::hash in consensus-visible paths (cc, consensus, node,
+/// storage, ledger). libstdc++'s std::hash for integers is the identity
+/// today, but the standard does not pin it — consensus-visible digests and
+/// orders must come from the project's fixed hash (common/sha256.h) or an
+/// explicit function, never std::hash.
+std::vector<Finding> RuleStdHash(const FileText& file) {
+  std::vector<Finding> findings;
+  const bool consensus_visible =
+      StartsWith(file.rel_path, "cc/") ||
+      StartsWith(file.rel_path, "consensus/") ||
+      StartsWith(file.rel_path, "node/") ||
+      StartsWith(file.rel_path, "storage/") ||
+      StartsWith(file.rel_path, "ledger/");
+  if (!consensus_visible) return findings;
+  static const std::regex hash_re(R"(std::hash\s*<)");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], hash_re)) continue;
+    findings.push_back(
+        {"std-hash", file.rel_path, i + 1, Trim(file.raw[i]),
+         "std::hash in a consensus-visible path — its value is "
+         "implementation-defined; use common/sha256.h or an explicit "
+         "function for anything that crosses a node or a run"});
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+std::vector<AllowEntry> LoadAllowlist(const fs::path& path, bool& ok) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  ok = static_cast<bool>(in);
+  if (!ok) return entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    // rule|file|token|justification
+    std::vector<std::string> parts;
+    std::stringstream ss(trimmed);
+    std::string part;
+    while (std::getline(ss, part, '|')) parts.push_back(Trim(part));
+    if (parts.size() != 4 || parts[3].empty()) {
+      std::cerr << path.string() << ":" << lineno
+                << ": malformed allowlist entry (want "
+                   "rule|file|token|justification, justification non-empty)\n";
+      ok = false;
+      continue;
+    }
+    entries.push_back({parts[0], parts[1], parts[2], parts[3], lineno, false});
+  }
+  return entries;
+}
+
+bool Allowed(const Finding& f, std::vector<AllowEntry>& allow) {
+  for (AllowEntry& entry : allow) {
+    if (entry.rule != f.rule) continue;
+    if (entry.file != f.file) continue;
+    if (f.text.find(entry.token) == std::string::npos) continue;
+    entry.used = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: detlint <src-root> <allowlist-file>\n";
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::is_directory(root)) {
+    std::cerr << "detlint: not a directory: " << root.string() << "\n";
+    return 2;
+  }
+  bool allow_ok = true;
+  std::vector<AllowEntry> allow = LoadAllowlist(argv[2], allow_ok);
+  if (!allow_ok) {
+    std::cerr << "detlint: cannot use allowlist " << argv[2] << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> sources;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp") {
+      sources.push_back(entry.path());
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+
+  std::vector<Finding> violations;
+  std::size_t allowed = 0;
+  for (const fs::path& path : sources) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "detlint: cannot read " << path.string() << "\n";
+      return 2;
+    }
+    FileText file;
+    file.rel_path = fs::relative(path, root).generic_string();
+    std::string line;
+    bool in_block_comment = false;
+    while (std::getline(in, line)) {
+      file.raw.push_back(line);
+      file.code.push_back(StripCommentsAndStrings(line, in_block_comment));
+    }
+    for (auto* rule :
+         {RuleUnorderedIteration, RuleWallClock, RuleUnseededRng,
+          RulePointerOrder, RuleThreadId, RuleStdHash}) {
+      for (Finding& f : rule(file)) {
+        if (Allowed(f, allow)) {
+          ++allowed;
+        } else {
+          violations.push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  for (const Finding& f : violations) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n    " << f.text << "\n";
+  }
+  bool stale = false;
+  for (const AllowEntry& entry : allow) {
+    if (entry.used) continue;
+    stale = true;
+    std::cerr << argv[2] << ":" << entry.source_line
+              << ": stale allowlist entry (matched nothing): " << entry.rule
+              << "|" << entry.file << "|" << entry.token << "\n";
+  }
+
+  std::fprintf(stderr,
+               "detlint: %zu files, %zu violations, %zu allowlisted, %zu "
+               "allowlist entries\n",
+               sources.size(), violations.size(), allowed, allow.size());
+  return (violations.empty() && !stale) ? 0 : 1;
+}
