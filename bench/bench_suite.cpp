@@ -7,18 +7,24 @@
 // one BENCH_nezha.json: per-scheme throughput, latency, abort rate, and the
 // abort-attribution rollup read back from the epoch flight recorder.
 // bench/check_bench_regression compares two such files.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/sustained_load.h"
+#include "cc/cg/cg_scheduler.h"
 #include "cc/nezha/nezha_scheduler.h"
 #include "cc/nezha/parallel_executor.h"
+#include "cc/occ/occ_scheduler.h"
 #include "common/thread_pool.h"
 #include "node/simulation.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "runtime/concurrent_executor.h"
 #include "vm/cost_model.h"
 
@@ -149,6 +155,112 @@ double RunParallelPipelineBench(bench::JsonReport& report) {
                 bench::Fmt(serial_latency_ms, 2), "-", "-"});
   }
   return latency_at_8 > 0 ? latency_at_1 / latency_at_8 : 0;
+}
+
+/// The parallel-efficiency dimension: every concurrent scheme's measured
+/// pool utilisation — busy / (workers x span), from the pipeline profiler
+/// (src/obs/profiler.h) — over one real (not modelled) BuildSchedule +
+/// group-parallel execute of the same fixed 4096-tx epoch the threads
+/// dimension uses. Efficiency is a ratio of wall times, so machine speed
+/// cancels and the committed value is comparable across runners; the best
+/// of three profiled reps is reported because scheduler noise can only
+/// LOWER the structure-limited efficiency, never raise it.
+/// check_bench_regression gates the parallel_efficiency_pct member with
+/// --efficiency-tolerance; throughput is deliberately 0 so the throughput
+/// gate is inert for these rows.
+bool RunParallelEfficiencySection(bench::JsonReport& report) {
+  const std::size_t num_txs = bench::EnvSize("NEZHA_BENCH_PARALLEL_TXS", 4096);
+  const double skew = 0.6;
+  const std::uint64_t seed = 91'000;
+
+  WorkloadConfig workload_config;
+  workload_config.num_accounts = 10'000;
+  workload_config.skew = skew;
+  SmallBankWorkload workload(workload_config, seed);
+  StateDB workload_db;
+  const StateSnapshot snap = workload_db.MakeSnapshot(0);
+  const auto txs = workload.MakeBatch(num_txs);
+  const auto rwsets = ExecuteBatchSerial(snap, txs).rwsets;
+
+  obs::Profiler().SetEnabled(true);
+  bench::Row({"scheme", "threads", "eff(%)", "busy(ms)", "span(ms)", "tasks",
+              "idle-gap(ms)", "dominant"});
+
+  const char* kSchemes[] = {"occ", "cg", "nezha", "nezha-noreorder"};
+  std::uint64_t window = 0;
+  for (const char* scheme : kSchemes) {
+    for (const std::size_t threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      std::unique_ptr<Scheduler> scheduler;
+      if (std::string_view(scheme) == "occ") {
+        scheduler = std::make_unique<OCCScheduler>();
+      } else if (std::string_view(scheme) == "cg") {
+        scheduler = std::make_unique<CGScheduler>();
+      } else {
+        NezhaOptions options;
+        options.pool = &pool;
+        options.enable_reordering =
+            std::string_view(scheme) != "nezha-noreorder";
+        scheduler = std::make_unique<NezhaScheduler>(options);
+      }
+
+      // Warm-up rep outside any profiling window (pool spin-up, allocator
+      // warm-up), then three profiled reps; keep the best efficiency.
+      double abort_rate = 0;
+      obs::EpochProfile best;
+      for (int rep = -1; rep < 3; ++rep) {
+        if (rep >= 0) {
+          obs::Profiler().BeginEpoch(++window, scheme, pool.size());
+        }
+        Result<Schedule> schedule = scheduler->BuildSchedule(rwsets);
+        if (!schedule.ok()) {
+          std::fprintf(stderr, "bench_suite: efficiency %s failed: %s\n",
+                       scheme, schedule.status().message().c_str());
+          return false;
+        }
+        StateDB db;
+        const StateSnapshot epoch_snap = db.MakeSnapshot(0);
+        ExecuteScheduleParallel(pool, db, epoch_snap, *schedule, rwsets);
+        if (rep >= 0) {
+          obs::EpochProfile profile = obs::Profiler().FinishEpoch();
+          if (profile.efficiency_pct > best.efficiency_pct) {
+            best = std::move(profile);
+          }
+        }
+        abort_rate = static_cast<double>(schedule->NumAborted()) /
+                     static_cast<double>(num_txs);
+      }
+
+      JsonResult result;
+      result.bench = "parallel_efficiency";
+      result.scheme = scheme;
+      result.params.Set("workload", "smallbank");
+      result.params.Set("skew", skew);
+      result.params.Set("txs", num_txs);
+      result.params.Set("threads", threads);
+      result.params.Set("seed", seed);
+      result.throughput_tps = 0;  // efficiency row: throughput gate inert
+      result.latency_ms = best.span_ms;
+      result.abort_rate = abort_rate;
+      result.extra.Set("parallel_efficiency_pct", best.efficiency_pct);
+      result.extra.Set("busy_ms", best.busy_ms);
+      result.extra.Set("cpu_ms", best.cpu_ms);
+      result.extra.Set("span_ms", best.span_ms);
+      result.extra.Set("profile_tasks", best.tasks);
+      result.extra.Set("inline_tasks", best.inline_tasks);
+      result.extra.Set("largest_idle_gap_ms", best.largest_idle_gap_ms);
+      result.extra.Set("dominant_stage", best.DominantStage());
+      report.Add(result);
+
+      bench::Row({scheme, bench::FmtInt(threads),
+                  bench::Fmt(best.efficiency_pct, 1),
+                  bench::Fmt(best.busy_ms, 2), bench::Fmt(best.span_ms, 2),
+                  bench::FmtInt(best.tasks),
+                  bench::Fmt(best.largest_idle_gap_ms, 2),
+                  best.DominantStage()});
+    }
+  }
+  return true;
 }
 
 /// The sustained-load dimension: every scheme under steady arrival through
@@ -282,6 +394,11 @@ int main(int argc, char** argv) {
                  speedup);
     return 1;
   }
+
+  Header("Parallel efficiency — measured pool utilisation",
+         "pipeline profiler busy/(workers x span) per scheme x threads; "
+         "best of 3 reps (docs/OBSERVABILITY.md, \"Pipeline profiler\")");
+  if (!RunParallelEfficiencySection(report)) return 1;
 
   Header("Sustained load — client-observed commit latency",
          "steady arrival, open pipeline; exact per-tx e2e percentiles "

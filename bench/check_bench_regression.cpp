@@ -34,6 +34,11 @@ struct Options {
   /// Latency gate headroom. Latency is wall-clock (not modelled), so the
   /// gate is looser than the throughput one; p99 is reported but ungated.
   double latency_tolerance = 0.5;
+  /// Parallel-efficiency gate headroom (ISSUE PR 9: 8-thread efficiency
+  /// must not regress by more than 15%). Efficiency is already a ratio —
+  /// busy / (workers x span) in percent — so it is compared the same way
+  /// in both modes.
+  double efficiency_tolerance = 0.15;
   double abort_epsilon = 0.001;
   bool ratio_mode = true;
 };
@@ -42,8 +47,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --baseline <file> --current <file> [--tolerance 0.15]\n"
-      "          [--latency-tolerance 0.5] [--abort-epsilon 0.001]\n"
-      "          [--mode ratio|absolute]\n",
+      "          [--latency-tolerance 0.5] [--efficiency-tolerance 0.15]\n"
+      "          [--abort-epsilon 0.001] [--mode ratio|absolute]\n",
       argv0);
   return 2;
 }
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) options.tolerance = std::atof(v);
     } else if (arg == "--latency-tolerance") {
       if (const char* v = next()) options.latency_tolerance = std::atof(v);
+    } else if (arg == "--efficiency-tolerance") {
+      if (const char* v = next()) options.efficiency_tolerance = std::atof(v);
     } else if (arg == "--abort-epsilon") {
       if (const char* v = next()) options.abort_epsilon = std::atof(v);
     } else if (arg == "--mode") {
@@ -155,6 +162,25 @@ int main(int argc, char** argv) {
     } else {
       std::printf("ok   %-40s throughput %.3f %s (base %.3f)\n", key.c_str(),
                   cur_norm, unit, base_norm);
+    }
+
+    // Parallel-efficiency gate (the bench_suite "parallel_efficiency"
+    // section): busy / (workers x span) is dimensionless, so no serial
+    // normalization is needed — the committed percentage itself is the
+    // baseline. Lower is worse; gate with --efficiency-tolerance.
+    if (base.Contains("parallel_efficiency_pct") &&
+        cur.Contains("parallel_efficiency_pct")) {
+      const double base_eff = base["parallel_efficiency_pct"].AsDouble();
+      const double cur_eff = cur["parallel_efficiency_pct"].AsDouble();
+      const double eff_floor = base_eff * (1.0 - options.efficiency_tolerance);
+      if (base_eff > 0 && cur_eff < eff_floor) {
+        std::printf("FAIL %-40s efficiency %.1f%% < floor %.1f%% (base %.1f%%)\n",
+                    key.c_str(), cur_eff, eff_floor, base_eff);
+        ++failures;
+      } else {
+        std::printf("ok   %-40s efficiency %.1f%% (base %.1f%%)\n",
+                    key.c_str(), cur_eff, base_eff);
+      }
     }
 
     const double base_aborts = base["abort_rate"].AsDouble();

@@ -18,6 +18,8 @@
 #include "graph/johnson.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "obs/tx_lifecycle.h"
 #include "runtime/concurrent_executor.h"
 #include "storage/mpt.h"
@@ -323,6 +325,86 @@ void BM_TxLifecycleFinish(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_TxLifecycleFinish);
+
+// The per-task profiler stamp alone: what every pool task pays while an
+// epoch profiling window is open — two thread-CPU clock reads, two
+// steady-clock reads, and one striped RecordTask push
+// (docs/OBSERVABILITY.md "Pipeline profiler" overhead table). The window
+// is re-opened every 32k iterations so the sample buffer never hits the
+// drop cap (a dropped sample skips the push and would flatter the
+// number); the BeginEpoch cost amortizes to noise. Acceptance bar:
+// O(100 ns) per stamp, i.e. microseconds per epoch at the pipeline's
+// tens-of-tasks-per-epoch fan-out.
+void BM_ProfilerStamp(benchmark::State& state) {
+  obs::PipelineProfiler& profiler = obs::Profiler();
+  profiler.SetEnabled(true);
+  profiler.Clear();
+  const obs::StageId stage = obs::InternStage("bm_profiler_stage");
+  const std::uint32_t tid = obs::CurrentThreadId();
+  std::uint64_t epoch = 0;
+  std::uint64_t i = 0;
+  profiler.BeginEpoch(++epoch, "microbench", 8);
+  for (auto _ : state) {
+    if ((++i & 0x7FFF) == 0) profiler.BeginEpoch(++epoch, "microbench", 8);
+    const double cpu_begin = obs::ThreadCpuUs();
+    const double start_us = obs::PhaseTracer::NowUs();
+    const double finish_us = obs::PhaseTracer::NowUs();
+    obs::TaskSample sample;
+    sample.stage = stage;
+    sample.tid = tid;
+    sample.enqueue_us = start_us;
+    sample.start_us = start_us;
+    sample.finish_us = finish_us;
+    sample.cpu_us = obs::ThreadCpuUs() - cpu_begin;
+    profiler.RecordTask(sample);
+    benchmark::DoNotOptimize(sample.cpu_us);
+  }
+  profiler.FinishEpoch();
+  profiler.Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerStamp);
+
+// FinishEpoch alone on an epoch-sized sample set (one stamp per task of a
+// 4096-task fan-out across 8 workers and 4 stages, plus the pipeline's
+// stage spans): the once-per-epoch aggregation — stripe drain, per-stage
+// rollup, exact wait percentiles, idle-gap scan, Prometheus publishing —
+// runs AFTER the epoch report is assembled, off the phase-critical path,
+// so this cost bounds reporting latency rather than pipeline latency.
+void BM_ProfilerEpochFinish(benchmark::State& state) {
+  obs::PipelineProfiler& profiler = obs::Profiler();
+  profiler.SetEnabled(true);
+  profiler.Clear();
+  const std::size_t tasks = static_cast<std::size_t>(state.range(0));
+  const obs::StageId stages[4] = {
+      obs::InternStage("bm_finish_a"), obs::InternStage("bm_finish_b"),
+      obs::InternStage("bm_finish_c"), obs::InternStage("bm_finish_d")};
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    profiler.BeginEpoch(++epoch, "microbench", 8);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      obs::TaskSample sample;
+      sample.stage = stages[t & 3];
+      sample.tid = static_cast<std::uint32_t>(t & 7);
+      sample.enqueue_us = static_cast<double>(t);
+      sample.start_us = sample.enqueue_us + 5;
+      sample.finish_us = sample.start_us + 40;
+      sample.cpu_us = 35;
+      profiler.RecordTask(sample);
+    }
+    {
+      obs::ProfileSpan span("bm_finish_span");
+      benchmark::DoNotOptimize(epoch);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(profiler.FinishEpoch());
+  }
+  profiler.Clear();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks));
+}
+BENCHMARK(BM_ProfilerEpochFinish)->Arg(64)->Arg(4096);
 
 // The serializability oracle alone on one epoch-sized batch (4096 txs is
 // the paper's largest block-size point): the cost the debug/ASan suites pay

@@ -8,6 +8,7 @@
 #include "common/canonical_text.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace nezha {
@@ -115,6 +116,9 @@ AddressConflictGraph AddressConflictGraph::BuildSharded(
     return Build(rwsets);
   }
   obs::TraceSpan build_span("acg_build_sharded");
+  // Label for the scatter/merge/fill/edge tasks when the build is driven
+  // directly (benches); under the scheduler it matches the inherited stage.
+  obs::StageScope stage("acg_build");
   const std::size_t shards = num_shards;
   const std::size_t max_chunks = pool.size();
   const auto shard_of = [shards](std::uint64_t a) {

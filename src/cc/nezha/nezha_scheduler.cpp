@@ -4,6 +4,7 @@
 #include "cc/nezha/acg.h"
 #include "cc/nezha/rank_division.h"
 #include "common/stopwatch.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace nezha {
@@ -19,6 +20,7 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   AddressConflictGraph acg;
   {
     obs::TraceSpan span("acg_build");
+    obs::ProfileSpan pspan("acg_build");
     acg = options_.pool != nullptr
               ? AddressConflictGraph::BuildSharded(rwsets, *options_.pool,
                                                    options_.acg_shards)
@@ -40,6 +42,7 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   obs::RankDecisionStats rank_stats;
   {
     obs::TraceSpan span("rank_division");
+    obs::ProfileSpan pspan("rank_division");
     ranks = ComputeSortingRanks(acg.dependencies(), options_.rank_policy,
                                 &rank_stats);
   }
@@ -57,6 +60,7 @@ Result<Schedule> NezhaScheduler::BuildScheduleImpl(
   TxSorterResult sorted;
   {
     obs::TraceSpan span("tx_sorting");
+    obs::ProfileSpan pspan("tx_sorting");
     sorted = options_.pool != nullptr
                  ? SortTransactionsParallel(acg, ranks, rwsets.size(),
                                             *options_.pool, sorter_options)

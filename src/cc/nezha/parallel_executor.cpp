@@ -11,6 +11,7 @@
 #include "analysis/det_checkpoint.h"
 #include "common/canonical_text.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "obs/tx_lifecycle.h"
 
@@ -57,6 +58,7 @@ std::string CanonicalWriteBufferEncoding(const ParallelExecStats& stats,
 /// first keeps the chunk partition (and the sharded-lock access pattern)
 /// deterministic for a given pool size.
 void ApplyBuffer(ThreadPool& pool, StateDB& state, const WriteBuffer& buffer) {
+  obs::ProfileSpan pspan("state_apply");
   std::vector<std::pair<std::uint64_t, StateValue>> items(buffer.begin(),
                                                           buffer.end());
   std::sort(items.begin(), items.end(),
@@ -94,6 +96,9 @@ ParallelExecStats ExecuteScheduleParallel(ThreadPool& pool, StateDB& state,
   obs::TraceSpan span(mode == ParallelExecMode::kApplyRecorded
                           ? "parallel_execute_recorded"
                           : "parallel_execute_rerun");
+  // Stage label for every pool task this executor submits (group items,
+  // buffer apply chunks); nests inside the node's "commit" envelope.
+  obs::ProfileSpan pspan("exec_groups");
   ParallelExecStats stats;
   stats.groups = schedule.groups.size();
   WriteBuffer buffer;

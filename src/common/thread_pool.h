@@ -22,6 +22,7 @@
 
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace nezha {
 
@@ -73,9 +74,14 @@ class ThreadPool {
   bool OnWorkerThread() const;
 
  private:
+  /// The queued unit is a packaged task whose closure already carries the
+  /// submit-time context (enqueue timestamp, submitter's pipeline stage)
+  /// and performs its own profiler stamping — the sample is recorded
+  /// before the task's future becomes ready, so a driver that joins a
+  /// ParallelFor and immediately closes the profiling window still sees
+  /// every sample (see Submit).
   struct QueuedTask {
     std::packaged_task<void()> task;
-    double enqueue_us = 0;  ///< tracer-clock timestamp at Submit
   };
 
   void WorkerLoop();

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -180,6 +181,7 @@ void RecordEpochFlight(const NodeConfig& config, const EpochReport& report,
   record.acg_edges = report.cc_metrics.graph_edges;
   record.attribution = std::move(attribution);
   record.latency = report.latency;
+  record.profile = report.profile;
   recorder.Record(std::move(record));
 }
 
@@ -227,6 +229,8 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
         batch.epoch, SchemeName(config_.scheme));
   }
   BeginLifecycleEpoch(config_, batch);
+  obs::Profiler().BeginEpoch(batch.epoch, SchemeName(config_.scheme),
+                             pool_->size());
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
@@ -237,6 +241,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   Stopwatch watch;
   {
     obs::TraceSpan span("validate");
+    obs::ProfileSpan pspan("validate");
     for (const Block& block : batch.blocks) {
       // Blocks already appended to the ledger were validated on the way in;
       // re-check the semantic parts that depend on the current state.
@@ -257,6 +262,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   const StateSnapshot snapshot = state_.MakeSnapshot(batch.epoch);
   {
     obs::TraceSpan span("execute");
+    obs::ProfileSpan pspan("execute");
     exec =
         ExecuteBatchConcurrent(*pool_, snapshot, batch.txs, config_.exec_mode);
   }
@@ -271,6 +277,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   Result<Schedule> schedule = Schedule{};
   {
     obs::TraceSpan span("cc");
+    obs::ProfileSpan pspan("cc");
     schedule = scheduler_->BuildSchedule(exec.rwsets);
   }
   if (!schedule.ok()) return schedule.status();
@@ -285,6 +292,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   ParallelExecStats commit;
   {
     obs::TraceSpan span("commit");
+    obs::ProfileSpan pspan("commit");
     commit = ExecuteScheduleParallel(*pool_, state_, snapshot,
                                      schedule.value(), exec.rwsets);
     report.state_root = state_.RootHash();
@@ -304,6 +312,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
   report.aborted = schedule->NumAborted();
   report.max_commit_group = commit.max_group;
   report.latency = obs::Lifecycle().FinishEpoch();
+  report.profile = obs::Profiler().FinishEpoch();
 
   PublishEpochObs(config_, report);
   RecordEpochFlight(config_, report, batch.blocks.size(),
@@ -314,6 +323,7 @@ Result<EpochReport> FullNode::ProcessEpoch(const EpochBatch& batch) {
 Status FullNode::CommitEpochDurable(const EpochBatch& batch,
                                     EpochReport& report,
                                     std::span<const Receipt> receipts) {
+  obs::ProfileSpan pspan("durable_commit");
   if (const fault::Hit hit = fault::Check(fault::sites::kCommitBeforeJournal);
       hit.fired()) {
     if (hit.action == fault::Action::kCrash) {
@@ -494,6 +504,8 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
         batch.epoch, SchemeName(config_.scheme));
   }
   BeginLifecycleEpoch(config_, batch);
+  obs::Profiler().BeginEpoch(batch.epoch, SchemeName(config_.scheme),
+                             pool_->size());
   obs::TraceSpan epoch_span("epoch " + std::to_string(batch.epoch));
   EpochReport report;
   report.epoch = batch.epoch;
@@ -503,6 +515,7 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   Stopwatch watch;
   {
     obs::TraceSpan span("validate");
+    obs::ProfileSpan pspan("validate");
     for (const Block& block : batch.blocks) {
       if (block.header.prev_state_root !=
           ledger_.StateRootBefore(batch.epoch)) {
@@ -521,6 +534,10 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
   // re-snapshotting the whole state per transaction.
   watch.Restart();
   obs::TraceSpan commit_span("commit");
+  // optional: the span must close before Profiler().FinishEpoch() below,
+  // while this function (and commit_span) runs on to the return.
+  std::optional<obs::ProfileSpan> commit_pspan;
+  commit_pspan.emplace("serial_execute_commit");
   const StateSnapshot base = state_.MakeSnapshot(batch.epoch);
   LoggedStateView::Overlay overlay;
   obs::TxLifecycleTracer& lifecycle = obs::Lifecycle();
@@ -589,6 +606,8 @@ Result<EpochReport> FullNode::ProcessSerial(const EpochBatch& batch) {
     report.execute_ms = config_.cost_model.SerialLatencyMs(batch.TxCount());
   }
   report.latency = lifecycle.FinishEpoch();
+  commit_pspan.reset();
+  report.profile = obs::Profiler().FinishEpoch();
   PublishEpochObs(config_, report);
   // Serial builds no schedule, so the record carries empty attribution.
   RecordEpochFlight(config_, report, batch.blocks.size(), {});

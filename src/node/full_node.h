@@ -23,6 +23,7 @@
 #include "ledger/epoch.h"
 #include "ledger/ledger.h"
 #include "node/receipts.h"
+#include "obs/profiler.h"
 #include "obs/tx_lifecycle.h"
 #include "storage/state_db.h"
 #include "vm/cost_model.h"
@@ -76,6 +77,10 @@ struct EpochReport {
   /// stage-wait percentiles, top-K slowest transactions); empty when the
   /// lifecycle tracer is disabled.
   obs::EpochLatencySummary latency;
+  /// Pipeline profile for the epoch: stage CPU vs wall, parallel efficiency,
+  /// queue waits, idle gaps (obs/profiler.h). Default-empty when the
+  /// profiler is disabled.
+  obs::EpochProfile profile;
   std::size_t max_commit_group = 0;
   Hash256 state_root{};
   /// Merkle root over this epoch's transaction receipts (zero for the

@@ -107,6 +107,9 @@ std::string EpochFlightRecord::ToJson() const {
   if (latency.tracked > 0) {
     out << ",\"latency\":" << latency.ToJson();
   }
+  if (profile.span_ms > 0) {
+    out << ",\"profile\":" << profile.ToJson();
+  }
   out << "}";
   return out.str();
 }

@@ -32,6 +32,7 @@
 
 #include "common/thread_annotations.h"
 #include "obs/abort_attribution.h"
+#include "obs/profiler.h"
 #include "obs/tx_lifecycle.h"
 
 namespace nezha::obs {
@@ -66,6 +67,11 @@ struct EpochFlightRecord {
   /// Per-transaction latency decomposition (tx_lifecycle.h). Serialised as
   /// the "latency" member when latency.tracked > 0.
   EpochLatencySummary latency;
+
+  /// Pipeline profile (obs/profiler.h): stage CPU vs wall, parallel
+  /// efficiency, idle gaps, critical path. Serialised as the "profile"
+  /// member when profile.span_ms > 0 (i.e. the profiler saw the epoch).
+  EpochProfile profile;
 
   /// Serialises this record as one JSON object (no trailing newline).
   std::string ToJson() const;

@@ -1,0 +1,302 @@
+// Pipeline bottleneck profiler — attributes CPU to work
+// (docs/OBSERVABILITY.md, "Pipeline profiler").
+//
+// The phase tracer (trace.h) answers "how long did each phase take"; this
+// profiler answers "where did the cores actually go while it ran": which
+// pipeline stage burned the CPU, how long tasks sat in the pool queue, how
+// much of the epoch each worker spent idle, and which stage the pipeline
+// was stuck in while they starved.
+//
+// Three cooperating pieces:
+//
+//   * STAGE TAGS — every ThreadPool task carries the stage label that was
+//     active on the submitting thread (StageScope / ProfileSpan set a
+//     thread_local; Submit captures it; workers restore it while running the
+//     task so nested submissions inherit). Labels are interned to small ids
+//     so the hot path never touches a string.
+//
+//   * TASK SAMPLES — the pool stamps every task with steady-clock
+//     enqueue/start/finish times plus a CLOCK_THREAD_CPUTIME_ID delta, and
+//     hands the sample here (PipelineProfiler::RecordTask). Inline-executed
+//     work (the nested-submission fallback) is recorded too, attributed to
+//     the calling worker's timeline, so profiles don't under-report nested
+//     work. Sampling is window-gated: outside BeginEpoch/FinishEpoch the
+//     whole stamp path is one relaxed load.
+//
+//   * STAGE SPANS — ProfileSpan RAII records the wall interval, driver
+//     thread-CPU and global allocation-count delta of one pipeline stage on
+//     the driving thread (validate / execute / acg_build / rank_division /
+//     tx_sorting / exec_groups / durable_commit / ...). FinishEpoch joins
+//     spans and samples into one EpochProfile.
+//
+// FinishEpoch computes, per stage: CPU-ms vs wall-ms, busy-ms, task count,
+// queue-wait p50/p95/max and allocation deltas; and, per epoch: parallel
+// efficiency busy / (workers x span), the largest per-worker idle gap with
+// the stage that was running while the worker starved, and peak RSS. The
+// result feeds EpochReport.profile, the flight record's "profile" member,
+// the nezha_pool_* / nezha_profile_* Prometheus series, and (when the
+// tracer is enabled) Chrome-trace counter tracks ("pool_busy_workers",
+// "pool_queued_tasks").
+//
+// AnalyzeCriticalPath walks one epoch's recorded stage spans (leaf spans in
+// start order — ACG build -> sort -> execute groups -> commit), emits the
+// longest chain, and computes per-stage Amdahl "speedup-if-parallelized"
+// estimates: what the epoch latency would become if this stage alone ran at
+// perfect efficiency on all workers.
+//
+// The profiler is ON by default and kill-switched like the metrics
+// registry; a disabled (or out-of-window) stamp is one relaxed load.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace nezha::obs {
+
+/// Interned pipeline-stage label. 0 = untagged work.
+using StageId = std::uint16_t;
+inline constexpr StageId kStageNone = 0;
+inline constexpr std::size_t kMaxStages = 64;
+
+/// Finds or creates the id for a stage label (bounded table: once kMaxStages
+/// distinct labels exist, unknown labels collapse to kStageNone).
+StageId InternStage(std::string_view name);
+/// Display name of an interned stage ("untagged" for kStageNone).
+std::string_view StageName(StageId id);
+
+/// The stage currently active on this thread (what Submit captures).
+StageId CurrentStage();
+
+/// Tags work on the current thread with a stage label, restoring the
+/// previous label on destruction. Cheap (two thread_local stores); use it
+/// around any region that submits pool tasks worth attributing.
+class StageScope {
+ public:
+  explicit StageScope(std::string_view name);
+  explicit StageScope(StageId id);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StageId previous_;
+};
+
+/// One pool task as the profiler remembers it. Times are microseconds on
+/// the tracer clock (PhaseTracer::NowUs); cpu_us is the executing thread's
+/// CLOCK_THREAD_CPUTIME_ID delta across the run.
+struct TaskSample {
+  StageId stage = kStageNone;
+  std::uint32_t tid = 0;  ///< obs::CurrentThreadId of the executing thread
+  double enqueue_us = 0;  ///< == start_us for inline-executed work
+  double start_us = 0;
+  double finish_us = 0;
+  double cpu_us = 0;
+  bool inlined = false;  ///< nested-submission fallback / serial fast path
+};
+
+/// One pipeline stage's interval on the driving thread (ProfileSpan).
+struct StageSpan {
+  StageId stage = kStageNone;
+  std::uint32_t tid = 0;
+  double start_us = 0;
+  double end_us = 0;
+  double cpu_us = 0;        ///< driving thread's CPU inside the span
+  std::uint64_t allocs = 0; ///< process-wide allocation-count delta
+  std::uint32_t depth = 0;  ///< nesting depth on the driving thread
+};
+
+/// Per-stage aggregation within one epoch.
+struct StageProfile {
+  std::string stage;
+  std::uint64_t tasks = 0;        ///< pool tasks tagged with this stage
+  std::uint64_t inline_tasks = 0; ///< subset executed inline
+  double wall_ms = 0;  ///< span wall (or task-interval union when no span)
+  double busy_ms = 0;  ///< sum of task run wall across workers
+  double cpu_ms = 0;   ///< sum of task thread-CPU + span driver CPU
+  double wait_p50_us = 0;  ///< queue wait (enqueue -> start), exact p50
+  double wait_p95_us = 0;
+  double wait_max_us = 0;
+  std::uint64_t allocs = 0;  ///< allocation-count delta over the stage span
+  /// busy / (workers x wall): how much of the pool this stage kept fed
+  /// while it ran. 0 when the stage has no wall time.
+  double efficiency_pct = 0;
+};
+
+/// One epoch through the pool, joined from samples and spans.
+struct EpochProfile {
+  std::uint64_t epoch = 0;
+  std::string scheme;
+  std::uint32_t workers = 0;
+  double span_ms = 0;  ///< BeginEpoch -> FinishEpoch wall
+  double busy_ms = 0;  ///< sum of task run wall across all stages
+  double cpu_ms = 0;   ///< sum of task + span-driver thread-CPU
+  std::uint64_t tasks = 0;
+  std::uint64_t inline_tasks = 0;
+  std::uint64_t dropped_samples = 0;  ///< ring-capacity drops this epoch
+  /// busy / (workers x span), in percent. The parallel-efficiency
+  /// denominator for every speedup claim (docs/OBSERVABILITY.md).
+  double efficiency_pct = 0;
+  /// Largest idle interval of any single worker inside the epoch span, and
+  /// the stage whose span overlapped that interval the longest (what the
+  /// pipeline was doing while the worker starved). When fewer distinct
+  /// workers than `workers` recorded samples, the gap is the whole span.
+  double largest_idle_gap_ms = 0;
+  std::string idle_gap_stage;
+  double peak_rss_kb = 0;  ///< ru_maxrss at FinishEpoch (process peak)
+  std::vector<StageProfile> stages;  ///< in first-appearance (stage-id) order
+  std::vector<StageSpan> spans;      ///< raw spans, start order (critical path)
+
+  /// The stage with the largest wall_ms ("" when no stages recorded).
+  std::string DominantStage() const;
+  /// One JSON object (no trailing newline) — the flight-record "profile"
+  /// member schema (docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+};
+
+/// The longest serial chain through one epoch's stage spans, with Amdahl
+/// estimates per link.
+struct CriticalPathReport {
+  struct Node {
+    std::string stage;
+    double wall_ms = 0;
+    double cpu_ms = 0;
+    double efficiency_pct = 0;  ///< busy / (workers x wall) for this stage
+    /// Amdahl estimate: epoch speedup if THIS stage alone ran at perfect
+    /// efficiency on all workers — total / (total - wall + wall/workers).
+    double amdahl_speedup = 1.0;
+  };
+  std::vector<Node> chain;  ///< leaf spans in start order
+  double total_wall_ms = 0; ///< sum of chain wall (the critical path length)
+  double covered_pct = 0;   ///< chain wall / epoch span
+  /// Top-3 chain stages by wall_ms, descending — the bottleneck verdict.
+  std::vector<Node> bottlenecks;
+};
+
+/// Walks profile.spans (leaf spans only — a span containing another span is
+/// a phase envelope, not a chain link) and builds the critical path.
+CriticalPathReport AnalyzeCriticalPath(const EpochProfile& profile);
+
+/// Process-wide allocation counter (operator new interposition; relaxed).
+/// Monotonic; span deltas subtract two reads. Always 0 under ASan/TSan —
+/// the sanitizer runtime owns operator new there.
+std::uint64_t AllocationCount();
+
+/// Calling thread's cumulative CPU time in microseconds
+/// (CLOCK_THREAD_CPUTIME_ID). Deltas across a region give on-CPU time
+/// excluding blocking waits.
+double ThreadCpuUs();
+
+class PipelineProfiler {
+ public:
+  static PipelineProfiler& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled);
+
+  /// True when stamps should be taken: enabled AND an epoch window is open.
+  /// The pool checks this ONCE per task before reading any clock.
+  bool Sampling() const {
+    return sampling_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens an epoch window: clears the sample/span buffers and arms
+  /// Sampling(). An unfinished previous window is discarded. `workers` is
+  /// the pool size used as the efficiency denominator.
+  void BeginEpoch(std::uint64_t epoch, std::string_view scheme,
+                  std::size_t workers);
+  bool EpochActive() const;
+
+  /// Records one executed pool task (called by ThreadPool). Drops samples
+  /// beyond the ring capacity (counted; reported in the epoch profile).
+  void RecordTask(const TaskSample& sample);
+  /// Records one stage span (called by ~ProfileSpan).
+  void RecordSpan(const StageSpan& span);
+
+  /// Closes the window and aggregates: per-stage CPU/wall/busy/waits,
+  /// parallel efficiency, idle gaps, peak RSS. Publishes the nezha_pool_* /
+  /// nezha_profile_* series and (when the phase tracer is enabled) the
+  /// Chrome-trace counter tracks. Returns a default profile when no window
+  /// is active. Runs off the hot path — cost is O(samples log samples).
+  EpochProfile FinishEpoch();
+
+  /// The last finished epoch's profile (tests, reports).
+  EpochProfile LastProfile() const;
+
+  /// Drops all buffered state (tests).
+  void Clear();
+
+ private:
+  PipelineProfiler() = default;
+
+  /// Emits the nezha_pool_* / nezha_profile_* series and the Chrome-trace
+  /// counter tracks for one finished epoch.
+  void PublishProfile(const EpochProfile& profile,
+                      const std::vector<TaskSample>& samples);
+
+  void UpdateSampling() {
+    sampling_.store(enabled_.load(std::memory_order_relaxed) &&
+                        active_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kStripes = 16;
+  /// Per-epoch sample budget; beyond it samples drop (counted). 1<<17
+  /// samples x 48 B ~= 6 MiB worst case, bounded per window.
+  static constexpr std::size_t kMaxSamples = 1u << 17;
+
+  struct Stripe {
+    mutable Mutex mutex;
+    std::vector<TaskSample> samples GUARDED_BY(mutex);
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<bool> active_{false};
+  std::atomic<bool> sampling_{false};
+  std::atomic<std::uint64_t> sample_count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable Mutex epoch_mutex_;
+  std::uint64_t epoch_ GUARDED_BY(epoch_mutex_) = 0;
+  std::string scheme_ GUARDED_BY(epoch_mutex_);
+  std::uint32_t workers_ GUARDED_BY(epoch_mutex_) = 0;
+  double begin_us_ GUARDED_BY(epoch_mutex_) = 0;
+  std::vector<StageSpan> spans_ GUARDED_BY(epoch_mutex_);
+  EpochProfile last_profile_ GUARDED_BY(epoch_mutex_);
+
+  Stripe stripes_[kStripes];
+};
+
+/// Shorthand for PipelineProfiler::Global().
+inline PipelineProfiler& Profiler() { return PipelineProfiler::Global(); }
+
+/// RAII stage span: tags the thread (StageScope semantics) AND records a
+/// StageSpan with wall, driver thread-CPU and allocation deltas when the
+/// profiler is sampling. Construction outside an epoch window degrades to a
+/// plain StageScope.
+class ProfileSpan {
+ public:
+  explicit ProfileSpan(std::string_view name);
+  ~ProfileSpan();
+
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+ private:
+  StageId stage_;
+  StageId previous_stage_;
+  bool armed_ = false;
+  double start_us_ = 0;
+  double cpu_start_us_ = 0;
+  std::uint64_t allocs_start_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace nezha::obs

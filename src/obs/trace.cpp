@@ -77,6 +77,18 @@ void PhaseTracer::SetCapacity(std::size_t capacity) {
   }
 }
 
+void PhaseTracer::RecordCounter(std::string_view name, double ts_us,
+                                double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.tid = CurrentThreadId();
+  event.ts_us = ts_us;
+  event.counter = true;
+  event.value = value;
+  Record(std::move(event));
+}
+
 void PhaseTracer::Record(TraceEvent event) {
   MutexLock lock(mutex_);
   ++recorded_;
@@ -146,10 +158,19 @@ std::string PhaseTracer::ExportChromeTrace() const {
   }
   for (const TraceEvent& e : events) {
     std::ostringstream line;
-    line << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\""
-         << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
-         << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":" << e.depth
-         << "}}";
+    if (e.counter) {
+      // Counter tracks key the value by the track name so the viewer draws
+      // one series per name.
+      line << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"C\""
+           << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+           << ",\"args\":{\"" << JsonEscape(e.name) << "\":" << e.value
+           << "}}";
+    } else {
+      line << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\""
+           << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+           << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":" << e.depth
+           << "}}";
+    }
     entries.push_back(line.str());
   }
   std::ostringstream out;

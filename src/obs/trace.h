@@ -26,6 +26,11 @@ struct TraceEvent {
   std::uint32_t depth = 0; ///< span nesting depth on that thread (0 = root)
   double ts_us = 0;        ///< start, microseconds since tracer epoch
   double dur_us = 0;
+  /// Counter sample ("ph":"C" in the Chrome export) instead of a span:
+  /// `value` at instant ts_us; dur_us/depth unused. Counter tracks render
+  /// as stacked area charts above the flame rows (e.g. pool_busy_workers).
+  bool counter = false;
+  double value = 0;
 };
 
 /// Dense id of the calling thread (1, 2, 3, ... in first-use order).
@@ -51,6 +56,10 @@ class PhaseTracer {
   void SetCapacity(std::size_t capacity);
 
   void Record(TraceEvent event);
+
+  /// Records one counter sample (a "ph":"C" point on track `name` at
+  /// `ts_us`). Same ring and enable gate as spans.
+  void RecordCounter(std::string_view name, double ts_us, double value);
 
   /// Copies out the buffered events in start-time order.
   std::vector<TraceEvent> Events() const;

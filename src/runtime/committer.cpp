@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/profiler.h"
+
 namespace nezha {
 
 CommitStats CommitSchedule(ThreadPool& pool, StateDB& state,
@@ -12,6 +14,7 @@ CommitStats CommitSchedule(ThreadPool& pool, StateDB& state,
   stats.groups = schedule.groups.size();
   std::atomic<std::size_t> writes{0};
 
+  obs::StageScope stage("commit_groups");
   for (const auto& group : schedule.groups) {
     stats.committed_txs += group.size();
     stats.max_group = std::max(stats.max_group, group.size());
