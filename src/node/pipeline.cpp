@@ -1,0 +1,249 @@
+#include "node/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace nezha {
+
+EpochPipeline::EpochPipeline(FullNode& node, const PipelineOptions& options)
+    : node_(node), options_(options) {
+  if (obs::MetricsEnabled()) {
+    obs::Registry()
+        .GetGauge("nezha_pipeline_depth")
+        ->Set(static_cast<std::int64_t>(std::max<std::size_t>(1,
+                                                              options_.depth)));
+  }
+  prepare_thread_ = std::thread([this] {
+    obs::SetThreadName("pipeline-prepare");
+    PrepareLoop();
+  });
+  commit_thread_ = std::thread([this] {
+    obs::SetThreadName("pipeline-commit");
+    CommitLoop();
+  });
+}
+
+EpochPipeline::~EpochPipeline() { (void)Drain(); }
+
+Status EpochPipeline::Submit(EpochId epoch,
+                             std::vector<std::vector<Transaction>> chain_txs) {
+  const std::size_t depth = std::max<std::size_t>(1, options_.depth);
+  MutexLock lock(mutex_);
+  if (closed_) return Status::InvalidArgument("pipeline already drained");
+  // Backpressure: at most `depth` epochs submitted but not committed.
+  bool waited = false;
+  while (error_.ok() && next_seq_ - committed_ >= depth) {
+    waited = true;
+    cv_.wait(mutex_);
+  }
+  if (waited) {
+    ++stats_.backpressure_waits;
+    if (obs::MetricsEnabled()) {
+      obs::Registry()
+          .GetCounter("nezha_pipeline_backpressure_waits_total")
+          ->Inc();
+    }
+  }
+  if (!error_.ok()) return error_;
+  Work work;
+  work.seq = next_seq_++;
+  work.epoch = epoch;
+  work.chain_txs = std::move(chain_txs);
+  input_.push_back(std::move(work));
+  timings_.resize(static_cast<std::size_t>(next_seq_));
+  timings_.back().submit_us = obs::PhaseTracer::NowUs();
+  if (obs::MetricsEnabled()) {
+    obs::Registry().GetGauge("nezha_pipeline_inflight")->Add(1);
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<std::vector<EpochReport>> EpochPipeline::Drain() {
+  {
+    MutexLock lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+  if (!drained_) {
+    drained_ = true;
+    if (prepare_thread_.joinable()) prepare_thread_.join();
+    if (commit_thread_.joinable()) commit_thread_.join();
+    MutexLock lock(mutex_);
+    // Close the books: per-epoch wall accounting and the overlap between
+    // epoch N's commit half and epoch N+1's prepare half.
+    stats_.epochs = reports_.size();
+    for (std::size_t k = 0; k < static_cast<std::size_t>(committed_); ++k) {
+      const EpochTiming& t = timings_[k];
+      stats_.prepare_us += std::max(0.0, t.prep_end_us - t.prep_start_us);
+      stats_.commit_us += std::max(0.0, t.commit_end_us - t.commit_start_us);
+      stats_.epoch_latency_ms.push_back(
+          std::max(0.0, t.commit_end_us - t.submit_us) / 1000.0);
+      if (t.handoff_us > 0) {
+        stats_.tail_us += std::max(0.0, t.commit_end_us - t.handoff_us);
+      }
+      if (k + 1 < static_cast<std::size_t>(committed_)) {
+        const EpochTiming& n = timings_[k + 1];
+        if (n.prep_start_us > 0 && t.handoff_us > 0) {
+          const double lo = std::max(t.handoff_us, n.prep_start_us);
+          const double hi = std::min(t.commit_end_us, n.prep_end_us);
+          if (hi > lo) stats_.overlap_us += hi - lo;
+        }
+      }
+    }
+    if (obs::MetricsEnabled() && stats_.overlap_us > 0) {
+      obs::Registry()
+          .GetCounter("nezha_pipeline_overlap_us_total")
+          ->Inc(static_cast<std::uint64_t>(stats_.overlap_us));
+    }
+  }
+  MutexLock lock(mutex_);
+  if (!error_.ok()) return error_;
+  return std::move(reports_);
+}
+
+void EpochPipeline::LatchError(const Status& status) {
+  MutexLock lock(mutex_);
+  if (error_.ok()) error_ = status;
+  // Unblock everyone: Submit callers, the other loop, Drain.
+  input_.clear();
+  ready_.clear();
+  cv_.notify_all();
+}
+
+void EpochPipeline::SignalHandoff(std::uint64_t seq) {
+  MutexLock lock(mutex_);
+  handoffs_ = std::max(handoffs_, seq + 1);
+  timings_[static_cast<std::size_t>(seq)].handoff_us =
+      obs::PhaseTracer::NowUs();
+  cv_.notify_all();
+}
+
+void EpochPipeline::PrepareLoop() {
+  const bool serial = node_.config().scheme == SchemeKind::kSerial;
+  for (;;) {
+    Work work;
+    {
+      MutexLock lock(mutex_);
+      // Next input item, in submission order; the handoff gate below is
+      // what enforces "epoch N+1 prepares only after epoch N's commit
+      // batch is assembled".
+      while (error_.ok() && input_.empty() && !closed_) cv_.wait(mutex_);
+      if (!error_.ok() || (input_.empty() && closed_)) {
+        prepare_done_ = true;
+        cv_.notify_all();
+        return;
+      }
+      work = std::move(input_.front());
+      input_.pop_front();
+      while (error_.ok() && handoffs_ < work.seq) cv_.wait(mutex_);
+      if (!error_.ok()) {
+        prepare_done_ = true;
+        cv_.notify_all();
+        return;
+      }
+      timings_[static_cast<std::size_t>(work.seq)].prep_start_us =
+          obs::PhaseTracer::NowUs();
+    }
+
+    obs::StageScope stage("pipeline_prepare");
+    obs::TraceSpan span("prepare epoch " + std::to_string(work.epoch));
+    // Build/append/seal on this side of the handoff: parent hashes and
+    // prev_state_root now read exactly the post-previous-epoch ledger the
+    // batch driver would have given them.
+    Status build = Status::Ok();
+    for (ChainId chain = 0;
+         chain < static_cast<ChainId>(work.chain_txs.size()); ++chain) {
+      if (work.chain_txs[chain].empty()) continue;
+      Block block = node_.ledger().BuildBlock(
+          chain, work.epoch, std::move(work.chain_txs[chain]));
+      if (build = node_.ledger().AppendBlock(std::move(block)); !build.ok()) {
+        break;
+      }
+    }
+    if (!build.ok()) {
+      LatchError(build);
+      continue;
+    }
+    Result<EpochBatch> sealed = node_.ledger().SealEpoch(work.epoch);
+    if (!sealed.ok()) {
+      LatchError(sealed.status());
+      continue;
+    }
+    auto batch = std::make_unique<EpochBatch>(std::move(sealed.value()));
+
+    Ready ready;
+    ready.seq = work.seq;
+    if (serial) {
+      // Serial has no split: the whole epoch rides to the commit thread.
+      ready.serial_batch = std::move(batch);
+    } else {
+      Result<PreparedEpoch> prepared =
+          node_.PrepareEpoch(*batch, options_.incremental_acg);
+      if (!prepared.ok()) {
+        LatchError(prepared.status());
+        continue;
+      }
+      ready.prepared = std::move(prepared.value());
+      ready.prepared->owned_batch = std::move(batch);
+    }
+    {
+      MutexLock lock(mutex_);
+      timings_[static_cast<std::size_t>(work.seq)].prep_end_us =
+          obs::PhaseTracer::NowUs();
+      ready_.push_back(std::move(ready));
+      cv_.notify_all();
+    }
+  }
+}
+
+void EpochPipeline::CommitLoop() {
+  for (;;) {
+    Ready ready;
+    {
+      MutexLock lock(mutex_);
+      while (error_.ok() && ready_.empty() && !prepare_done_) cv_.wait(mutex_);
+      if (!error_.ok() || (ready_.empty() && prepare_done_)) return;
+      ready = std::move(ready_.front());
+      ready_.pop_front();
+      timings_[static_cast<std::size_t>(ready.seq)].commit_start_us =
+          obs::PhaseTracer::NowUs();
+    }
+
+    obs::StageScope stage("pipeline_commit");
+    Result<EpochReport> report = EpochReport{};
+    if (ready.serial_batch != nullptr) {
+      // Serial passthrough: the full four phases run here; the handoff
+      // fires only after the whole epoch committed (no overlap, by
+      // construction — serial commits against the live state throughout).
+      report = node_.ProcessEpoch(*ready.serial_batch);
+      SignalHandoff(ready.seq);
+    } else {
+      obs::TraceSpan span("commit epoch " +
+                          std::to_string(ready.prepared->report.epoch));
+      const std::uint64_t seq = ready.seq;
+      report = node_.CommitPrepared(std::move(*ready.prepared),
+                                    [this, seq] { SignalHandoff(seq); });
+    }
+    if (!report.ok()) {
+      LatchError(report.status());
+      return;
+    }
+    MutexLock lock(mutex_);
+    reports_.push_back(std::move(report.value()));
+    ++committed_;
+    timings_[static_cast<std::size_t>(ready.seq)].commit_end_us =
+        obs::PhaseTracer::NowUs();
+    if (obs::MetricsEnabled()) {
+      obs::Registry().GetGauge("nezha_pipeline_inflight")->Add(-1);
+      obs::Registry().GetCounter("nezha_pipeline_epochs_total")->Inc();
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace nezha

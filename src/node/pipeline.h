@@ -1,0 +1,157 @@
+// EpochPipeline: cross-epoch pipelined scheduling over one FullNode.
+//
+// The batch driver processes epochs strictly one after another: build the
+// epoch's blocks, seal, then run all four phases (§III.B) to completion
+// before the next epoch may even be assembled. This driver overlaps the
+// halves that are provably independent, on two dedicated threads:
+//
+//   prepare thread: block build/append → seal → validation → concurrent
+//                   speculative execution (incrementally feeding the ACG
+//                   per confirmed block) → rank division → sorting →
+//                   receipts                                  [epoch N+1]
+//   commit thread:  group-parallel execution → state root → commit batch
+//                   assembly → HANDOFF → durable write tail    [epoch N]
+//
+// The handoff is the determinism hinge: epoch N+1's prepare half may only
+// start once epoch N's commit has (a) applied every state write, (b)
+// computed the state root, (c) read the ledger chain tips into the commit
+// journal, and (d) installed the in-memory epoch root — i.e. once
+// FullNode::AssembleCommit returns. From that point the ledger and the
+// state VALUES are final for epoch N, and the only work left (the durable
+// write tail: pending-journal put, atomic KV write, dirty clear) touches
+// nothing the prepare half reads, through interfaces that are themselves
+// thread-safe. Every epoch therefore observes exactly the inputs the batch
+// driver would feed it, and the outputs — stage digests, schedules, state
+// and receipt roots, commit-batch bytes — are byte-identical
+// (tests/pipelined_node_test.cpp holds this across seeds, depths and
+// thread counts; docs/PARALLELISM.md gives the full argument).
+//
+// Durable commits stay strictly in epoch order on the single commit
+// thread: epoch N's journal and atomic batch land before epoch N+1's, so
+// the crash-recovery contract (node/commit_journal.h) is unchanged.
+//
+// Backpressure: at most `depth` epochs may be in flight (submitted but not
+// committed); Submit blocks when the window is full. The Serial scheme has
+// no prepare/commit split — its epochs pass through whole on the commit
+// thread, and the pipeline degrades to the batch driver.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "node/full_node.h"
+
+namespace nezha {
+
+struct PipelineOptions {
+  /// Maximum epochs in flight (submitted but not committed). Depth 1 still
+  /// overlaps epoch N's durable write tail with epoch N+1's prepare half;
+  /// deeper windows let Submit run ahead when commits are the bottleneck.
+  std::size_t depth = 2;
+  /// Feed the Nezha schemes' ACG incrementally, block by block, as the
+  /// prepare half executes each confirmed block's slice (cc/nezha/acg.h).
+  bool incremental_acg = true;
+};
+
+/// Wall-clock accounting of one pipeline run (valid after Drain).
+struct PipelineStats {
+  std::size_t epochs = 0;
+  std::uint64_t backpressure_waits = 0;
+  double prepare_us = 0;  ///< Σ prepare-half wall (handoff wait excluded)
+  double commit_us = 0;   ///< Σ commit-half wall
+  double tail_us = 0;     ///< Σ post-handoff durable tail wall
+  /// Σ wall time epoch N's commit half and epoch N+1's prepare half ran
+  /// concurrently — the time the pipeline saves over the batch driver.
+  double overlap_us = 0;
+  /// Per committed epoch, Submit() -> durable commit wall (submission
+  /// order). Includes the in-window queueing a deeper pipeline trades for
+  /// throughput — the latency the bench's p50/p95 gate watches.
+  std::vector<double> epoch_latency_ms;
+};
+
+class EpochPipeline {
+ public:
+  EpochPipeline(FullNode& node, const PipelineOptions& options);
+  /// Drains (discarding results) if Drain was never called.
+  ~EpochPipeline();
+
+  EpochPipeline(const EpochPipeline&) = delete;
+  EpochPipeline& operator=(const EpochPipeline&) = delete;
+
+  /// Feeds one epoch: `chain_txs[c]` is the payload of the block chain c
+  /// contributes (empty = no block on that chain). Blocks are built,
+  /// appended and sealed on the prepare thread once the previous epoch's
+  /// handoff fires — their parent hashes and prev_state_root are exactly
+  /// what the batch driver would have produced. Blocks while `depth`
+  /// epochs are in flight; returns the pipeline's first error once one is
+  /// latched (the epoch is then dropped).
+  Status Submit(EpochId epoch,
+                std::vector<std::vector<Transaction>> chain_txs);
+
+  /// Closes the input, waits for every submitted epoch, joins the threads,
+  /// and returns the per-epoch reports in submission order — or the first
+  /// error any epoch hit. Idempotent.
+  Result<std::vector<EpochReport>> Drain();
+
+  /// Valid after Drain().
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  struct Work {
+    std::uint64_t seq = 0;
+    EpochId epoch = 0;
+    std::vector<std::vector<Transaction>> chain_txs;
+  };
+  /// One prepared epoch awaiting commit. `prepared` is empty for the
+  /// Serial passthrough, where `batch` rides whole to the commit thread.
+  struct Ready {
+    std::uint64_t seq = 0;
+    std::optional<PreparedEpoch> prepared;
+    std::unique_ptr<EpochBatch> serial_batch;
+  };
+  struct EpochTiming {
+    double submit_us = 0;
+    double prep_start_us = 0;
+    double prep_end_us = 0;
+    double commit_start_us = 0;
+    double handoff_us = 0;
+    double commit_end_us = 0;
+  };
+
+  void PrepareLoop();
+  void CommitLoop();
+  void LatchError(const Status& status);
+  /// Marks seq's handoff: epoch seq+1's prepare may start.
+  void SignalHandoff(std::uint64_t seq);
+
+  FullNode& node_;
+  const PipelineOptions options_;
+
+  Mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<Work> input_ GUARDED_BY(mutex_);
+  std::deque<Ready> ready_ GUARDED_BY(mutex_);
+  std::vector<EpochReport> reports_ GUARDED_BY(mutex_);
+  std::vector<EpochTiming> timings_ GUARDED_BY(mutex_);
+  Status error_ GUARDED_BY(mutex_) = Status::Ok();
+  std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t committed_ GUARDED_BY(mutex_) = 0;
+  /// Count of epochs whose handoff fired; epoch seq may prepare once
+  /// handoffs_ >= seq (epoch 0 needs none).
+  std::uint64_t handoffs_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
+  bool prepare_done_ GUARDED_BY(mutex_) = false;
+  bool drained_ = false;
+
+  PipelineStats stats_;
+  std::thread prepare_thread_;
+  std::thread commit_thread_;
+};
+
+}  // namespace nezha

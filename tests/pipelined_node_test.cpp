@@ -1,0 +1,313 @@
+// Differential suite for the cross-epoch pipelined driver
+// (node/pipeline.h): the pipelined node must be byte-equivalent to the
+// batch driver — not just "same final state" but identical per-epoch stage
+// digests (kAcg/kRank/kSort/kExecute/kCommit), state roots, receipt roots
+// and abort outcomes — across seeds, pipeline depths, worker-thread counts
+// and schemes, with the serializability oracle AND the determinism
+// checkpoints forced on for every run.
+//
+//   * Matrix: seeds x {batch, pipelined depth 1/2/4} x {1,4,8} worker
+//     threads under Nezha, with the incremental block-by-block ACG feed.
+//   * Incremental-ACG off, the non-Nezha schemes, and the Serial
+//     passthrough each get their own differential case.
+//   * Durable mode: a KV-backed batch node and a KV-backed pipelined node
+//     fed the same workload must end with byte-identical KV checkpoints —
+//     same journals, same commit batches, same receipts, same roots.
+//   * Driver mechanics: backpressure/overlap accounting and
+//     submit-after-drain rejection.
+//
+// This test runs in the TSan CI job as well: the pipeline's prepare and
+// commit threads race by design (handoff condvar, shared ThreadPool,
+// overlapping obs windows), so every run here exercises that interleaving
+// under the race detector.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/det_checkpoint.h"
+#include "node/full_node.h"
+#include "node/pipeline.h"
+#include "node/simulation.h"
+#include "storage/kvstore.h"
+#include "workload/smallbank_workload.h"
+
+namespace nezha {
+namespace {
+
+using analysis::DetCheckpointRecorder;
+using analysis::DetStage;
+using analysis::DivergenceReport;
+using analysis::EpochCheckpoints;
+
+class PipelinedNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DetCheckpointRecorder& det = DetCheckpointRecorder::Global();
+    det.SetEnabled(true);
+    det.SetCapture(true);
+    det.PerturbStageForTest(std::nullopt);
+    det.Clear();
+    // Unlike the determinism matrix (which trades the oracle for volume),
+    // every pipelined run here re-proves serializability: an overlap bug
+    // that produced a wrong-but-internally-consistent schedule would
+    // surface here even if both drivers drifted together.
+    SetScheduleVerification(true);
+  }
+  void TearDown() override {
+    DetCheckpointRecorder& det = DetCheckpointRecorder::Global();
+    det.PerturbStageForTest(std::nullopt);
+    det.SetCapture(false);
+    det.SetEnabled(std::nullopt);
+    det.Clear();
+    SetScheduleVerification(std::nullopt);
+  }
+};
+
+SimulationConfig MakeConfig(SchemeKind scheme, std::size_t threads,
+                            std::uint64_t seed, std::size_t epochs = 5) {
+  SimulationConfig config;
+  config.node.scheme = scheme;
+  config.node.worker_threads = threads;
+  config.workload.num_accounts = 150;
+  config.workload.skew = 0.9;
+  config.block_size = 40;
+  config.block_concurrency = 2;
+  config.epochs = epochs;
+  config.seed = seed;
+  return config;
+}
+
+struct RunResult {
+  SimulationSummary summary;
+  std::vector<EpochCheckpoints> checkpoints;
+};
+
+RunResult RunBatch(const SimulationConfig& config) {
+  DetCheckpointRecorder& det = DetCheckpointRecorder::Global();
+  det.Clear();
+  auto summary = RunSimulation(config);
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  RunResult result;
+  if (summary.ok()) result.summary = std::move(summary.value());
+  result.checkpoints = det.Snapshot();
+  return result;
+}
+
+RunResult RunPipelined(const SimulationConfig& config, std::size_t depth,
+                       bool incremental_acg = true,
+                       PipelineStats* stats = nullptr) {
+  DetCheckpointRecorder& det = DetCheckpointRecorder::Global();
+  det.Clear();
+  auto summary =
+      RunSimulationPipelined(config, depth, incremental_acg, stats);
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  RunResult result;
+  if (summary.ok()) result.summary = std::move(summary.value());
+  result.checkpoints = det.Snapshot();
+  return result;
+}
+
+/// The equivalence oracle: stage digests diff clean AND every per-epoch
+/// report field that attests an output (counts, roots, abort outcomes)
+/// matches exactly.
+void ExpectEquivalent(const RunResult& reference, const RunResult& other,
+                      const std::string& label) {
+  const DivergenceReport report =
+      analysis::DiffCheckpoints(reference.checkpoints, other.checkpoints);
+  EXPECT_FALSE(report.diverged) << label << ": " << report.summary;
+  ASSERT_EQ(reference.summary.reports.size(), other.summary.reports.size())
+      << label;
+  for (std::size_t i = 0; i < reference.summary.reports.size(); ++i) {
+    const EpochReport& a = reference.summary.reports[i];
+    const EpochReport& b = other.summary.reports[i];
+    EXPECT_EQ(a.epoch, b.epoch) << label;
+    EXPECT_EQ(a.block_concurrency, b.block_concurrency) << label;
+    EXPECT_EQ(a.txs, b.txs) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.committed, b.committed) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.aborted, b.aborted) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.max_commit_group, b.max_commit_group)
+        << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.state_root, b.state_root) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.receipt_root, b.receipt_root)
+        << label << " epoch " << a.epoch;
+  }
+}
+
+// Seeds x worker threads x pipeline depths under Nezha with the incremental
+// ACG feed: every pipelined run must be stage-digest- and report-identical
+// to the batch driver at the same seed and thread count.
+TEST_F(PipelinedNodeTest, NezhaDifferentialMatrix) {
+  const std::uint64_t kSeeds[] = {3, 11, 29};
+  const std::size_t kThreads[] = {1, 4, 8};
+  const std::size_t kDepths[] = {1, 2, 4};
+  for (const std::uint64_t seed : kSeeds) {
+    for (const std::size_t threads : kThreads) {
+      const SimulationConfig config =
+          MakeConfig(SchemeKind::kNezha, threads, seed);
+      const RunResult reference = RunBatch(config);
+      ASSERT_EQ(reference.checkpoints.size(), config.epochs);
+      for (const EpochCheckpoints& epoch : reference.checkpoints) {
+        EXPECT_TRUE(epoch.Has(DetStage::kAcg)) << epoch.epoch;
+        EXPECT_TRUE(epoch.Has(DetStage::kRank)) << epoch.epoch;
+        EXPECT_TRUE(epoch.Has(DetStage::kSort)) << epoch.epoch;
+        EXPECT_TRUE(epoch.Has(DetStage::kExecute)) << epoch.epoch;
+        EXPECT_TRUE(epoch.Has(DetStage::kCommit)) << epoch.epoch;
+        EXPECT_EQ(epoch.scheme, "nezha");
+      }
+      for (const std::size_t depth : kDepths) {
+        const RunResult pipelined = RunPipelined(config, depth);
+        ExpectEquivalent(reference, pipelined,
+                         "seed=" + std::to_string(seed) +
+                             " threads=" + std::to_string(threads) +
+                             " depth=" + std::to_string(depth));
+      }
+    }
+  }
+}
+
+// The incremental block-by-block ACG feed is an optimization, not a
+// semantic switch: turning it off must not change a single digest either.
+TEST_F(PipelinedNodeTest, IncrementalAcgDisabledStillMatchesBatch) {
+  const SimulationConfig config = MakeConfig(SchemeKind::kNezha, 4, 17);
+  const RunResult reference = RunBatch(config);
+  const RunResult whole_batch_acg =
+      RunPipelined(config, 2, /*incremental_acg=*/false);
+  ExpectEquivalent(reference, whole_batch_acg, "incremental_acg=off");
+  const RunResult incremental = RunPipelined(config, 2);
+  ExpectEquivalent(reference, incremental, "incremental_acg=on");
+}
+
+// The prepare/commit split is scheme-agnostic: OCC, CG and
+// Nezha-without-reordering ride the same pipeline and must match their
+// batch runs.
+TEST_F(PipelinedNodeTest, OtherSchemesMatchBatchDriver) {
+  const SchemeKind kSchemes[] = {SchemeKind::kOcc, SchemeKind::kCg,
+                                 SchemeKind::kNezhaNoReorder};
+  for (const SchemeKind scheme : kSchemes) {
+    const SimulationConfig config = MakeConfig(scheme, 4, 23);
+    const RunResult reference = RunBatch(config);
+    const RunResult pipelined = RunPipelined(config, 2);
+    ExpectEquivalent(reference, pipelined, SchemeName(scheme));
+  }
+}
+
+// Serial has no prepare/commit split; the pipeline must degrade to the
+// batch driver (whole epochs on the commit thread) without changing
+// anything.
+TEST_F(PipelinedNodeTest, SerialPassthroughMatchesBatchDriver) {
+  const SimulationConfig config = MakeConfig(SchemeKind::kSerial, 1, 5);
+  const RunResult reference = RunBatch(config);
+  const RunResult pipelined = RunPipelined(config, 2);
+  ExpectEquivalent(reference, pipelined, "serial");
+}
+
+// Durable mode, the strongest oracle available: a KV-backed batch node and
+// a KV-backed pipelined node fed the same workload must end with
+// byte-identical KV checkpoints — every journal record, commit batch,
+// block, receipt and root record included. In-order commit on the pipeline
+// thread is what makes the journal chain line up.
+TEST_F(PipelinedNodeTest, DurableCommitStreamMatchesBatchDriver) {
+  NodeConfig node_config;
+  node_config.scheme = SchemeKind::kNezha;
+  node_config.worker_threads = 4;
+  node_config.max_chains = 2;
+  WorkloadConfig wl;
+  wl.num_accounts = 120;
+  wl.skew = 0.9;
+  constexpr EpochId kEpochs = 4;
+  constexpr std::size_t kBlockTxs = 25;
+
+  const auto init = [&wl](FullNode& node) {
+    SmallBankWorkload::InitAccounts(node.state(), wl.num_accounts, 100, 100);
+    ASSERT_TRUE(node.state().Flush().ok());
+    node.ledger().CommitEpochRoot(0, node.state().RootHash());
+  };
+
+  KVStore kv_batch;
+  Hash256 batch_final_root{};
+  {
+    FullNode node(node_config, &kv_batch);
+    SmallBankWorkload workload(wl, 77);
+    init(node);
+    for (EpochId epoch = 1; epoch <= kEpochs; ++epoch) {
+      for (ChainId chain = 0; chain < 2; ++chain) {
+        Block block = node.ledger().BuildBlock(chain, epoch,
+                                               workload.MakeBatch(kBlockTxs));
+        ASSERT_TRUE(node.ledger().AppendBlock(std::move(block)).ok());
+      }
+      auto sealed = node.ledger().SealEpoch(epoch);
+      ASSERT_TRUE(sealed.ok());
+      auto report = node.ProcessEpoch(*sealed);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      batch_final_root = report->state_root;
+    }
+  }
+
+  KVStore kv_pipelined;
+  Hash256 pipelined_final_root{};
+  {
+    FullNode node(node_config, &kv_pipelined);
+    SmallBankWorkload workload(wl, 77);
+    init(node);
+    PipelineOptions options;
+    options.depth = 2;
+    EpochPipeline pipeline(node, options);
+    for (EpochId epoch = 1; epoch <= kEpochs; ++epoch) {
+      std::vector<std::vector<Transaction>> chain_txs(2);
+      for (ChainId chain = 0; chain < 2; ++chain) {
+        chain_txs[chain] = workload.MakeBatch(kBlockTxs);
+      }
+      ASSERT_TRUE(pipeline.Submit(epoch, std::move(chain_txs)).ok());
+    }
+    auto reports = pipeline.Drain();
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    ASSERT_EQ(reports->size(), kEpochs);
+    pipelined_final_root = reports->back().state_root;
+  }
+
+  EXPECT_EQ(batch_final_root, pipelined_final_root);
+  const std::string a = kv_batch.Checkpoint();
+  const std::string b = kv_pipelined.Checkpoint();
+  EXPECT_TRUE(a == b) << "durable stores differ (" << a.size() << " vs "
+                      << b.size() << " checkpoint bytes)";
+}
+
+// Driver mechanics: depth-1 backpressure blocks the submitter, reports come
+// back in submission order, and the overlap accounting closes sanely.
+TEST_F(PipelinedNodeTest, StatsAccountBackpressureAndOverlap) {
+  const SimulationConfig config =
+      MakeConfig(SchemeKind::kNezha, 2, 13, /*epochs=*/6);
+  PipelineStats stats;
+  const RunResult run = RunPipelined(config, 1, true, &stats);
+  ASSERT_EQ(run.summary.reports.size(), 6u);
+  for (std::size_t i = 0; i < run.summary.reports.size(); ++i) {
+    EXPECT_EQ(run.summary.reports[i].epoch, EpochId(i + 1));
+  }
+  EXPECT_EQ(stats.epochs, 6u);
+  EXPECT_GT(stats.prepare_us, 0.0);
+  EXPECT_GT(stats.commit_us, 0.0);
+  // Depth 1 admits one epoch in flight: with six near-instant submissions,
+  // at least one must have waited for a commit.
+  EXPECT_GE(stats.backpressure_waits, 1u);
+  // Overlap is bounded by the committed halves it intersects.
+  EXPECT_LE(stats.overlap_us, stats.commit_us);
+  EXPECT_LE(stats.tail_us, stats.commit_us);
+}
+
+TEST_F(PipelinedNodeTest, SubmitAfterDrainIsRejected) {
+  FullNode node(NodeConfig{}, nullptr);
+  EpochPipeline pipeline(node, PipelineOptions{});
+  auto reports = pipeline.Drain();
+  ASSERT_TRUE(reports.ok());
+  EXPECT_TRUE(reports->empty());
+  const Status s = pipeline.Submit(1, {});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nezha
